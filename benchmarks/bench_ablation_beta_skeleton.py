@@ -1,0 +1,64 @@
+"""Ablation — the beta-skeleton sparseness/stretch dial.
+
+Bose et al. (the paper's [13]) proved Gabriel graphs (beta=1) have
+length stretch Theta(sqrt(n)) and RNG (beta=2) Theta(n).  Sweeping
+beta between the two shows the dial continuously trading edges for
+stretch — context for why the paper needed a structurally different
+construction (no beta gives a constant-stretch skeleton).
+"""
+
+import random
+
+import pytest
+
+from repro.core.metrics import length_stretch
+from repro.topology.beta_skeleton import beta_skeleton
+from repro.workloads.generators import connected_udg_instance
+
+BETAS = (1.0, 1.25, 1.5, 1.75, 2.0)
+
+
+@pytest.fixture(scope="module")
+def udgs():
+    rng = random.Random(88)
+    return [connected_udg_instance(80, 200.0, 60.0, rng).udg() for _ in range(3)]
+
+
+def test_beta_sweep(benchmark, udgs):
+    results = benchmark.pedantic(
+        lambda: [
+            [beta_skeleton(udg, beta) for beta in BETAS] for udg in udgs
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    assert results
+
+
+def test_beta_dial(benchmark, udgs):
+    def sweep():
+        rows = []
+        for beta in BETAS:
+            edges = 0.0
+            s_avg = 0.0
+            s_max = 0.0
+            for udg in udgs:
+                skeleton = beta_skeleton(udg, beta)
+                stats = length_stretch(skeleton, udg)
+                edges += skeleton.edge_count / len(udgs)
+                s_avg += stats.avg / len(udgs)
+                s_max = max(s_max, stats.max)
+            rows.append((beta, edges, s_avg, s_max))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("beta-skeleton dial (mean over instances):")
+    print(f"{'beta':>6}{'edges':>8}{'len stretch avg':>17}{'len stretch max':>17}")
+    prev_edges = None
+    for beta, edges, s_avg, s_max in rows:
+        print(f"{beta:>6.2f}{edges:>8.1f}{s_avg:>17.3f}{s_max:>17.3f}")
+        # Monotone: larger beta, fewer edges.
+        if prev_edges is not None:
+            assert edges <= prev_edges + 1e-9
+        prev_edges = edges

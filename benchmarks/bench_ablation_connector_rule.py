@@ -1,0 +1,81 @@
+"""Ablation — connector election rule: smallest-ID vs first-response.
+
+Section III-A.2 remark: waiting to collect neighbor IDs before
+electing is what the smallest-ID rule costs; "instead ... we can pick
+any node that comes first to the notice."  This ablation quantifies
+the trade: first-response elects every candidate (no wait, more
+redundancy), so the backbone gets bigger while connectivity and the
+message count per node stay bounded.
+"""
+
+import random
+
+import pytest
+
+from repro.graphs.paths import is_connected
+from repro.protocols.cds import build_cds_family
+from repro.workloads.generators import connected_udg_instance
+
+
+@pytest.fixture(scope="module")
+def instances():
+    rng = random.Random(2002)
+    return [connected_udg_instance(80, 200.0, 60.0, rng) for _ in range(3)]
+
+
+def _build_all(instances, election):
+    return [
+        build_cds_family(dep.udg(), election=election) for dep in instances
+    ]
+
+
+def test_smallest_id_rule(benchmark, instances):
+    families = benchmark.pedantic(
+        _build_all, args=(instances, "smallest-id"), rounds=1, iterations=1
+    )
+    for family in families:
+        assert _backbone_connected(family)
+
+
+def test_first_response_rule(benchmark, instances):
+    families = benchmark.pedantic(
+        _build_all, args=(instances, "first-response"), rounds=1, iterations=1
+    )
+    for family in families:
+        assert _backbone_connected(family)
+
+
+def test_rule_comparison(benchmark, instances):
+    small, eager = benchmark.pedantic(
+        lambda: (
+            _build_all(instances, "smallest-id"),
+            _build_all(instances, "first-response"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for s, e in zip(small, eager):
+        rows.append(
+            (
+                len(s.connectors),
+                len(e.connectors),
+                s.stats.max_per_node(),
+                e.stats.max_per_node(),
+            )
+        )
+    print()
+    print("connector-rule ablation (per instance):")
+    print(f"{'conn(id)':>9}{'conn(first)':>12}{'msg(id)':>9}{'msg(first)':>11}")
+    for r in rows:
+        print(f"{r[0]:>9}{r[1]:>12}{r[2]:>9}{r[3]:>11}")
+    # first-response never elects fewer connectors, and both rules keep
+    # the per-node message count bounded.
+    for s, e in zip(small, eager):
+        assert s.connectors <= e.connectors
+        assert e.stats.max_per_node() <= 60
+
+
+def _backbone_connected(family):
+    sub, _ = family.cds.subgraph(family.backbone_nodes)
+    return is_connected(sub)

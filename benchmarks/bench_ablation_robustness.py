@@ -1,0 +1,82 @@
+"""Ablation — backbone robustness under node failures.
+
+The paper keeps redundant connectors "to increase the robustness of
+the backbone"; this ablation quantifies it: single-failure fragility
+(articulation-point fraction) of CDS vs ICDS vs LDel(ICDS), and
+routing availability after failing increasing fractions of backbone
+nodes.
+"""
+
+import random
+
+import pytest
+
+from repro.core.spanner import build_backbone
+from repro.graphs.connectivity import robustness, survives_failures
+from repro.routing.gpsr import gpsr_route
+from repro.workloads.generators import connected_udg_instance
+
+
+@pytest.fixture(scope="module")
+def world():
+    dep = connected_udg_instance(100, 200.0, 55.0, random.Random(77))
+    return dep, build_backbone(dep.points, dep.radius)
+
+
+def test_single_failure_fragility(benchmark, world):
+    _dep, result = world
+    members = result.backbone_nodes
+
+    def measure():
+        return {
+            "CDS": robustness(result.cds, nodes=members),
+            "ICDS": robustness(result.icds, nodes=members),
+            "LDel(ICDS)": robustness(result.ldel_icds, nodes=members),
+        }
+
+    reports = benchmark.pedantic(measure, rounds=3, iterations=1)
+    print()
+    print("single-failure fragility (fraction of backbone nodes that are cut vertices):")
+    for name, report in reports.items():
+        print(
+            f"  {name:<11} cut fraction {report.cut_fraction:.2f}  "
+            f"bridges {len(report.bridges)}"
+        )
+    # ICDS (all UDG links among members) is never more fragile than
+    # the elected-edges-only CDS.
+    assert reports["ICDS"].cut_fraction <= reports["CDS"].cut_fraction + 1e-9
+
+
+def test_availability_under_failures(benchmark, world):
+    _dep, result = world
+    members = sorted(result.backbone_nodes)
+    rng = random.Random(5)
+    probe_pairs = [
+        (members[i], members[-1 - i]) for i in range(0, len(members) // 2, 4)
+    ]
+
+    def sweep():
+        rows = []
+        for fraction in (0.0, 0.1, 0.2, 0.3):
+            k = int(fraction * len(members))
+            failed = set(rng.sample(members, k)) if k else set()
+            survivor = survives_failures(result.ldel_icds, failed)
+            alive_pairs = [
+                (s, t)
+                for s, t in probe_pairs
+                if s not in failed and t not in failed
+            ]
+            delivered = sum(
+                gpsr_route(survivor, s, t).delivered for s, t in alive_pairs
+            )
+            rows.append((fraction, delivered, len(alive_pairs)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("routing availability on LDel(ICDS) under random backbone failures:")
+    for fraction, delivered, total in rows:
+        pct = delivered / total if total else 1.0
+        print(f"  fail {fraction:.0%}: {delivered}/{total} probes delivered ({pct:.0%})")
+    # No failures -> full availability.
+    assert rows[0][1] == rows[0][2]

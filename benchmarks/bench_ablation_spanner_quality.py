@@ -1,0 +1,86 @@
+"""Ablation — how close do the localized structures get to the greedy yardstick?
+
+The path-greedy t-spanner achieves the best stretch/sparseness trade
+available to a *global* algorithm; the interference metric adds the
+third axis.  This ablation lines up every constant-stretch structure
+(greedy 1.5/2.0, Yao family, the paper's backbone) on edges, measured
+stretch, max degree and interference — the full picture of what the
+locality constraint costs.
+"""
+
+import random
+
+import pytest
+
+from repro.core.interference import interference
+from repro.core.metrics import length_stretch
+from repro.core.spanner import build_backbone
+from repro.topology.greedy_spanner import greedy_spanner
+from repro.topology.yao import yao_graph
+from repro.topology.yao_sink import yao_sink_graph
+from repro.topology.yao_yao import yao_yao_graph
+from repro.workloads.generators import connected_udg_instance
+
+
+@pytest.fixture(scope="module")
+def world():
+    dep = connected_udg_instance(80, 200.0, 60.0, random.Random(99))
+    udg = dep.udg()
+    backbone = build_backbone(udg.positions, udg.radius)
+    return udg, backbone
+
+
+def _structures(udg, backbone):
+    return {
+        "Greedy(1.5)": (greedy_spanner(udg, 1.5), False),
+        "Greedy(2.0)": (greedy_spanner(udg, 2.0), False),
+        "Yao8": (yao_graph(udg, 8), False),
+        "YaoYao8": (yao_yao_graph(udg, 8), False),
+        "YaoSink8": (yao_sink_graph(udg, 8), False),
+        "LDel(ICDS')": (backbone.ldel_icds_prime, True),
+    }
+
+
+def test_build_all_quality_structures(benchmark, world):
+    udg, backbone = world
+    structures = benchmark.pedantic(
+        _structures, args=(udg, backbone), rounds=1, iterations=1
+    )
+    assert len(structures) == 6
+
+
+def test_quality_table(benchmark, world):
+    udg, backbone = world
+
+    def measure():
+        rows = []
+        for name, (graph, skip) in _structures(udg, backbone).items():
+            stretch = length_stretch(graph, udg, skip_udg_adjacent=skip)
+            rows.append(
+                (
+                    name,
+                    graph.edge_count,
+                    stretch.avg,
+                    stretch.max,
+                    max(graph.degrees(), default=0),
+                    interference(graph).max,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print("spanner quality ablation (UDG edges: %d):" % udg.edge_count)
+    print(f"{'structure':<13}{'edges':>7}{'len avg':>9}{'len max':>9}{'deg max':>9}{'interf':>8}")
+    for name, edges, s_avg, s_max, deg, interf in rows:
+        print(f"{name:<13}{edges:>7}{s_avg:>9.3f}{s_max:>9.3f}{deg:>9}{interf:>8}")
+
+    by_name = {r[0]: r for r in rows}
+    # Greedy achieves its bound by construction.
+    assert by_name["Greedy(1.5)"][3] <= 1.5 + 1e-9
+    assert by_name["Greedy(2.0)"][3] <= 2.0 + 1e-9
+    # The locality cost: the backbone is sparser than greedy(1.5) but
+    # looser in stretch; its degree stays bounded like YaoSink's.
+    assert by_name["LDel(ICDS')"][4] <= 45  # includes dominatee links
+    # Yao family: YY and YaoSink prune Yao's degree.
+    assert by_name["YaoYao8"][4] <= by_name["Yao8"][4]

@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the substrates the pipeline is built from.
+
+Times each stage in isolation on a shared mid-size instance so
+regressions in any layer (triangulation, UDG construction, protocol
+simulation, APSP metrics, planarity check) show up individually.
+"""
+
+import random
+
+import pytest
+
+from repro.core.metrics import hop_stretch, length_stretch
+from repro.core.spanner import build_backbone
+from repro.geometry.primitives import Point
+from repro.geometry.triangulation import delaunay
+from repro.graphs.planarity import is_planar_embedding
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.clustering import run_clustering
+from repro.protocols.ldel_protocol import run_ldel_protocol
+from repro.topology.gabriel import gabriel_graph
+from repro.topology.ldel import planar_local_delaunay_graph
+from repro.topology.rng import relative_neighborhood_graph
+from repro.topology.yao_sink import yao_sink_graph
+
+
+def test_delaunay_triangulation_200pts(benchmark):
+    rng = random.Random(1)
+    pts = [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(200)]
+    tri = benchmark(delaunay, pts)
+    assert tri.triangles
+
+
+def test_udg_construction(benchmark, mid_deployment):
+    udg = benchmark(
+        lambda: UnitDiskGraph(list(mid_deployment.points), mid_deployment.radius)
+    )
+    assert udg.edge_count > 0
+
+
+def test_rng_construction(benchmark, mid_deployment):
+    udg = mid_deployment.udg()
+    graph = benchmark(relative_neighborhood_graph, udg)
+    assert graph.edge_count > 0
+
+
+def test_gabriel_construction(benchmark, mid_deployment):
+    udg = mid_deployment.udg()
+    graph = benchmark(gabriel_graph, udg)
+    assert graph.edge_count > 0
+
+
+def test_yao_sink_construction(benchmark, mid_deployment):
+    udg = mid_deployment.udg()
+    graph = benchmark(yao_sink_graph, udg)
+    assert graph.edge_count > 0
+
+
+def test_pldel_centralized(benchmark, mid_deployment):
+    udg = mid_deployment.udg()
+    result = benchmark.pedantic(
+        planar_local_delaunay_graph, args=(udg,), rounds=3, iterations=1
+    )
+    assert result.triangles
+
+
+def test_clustering_protocol(benchmark, mid_deployment):
+    udg = mid_deployment.udg()
+    outcome = benchmark.pedantic(
+        run_clustering, args=(udg,), rounds=3, iterations=1
+    )
+    assert outcome.dominators
+
+
+def test_ldel_protocol(benchmark, mid_deployment):
+    udg = mid_deployment.udg()
+    outcome = benchmark.pedantic(
+        run_ldel_protocol, args=(udg,), rounds=3, iterations=1
+    )
+    assert outcome.graph.edge_count > 0
+
+
+def test_full_pipeline(benchmark, mid_deployment):
+    result = benchmark.pedantic(
+        build_backbone,
+        args=(list(mid_deployment.points), mid_deployment.radius),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.ldel_icds.edge_count > 0
+
+
+def test_stretch_metrics(benchmark, mid_deployment):
+    udg = mid_deployment.udg()
+    gg = gabriel_graph(udg)
+
+    def measure():
+        return length_stretch(gg, udg), hop_stretch(gg, udg)
+
+    length, hops = benchmark(measure)
+    assert length.pairs == hops.pairs > 0
+
+
+def test_planarity_check(benchmark, mid_deployment):
+    udg = mid_deployment.udg()
+    gg = gabriel_graph(udg)
+    assert benchmark(is_planar_embedding, gg)

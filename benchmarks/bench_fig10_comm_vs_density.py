@@ -1,0 +1,42 @@
+"""Figure 10 — per-node communication cost vs node density (R = 60).
+
+Paper claims reproduced here: the maximum per-node message count to
+build CDS/ICDS is a small constant, far below the theoretical bound,
+and the LDel(ICDS) cost is the CDS cost plus a roughly fixed increment
+(the local Delaunay messages depend only on the bounded ICDS degree).
+Full-scale regeneration: ``python -m repro.experiments.harness fig10``.
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    fig10_comm_vs_density,
+    format_series,
+)
+
+SMOKE = ExperimentConfig(instances=2, seed=2002)
+NS = (20, 60, 100)
+
+
+def test_fig10_comm_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: fig10_comm_vs_density(ns=NS, config=SMOKE),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 10 series (reduced):")
+    print(format_series(points, x_label="nodes"))
+
+    for point in points:
+        # Constant per-node cost at every density.
+        assert point.values["CDS comm max"] <= 50
+        assert point.values["LDelICDS comm max"] <= 120
+        # Ledger nesting: each stage adds messages.
+        assert point.values["CDS comm avg"] < point.values["ICDS comm avg"]
+        assert point.values["ICDS comm avg"] < point.values["LDelICDS comm avg"]
+
+    # The LDel increment over CDS is roughly flat across densities.
+    increments = [
+        p.values["LDelICDS comm max"] - p.values["CDS comm max"] for p in points
+    ]
+    assert max(increments) - min(increments) <= 25

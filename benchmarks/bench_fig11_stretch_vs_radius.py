@@ -1,0 +1,36 @@
+"""Figure 11 — spanning ratios vs transmission radius (N = 500).
+
+Paper claim reproduced here: the stretch factors stay in the same
+constant band across the whole radius sweep — the spanner property is
+insensitive to the transmission range.  Full-scale regeneration:
+``python -m repro.experiments.harness fig11``.
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    fig11_stretch_vs_radius,
+    format_series,
+)
+
+# N=500 with APSP is the most expensive sweep; one instance per radius
+# point keeps the benchmark run under control.
+SMOKE = ExperimentConfig(instances=1, seed=2002)
+RADII = (25, 40, 60)
+
+
+def test_fig11_stretch_vs_radius(benchmark):
+    points = benchmark.pedantic(
+        lambda: fig11_stretch_vs_radius(radii=RADII, n=500, config=SMOKE),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 11 series (N=500, reduced):")
+    print(format_series(points, x_label="radius"))
+
+    for point in points:
+        for name in ("CDS'", "ICDS'", "LDel(ICDS')"):
+            assert 1.0 <= point.values[f"{name} length avg"] <= 2.0
+            assert 1.0 <= point.values[f"{name} hop avg"] <= 2.0
+            assert point.values[f"{name} length max"] <= 7.0
+            assert point.values[f"{name} hop max"] <= 5.0

@@ -1,0 +1,33 @@
+"""Figure 12 — communication cost and node degree vs radius (N = 500).
+
+Paper claims reproduced here: per-node communication cost and backbone
+degree remain bounded by constants across the radius sweep — larger
+radius means denser UDG, but the backbone absorbs it.  Full-scale
+regeneration: ``python -m repro.experiments.harness fig12``.
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    fig12_comm_vs_radius,
+    format_series,
+)
+
+SMOKE = ExperimentConfig(instances=1, seed=2002)
+RADII = (25, 40, 60)
+
+
+def test_fig12_comm_and_degree_vs_radius(benchmark):
+    points = benchmark.pedantic(
+        lambda: fig12_comm_vs_radius(radii=RADII, n=500, config=SMOKE),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 12 series (N=500, reduced):")
+    print(format_series(points, x_label="radius"))
+
+    for point in points:
+        assert point.values["CDS comm max"] <= 60
+        assert point.values["LDelICDS comm max"] <= 150
+        assert point.values["CDS deg max"] <= 30
+        assert point.values["LDel(ICDS) deg max"] <= 16

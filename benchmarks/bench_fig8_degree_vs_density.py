@@ -1,0 +1,38 @@
+"""Figure 8 — node degree vs node density (R = 60, 200x200 square).
+
+Paper claim reproduced here: the max degree of the *backbone* graphs
+(CDS, ICDS, LDel(ICDS)) stays flat as the node count grows, while the
+primed graphs (which include dominatee links) track the UDG density.
+Full-scale regeneration: ``python -m repro.experiments.harness fig8``.
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    fig8_degree_vs_density,
+    format_series,
+)
+
+SMOKE = ExperimentConfig(instances=2, seed=2002)
+NS = (20, 60, 100)
+
+
+def test_fig8_degree_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: fig8_degree_vs_density(ns=NS, config=SMOKE),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 8 series (reduced):")
+    print(format_series(points, x_label="nodes"))
+
+    sparse, dense = points[0].values, points[-1].values
+    # Backbone max degree bounded by a density-independent constant
+    # (the paper's Lemmas 4 and 8; empirically ~10-16 at these scales).
+    for point in points:
+        assert point.values["CDS deg max"] <= 20
+        assert point.values["LDel(ICDS) deg max"] <= 12
+    # Primed graphs' max degree grows with density (dominatee links).
+    assert dense["CDS' deg max"] > sparse["CDS' deg max"]
+    # LDel(ICDS) is the lowest-degree backbone at high density.
+    assert dense["LDel(ICDS) deg max"] <= dense["ICDS deg max"]

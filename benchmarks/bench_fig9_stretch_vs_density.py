@@ -1,0 +1,36 @@
+"""Figure 9 — spanning ratios vs node density (R = 60, 200x200 square).
+
+Paper claim reproduced here: average length and hop stretch of CDS',
+ICDS' and LDel(ICDS') sit in a narrow constant band (~1.1-1.5)
+independent of density.  Full-scale regeneration:
+``python -m repro.experiments.harness fig9``.
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    fig9_stretch_vs_density,
+    format_series,
+)
+
+SMOKE = ExperimentConfig(instances=2, seed=2002)
+NS = (20, 60, 100)
+
+
+def test_fig9_stretch_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: fig9_stretch_vs_density(ns=NS, config=SMOKE),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 9 series (reduced):")
+    print(format_series(points, x_label="nodes"))
+
+    for point in points:
+        for name in ("CDS'", "ICDS'", "LDel(ICDS')"):
+            # Constant-band claim: averages stay small at every density.
+            assert 1.0 <= point.values[f"{name} length avg"] <= 2.0
+            assert 1.0 <= point.values[f"{name} hop avg"] <= 2.0
+            # Maxima are bounded constants, not growing with n.
+            assert point.values[f"{name} length max"] <= 6.0
+            assert point.values[f"{name} hop max"] <= 5.0

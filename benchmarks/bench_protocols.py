@@ -1,0 +1,78 @@
+"""Benchmarks for the application-layer protocols.
+
+Times the stateless routing protocol, convergecast, and neighbor
+discovery on a shared deployment, and prints the headline cost
+comparison: one convergecast wave vs per-reading unicast vs flooding.
+"""
+
+import random
+
+import pytest
+
+from repro.core.spanner import build_backbone
+from repro.protocols.convergecast import run_convergecast
+from repro.protocols.neighbor_discovery import detect_changes
+from repro.protocols.routing_protocol import run_routing_protocol
+from repro.routing.broadcast import flood
+from repro.workloads.generators import connected_udg_instance
+
+
+@pytest.fixture(scope="module")
+def world():
+    dep = connected_udg_instance(80, 200.0, 55.0, random.Random(50))
+    result = build_backbone(dep.points, dep.radius)
+    return dep, result
+
+
+def test_routing_protocol_throughput(benchmark, world):
+    dep, result = world
+    n = result.udg.node_count
+    packets = [(i, (i + n // 2) % n) for i in range(0, n, 2)]
+    outcomes, _stats = benchmark.pedantic(
+        lambda: run_routing_protocol(result, packets), rounds=3, iterations=1
+    )
+    assert all(o.delivered for o in outcomes if o.source != o.target)
+
+
+def test_convergecast_wave(benchmark, world):
+    dep, result = world
+    out = benchmark.pedantic(
+        lambda: run_convergecast(result.cds_prime, result.udg, sink=0),
+        rounds=3,
+        iterations=1,
+    )
+    assert out.contributors == result.udg.node_count
+
+
+def test_neighbor_discovery(benchmark, world):
+    dep, result = world
+    udg = result.udg
+    tables = {u: frozenset(udg.neighbors(u)) for u in udg.nodes()}
+    out = benchmark.pedantic(
+        lambda: detect_changes(list(dep.points), dep.radius, tables),
+        rounds=3,
+        iterations=1,
+    )
+    assert not out.any_change
+
+
+def test_collection_cost_comparison(benchmark, world):
+    """All-sensors-report-once: convergecast vs unicast vs flooding."""
+    dep, result = world
+    udg = result.udg
+    n = udg.node_count
+
+    def measure():
+        wave = run_convergecast(result.cds_prime, udg, sink=0)
+        packets = [(u, 0) for u in range(1, n)]
+        _outcomes, unicast_stats = run_routing_protocol(result, packets)
+        flood_cost = (n - 1) * flood(udg, 1).transmissions
+        return wave.stats.total, unicast_stats.per_kind["Data"], flood_cost
+
+    cc, unicast, flooding = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print("cost to collect one reading from every sensor (transmissions):")
+    print(f"  convergecast  {cc:>8}")
+    print(f"  unicast       {unicast:>8}")
+    print(f"  flooding      {flooding:>8}")
+    assert cc < unicast < flooding

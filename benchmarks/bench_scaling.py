@@ -1,0 +1,60 @@
+"""Scaling behaviour: construction cost as the network grows.
+
+The paper's complexity claims — O(n) total messages, O(d log d)
+per-node computation — imply near-linear wall-clock growth for the
+whole pipeline on uniform-density deployments.  This benchmark times
+the pipeline at increasing n (density held fixed by growing the region
+with sqrt(n)) and checks the message ledger's linearity directly.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.spanner import build_backbone
+from repro.workloads.generators import connected_udg_instance
+
+SIZES = (50, 100, 200, 400)
+BASE_SIDE = 200.0
+BASE_N = 100
+RADIUS = 55.0
+
+
+def _instance(n):
+    side = BASE_SIDE * math.sqrt(n / BASE_N)  # constant density
+    return connected_udg_instance(n, side, RADIUS, random.Random(n))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_pipeline_scaling(benchmark, n):
+    deployment = _instance(n)
+    result = benchmark.pedantic(
+        build_backbone,
+        args=(list(deployment.points), deployment.radius),
+        rounds=2,
+        iterations=1,
+    )
+    # The linearity claim, checked on the ledger: total messages grow
+    # linearly in n (constant per node).
+    assert result.stats_ldel.total <= 60 * n
+    assert result.stats_ldel.max_per_node() <= 120
+
+
+def test_message_linearity_summary(benchmark):
+    def sweep():
+        rows = []
+        for n in SIZES:
+            deployment = _instance(n)
+            result = build_backbone(list(deployment.points), deployment.radius)
+            rows.append((n, result.stats_ldel.total))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("message totals vs n (constant density):")
+    for n, total in rows:
+        print(f"  n={n:>4}: {total:>6} messages ({total / n:.1f}/node)")
+    per_node = [total / n for n, total in rows]
+    # Per-node cost stays in a narrow band as n grows 8x.
+    assert max(per_node) <= 2.5 * min(per_node)

@@ -1,0 +1,35 @@
+"""Deployment-shape sensitivity — the paper's claims beyond uniform fields.
+
+The paper evaluates uniform random deployments; this benchmark
+rebuilds the backbone on clustered, gridded and corridor deployments
+and asserts the headline properties (bounded backbone degree, constant
+stretch, constant per-node messages) are deployment-shape-independent.
+Regenerate at full scale: ``python -m repro.experiments.harness sensitivity``.
+"""
+
+from repro.experiments.runner import ExperimentConfig, deployment_sensitivity
+
+SMOKE = ExperimentConfig(instances=2, seed=2002)
+
+
+def test_deployment_sensitivity(benchmark):
+    results = benchmark.pedantic(
+        lambda: deployment_sensitivity(n=60, config=SMOKE),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("deployment sensitivity (LDel(ICDS') on 60 nodes):")
+    metrics = list(next(iter(results.values())))
+    print(f"{'generator':<12}" + "".join(f"{m:>20}" for m in metrics))
+    for generator, values in results.items():
+        print(
+            f"{generator:<12}" + "".join(f"{values[m]:>20.3f}" for m in metrics)
+        )
+    for generator, values in results.items():
+        # The paper's properties, shape-independent:
+        assert values["backbone deg max"] <= 12, generator
+        assert values["length avg"] <= 2.0, generator
+        assert values["hop avg"] <= 2.0, generator
+        assert values["comm max"] <= 120, generator
+        assert 0.0 < values["backbone fraction"] < 1.0, generator

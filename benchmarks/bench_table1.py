@@ -1,0 +1,44 @@
+"""Table I — topology quality measurements.
+
+Benchmarks the full construction of every Table I topology on one
+paper-scale instance (n=100, R=60), and regenerates the table rows at
+reduced instance count.  Full-scale regeneration:
+``python -m repro.experiments.harness table1``.
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    TABLE1_ORDER,
+    build_all_topologies,
+    format_rows,
+    table1,
+)
+
+SMOKE = ExperimentConfig(instances=2, seed=2002)
+
+
+def test_build_all_topologies_table1_scale(benchmark, table1_deployment):
+    """Time: all ten Table I topologies on one n=100 instance."""
+    udg = table1_deployment.udg()
+    graphs, _ = benchmark.pedantic(
+        build_all_topologies, args=(udg,), rounds=3, iterations=1
+    )
+    assert set(graphs) == set(TABLE1_ORDER)
+
+
+def test_regenerate_table1_rows(benchmark):
+    """Regenerate Table I (reduced instances) and print the rows."""
+    rows = benchmark.pedantic(
+        lambda: table1(n=100, radius=60.0, config=SMOKE), rounds=1, iterations=1
+    )
+    print()
+    print("Table I (n=100, R=60, 200x200, reduced instances):")
+    print(format_rows(rows))
+    by_name = {r.name: r for r in rows}
+    # The paper's qualitative claims must hold at any instance count:
+    # RNG is the worst hop spanner; the backbone graphs beat it.
+    assert by_name["RNG"].hop_avg > by_name["LDel(ICDS')"].hop_avg
+    # LDel(ICDS) has the smallest max degree among backbone graphs.
+    assert by_name["LDel(ICDS)"].deg_max <= by_name["ICDS"].deg_max
+    # Everything is far sparser than the UDG.
+    assert by_name["LDel(ICDS')"].edges < 0.5 * by_name["UDG"].edges

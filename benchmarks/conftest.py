@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run at the paper's parameter points but with reduced
+instance counts so ``pytest benchmarks/ --benchmark-only`` finishes in
+minutes; the full-scale series are regenerated with
+``python -m repro.experiments.harness all`` (see EXPERIMENTS.md for
+recorded full-scale results).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.workloads.generators import Deployment, connected_udg_instance
+
+#: Instance counts for in-benchmark series regeneration.
+SMOKE = ExperimentConfig(instances=2, seed=2002)
+
+
+@pytest.fixture(scope="session")
+def table1_deployment() -> Deployment:
+    """One Table I-scale instance: n=100, R=60, 200x200."""
+    return connected_udg_instance(100, 200.0, 60.0, random.Random(2002))
+
+
+@pytest.fixture(scope="session")
+def mid_deployment() -> Deployment:
+    """A mid-density instance for component benchmarks."""
+    return connected_udg_instance(60, 200.0, 60.0, random.Random(7))

@@ -1,0 +1,16 @@
+#!/usr/bin/env python3
+"""Thin CLI wrapper: regenerate every table/figure at full scale.
+
+Equivalent to ``python -m repro.experiments.harness``; kept here so the
+benchmarks directory is self-contained:
+
+    python benchmarks/harness.py table1
+    python benchmarks/harness.py all --instances 10
+"""
+
+import sys
+
+from repro.experiments.harness import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Network-wide broadcast: flooding vs the backbone vs a spanning tree.
+
+The paper's opening complaint: "The simplest routing method is to
+flood the message, which not only wastes the rare resources of
+wireless nodes, but also diminishes the throughput of the network."
+This example measures exactly that waste.  One message is broadcast
+from several sources over (a) blind flooding, (b) dominating-set-based
+relay over the constructed backbone, and (c) an MST — reporting
+transmissions (energy), rounds (latency), and coverage for each.
+
+Run:
+    python examples/broadcast_comparison.py [--nodes 100] [--seed 5]
+"""
+
+import argparse
+import random
+
+from repro import build_backbone, connected_udg_instance
+from repro.routing.broadcast import (
+    backbone_broadcast,
+    flood,
+    rng_broadcast,
+    tree_broadcast,
+)
+from repro.topology.mst import euclidean_mst
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=100)
+    parser.add_argument("--radius", type=float, default=60.0)
+    parser.add_argument("--side", type=float, default=200.0)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--sources", type=int, default=5)
+    args = parser.parse_args()
+
+    rng = random.Random(args.seed)
+    deployment = connected_udg_instance(args.nodes, args.side, args.radius, rng)
+    udg = deployment.udg()
+    result = build_backbone(deployment.points, deployment.radius)
+    mst = euclidean_mst(udg)
+
+    print(
+        f"{args.nodes} nodes, {udg.edge_count} links, backbone of "
+        f"{len(result.backbone_nodes)} nodes"
+    )
+    sources = sorted(rng.sample(range(args.nodes), args.sources))
+    print(f"broadcasting from sources {sources}\n")
+
+    print(f"{'strategy':<22}{'tx (mean)':>11}{'rounds (mean)':>15}{'coverage':>10}")
+    strategies = {
+        "blind flooding": lambda s: flood(udg, s),
+        "backbone relay": lambda s: backbone_broadcast(
+            udg, s, result.backbone_nodes
+        ),
+        "RNG internal nodes": lambda s: rng_broadcast(udg, s),
+        "MST tree": lambda s: tree_broadcast(udg, s, mst),
+    }
+    baseline_tx = None
+    for name, run in strategies.items():
+        outcomes = [run(s) for s in sources]
+        tx = sum(o.transmissions for o in outcomes) / len(outcomes)
+        rounds = sum(o.rounds for o in outcomes) / len(outcomes)
+        coverage = min(o.coverage for o in outcomes)
+        if baseline_tx is None:
+            baseline_tx = tx
+        print(
+            f"{name:<22}{tx:>11.1f}{rounds:>15.1f}"
+            f"{coverage:>7}/{args.nodes}"
+            + (f"   ({baseline_tx / tx:.1f}x fewer tx)" if tx < baseline_tx else "")
+        )
+
+    print(
+        "\nthe backbone relays with a fraction of the transmissions at "
+        "near-flooding latency; the MST saves less than it seems (its "
+        "many internal nodes must all transmit) and is far slower."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Why planarity matters: GPSR on the planar backbone vs greedy-only.
+
+A clustered deployment (dense sensor pockets with sparse space between
+them) is full of routing *voids*: greedy forwarding frequently hits
+local minima in the gaps between clusters.  GPSR's perimeter mode
+rescues those packets — but only because LDel(ICDS) is planar; the
+right-hand rule can loop on graphs with crossing edges.
+
+This example routes between many node pairs over the backbone with
+(a) greedy-only and (b) full GPSR, and reports delivery rates and the
+local-minimum recovery count.
+
+Run:
+    python examples/gpsr_demo.py [--nodes 90] [--seed 12]
+"""
+
+import argparse
+import random
+
+from repro import build_backbone, connected_udg_instance
+from repro.graphs.planarity import is_planar_embedding
+from repro.routing.gpsr import gpsr_route
+from repro.routing.greedy import greedy_route
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=90)
+    parser.add_argument("--radius", type=float, default=45.0)
+    parser.add_argument("--side", type=float, default=300.0)
+    parser.add_argument("--seed", type=int, default=12)
+    args = parser.parse_args()
+
+    rng = random.Random(args.seed)
+    deployment = connected_udg_instance(
+        args.nodes, args.side, args.radius, rng, generator="clustered"
+    )
+    result = build_backbone(deployment.points, deployment.radius)
+    backbone = result.ldel_icds
+    members = sorted(result.backbone_nodes)
+    print(
+        f"clustered deployment: {args.nodes} nodes, backbone of "
+        f"{len(members)} nodes / {backbone.edge_count} links, "
+        f"planar: {is_planar_embedding(backbone)}"
+    )
+
+    pairs = [(s, t) for s in members for t in members if s < t]
+    greedy_ok = 0
+    gpsr_ok = 0
+    recoveries = 0
+    gpsr_extra_hops = 0
+    for s, t in pairs:
+        g = greedy_route(backbone, s, t)
+        p = gpsr_route(backbone, s, t)
+        greedy_ok += g.delivered
+        gpsr_ok += p.delivered
+        if p.delivered and not g.delivered:
+            recoveries += 1
+            gpsr_extra_hops += p.hops
+
+    print()
+    print(f"node pairs routed: {len(pairs)}")
+    print(f"greedy-only delivery: {greedy_ok}/{len(pairs)} "
+          f"({greedy_ok / len(pairs):.0%})")
+    print(f"GPSR delivery:        {gpsr_ok}/{len(pairs)} "
+          f"({gpsr_ok / len(pairs):.0%})")
+    print(f"packets rescued by perimeter mode: {recoveries}")
+    if gpsr_ok != len(pairs):
+        failed = [
+            (s, t)
+            for s, t in pairs
+            if not gpsr_route(backbone, s, t).delivered
+        ]
+        print(f"undelivered pairs (unexpected on a planar graph): {failed[:5]}")
+    else:
+        print("GPSR delivered everything — the guarantee planarity buys.")
+
+
+if __name__ == "__main__":
+    main()

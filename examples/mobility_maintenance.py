@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Maintaining the backbone while nodes move.
+
+The paper: "our algorithms do not need to update the network topology
+when nodes are moving as long as no link used in the final network
+topology is broken."  This example drives a random-waypoint mobility
+session, applies exactly that policy via the BackboneMaintainer, and
+reports how often a rebuild was actually needed, how much of the
+backbone survived each rebuild, and how routing availability held up.
+
+Run:
+    python examples/mobility_maintenance.py [--steps 30] [--speed 2.0]
+"""
+
+import argparse
+import random
+
+from repro import build_backbone, connected_udg_instance
+from repro.mobility.maintenance import BackboneMaintainer
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.routing.backbone_routing import backbone_route
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=70)
+    parser.add_argument("--radius", type=float, default=60.0)
+    parser.add_argument("--side", type=float, default=200.0)
+    parser.add_argument("--steps", type=int, default=30)
+    parser.add_argument("--dt", type=float, default=1.0)
+    parser.add_argument("--speed", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=21)
+    args = parser.parse_args()
+
+    rng = random.Random(args.seed)
+    deployment = connected_udg_instance(args.nodes, args.side, args.radius, rng)
+    result = build_backbone(deployment.points, deployment.radius)
+    maintainer = BackboneMaintainer(result)
+    model = RandomWaypointModel(
+        list(deployment.points),
+        args.side,
+        rng,
+        speed_range=(0.5 * args.speed, 1.5 * args.speed),
+    )
+
+    print(
+        f"{args.nodes} nodes, radius {args.radius:g}, speeds around "
+        f"{args.speed:g} units/step; running {args.steps} steps"
+    )
+    print(f"{'step':>5}{'broken':>8}{'rebuilt':>9}{'retention':>11}{'role churn':>12}{'routable':>10}")
+
+    rebuilds = 0
+    retention_sum = 0.0
+    for step in range(1, args.steps + 1):
+        positions = model.step(args.dt)
+        report = maintainer.update(positions)
+        if report.rebuilt:
+            rebuilds += 1
+            retention_sum += report.edge_retention
+        # Spot-check routing availability on the current structure.
+        current = maintainer.result
+        probe_pairs = [(0, args.nodes - 1), (1, args.nodes // 2)]
+        routable = sum(
+            backbone_route(current, s, t).delivered
+            for s, t in probe_pairs
+            if s != t
+        )
+        print(
+            f"{step:>5}{len(report.broken_links):>8}"
+            f"{'yes' if report.rebuilt else 'no':>9}"
+            f"{report.edge_retention:>11.2f}"
+            f"{len(report.role_changes):>12}"
+            f"{routable:>8}/{len(probe_pairs)}"
+        )
+
+    print()
+    print(
+        f"rebuilds: {rebuilds}/{args.steps} steps "
+        f"({rebuilds / args.steps:.0%} of updates needed any work)"
+    )
+    if rebuilds:
+        print(
+            f"average backbone-edge retention across rebuilds: "
+            f"{retention_sum / rebuilds:.0%} — most of the structure "
+            "survives each repair, which is what makes localized "
+            "maintenance viable (the paper's future-work direction)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Battery death: the backbone under progressive node failures.
+
+Backbone nodes forward everyone's traffic, so they drain first — the
+classic hierarchical-topology objection.  This example kills nodes in
+descending forwarding-load order (worst case), measures routing
+availability on the surviving structure after each death, and shows
+when rebuilding the backbone over the survivors restores service —
+with the robustness analysis (cut vertices) predicting which deaths
+hurt before they happen.
+
+Run:
+    python examples/node_failures.py [--nodes 80] [--deaths 12]
+"""
+
+import argparse
+import random
+from collections import Counter
+
+from repro import build_backbone, connected_udg_instance
+from repro.graphs.connectivity import robustness, survives_failures
+from repro.routing.backbone_routing import backbone_route
+from repro.routing.gpsr import gpsr_route
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=80)
+    parser.add_argument("--radius", type=float, default=55.0)
+    parser.add_argument("--side", type=float, default=200.0)
+    parser.add_argument("--seed", type=int, default=33)
+    parser.add_argument("--deaths", type=int, default=12)
+    args = parser.parse_args()
+
+    rng = random.Random(args.seed)
+    deployment = connected_udg_instance(args.nodes, args.side, args.radius, rng)
+    result = build_backbone(deployment.points, deployment.radius)
+    udg = result.udg
+
+    # Forwarding load: route a packet between many pairs, count relays.
+    load: Counter = Counter()
+    pairs = [(s, t) for s in range(0, args.nodes, 5) for t in range(2, args.nodes, 7) if s != t]
+    for s, t in pairs:
+        route = backbone_route(result, s, t)
+        if route.delivered:
+            for node in route.path[1:-1]:
+                load[node] += 1
+    busiest = [n for n, _c in load.most_common(args.deaths)]
+    report = robustness(result.ldel_icds, nodes=result.backbone_nodes)
+    members_sorted = sorted(result.backbone_nodes)
+    cut_nodes = {members_sorted[i] for i in report.articulation_points}
+    print(
+        f"backbone: {len(result.backbone_nodes)} nodes; "
+        f"{len(cut_nodes)} are single points of failure "
+        f"({report.cut_fraction:.0%} of the backbone)"
+    )
+    print(f"killing the {args.deaths} busiest relays, one by one:\n")
+
+    probe_pairs = pairs[:: max(1, len(pairs) // 20)]
+    print(f"{'death':>6}{'node':>6}{'cut?':>6}{'degraded avail':>16}{'after rebuild':>15}")
+    failed: list[int] = []
+    for i, victim in enumerate(busiest, 1):
+        failed.append(victim)
+        # Availability on the *degraded* old structure.
+        survivor = survives_failures(result.ldel_icds, failed)
+        alive_pairs = [
+            (s, t) for s, t in probe_pairs if s not in failed and t not in failed
+        ]
+        degraded = 0
+        for s, t in alive_pairs:
+            entry = min(result.dominators_of(s) - set(failed), default=s if s in result.backbone_nodes else None)
+            exit_ = min(result.dominators_of(t) - set(failed), default=t if t in result.backbone_nodes else None)
+            if entry is None or exit_ is None:
+                continue
+            if entry == exit_ or gpsr_route(survivor, entry, exit_).delivered:
+                degraded += 1
+        # Availability after rebuilding over the survivors.
+        alive_positions = [p for j, p in enumerate(deployment.points) if j not in failed]
+        alive_ids = [j for j in range(args.nodes) if j not in failed]
+        remap = {old: new for new, old in enumerate(alive_ids)}
+        rebuilt = build_backbone(alive_positions, deployment.radius)
+        restored = 0
+        for s, t in alive_pairs:
+            if backbone_route(rebuilt, remap[s], remap[t]).delivered:
+                restored += 1
+        print(
+            f"{i:>6}{victim:>6}{'yes' if victim in cut_nodes else 'no':>6}"
+            f"{degraded:>10}/{len(alive_pairs):<5}"
+            f"{restored:>10}/{len(alive_pairs):<5}"
+        )
+
+    print(
+        "\ncut-vertex deaths are the ones that crater degraded availability; "
+        "a rebuild over the survivors restores full service whenever the "
+        "surviving radio graph is still connected — the case for pairing the "
+        "backbone with the maintenance layer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: build the paper's planar spanner backbone on a random network.
+
+Reproduces Figures 6 and 7 of the paper as data: one random unit disk
+graph and its ten derived topologies, with the quality numbers for
+each, and (optionally) edge-list exports you can plot with any tool.
+
+Run:
+    python examples/quickstart.py [--nodes 100] [--radius 60] [--export-dir out]
+"""
+
+import argparse
+import random
+from pathlib import Path
+
+from repro import build_backbone, connected_udg_instance
+from repro.core.metrics import measure_topology
+from repro.experiments.runner import STRETCH_TOPOLOGIES, build_all_topologies
+from repro.graphs.planarity import is_planar_embedding
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=100)
+    parser.add_argument("--radius", type=float, default=60.0)
+    parser.add_argument("--side", type=float, default=200.0)
+    parser.add_argument("--seed", type=int, default=6)
+    parser.add_argument(
+        "--export-dir",
+        type=Path,
+        default=None,
+        help="write <topology>.edges files (x1 y1 x2 y2 per line)",
+    )
+    args = parser.parse_args()
+
+    rng = random.Random(args.seed)
+    deployment = connected_udg_instance(args.nodes, args.side, args.radius, rng)
+    udg = deployment.udg()
+    print(
+        f"deployment: {args.nodes} nodes in a {args.side:g}x{args.side:g} "
+        f"square, transmission radius {args.radius:g}"
+    )
+    print(f"UDG: {udg.edge_count} links, max degree {max(udg.degrees())}")
+    print()
+
+    graphs, backbone = build_all_topologies(udg)
+    print(
+        f"backbone: {len(backbone.dominators)} dominators + "
+        f"{len(backbone.connectors)} connectors "
+        f"({len(backbone.dominatees)} ordinary nodes)"
+    )
+    print(
+        f"messages per node: CDS max {backbone.stats_cds.max_per_node()}, "
+        f"full pipeline max {backbone.stats_ldel.max_per_node()}"
+    )
+    print()
+
+    header = f"{'topology':<12}{'edges':>7}{'deg max':>9}{'planar':>8}{'len/hop stretch':>18}"
+    print(header)
+    print("-" * len(header))
+    for name, graph in graphs.items():
+        planar = "yes" if is_planar_embedding(graph) else "no"
+        if name in STRETCH_TOPOLOGIES:
+            skip = STRETCH_TOPOLOGIES[name]
+            m = measure_topology(graph, udg, skip_udg_adjacent=skip)
+            stretch = f"{m.length.avg:.2f} / {m.hops.avg:.2f}"
+        else:
+            stretch = "-"
+        print(
+            f"{name:<12}{graph.edge_count:>7}"
+            f"{max(graph.degrees(), default=0):>9}{planar:>8}{stretch:>18}"
+        )
+
+    if args.export_dir is not None:
+        args.export_dir.mkdir(parents=True, exist_ok=True)
+        for name, graph in graphs.items():
+            safe = name.replace("(", "_").replace(")", "").replace("'", "p")
+            path = args.export_dir / f"{safe}.edges"
+            with open(path, "w") as fh:
+                for u, v in sorted(graph.edges()):
+                    pu, pv = graph.positions[u], graph.positions[v]
+                    fh.write(f"{pu.x:.3f} {pu.y:.3f} {pv.x:.3f} {pv.y:.3f}\n")
+        print(f"\nedge lists written to {args.export_dir}/")
+
+
+if __name__ == "__main__":
+    main()

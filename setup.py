@@ -1,0 +1,8 @@
+"""Shim for legacy editable installs (pip install -e . --no-use-pep517).
+
+All metadata lives in pyproject.toml; this file exists because the
+offline environment's setuptools predates PEP 660 editable wheels.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro — Geometric Spanners for Wireless Ad Hoc Networks (ICDCS 2002).
+
+A full reproduction of Wang & Li's localized planar spanner backbone
+for unit disk graphs: maximal-independent-set clustering, distributed
+connector election, the CDS / ICDS family, and localized Delaunay
+planarization — plus every baseline topology, a message-passing
+simulator for communication-cost accounting, geographic routing, and
+the paper's complete experiment suite.
+
+Quickstart::
+
+    import random
+    from repro import build_backbone, uniform_points
+
+    rng = random.Random(7)
+    points = uniform_points(100, side=200.0, rng=rng)
+    result = build_backbone(points, radius=60.0)
+    print(result.ldel_icds.edge_count, "backbone edges")
+"""
+
+from repro.core.spanner import BackboneResult, build_backbone
+from repro.core.metrics import (
+    StretchStats,
+    TopologyMetrics,
+    degree_stats,
+    hop_stretch,
+    length_stretch,
+    measure_topology,
+    power_stretch,
+)
+from repro.graphs.udg import UnitDiskGraph, unit_disk_graph
+from repro.workloads.generators import (
+    clustered_points,
+    connected_udg_instance,
+    corridor_points,
+    grid_points,
+    uniform_points,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BackboneResult",
+    "build_backbone",
+    "StretchStats",
+    "TopologyMetrics",
+    "degree_stats",
+    "hop_stretch",
+    "length_stretch",
+    "measure_topology",
+    "power_stretch",
+    "UnitDiskGraph",
+    "unit_disk_graph",
+    "clustered_points",
+    "connected_udg_instance",
+    "corridor_points",
+    "grid_points",
+    "uniform_points",
+    "__version__",
+]

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``build`` — sample a connected deployment (or load one), run the
+  full pipeline, print a summary, optionally export SVG renderings
+  and JSON graph dumps.
+* ``measure`` — Table-I-style quality metrics for one instance.
+* ``route`` — route a packet between two nodes over the backbone.
+* ``experiments`` — regenerate the paper's tables/figures (delegates
+  to :mod:`repro.experiments.harness`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.metrics import measure_topology
+from repro.core.spanner import BackboneResult, build_backbone
+from repro.experiments.harness import main as harness_main
+from repro.experiments.runner import STRETCH_TOPOLOGIES, build_all_topologies
+from repro.graphs.planarity import is_planar_embedding
+from repro.routing.backbone_routing import backbone_route
+from repro.viz.svg import render_backbone_svg
+from repro.workloads.generators import Deployment, connected_udg_instance
+from repro.workloads.io import load_deployment, save_deployment, save_graph
+
+
+def _add_deployment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=100)
+    parser.add_argument("--radius", type=float, default=60.0)
+    parser.add_argument("--side", type=float, default=200.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--generator",
+        choices=("uniform", "clustered", "grid", "corridor"),
+        default="uniform",
+    )
+    parser.add_argument(
+        "--load", type=Path, default=None, help="load a saved deployment JSON"
+    )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="NAME[/INDEX]",
+        help="use a canonical corpus instance (see `python -m repro corpus`)",
+    )
+
+
+def _get_deployment(args: argparse.Namespace) -> Deployment:
+    if args.load is not None:
+        return load_deployment(args.load)
+    if args.corpus is not None:
+        from repro.workloads.corpus import get_instance
+
+        name, _, index = args.corpus.partition("/")
+        return get_instance(name, int(index) if index else 0)
+    rng = random.Random(args.seed)
+    return connected_udg_instance(
+        args.nodes, args.side, args.radius, rng, generator=args.generator
+    )
+
+
+def _summarize(result: BackboneResult) -> None:
+    udg = result.udg
+    print(f"nodes: {udg.node_count}, UDG links: {udg.edge_count}")
+    print(
+        f"roles: {len(result.dominators)} dominators, "
+        f"{len(result.connectors)} connectors, "
+        f"{len(result.dominatees)} dominatees"
+    )
+    print(
+        f"LDel(ICDS): {result.ldel_icds.edge_count} edges, planar: "
+        f"{is_planar_embedding(result.ldel_icds)}"
+    )
+    print(
+        f"messages/node: CDS max {result.stats_cds.max_per_node()}, "
+        f"pipeline max {result.stats_ldel.max_per_node()}, "
+        f"pipeline avg {result.stats_ldel.avg_per_node(udg.node_count):.1f}"
+    )
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    deployment = _get_deployment(args)
+    result = build_backbone(deployment.points, deployment.radius)
+    _summarize(result)
+    if args.save_deployment:
+        save_deployment(deployment, args.save_deployment)
+        print(f"deployment saved to {args.save_deployment}")
+    if args.out_dir:
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+        for which in ("cds", "icds", "ldel_icds", "ldel_icds_prime"):
+            svg = render_backbone_svg(result, which=which)
+            path = args.out_dir / f"{which}.svg"
+            path.write_text(svg)
+            save_graph(getattr(result, which), args.out_dir / f"{which}.json")
+        print(f"SVG + JSON written to {args.out_dir}/")
+    return 0
+
+
+def cmd_measure(args: argparse.Namespace) -> int:
+    deployment = _get_deployment(args)
+    udg = deployment.udg()
+    graphs, _ = build_all_topologies(udg)
+    print(f"{'topology':<12}{'edges':>7}{'deg_avg':>9}{'deg_max':>9}{'len_avg':>9}{'hop_avg':>9}")
+    for name, graph in graphs.items():
+        stretch = name in STRETCH_TOPOLOGIES
+        metrics = measure_topology(
+            graph,
+            udg,
+            stretch=stretch,
+            skip_udg_adjacent=STRETCH_TOPOLOGIES.get(name, False),
+        )
+        len_avg = f"{metrics.length.avg:.3f}" if metrics.length else "-"
+        hop_avg = f"{metrics.hops.avg:.3f}" if metrics.hops else "-"
+        print(
+            f"{name:<12}{metrics.edge_count:>7}{metrics.degree_avg:>9.2f}"
+            f"{metrics.degree_max:>9}{len_avg:>9}{hop_avg:>9}"
+        )
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    deployment = _get_deployment(args)
+    result = build_backbone(deployment.points, deployment.radius)
+    n = result.udg.node_count
+    if not (0 <= args.source < n and 0 <= args.target < n):
+        print(f"source/target must be in [0, {n})", file=sys.stderr)
+        return 2
+    route = backbone_route(result, args.source, args.target, mode=args.mode)
+    status = "delivered" if route.delivered else f"FAILED ({route.reason})"
+    print(f"{args.source} -> {args.target}: {status}")
+    print(f"path ({route.hops} hops): {' -> '.join(map(str, route.path))}")
+    if route.delivered:
+        print(f"path length: {route.length(result.udg):.1f}")
+    return 0 if route.delivered else 1
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.workloads.corpus import CORPUS
+
+    print(f"{'name':<16}{'n':>5}{'side':>7}{'radius':>8}{'generator':>11}  description")
+    for entry in CORPUS.values():
+        print(
+            f"{entry.name:<16}{entry.n:>5}{entry.side:>7g}{entry.radius:>8g}"
+            f"{entry.generator:>11}  {entry.description}"
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    deployment = _get_deployment(args)
+    text = generate_report(deployment, svg_dir=args.svg_dir)
+    args.output.write_text(text)
+    print(f"report written to {args.output}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build the backbone, summarize it")
+    _add_deployment_args(p_build)
+    p_build.add_argument("--out-dir", type=Path, default=None)
+    p_build.add_argument("--save-deployment", type=Path, default=None)
+    p_build.set_defaults(func=cmd_build)
+
+    p_measure = sub.add_parser("measure", help="Table-I metrics for one instance")
+    _add_deployment_args(p_measure)
+    p_measure.set_defaults(func=cmd_measure)
+
+    p_route = sub.add_parser("route", help="route a packet over the backbone")
+    _add_deployment_args(p_route)
+    p_route.add_argument("source", type=int)
+    p_route.add_argument("target", type=int)
+    p_route.add_argument("--mode", choices=("gpsr", "greedy"), default="gpsr")
+    p_route.set_defaults(func=cmd_route)
+
+    p_report = sub.add_parser(
+        "report", help="full Markdown report for one deployment"
+    )
+    _add_deployment_args(p_report)
+    p_report.add_argument("--output", type=Path, default=Path("report.md"))
+    p_report.add_argument("--svg-dir", type=Path, default=None)
+    p_report.set_defaults(func=cmd_report)
+
+    p_corpus = sub.add_parser(
+        "corpus", help="list the canonical instance corpus"
+    )
+    p_corpus.set_defaults(func=cmd_corpus)
+
+    p_exp = sub.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    p_exp.add_argument("rest", nargs=argparse.REMAINDER)
+    p_exp.set_defaults(func=lambda a: harness_main(a.rest or ["all", "--quick"]))
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

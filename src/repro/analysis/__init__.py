@@ -1,0 +1,5 @@
+"""Analysis and reporting utilities."""
+
+from repro.analysis.report import generate_report
+
+__all__ = ["generate_report"]

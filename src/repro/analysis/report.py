@@ -1,0 +1,151 @@
+"""One-deployment Markdown report.
+
+``generate_report`` turns a deployment into a complete, self-contained
+Markdown document: construction summary, per-topology quality table,
+communication ledger, power and interference figures, and routing spot
+checks — the artifact to attach to an experiment or a bug report.
+Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.interference import interference
+from repro.core.metrics import hop_stretch, length_stretch
+from repro.core.power import power_profile, power_saving_ratio
+from repro.core.spanner import BackboneResult, build_backbone
+from repro.core.verify import verify_spanner
+from repro.experiments.runner import STRETCH_TOPOLOGIES, build_all_topologies
+from repro.graphs.planarity import is_planar_embedding
+from repro.routing.backbone_routing import backbone_route
+from repro.workloads.generators import Deployment
+
+PathLike = Union[str, Path]
+
+
+def generate_report(
+    deployment: Deployment,
+    *,
+    title: str = "Backbone construction report",
+    svg_dir: Optional[PathLike] = None,
+) -> str:
+    """Build everything and render the full Markdown report.
+
+    When ``svg_dir`` is given, SVG renderings are written there and
+    linked from the document.
+    """
+    udg = deployment.udg()
+    graphs, backbone = build_all_topologies(udg)
+    lines: list[str] = [f"# {title}", ""]
+
+    # -- deployment ----------------------------------------------------
+    lines += [
+        "## Deployment",
+        "",
+        f"* nodes: **{udg.node_count}** in a "
+        f"{deployment.side:g} × {deployment.side:g} region",
+        f"* transmission radius: **{deployment.radius:g}**",
+        f"* UDG: {udg.edge_count} links, max degree {max(udg.degrees())}",
+        "",
+    ]
+
+    # -- construction ----------------------------------------------------
+    lines += [
+        "## Construction",
+        "",
+        f"* roles: {len(backbone.dominators)} dominators, "
+        f"{len(backbone.connectors)} connectors, "
+        f"{len(backbone.dominatees)} dominatees",
+        f"* LDel(ICDS): {backbone.ldel_icds.edge_count} links, planar: "
+        f"**{is_planar_embedding(backbone.ldel_icds)}**",
+        f"* messages: {backbone.stats_ldel.total} total, max "
+        f"{backbone.stats_ldel.max_per_node()} per node "
+        f"(CDS phase: max {backbone.stats_cds.max_per_node()})",
+        "",
+    ]
+
+    # -- topology table ----------------------------------------------------
+    lines += [
+        "## Topology quality",
+        "",
+        "| topology | edges | deg max | len stretch (avg/max) | "
+        "hop stretch (avg/max) | planar | interference max |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for name, graph in graphs.items():
+        if name in STRETCH_TOPOLOGIES:
+            skip = STRETCH_TOPOLOGIES[name]
+            length = length_stretch(graph, udg, skip_udg_adjacent=skip)
+            hops = hop_stretch(graph, udg, skip_udg_adjacent=skip)
+            stretch_l = f"{length.avg:.2f} / {length.max:.2f}"
+            stretch_h = f"{hops.avg:.2f} / {hops.max:.2f}"
+        else:
+            stretch_l = stretch_h = "–"
+        interf = interference(graph).max if graph.edge_count else 0
+        lines.append(
+            f"| {name} | {graph.edge_count} | "
+            f"{max(graph.degrees(), default=0)} | {stretch_l} | {stretch_h} | "
+            f"{'yes' if is_planar_embedding(graph) else 'no'} | {interf} |"
+        )
+    lines.append("")
+
+    # -- power -----------------------------------------------------------
+    saving = power_saving_ratio(backbone.ldel_icds_prime, udg, alpha=2.0)
+    profile = power_profile(backbone.ldel_icds_prime, alpha=2.0)
+    lines += [
+        "## Power (alpha = 2)",
+        "",
+        f"* assigned-power saving vs UDG: **{saving:.2f}×**",
+        f"* max node power on the spanning structure: {profile.max_node_power:,.0f}",
+        "",
+    ]
+
+    # -- spanner verification ------------------------------------------------
+    length = length_stretch(
+        backbone.ldel_icds_prime, udg, skip_udg_adjacent=True
+    )
+    verdict = verify_spanner(
+        backbone.ldel_icds_prime,
+        udg,
+        claimed=length.max + 1e-6,
+        skip_udg_adjacent=True,
+    )
+    lines += [
+        "## Spanner verification",
+        "",
+        f"* measured length stretch: avg {length.avg:.3f}, max {length.max:.3f}",
+        f"* verified as a {length.max:.3f}-spanner over "
+        f"{verdict.pairs_checked} pairs: **{verdict.holds}**",
+        "",
+    ]
+
+    # -- routing spot checks ----------------------------------------------
+    n = udg.node_count
+    probes = [(0, n - 1), (1, n // 2), (n // 3, n - 2)]
+    lines += ["## Routing spot checks", ""]
+    for s, t in probes:
+        if s == t:
+            continue
+        route = backbone_route(backbone, s, t)
+        status = f"delivered in {route.hops} hops" if route.delivered else (
+            f"FAILED ({route.reason})"
+        )
+        lines.append(f"* {s} → {t}: {status}")
+    lines.append("")
+
+    # -- figures -------------------------------------------------------------
+    if svg_dir is not None:
+        from repro.viz.svg import render_backbone_svg
+
+        svg_path = Path(svg_dir)
+        svg_path.mkdir(parents=True, exist_ok=True)
+        lines += ["## Figures", ""]
+        for which in ("cds", "ldel_icds", "ldel_icds_prime"):
+            out = svg_path / f"{which}.svg"
+            out.write_text(render_backbone_svg(backbone, which=which))
+            lines.append(f"* [{which}]({out.name})")
+        lines.append("")
+
+    return "\n".join(lines)

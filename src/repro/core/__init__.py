@@ -1,0 +1,36 @@
+"""Public API: the backbone builder and the topology metrics."""
+
+from repro.core.metrics import (
+    StretchStats,
+    TopologyMetrics,
+    degree_stats,
+    hop_stretch,
+    length_stretch,
+    measure_topology,
+    power_stretch,
+)
+from repro.core.spanner import BackboneResult, build_backbone
+from repro.core.interference import InterferenceStats, interference, link_interference
+from repro.core.power import PowerProfile, power_profile, power_saving_ratio
+from repro.core.verify import SpannerVerdict, StretchViolation, verify_spanner
+
+__all__ = [
+    "InterferenceStats",
+    "interference",
+    "link_interference",
+    "PowerProfile",
+    "power_profile",
+    "power_saving_ratio",
+    "SpannerVerdict",
+    "StretchViolation",
+    "verify_spanner",
+    "StretchStats",
+    "TopologyMetrics",
+    "degree_stats",
+    "hop_stretch",
+    "length_stretch",
+    "measure_topology",
+    "power_stretch",
+    "BackboneResult",
+    "build_backbone",
+]

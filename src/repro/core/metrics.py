@@ -1,0 +1,209 @@
+"""Topology quality metrics: degrees, edge counts, stretch factors.
+
+The paper's Table I and Figures 8–12 report, per topology:
+
+* average and maximum node degree,
+* average and maximum **length stretch factor** — the ratio of
+  shortest-path length in the topology to shortest-path length in the
+  UDG, over node pairs,
+* average and maximum **hop stretch factor** — same with hop counts,
+* the number of edges.
+
+For the backbone graphs (CDS', ICDS', LDel(ICDS')) the routing rule
+sends directly to UDG neighbors, and Lemma 6 restricts attention to
+pairs more than one unit apart, so stretch is computed with
+``skip_udg_adjacent=True`` for those rows (adjacent pairs have stretch
+exactly 1 under the routing rule and are excluded rather than folded
+in).  Power stretch (sum of ``length^alpha`` along the path) is also
+provided — the paper defines it alongside the other two.
+
+All-pairs distances use :mod:`scipy.sparse.csgraph` when available
+(C-speed Dijkstra) and fall back to the pure-Python routines in
+:mod:`repro.graphs.paths`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.graphs.graph import Graph
+from repro.graphs.paths import bfs_hops, dijkstra_lengths
+from repro.graphs.udg import UnitDiskGraph
+
+try:  # pragma: no cover - exercised implicitly everywhere
+    import numpy as _np
+    from scipy.sparse import csr_matrix as _csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _sp_dijkstra
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    _HAVE_SCIPY = False
+
+
+@dataclass(frozen=True)
+class StretchStats:
+    """Average and maximum stretch over the measured node pairs."""
+
+    avg: float
+    max: float
+    pairs: int
+
+    @staticmethod
+    def empty() -> "StretchStats":
+        return StretchStats(avg=0.0, max=0.0, pairs=0)
+
+
+@dataclass(frozen=True)
+class TopologyMetrics:
+    """One row of the paper's Table I."""
+
+    name: str
+    node_count: int
+    edge_count: int
+    degree_avg: float
+    degree_max: int
+    length: Optional[StretchStats] = None
+    hops: Optional[StretchStats] = None
+    power: Optional[StretchStats] = None
+
+
+def degree_stats(graph: Graph) -> tuple[float, int]:
+    """(average degree, maximum degree) of ``graph``."""
+    degrees = graph.degrees()
+    if not degrees:
+        return 0.0, 0
+    return sum(degrees) / len(degrees), max(degrees)
+
+
+# -- all-pairs distance matrices ------------------------------------------
+
+
+def _apsp(graph: Graph, weight: Optional[Callable[[int, int], float]]) -> "list[list[float]]":
+    """All-pairs shortest distances; ``weight=None`` means hop counts."""
+    n = graph.node_count
+    if _HAVE_SCIPY and n > 0:
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        for u, v in graph.edges():
+            w = 1.0 if weight is None else weight(u, v)
+            rows.extend((u, v))
+            cols.extend((v, u))
+            data.extend((w, w))
+        matrix = _csr_matrix((data, (rows, cols)), shape=(n, n))
+        dist = _sp_dijkstra(matrix, directed=False, unweighted=weight is None)
+        return dist  # ndarray, row-indexable like list[list[float]]
+    if weight is None:
+        return [
+            [(h if h >= 0 else math.inf) for h in bfs_hops(graph, s)]
+            for s in range(n)
+        ]
+    return [dijkstra_lengths(graph, s, weight) for s in range(n)]
+
+
+def _stretch(
+    graph: Graph,
+    udg: UnitDiskGraph,
+    weight: Optional[Callable[[int, int], float]],
+    *,
+    skip_udg_adjacent: bool,
+) -> StretchStats:
+    """Stretch of ``graph`` against ``udg`` under a common weight."""
+    if graph.node_count != udg.node_count:
+        raise ValueError("graph and UDG must share the node set")
+    n = graph.node_count
+    d_graph = _apsp(graph, weight)
+    d_udg = _apsp(udg, weight)
+    total = 0.0
+    worst = 0.0
+    pairs = 0
+    for u in range(n):
+        row_g = d_graph[u]
+        row_u = d_udg[u]
+        for v in range(u + 1, n):
+            base = row_u[v]
+            if not (0.0 < base < math.inf):
+                continue  # same node or UDG-disconnected pair
+            if skip_udg_adjacent and udg.has_edge(u, v):
+                continue
+            ratio = row_g[v] / base
+            total += ratio
+            if ratio > worst:
+                worst = ratio
+            pairs += 1
+    if pairs == 0:
+        return StretchStats.empty()
+    return StretchStats(avg=total / pairs, max=worst, pairs=pairs)
+
+
+def length_stretch(
+    graph: Graph, udg: UnitDiskGraph, *, skip_udg_adjacent: bool = False
+) -> StretchStats:
+    """Length stretch factor of ``graph`` relative to ``udg``."""
+    return _stretch(
+        graph, udg, graph.edge_length, skip_udg_adjacent=skip_udg_adjacent
+    )
+
+
+def hop_stretch(
+    graph: Graph, udg: UnitDiskGraph, *, skip_udg_adjacent: bool = False
+) -> StretchStats:
+    """Hop stretch factor of ``graph`` relative to ``udg``."""
+    return _stretch(graph, udg, None, skip_udg_adjacent=skip_udg_adjacent)
+
+
+def power_stretch(
+    graph: Graph,
+    udg: UnitDiskGraph,
+    *,
+    alpha: float = 2.0,
+    skip_udg_adjacent: bool = False,
+) -> StretchStats:
+    """Power stretch factor: path cost is the sum of ``length**alpha``.
+
+    ``alpha`` is the path-loss exponent, between 2 and 5 in the
+    paper's power-attenuation model.
+    """
+    if alpha < 1.0:
+        raise ValueError("alpha below 1 is not a power-attenuation model")
+
+    def power_weight(u: int, v: int) -> float:
+        return graph.edge_length(u, v) ** alpha
+
+    return _stretch(graph, udg, power_weight, skip_udg_adjacent=skip_udg_adjacent)
+
+
+def measure_topology(
+    graph: Graph,
+    udg: UnitDiskGraph,
+    *,
+    stretch: bool = True,
+    skip_udg_adjacent: bool = False,
+    power_alpha: Optional[float] = None,
+) -> TopologyMetrics:
+    """Measure one topology the way the paper's Table I does.
+
+    Set ``stretch=False`` for non-spanning graphs like the bare CDS
+    (the paper's table leaves those cells empty).
+    """
+    avg_deg, max_deg = degree_stats(graph)
+    length = hops = power = None
+    if stretch:
+        length = length_stretch(graph, udg, skip_udg_adjacent=skip_udg_adjacent)
+        hops = hop_stretch(graph, udg, skip_udg_adjacent=skip_udg_adjacent)
+        if power_alpha is not None:
+            power = power_stretch(
+                graph, udg, alpha=power_alpha, skip_udg_adjacent=skip_udg_adjacent
+            )
+    return TopologyMetrics(
+        name=graph.name,
+        node_count=graph.node_count,
+        edge_count=graph.edge_count,
+        degree_avg=avg_deg,
+        degree_max=max_deg,
+        length=length,
+        hops=hops,
+        power=power,
+    )

@@ -1,0 +1,100 @@
+"""The one-call public API: :func:`build_backbone`.
+
+Wraps the full distributed pipeline (clustering -> connectors -> ICDS
+-> localized Delaunay planarization) and returns every structure the
+paper studies, plus the message ledgers behind the communication-cost
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.geometry.primitives import Point
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.backbone import BackbonePipelineResult, run_backbone_pipeline
+from repro.protocols.clustering import PriorityFn
+from repro.sim.stats import MessageStats
+
+
+@dataclass(frozen=True)
+class BackboneResult:
+    """All topologies of the paper for one deployment.
+
+    Attributes mirror the paper's names: ``cds``, ``cds_prime`` (CDS'),
+    ``icds``, ``icds_prime`` (ICDS'), ``ldel_icds`` (LDel(ICDS), the
+    planar backbone), ``ldel_icds_prime`` (LDel(ICDS'), the spanning
+    version every node participates in).
+    """
+
+    udg: UnitDiskGraph
+    dominators: frozenset[int]
+    connectors: frozenset[int]
+    dominatees: frozenset[int]
+    cds: Graph
+    cds_prime: Graph
+    icds: Graph
+    icds_prime: Graph
+    ldel_icds: Graph
+    ldel_icds_prime: Graph
+    stats_cds: MessageStats
+    stats_icds: MessageStats
+    stats_ldel: MessageStats
+    pipeline: BackbonePipelineResult
+
+    @property
+    def backbone_nodes(self) -> frozenset[int]:
+        return self.dominators | self.connectors
+
+    def role_of(self, node: int) -> str:
+        """'dominator', 'connector' or 'dominatee' for ``node``."""
+        if node in self.dominators:
+            return "dominator"
+        if node in self.connectors:
+            return "connector"
+        return "dominatee"
+
+    def dominators_of(self, node: int) -> frozenset[int]:
+        """The adjacent dominators of a dominatee (empty for others)."""
+        return self.pipeline.family.clustering.dominators_of.get(node, frozenset())
+
+
+def build_backbone(
+    points: Sequence[Point | tuple[float, float]],
+    radius: float,
+    *,
+    priority: Optional[PriorityFn] = None,
+    election: str = "smallest-id",
+) -> BackboneResult:
+    """Build the planar spanner backbone of the paper over ``points``.
+
+    ``points`` are node positions (any (x, y) pairs); ``radius`` is the
+    common transmission range.  Optional knobs select the clusterhead
+    ``priority`` (default lowest ID) and the connector ``election``
+    rule (default smallest ID) for the ablation studies.
+
+    The UDG need not be connected; the structures are then built per
+    component (the spanner guarantees apply within components).
+    """
+    pts = [Point(float(p[0]), float(p[1])) for p in points]
+    udg = UnitDiskGraph(pts, radius)
+    pipeline = run_backbone_pipeline(udg, priority=priority, election=election)
+    family = pipeline.family
+    return BackboneResult(
+        udg=udg,
+        dominators=family.dominators,
+        connectors=family.connectors,
+        dominatees=family.dominatees,
+        cds=family.cds,
+        cds_prime=family.cds_prime,
+        icds=family.icds,
+        icds_prime=family.icds_prime,
+        ldel_icds=pipeline.ldel_icds,
+        ldel_icds_prime=pipeline.ldel_icds_prime,
+        stats_cds=pipeline.stats_cds,
+        stats_icds=pipeline.stats_icds,
+        stats_ldel=pipeline.stats_ldel,
+        pipeline=pipeline,
+    )

@@ -1,0 +1,113 @@
+"""Spanner verification: find the pairs that violate a claimed bound.
+
+`length_stretch`/`hop_stretch` summarize; this module *witnesses*.
+Given a claimed stretch factor, :func:`verify_spanner` returns every
+node pair exceeding it, with the two path values — the tool for
+debugging a construction change that quietly worsened the spanner, and
+for demonstrating non-spanners (RNG's growing stretch) concretely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.metrics import _apsp
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+
+
+@dataclass(frozen=True)
+class StretchViolation:
+    """One witnessed violation of a claimed stretch bound."""
+
+    u: int
+    v: int
+    graph_value: float
+    udg_value: float
+
+    @property
+    def ratio(self) -> float:
+        return self.graph_value / self.udg_value
+
+
+@dataclass(frozen=True)
+class SpannerVerdict:
+    """Result of a spanner verification."""
+
+    claimed: float
+    metric: str
+    violations: tuple[StretchViolation, ...]
+    pairs_checked: int
+
+    @property
+    def holds(self) -> bool:
+        return not self.violations
+
+    @property
+    def worst(self) -> Optional[StretchViolation]:
+        if not self.violations:
+            return None
+        return max(self.violations, key=lambda w: w.ratio)
+
+
+def verify_spanner(
+    graph: Graph,
+    udg: UnitDiskGraph,
+    claimed: float,
+    *,
+    metric: str = "length",
+    skip_udg_adjacent: bool = False,
+    max_witnesses: int = 100,
+) -> SpannerVerdict:
+    """Check ``graph`` is a ``claimed``-spanner of ``udg``.
+
+    ``metric`` is ``"length"`` or ``"hops"``.  Returns at most
+    ``max_witnesses`` violating pairs (worst ones are found by the
+    caller via :attr:`SpannerVerdict.worst`; the list is in node
+    order).  A disconnected pair in ``graph`` that is connected in the
+    UDG is an infinite-ratio violation.
+    """
+    if claimed < 1.0:
+        raise ValueError("a stretch factor below 1 is unsatisfiable")
+    if metric not in ("length", "hops"):
+        raise ValueError(f"unknown metric {metric!r}")
+    if graph.node_count != udg.node_count:
+        raise ValueError("graph and UDG must share the node set")
+    weight = graph.edge_length if metric == "length" else None
+    d_graph = _apsp(graph, weight)
+    d_udg = _apsp(udg, weight)
+    n = graph.node_count
+    violations: list[StretchViolation] = []
+    pairs = 0
+    for u in range(n):
+        row_g = d_graph[u]
+        row_u = d_udg[u]
+        for v in range(u + 1, n):
+            base = row_u[v]
+            if not (0.0 < base < math.inf):
+                continue
+            if skip_udg_adjacent and udg.has_edge(u, v):
+                continue
+            pairs += 1
+            value = row_g[v]
+            if value > claimed * base + 1e-9:
+                violations.append(
+                    StretchViolation(
+                        u=u, v=v, graph_value=float(value), udg_value=float(base)
+                    )
+                )
+                if len(violations) >= max_witnesses:
+                    return SpannerVerdict(
+                        claimed=claimed,
+                        metric=metric,
+                        violations=tuple(violations),
+                        pairs_checked=pairs,
+                    )
+    return SpannerVerdict(
+        claimed=claimed,
+        metric=metric,
+        violations=tuple(violations),
+        pairs_checked=pairs,
+    )

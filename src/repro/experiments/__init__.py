@@ -1,0 +1,36 @@
+"""The paper's experiment suite (Table I, Figures 8-12, ablations).
+
+:mod:`~repro.experiments.runner` holds the reusable sweeps; the
+benchmark files under ``benchmarks/`` and the CLI
+(``python -m repro.experiments.harness``) are thin wrappers over it.
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_SIDE,
+    ExperimentConfig,
+    TopologyRow,
+    build_all_topologies,
+    fig8_degree_vs_density,
+    fig9_stretch_vs_density,
+    fig10_comm_vs_density,
+    fig11_stretch_vs_radius,
+    fig12_comm_vs_radius,
+    format_rows,
+    format_series,
+    table1,
+)
+
+__all__ = [
+    "DEFAULT_SIDE",
+    "ExperimentConfig",
+    "TopologyRow",
+    "build_all_topologies",
+    "fig8_degree_vs_density",
+    "fig9_stretch_vs_density",
+    "fig10_comm_vs_density",
+    "fig11_stretch_vs_radius",
+    "fig12_comm_vs_radius",
+    "format_rows",
+    "format_series",
+    "table1",
+]

@@ -1,0 +1,80 @@
+"""ASCII line charts for the experiment figures.
+
+The harness prints figure data as tables; with ``--chart`` it also
+renders each series as a terminal plot, which is how the paper's
+figure *shapes* (flat degree curves, gently rising stretch) become
+visible without a plotting stack in an offline environment.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.runner import SeriesPoint
+
+#: Glyphs cycled across series.
+_MARKS = "ox+*#@%&"
+
+
+def render_chart(
+    points: Sequence[SeriesPoint],
+    series: Sequence[str],
+    *,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+) -> str:
+    """Render the named ``series`` of ``points`` as an ASCII chart.
+
+    All series share one y-axis; the legend maps glyphs to names.
+    """
+    if not points or not series:
+        return "(no data)"
+    missing = [s for s in series if s not in points[0].values]
+    if missing:
+        raise KeyError(f"unknown series: {missing}")
+
+    xs = [p.x for p in points]
+    values = {s: [p.values[s] for p in points] for s in series}
+    y_min = min(min(v) for v in values.values())
+    y_max = max(max(v) for v in values.values())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, mark: str) -> None:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[height - 1 - row][col] = mark
+
+    for idx, name in enumerate(series):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in zip(xs, values[name]):
+            plot(x, y, mark)
+
+    lines = []
+    for i, row in enumerate(grid):
+        y_here = y_max - i * (y_max - y_min) / (height - 1)
+        prefix = f"{y_here:>9.2f} |" if i % 4 == 0 or i == height - 1 else f"{'':>9} |"
+        lines.append(prefix + "".join(row))
+    lines.append(f"{'':>9} +" + "-" * width)
+    lines.append(
+        f"{'':>10}{x_min:<10g}{x_label:^{max(width - 20, 4)}}{x_max:>10g}"
+    )
+    for idx, name in enumerate(series):
+        lines.append(f"{'':>10}{_MARKS[idx % len(_MARKS)]} = {name}")
+    return "\n".join(lines)
+
+
+def default_series(points: Sequence[SeriesPoint], *, limit: int = 4) -> list[str]:
+    """A readable default: up to ``limit`` series, avg before max."""
+    if not points:
+        return []
+    keys = sorted(points[0].values)
+    avg_keys = [k for k in keys if k.endswith("avg")]
+    other = [k for k in keys if not k.endswith("avg")]
+    return (avg_keys + other)[:limit]

@@ -1,0 +1,492 @@
+"""Reusable experiment sweeps reproducing the paper's evaluation.
+
+Calibrated setup (see DESIGN.md): nodes uniform in a 200 x 200 square.
+Table I: n = 100, R = 60 (reproduces the published UDG row: ~21 average
+degree, ~1069 edges).  Figures 8-10: n in {20..100}, R = 60.  Figures
+11-12: n = 500, R in {20..60}.  Only connected UDG instances are kept,
+exactly as in the paper; averages and maxima are taken over the
+sampled instances ("the average and the maximum are computed over all
+these vertex sets").
+
+Stretch-factor accounting: CDS', ICDS' and LDel(ICDS') are measured
+over UDG-non-adjacent pairs (the routing rule sends directly within
+range and Lemma 6 restricts to ``|uv| > 1``); the flat graphs (RNG,
+GG, LDel) are measured over all pairs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.core.metrics import (
+    StretchStats,
+    degree_stats,
+    hop_stretch,
+    length_stretch,
+)
+from repro.core.spanner import BackboneResult, build_backbone
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+from repro.sim.stats import MessageStats
+from repro.topology.gabriel import gabriel_graph
+from repro.topology.ldel import planar_local_delaunay_graph
+from repro.topology.rng import relative_neighborhood_graph
+from repro.workloads.generators import connected_udg_instance
+
+DEFAULT_SIDE = 200.0
+
+#: Table I topology order, as printed by the paper.
+TABLE1_ORDER = (
+    "UDG",
+    "RNG",
+    "GG",
+    "LDel",
+    "CDS",
+    "CDS'",
+    "ICDS",
+    "ICDS'",
+    "LDel(ICDS)",
+    "LDel(ICDS')",
+)
+
+#: Topologies whose stretch the paper reports, with the pair filter
+#: used for each (True = skip UDG-adjacent pairs, the backbone rule).
+STRETCH_TOPOLOGIES: Mapping[str, bool] = {
+    "RNG": False,
+    "GG": False,
+    "LDel": False,
+    "CDS'": True,
+    "ICDS'": True,
+    "LDel(ICDS')": True,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every sweep."""
+
+    side: float = DEFAULT_SIDE
+    instances: int = 10
+    seed: int = 2002  # the venue year; any fixed seed works
+    generator: str = "uniform"
+
+
+@dataclass
+class TopologyRow:
+    """Aggregated measurements for one topology over many instances.
+
+    Means are tracked incrementally; per-instance samples of the
+    headline quantities are retained so :meth:`stddev` can report the
+    spread across instances (the paper prints means and maxima only,
+    but the spread is what tells a reader whether a reproduction
+    difference is signal or sampling noise).
+    """
+
+    name: str
+    deg_avg: float = 0.0
+    deg_max: int = 0
+    len_avg: float = 0.0
+    len_max: float = 0.0
+    hop_avg: float = 0.0
+    hop_max: float = 0.0
+    edges: float = 0.0
+    has_stretch: bool = False
+    _samples: int = field(default=0, repr=False)
+    _series: dict = field(default_factory=dict, repr=False)
+
+    def absorb(
+        self,
+        graph: Graph,
+        length: Optional[StretchStats],
+        hops: Optional[StretchStats],
+    ) -> None:
+        """Fold one instance's measurements into the aggregate."""
+        avg_deg, max_deg = degree_stats(graph)
+        k = self._samples
+        self.deg_avg = (self.deg_avg * k + avg_deg) / (k + 1)
+        self.deg_max = max(self.deg_max, max_deg)
+        self.edges = (self.edges * k + graph.edge_count) / (k + 1)
+        self._series.setdefault("deg_avg", []).append(avg_deg)
+        self._series.setdefault("edges", []).append(float(graph.edge_count))
+        if length is not None and hops is not None:
+            self.has_stretch = True
+            self.len_avg = (self.len_avg * k + length.avg) / (k + 1)
+            self.len_max = max(self.len_max, length.max)
+            self.hop_avg = (self.hop_avg * k + hops.avg) / (k + 1)
+            self.hop_max = max(self.hop_max, hops.max)
+            self._series.setdefault("len_avg", []).append(length.avg)
+            self._series.setdefault("hop_avg", []).append(hops.avg)
+        self._samples = k + 1
+
+    @property
+    def samples(self) -> int:
+        return self._samples
+
+    def stddev(self, quantity: str) -> float:
+        """Sample standard deviation of a tracked quantity.
+
+        ``quantity`` is one of ``deg_avg``, ``edges``, ``len_avg``,
+        ``hop_avg``.  Zero with fewer than two samples.
+        """
+        values = self._series.get(quantity, [])
+        n = len(values)
+        if n < 2:
+            return 0.0
+        mean = sum(values) / n
+        return math.sqrt(sum((v - mean) ** 2 for v in values) / (n - 1))
+
+
+def build_all_topologies(
+    udg: UnitDiskGraph,
+) -> tuple[dict[str, Graph], BackboneResult]:
+    """Every Table I topology for one UDG instance."""
+    backbone = build_backbone(udg.positions, udg.radius)
+    graphs: dict[str, Graph] = {
+        "UDG": udg,
+        "RNG": relative_neighborhood_graph(udg),
+        "GG": gabriel_graph(udg),
+        "LDel": planar_local_delaunay_graph(udg).graph,
+        "CDS": backbone.cds,
+        "CDS'": backbone.cds_prime,
+        "ICDS": backbone.icds,
+        "ICDS'": backbone.icds_prime,
+        "LDel(ICDS)": backbone.ldel_icds,
+        "LDel(ICDS')": backbone.ldel_icds_prime,
+    }
+    return graphs, backbone
+
+
+def _instance_stream(
+    n: int, radius: float, config: ExperimentConfig
+) -> Iterable[UnitDiskGraph]:
+    rng = random.Random(config.seed)
+    for _ in range(config.instances):
+        deployment = connected_udg_instance(
+            n, config.side, radius, rng, generator=config.generator
+        )
+        yield deployment.udg()
+
+
+def table1(
+    *,
+    n: int = 100,
+    radius: float = 60.0,
+    config: ExperimentConfig = ExperimentConfig(),
+) -> list[TopologyRow]:
+    """Reproduce Table I: topology quality measurements."""
+    rows = {name: TopologyRow(name) for name in TABLE1_ORDER}
+    for udg in _instance_stream(n, radius, config):
+        graphs, _backbone = build_all_topologies(udg)
+        for name in TABLE1_ORDER:
+            graph = graphs[name]
+            if name in STRETCH_TOPOLOGIES:
+                skip = STRETCH_TOPOLOGIES[name]
+                length = length_stretch(graph, udg, skip_udg_adjacent=skip)
+                hops = hop_stretch(graph, udg, skip_udg_adjacent=skip)
+            else:
+                length = hops = None
+            rows[name].absorb(graph, length, hops)
+    return [rows[name] for name in TABLE1_ORDER]
+
+
+# -- density sweeps (Figures 8, 9, 10) --------------------------------------
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One x-axis point of a figure: metric name -> value."""
+
+    x: float
+    values: Mapping[str, float]
+
+
+def _sweep(
+    xs: Sequence[float],
+    make_point: Callable[[float], Mapping[str, float]],
+) -> list[SeriesPoint]:
+    return [SeriesPoint(x=x, values=make_point(x)) for x in xs]
+
+
+def _degree_point(
+    n: int, radius: float, config: ExperimentConfig
+) -> Mapping[str, float]:
+    """Max and avg degree of the six backbone graphs (Fig. 8)."""
+    names = ("CDS", "CDS'", "ICDS", "ICDS'", "LDel(ICDS)", "LDel(ICDS')")
+    acc = {f"{name} deg {kind}": 0.0 for name in names for kind in ("max", "avg")}
+    count = 0
+    for udg in _instance_stream(n, radius, config):
+        backbone = build_backbone(udg.positions, udg.radius)
+        graphs = {
+            "CDS": backbone.cds,
+            "CDS'": backbone.cds_prime,
+            "ICDS": backbone.icds,
+            "ICDS'": backbone.icds_prime,
+            "LDel(ICDS)": backbone.ldel_icds,
+            "LDel(ICDS')": backbone.ldel_icds_prime,
+        }
+        for name, graph in graphs.items():
+            avg_deg, max_deg = degree_stats(graph)
+            acc[f"{name} deg max"] = max(acc[f"{name} deg max"], float(max_deg))
+            acc[f"{name} deg avg"] += avg_deg
+        count += 1
+    for name in names:
+        acc[f"{name} deg avg"] /= max(count, 1)
+    return acc
+
+
+def _stretch_point(
+    n: int, radius: float, config: ExperimentConfig
+) -> Mapping[str, float]:
+    """Max and avg spanning ratios of the primed graphs (Figs. 9, 11)."""
+    names = ("CDS'", "ICDS'", "LDel(ICDS')")
+    acc: dict[str, float] = {}
+    for name in names:
+        for metric in ("length", "hop"):
+            acc[f"{name} {metric} max"] = 0.0
+            acc[f"{name} {metric} avg"] = 0.0
+    count = 0
+    for udg in _instance_stream(n, radius, config):
+        backbone = build_backbone(udg.positions, udg.radius)
+        graphs = {
+            "CDS'": backbone.cds_prime,
+            "ICDS'": backbone.icds_prime,
+            "LDel(ICDS')": backbone.ldel_icds_prime,
+        }
+        for name, graph in graphs.items():
+            length = length_stretch(graph, udg, skip_udg_adjacent=True)
+            hops = hop_stretch(graph, udg, skip_udg_adjacent=True)
+            acc[f"{name} length max"] = max(acc[f"{name} length max"], length.max)
+            acc[f"{name} length avg"] += length.avg
+            acc[f"{name} hop max"] = max(acc[f"{name} hop max"], hops.max)
+            acc[f"{name} hop avg"] += hops.avg
+        count += 1
+    for name in names:
+        acc[f"{name} length avg"] /= max(count, 1)
+        acc[f"{name} hop avg"] /= max(count, 1)
+    return acc
+
+
+def _comm_point(
+    n: int, radius: float, config: ExperimentConfig
+) -> Mapping[str, float]:
+    """Per-node communication cost of CDS / ICDS / LDel(ICDS) (Figs. 10, 12)."""
+    acc = {
+        f"{name} comm {kind}": 0.0
+        for name in ("CDS", "ICDS", "LDelICDS")
+        for kind in ("max", "avg")
+    }
+    count = 0
+    for udg in _instance_stream(n, radius, config):
+        backbone = build_backbone(udg.positions, udg.radius)
+        ledgers: Mapping[str, MessageStats] = {
+            "CDS": backbone.stats_cds,
+            "ICDS": backbone.stats_icds,
+            "LDelICDS": backbone.stats_ldel,
+        }
+        for name, stats in ledgers.items():
+            acc[f"{name} comm max"] = max(
+                acc[f"{name} comm max"], float(stats.max_per_node())
+            )
+            acc[f"{name} comm avg"] += stats.avg_per_node(udg.node_count)
+        count += 1
+    for name in ("CDS", "ICDS", "LDelICDS"):
+        acc[f"{name} comm avg"] /= max(count, 1)
+    return acc
+
+
+def fig8_degree_vs_density(
+    *,
+    ns: Sequence[int] = (20, 30, 40, 50, 60, 70, 80, 90, 100),
+    radius: float = 60.0,
+    config: ExperimentConfig = ExperimentConfig(),
+) -> list[SeriesPoint]:
+    """Figure 8: node degree vs number of nodes at R = 60."""
+    return _sweep(ns, lambda n: _degree_point(int(n), radius, config))
+
+
+def fig9_stretch_vs_density(
+    *,
+    ns: Sequence[int] = (20, 30, 40, 50, 60, 70, 80, 90, 100),
+    radius: float = 60.0,
+    config: ExperimentConfig = ExperimentConfig(),
+) -> list[SeriesPoint]:
+    """Figure 9: spanning ratios vs number of nodes at R = 60."""
+    return _sweep(ns, lambda n: _stretch_point(int(n), radius, config))
+
+
+def fig10_comm_vs_density(
+    *,
+    ns: Sequence[int] = (20, 30, 40, 50, 60, 70, 80, 90, 100),
+    radius: float = 60.0,
+    config: ExperimentConfig = ExperimentConfig(),
+) -> list[SeriesPoint]:
+    """Figure 10: per-node communication cost vs number of nodes."""
+    return _sweep(ns, lambda n: _comm_point(int(n), radius, config))
+
+
+def fig11_stretch_vs_radius(
+    *,
+    radii: Sequence[float] = (20, 25, 30, 35, 40, 45, 50, 55, 60),
+    n: int = 500,
+    config: ExperimentConfig = ExperimentConfig(instances=3),
+) -> list[SeriesPoint]:
+    """Figure 11: spanning ratios vs transmission radius at N = 500."""
+    return _sweep(radii, lambda r: _stretch_point(n, float(r), config))
+
+
+def fig12_comm_vs_radius(
+    *,
+    radii: Sequence[float] = (20, 25, 30, 35, 40, 45, 50, 55, 60),
+    n: int = 500,
+    config: ExperimentConfig = ExperimentConfig(instances=3),
+) -> list[SeriesPoint]:
+    """Figure 12: communication cost and degree vs transmission radius."""
+
+    def point(r: float) -> Mapping[str, float]:
+        values = dict(_comm_point(n, float(r), config))
+        degree = _degree_point(n, float(r), config)
+        for key in ("CDS", "ICDS", "LDel(ICDS)"):
+            values[f"{key} deg max"] = degree[f"{key} deg max"]
+            values[f"{key} deg avg"] = degree[f"{key} deg avg"]
+        return values
+
+    return _sweep(radii, point)
+
+
+def deployment_sensitivity(
+    *,
+    n: int = 80,
+    radius: float = 60.0,
+    generators: Sequence[str] = ("uniform", "clustered", "grid", "corridor"),
+    config: ExperimentConfig = ExperimentConfig(instances=3),
+) -> dict[str, Mapping[str, float]]:
+    """The backbone's properties across deployment *shapes*.
+
+    The paper evaluates uniform deployments only; real sensor fields
+    are clustered, gridded, or corridor-shaped.  For each generator,
+    build LDel(ICDS') and report the quantities the paper's claims are
+    about — they should hold regardless of deployment shape, which is
+    what this sweep demonstrates.
+    """
+    results: dict[str, Mapping[str, float]] = {}
+    for generator in generators:
+        rng = random.Random(config.seed)
+        deg_max = 0.0
+        len_avg = 0.0
+        hop_avg = 0.0
+        comm_max = 0.0
+        backbone_frac = 0.0
+        count = 0
+        for _ in range(config.instances):
+            deployment = connected_udg_instance(
+                n, config.side, radius, rng, generator=generator
+            )
+            udg = deployment.udg()
+            backbone = build_backbone(udg.positions, udg.radius)
+            length = length_stretch(
+                backbone.ldel_icds_prime, udg, skip_udg_adjacent=True
+            )
+            hops = hop_stretch(
+                backbone.ldel_icds_prime, udg, skip_udg_adjacent=True
+            )
+            deg_max = max(
+                deg_max, float(max(backbone.ldel_icds.degrees(), default=0))
+            )
+            len_avg += length.avg
+            hop_avg += hops.avg
+            comm_max = max(comm_max, float(backbone.stats_ldel.max_per_node()))
+            backbone_frac += len(backbone.backbone_nodes) / udg.node_count
+            count += 1
+        results[generator] = {
+            "backbone deg max": deg_max,
+            "length avg": len_avg / count,
+            "hop avg": hop_avg / count,
+            "comm max": comm_max,
+            "backbone fraction": backbone_frac / count,
+        }
+    return results
+
+
+def message_breakdown(
+    *,
+    n: int = 100,
+    radius: float = 60.0,
+    config: ExperimentConfig = ExperimentConfig(),
+) -> dict[str, float]:
+    """Where the per-node constant goes: mean sends per message kind.
+
+    Not a table from the paper — a diagnostic the reproduction adds:
+    for each protocol message kind, the mean number of broadcasts per
+    node over the full pipeline.  This is what grounds statements like
+    "the LDel increment over CDS is the Proposal/Accept traffic".
+    """
+    totals: dict[str, float] = {}
+    count = 0
+    for udg in _instance_stream(n, radius, config):
+        backbone = build_backbone(udg.positions, udg.radius)
+        for kind, sent in backbone.stats_ldel.by_kind().items():
+            totals[kind] = totals.get(kind, 0.0) + sent / udg.node_count
+        count += 1
+    return {kind: value / max(count, 1) for kind, value in sorted(totals.items())}
+
+
+# -- plain-text rendering -----------------------------------------------------
+
+
+def format_rows(rows: Sequence[TopologyRow], *, with_std: bool = False) -> str:
+    """Render Table I the way the paper prints it.
+
+    ``with_std=True`` appends the across-instance standard deviations
+    of the mean quantities, so readers can judge sampling noise.
+    """
+    header = (
+        f"{'':<12}{'deg_a':>7}{'deg_m':>7}{'len_a':>7}{'len_m':>7}"
+        f"{'hop_a':>7}{'hop_m':>7}{'edges':>9}"
+    )
+    if with_std:
+        header += f"{'±deg':>7}{'±len':>7}{'±hop':>7}{'±edges':>9}"
+    lines = [header]
+    for row in rows:
+        if row.has_stretch:
+            stretch = (
+                f"{row.len_avg:>7.2f}{row.len_max:>7.2f}"
+                f"{row.hop_avg:>7.2f}{row.hop_max:>7.2f}"
+            )
+        else:
+            stretch = f"{'-':>7}{'-':>7}{'-':>7}{'-':>7}"
+        line = (
+            f"{row.name:<12}{row.deg_avg:>7.2f}{row.deg_max:>7d}"
+            f"{stretch}{row.edges:>9.1f}"
+        )
+        if with_std:
+            if row.has_stretch:
+                spread = (
+                    f"{row.stddev('deg_avg'):>7.2f}{row.stddev('len_avg'):>7.2f}"
+                    f"{row.stddev('hop_avg'):>7.2f}{row.stddev('edges'):>9.1f}"
+                )
+            else:
+                spread = (
+                    f"{row.stddev('deg_avg'):>7.2f}{'-':>7}{'-':>7}"
+                    f"{row.stddev('edges'):>9.1f}"
+                )
+            line += spread
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_series(points: Sequence[SeriesPoint], *, x_label: str = "x") -> str:
+    """Render a figure's series as an aligned text table."""
+    if not points:
+        return "(no data)"
+    keys = sorted(points[0].values)
+    header = f"{x_label:>8}" + "".join(f"{k:>26}" for k in keys)
+    lines = [header]
+    for point in points:
+        lines.append(
+            f"{point.x:>8g}"
+            + "".join(f"{point.values[k]:>26.3f}" for k in keys)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Computational-geometry substrate.
+
+Everything the spanner constructions need: points and distances
+(:mod:`~repro.geometry.primitives`), robust orientation / in-circle
+predicates (:mod:`~repro.geometry.predicates`), circumcircles and
+empty-disk tests (:mod:`~repro.geometry.circle`), convex hulls
+(:mod:`~repro.geometry.hull`) and a from-scratch Delaunay triangulation
+(:mod:`~repro.geometry.triangulation`).
+"""
+
+from repro.geometry.primitives import (
+    Point,
+    angle_at,
+    dist,
+    dist_sq,
+    midpoint,
+    polygon_area,
+)
+from repro.geometry.predicates import (
+    Orientation,
+    in_circle,
+    orientation,
+    segments_cross,
+    segments_intersect,
+)
+from repro.geometry.circle import (
+    Circle,
+    circumcircle,
+    disk_contains,
+    gabriel_disk_empty,
+    point_in_circumcircle,
+)
+from repro.geometry.hull import convex_hull
+from repro.geometry.triangulation import Triangulation, delaunay
+from repro.geometry.transforms import (
+    mirror_x,
+    normalize_to_unit_square,
+    rotate,
+    scale,
+    translate,
+)
+
+__all__ = [
+    "Point",
+    "angle_at",
+    "dist",
+    "dist_sq",
+    "midpoint",
+    "polygon_area",
+    "Orientation",
+    "orientation",
+    "in_circle",
+    "segments_cross",
+    "segments_intersect",
+    "Circle",
+    "circumcircle",
+    "disk_contains",
+    "gabriel_disk_empty",
+    "point_in_circumcircle",
+    "convex_hull",
+    "Triangulation",
+    "delaunay",
+    "mirror_x",
+    "normalize_to_unit_square",
+    "rotate",
+    "scale",
+    "translate",
+]

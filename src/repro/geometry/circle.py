@@ -1,0 +1,123 @@
+"""Circles, circumcircles and the empty-disk tests behind proximity graphs.
+
+The paper's constructions all reduce to empty-disk questions:
+
+* a **Gabriel edge** ``uv`` exists when the disk with diameter ``uv``
+  is empty of other nodes (and ``|uv| <= 1``);
+* a **(localized) Delaunay triangle** ``uvw`` exists when its
+  circumcircle is empty of (local) nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.geometry.predicates import in_circle, orientation_value
+from repro.geometry.primitives import Point, dist_sq, midpoint
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A circle given by center and radius."""
+
+    center: Point
+    radius: float
+
+    def contains(self, p: Point, *, tol: float = 1e-9) -> bool:
+        """Whether ``p`` is strictly inside this circle.
+
+        ``tol`` shrinks the circle slightly so that points numerically
+        on the boundary are reported *outside*; the Delaunay property
+        is an open-disk condition.
+        """
+        r = self.radius - tol
+        if r <= 0.0:
+            return False
+        return dist_sq(self.center, p) < r * r
+
+
+def circumcircle(a: Point, b: Point, c: Point) -> Optional[Circle]:
+    """Circumcircle of triangle ``abc``, or ``None`` when degenerate.
+
+    Degenerate means the three points are (numerically) collinear, in
+    which case no finite circumcircle exists.
+    """
+    d = 2.0 * orientation_value(a, b, c)
+    scale = max(abs(a[0]), abs(a[1]), abs(b[0]), abs(b[1]), abs(c[0]), abs(c[1]), 1.0)
+    if abs(d) <= 1e-12 * scale * scale:
+        return None
+    a2 = a[0] * a[0] + a[1] * a[1]
+    b2 = b[0] * b[0] + b[1] * b[1]
+    c2 = c[0] * c[0] + c[1] * c[1]
+    ux = (a2 * (b[1] - c[1]) + b2 * (c[1] - a[1]) + c2 * (a[1] - b[1])) / d
+    uy = (a2 * (c[0] - b[0]) + b2 * (a[0] - c[0]) + c2 * (b[0] - a[0])) / d
+    center = Point(ux, uy)
+    return Circle(center, math.sqrt(dist_sq(center, a)))
+
+
+def point_in_circumcircle(a: Point, b: Point, c: Point, d: Point) -> bool:
+    """Whether ``d`` lies strictly inside the circumcircle of ``abc``.
+
+    Orientation-independent wrapper around the raw in-circle
+    determinant: the sign convention of :func:`~repro.geometry.predicates.in_circle`
+    assumes counter-clockwise ``abc``, so we normalize by the triangle
+    orientation.  Near-cocircular points are classified as outside.
+    """
+    orient = orientation_value(a, b, c)
+    if orient == 0.0:
+        return False
+    det = in_circle(a, b, c, d)
+    # Scale-aware tolerance: the determinant is O(L^4) in coordinates.
+    scale = max(
+        abs(a[0] - d[0]), abs(a[1] - d[1]),
+        abs(b[0] - d[0]), abs(b[1] - d[1]),
+        abs(c[0] - d[0]), abs(c[1] - d[1]),
+        1e-30,
+    )
+    eps = 1e-12 * scale ** 4
+    if orient > 0:
+        return det > eps
+    return det < -eps
+
+
+def disk_contains(center: Point, radius: float, p: Point, *, tol: float = 1e-9) -> bool:
+    """Whether ``p`` lies strictly inside the disk ``(center, radius)``."""
+    r = radius - tol
+    if r <= 0.0:
+        return False
+    return dist_sq(center, p) < r * r
+
+
+def gabriel_disk_empty(
+    u: Point, v: Point, others: Iterable[Point], *, tol: float = 1e-9
+) -> bool:
+    """Gabriel test: is the disk with diameter ``uv`` empty of ``others``?
+
+    ``others`` may include ``u`` and ``v`` themselves; they are on the
+    boundary and therefore never counted as inside.
+    """
+    center = midpoint(u, v)
+    radius_sq = dist_sq(u, v) / 4.0
+    threshold = radius_sq - tol
+    if threshold <= 0.0:
+        return True
+    for w in others:
+        if w == u or w == v:
+            continue
+        if dist_sq(center, w) < threshold:
+            return False
+    return True
+
+
+def lune_contains(u: Point, v: Point, w: Point, *, tol: float = 1e-9) -> bool:
+    """RNG lune test: is ``w`` strictly inside the lune of ``u`` and ``v``?
+
+    The lune is the intersection of the two disks centered at ``u`` and
+    ``v`` with radius ``|uv|``; an RNG edge ``uv`` requires the lune to
+    be empty.
+    """
+    d_uv = dist_sq(u, v)
+    limit = d_uv - tol
+    return dist_sq(u, w) < limit and dist_sq(v, w) < limit

@@ -1,0 +1,39 @@
+"""Convex hull via Andrew's monotone chain.
+
+Used by the Delaunay triangulation tests (hull edges are Delaunay
+edges) and by the workload generators (to measure deployment spread).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.predicates import orientation_value
+from repro.geometry.primitives import Point
+
+
+def convex_hull(points: Sequence[Point]) -> list[Point]:
+    """Convex hull of ``points`` in counter-clockwise order.
+
+    Collinear points on the hull boundary are dropped; duplicated
+    input points are collapsed.  For fewer than three distinct points
+    the distinct points themselves are returned (sorted).
+    """
+    unique = sorted(set(points))
+    if len(unique) <= 2:
+        return unique
+
+    def half_chain(pts: Sequence[Point]) -> list[Point]:
+        chain: list[Point] = []
+        for p in pts:
+            while (
+                len(chain) >= 2
+                and orientation_value(chain[-2], chain[-1], p) <= 0.0
+            ):
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = half_chain(unique)
+    upper = half_chain(list(reversed(unique)))
+    return lower[:-1] + upper[:-1]

@@ -1,0 +1,170 @@
+"""Geometric predicates: orientation, in-circle, segment intersection.
+
+The orientation and in-circle predicates follow the classic determinant
+formulations.  Exact arithmetic is not required for this reproduction
+(node coordinates are random floats, so degeneracies have measure
+zero), but both predicates use an epsilon tuned to the magnitude of the
+inputs so that near-degenerate configurations are classified as
+collinear / cocircular rather than flipping sign on rounding noise.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.geometry.primitives import Point
+
+
+class Orientation(enum.IntEnum):
+    """Result of the :func:`orientation` predicate."""
+
+    CLOCKWISE = -1
+    COLLINEAR = 0
+    COUNTERCLOCKWISE = 1
+
+
+#: Relative tolerance used to snap tiny determinants to zero.
+_REL_EPS = 1e-12
+
+
+def orientation_value(a: Point, b: Point, c: Point) -> float:
+    """Twice the signed area of triangle ``abc`` (raw determinant)."""
+    return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+
+
+def orientation(a: Point, b: Point, c: Point) -> Orientation:
+    """Orientation of the ordered triple ``(a, b, c)``.
+
+    Returns :data:`Orientation.COUNTERCLOCKWISE` when ``c`` lies to the
+    left of the directed line ``a -> b``, :data:`Orientation.CLOCKWISE`
+    when it lies to the right, and :data:`Orientation.COLLINEAR` when
+    the three points are (numerically) collinear.
+    """
+    det = orientation_value(a, b, c)
+    # Scale the epsilon with the coordinate magnitudes involved so the
+    # predicate behaves the same for points in [0,1]^2 and [0,1000]^2.
+    scale = (
+        abs(b[0] - a[0])
+        + abs(b[1] - a[1])
+        + abs(c[0] - a[0])
+        + abs(c[1] - a[1])
+    )
+    eps = _REL_EPS * scale * scale
+    if det > eps:
+        return Orientation.COUNTERCLOCKWISE
+    if det < -eps:
+        return Orientation.CLOCKWISE
+    return Orientation.COLLINEAR
+
+
+def in_circle(a: Point, b: Point, c: Point, d: Point) -> float:
+    """In-circle determinant for ``d`` against the circle through ``a, b, c``.
+
+    The triple ``(a, b, c)`` must be in counter-clockwise order; then
+    the result is positive when ``d`` is strictly inside the
+    circumcircle, negative when outside and (near) zero when the four
+    points are cocircular.  Callers needing an orientation-independent
+    answer should use :func:`repro.geometry.circle.point_in_circumcircle`.
+    """
+    adx = a[0] - d[0]
+    ady = a[1] - d[1]
+    bdx = b[0] - d[0]
+    bdy = b[1] - d[1]
+    cdx = c[0] - d[0]
+    cdy = c[1] - d[1]
+    ad2 = adx * adx + ady * ady
+    bd2 = bdx * bdx + bdy * bdy
+    cd2 = cdx * cdx + cdy * cdy
+    return (
+        adx * (bdy * cd2 - cdy * bd2)
+        - ady * (bdx * cd2 - cdx * bd2)
+        + ad2 * (bdx * cdy - cdx * bdy)
+    )
+
+
+def on_segment(p: Point, q: Point, r: Point) -> bool:
+    """Whether collinear point ``r`` lies on the closed segment ``pq``."""
+    return (
+        min(p[0], q[0]) - 1e-12 <= r[0] <= max(p[0], q[0]) + 1e-12
+        and min(p[1], q[1]) - 1e-12 <= r[1] <= max(p[1], q[1]) + 1e-12
+    )
+
+
+def segments_intersect(p1: Point, q1: Point, p2: Point, q2: Point) -> bool:
+    """Whether closed segments ``p1q1`` and ``p2q2`` intersect at all.
+
+    Shared endpoints and touching count as intersection; use
+    :func:`segments_cross` for the planar-graph notion of a *crossing*.
+    """
+    o1 = orientation(p1, q1, p2)
+    o2 = orientation(p1, q1, q2)
+    o3 = orientation(p2, q2, p1)
+    o4 = orientation(p2, q2, q1)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == Orientation.COLLINEAR and on_segment(p1, q1, p2):
+        return True
+    if o2 == Orientation.COLLINEAR and on_segment(p1, q1, q2):
+        return True
+    if o3 == Orientation.COLLINEAR and on_segment(p2, q2, p1):
+        return True
+    if o4 == Orientation.COLLINEAR and on_segment(p2, q2, q1):
+        return True
+    return False
+
+
+def segments_cross(p1: Point, q1: Point, p2: Point, q2: Point) -> bool:
+    """Whether two segments *properly cross* (intersect in their interiors).
+
+    This is the test used to decide planarity of an embedded graph:
+    edges that merely share an endpoint do not cross.
+    """
+    if p1 in (p2, q2) or q1 in (p2, q2):
+        return False
+    o1 = orientation(p1, q1, p2)
+    o2 = orientation(p1, q1, q2)
+    o3 = orientation(p2, q2, p1)
+    o4 = orientation(p2, q2, q1)
+    if (
+        Orientation.COLLINEAR in (o1, o2, o3, o4)
+    ):
+        # Touching or overlapping but with an endpoint on the other
+        # segment: treat interior-touching as a crossing, endpoint
+        # contact as not.  For random-coordinate inputs this branch is
+        # exercised only by hand-built degenerate tests.
+        if o1 == Orientation.COLLINEAR and on_segment(p1, q1, p2):
+            return _strictly_inside(p1, q1, p2)
+        if o2 == Orientation.COLLINEAR and on_segment(p1, q1, q2):
+            return _strictly_inside(p1, q1, q2)
+        if o3 == Orientation.COLLINEAR and on_segment(p2, q2, p1):
+            return _strictly_inside(p2, q2, p1)
+        if o4 == Orientation.COLLINEAR and on_segment(p2, q2, q1):
+            return _strictly_inside(p2, q2, q1)
+        return False
+    return o1 != o2 and o3 != o4
+
+
+def _strictly_inside(p: Point, q: Point, r: Point) -> bool:
+    """Whether collinear ``r`` lies strictly inside segment ``pq``."""
+    return on_segment(p, q, r) and r != p and r != q
+
+
+def point_in_polygon(point: Point, polygon: Sequence[Point]) -> bool:
+    """Even–odd test for ``point`` inside a simple ``polygon``.
+
+    Points exactly on the boundary may be classified either way; the
+    spanner code never depends on boundary classification.
+    """
+    inside = False
+    n = len(polygon)
+    px, py = point
+    for i in range(n):
+        x1, y1 = polygon[i]
+        x2, y2 = polygon[(i + 1) % n]
+        if (y1 > py) != (y2 > py):
+            x_cross = x1 + (py - y1) * (x2 - x1) / (y2 - y1)
+            if px < x_cross:
+                inside = not inside
+    return inside

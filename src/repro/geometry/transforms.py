@@ -1,0 +1,81 @@
+"""Rigid motions and similarity transforms on point sets.
+
+Two uses: workload augmentation (rotate/mirror a deployment to get a
+geometrically distinct but statistically identical instance) and
+*invariance testing* — every structure in this library is defined by
+distances and angles, so it must be equivariant under rigid motions
+and uniform scalings.  The property suite rebuilds structures on
+transformed deployments and asserts edge sets map exactly; a failure
+pinpoints hidden coordinate dependence (e.g. an axis-aligned tolerance).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.geometry.primitives import Point
+
+
+def translate(points: Sequence[Point], dx: float, dy: float) -> list[Point]:
+    """Translate every point by ``(dx, dy)``."""
+    return [Point(p.x + dx, p.y + dy) for p in points]
+
+
+def rotate(
+    points: Sequence[Point], angle: float, *, about: Point = Point(0.0, 0.0)
+) -> list[Point]:
+    """Rotate every point by ``angle`` radians about ``about``."""
+    cos_a = math.cos(angle)
+    sin_a = math.sin(angle)
+    out = []
+    for p in points:
+        dx = p.x - about.x
+        dy = p.y - about.y
+        out.append(
+            Point(
+                about.x + dx * cos_a - dy * sin_a,
+                about.y + dx * sin_a + dy * cos_a,
+            )
+        )
+    return out
+
+
+def scale(
+    points: Sequence[Point], factor: float, *, about: Point = Point(0.0, 0.0)
+) -> list[Point]:
+    """Uniformly scale every point by ``factor`` about ``about``."""
+    if factor <= 0.0:
+        raise ValueError("scale factor must be positive")
+    return [
+        Point(
+            about.x + (p.x - about.x) * factor,
+            about.y + (p.y - about.y) * factor,
+        )
+        for p in points
+    ]
+
+
+def mirror_x(points: Sequence[Point], *, axis_y: float = 0.0) -> list[Point]:
+    """Reflect every point across the horizontal line ``y = axis_y``."""
+    return [Point(p.x, 2.0 * axis_y - p.y) for p in points]
+
+
+def normalize_to_unit_square(points: Sequence[Point]) -> list[Point]:
+    """Map the bounding box of ``points`` into ``[0, 1]^2`` (aspect kept).
+
+    Useful for radius-normalized comparisons across deployments of
+    different physical extents.  Degenerate inputs (all points equal)
+    map to the origin.
+    """
+    if not points:
+        return []
+    min_x = min(p.x for p in points)
+    min_y = min(p.y for p in points)
+    span = max(
+        max(p.x for p in points) - min_x,
+        max(p.y for p in points) - min_y,
+    )
+    if span == 0.0:
+        return [Point(0.0, 0.0) for _ in points]
+    return [Point((p.x - min_x) / span, (p.y - min_y) / span) for p in points]

@@ -1,0 +1,251 @@
+"""From-scratch Delaunay triangulation (Bowyer–Watson, adaptively exact).
+
+The localized Delaunay construction (paper Algorithm 2) has every node
+compute the Delaunay triangulation of its 1-hop neighborhood, so the
+triangulator is called once per node on a few dozen points.  The
+incremental Bowyer–Watson scheme here is O(m^2) per call, which is far
+below the cost of anything else in the pipeline at those sizes, and is
+cross-validated against :mod:`scipy.spatial` in the test suite.
+
+Robustness: the cavity in-circle test is **adaptively exact** — the
+fast float determinant decides whenever its magnitude exceeds a
+conservative rounding-error bound, and borderline cases are recomputed
+with :class:`fractions.Fraction` (exact for any float input).  That is
+what keeps degenerate inputs correct: collinear runs of points, exact
+cocircular quadruples (grid deployments are full of both), and points
+landing exactly on existing edges.  Exactly-cocircular point sets are
+re-triangulated with an arbitrary but deterministic diagonal.
+
+Degenerate inputs are handled explicitly:
+
+* fewer than three points, or all points collinear, yield a
+  triangulation with no triangles whose edge set is the path along the
+  sorted points (the limit object of the Delaunay graph);
+* duplicate points are collapsed before triangulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Sequence
+
+from repro.geometry.predicates import Orientation, orientation, orientation_value
+from repro.geometry.primitives import Point
+
+
+@dataclass
+class Triangulation:
+    """Result of :func:`delaunay`.
+
+    ``triangles`` hold indices into ``points`` as sorted triples, and
+    ``edges`` as sorted pairs.  Indices refer to the *input* point
+    sequence, including duplicates (only the first occurrence of a
+    duplicated coordinate appears in the output structures).
+    """
+
+    points: list[Point]
+    triangles: list[tuple[int, int, int]] = field(default_factory=list)
+    edges: set[tuple[int, int]] = field(default_factory=set)
+
+    def adjacency(self) -> dict[int, set[int]]:
+        """Adjacency map of the triangulation's edge set."""
+        adj: dict[int, set[int]] = {i: set() for i in range(len(self.points))}
+        for u, v in self.edges:
+            adj[u].add(v)
+            adj[v].add(u)
+        return adj
+
+    def triangles_of(self, vertex: int) -> list[tuple[int, int, int]]:
+        """All triangles incident on ``vertex``."""
+        return [t for t in self.triangles if vertex in t]
+
+
+def _sign(value: float) -> int:
+    if value > 0.0:
+        return 1
+    if value < 0.0:
+        return -1
+    return 0
+
+
+def _orient_sign_exact(a: Point, b: Point, c: Point) -> int:
+    """Exact sign of the orientation determinant (Fraction arithmetic)."""
+    ax, ay = Fraction(a[0]), Fraction(a[1])
+    bx, by = Fraction(b[0]), Fraction(b[1])
+    cx, cy = Fraction(c[0]), Fraction(c[1])
+    det = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    return _sign(det)
+
+
+def _incircle_sign_exact(a: Point, b: Point, c: Point, d: Point) -> int:
+    """Exact sign of the in-circle determinant (Fraction arithmetic)."""
+    adx = Fraction(a[0]) - Fraction(d[0])
+    ady = Fraction(a[1]) - Fraction(d[1])
+    bdx = Fraction(b[0]) - Fraction(d[0])
+    bdy = Fraction(b[1]) - Fraction(d[1])
+    cdx = Fraction(c[0]) - Fraction(d[0])
+    cdy = Fraction(c[1]) - Fraction(d[1])
+    ad2 = adx * adx + ady * ady
+    bd2 = bdx * bdx + bdy * bdy
+    cd2 = cdx * cdx + cdy * cdy
+    det = (
+        adx * (bdy * cd2 - cdy * bd2)
+        - ady * (bdx * cd2 - cdx * bd2)
+        + ad2 * (bdx * cdy - cdx * bdy)
+    )
+    return _sign(det)
+
+
+def _orient_sign(a: Point, b: Point, c: Point) -> int:
+    """Sign of orientation(a, b, c), exact on borderline magnitudes."""
+    det = orientation_value(a, b, c)
+    scale = max(
+        abs(b[0] - a[0]), abs(b[1] - a[1]),
+        abs(c[0] - a[0]), abs(c[1] - a[1]),
+        1e-300,
+    )
+    if abs(det) > 1e-12 * scale * scale:
+        return _sign(det)
+    return _orient_sign_exact(a, b, c)
+
+
+def _in_circumcircle(a: Point, b: Point, c: Point, d: Point) -> bool:
+    """Whether ``d`` is inside (or exactly on) the circumcircle of ``abc``.
+
+    Boundary-inclusive on purpose: a point exactly on an existing edge
+    or cocircular with a triangle must open every adjacent triangle so
+    the Bowyer–Watson cavity stays correct.  The float determinant
+    decides when it exceeds a forward-error bound (the summed term
+    magnitudes scaled by a safe multiple of machine epsilon); only
+    borderline cases pay for exact arithmetic.
+    """
+    orient = _orient_sign(a, b, c)
+    if orient == 0:
+        return False  # degenerate triangle: no interior
+    adx = a[0] - d[0]
+    ady = a[1] - d[1]
+    bdx = b[0] - d[0]
+    bdy = b[1] - d[1]
+    cdx = c[0] - d[0]
+    cdy = c[1] - d[1]
+    ad2 = adx * adx + ady * ady
+    bd2 = bdx * bdx + bdy * bdy
+    cd2 = cdx * cdx + cdy * cdy
+    det = (
+        adx * (bdy * cd2 - cdy * bd2)
+        - ady * (bdx * cd2 - cdx * bd2)
+        + ad2 * (bdx * cdy - cdx * bdy)
+    )
+    magnitude = (
+        abs(adx) * (abs(bdy) * cd2 + abs(cdy) * bd2)
+        + abs(ady) * (abs(bdx) * cd2 + abs(cdx) * bd2)
+        + ad2 * (abs(bdx) * abs(cdy) + abs(cdx) * abs(bdy))
+    )
+    if abs(det) > 1e-13 * magnitude:
+        det_sign = _sign(det)
+    else:
+        det_sign = _incircle_sign_exact(a, b, c, d)
+    if det_sign == 0:
+        return True  # exactly cocircular: boundary-inclusive
+    return det_sign == orient
+
+
+def _collinear_path(points: Sequence[Point], index_of: dict[Point, int]) -> Triangulation:
+    """Degenerate triangulation for collinear input: a sorted path."""
+    tri = Triangulation(points=list(points))
+    ordered = sorted(index_of, key=lambda p: (p[0], p[1]))
+    for a, b in zip(ordered, ordered[1:]):
+        i, j = index_of[a], index_of[b]
+        tri.edges.add((min(i, j), max(i, j)))
+    return tri
+
+
+def delaunay(points: Sequence[Point]) -> Triangulation:
+    """Delaunay triangulation of ``points``.
+
+    Correct for degenerate inputs (collinear runs, cocircular
+    quadruples) thanks to the adaptively exact predicates; cocircular
+    ties are broken deterministically.
+    """
+    pts = [Point(float(p[0]), float(p[1])) for p in points]
+    index_of: dict[Point, int] = {}
+    for i, p in enumerate(pts):
+        index_of.setdefault(p, i)
+    distinct = list(index_of.keys())
+
+    if len(distinct) < 3:
+        return _collinear_path(pts, index_of)
+
+    if all(
+        orientation(distinct[0], distinct[1], p) == Orientation.COLLINEAR
+        for p in distinct[2:]
+    ):
+        return _collinear_path(pts, index_of)
+
+    # Super-triangle enclosing every input point.  The margin must
+    # exceed the circumradius of any true Delaunay triangle, or that
+    # triangle's circumcircle swallows a super vertex and the triangle
+    # is wrongly dropped; 1e9 x span tolerates hull slivers down to
+    # ~1e-9 relative flatness, and the adaptively exact predicates
+    # stay correct at any magnitude (Fraction arithmetic is exact).
+    min_x = min(p[0] for p in distinct)
+    max_x = max(p[0] for p in distinct)
+    min_y = min(p[1] for p in distinct)
+    max_y = max(p[1] for p in distinct)
+    span = max(max_x - min_x, max_y - min_y, 1.0)
+    cx = (min_x + max_x) / 2.0
+    cy = (min_y + max_y) / 2.0
+    margin = 1e9 * span
+    super_pts = [
+        Point(cx - margin, cy - margin / 2.0),
+        Point(cx + margin, cy - margin / 2.0),
+        Point(cx, cy + margin),
+    ]
+
+    verts: list[Point] = distinct + super_pts
+    s0 = len(distinct)
+
+    triangles: list[tuple[int, int, int]] = [(s0, s0 + 1, s0 + 2)]
+
+    for vi in range(len(distinct)):
+        vp = verts[vi]
+        bad: list[tuple[int, int, int]] = []
+        good: list[tuple[int, int, int]] = []
+        for tri in triangles:
+            if _in_circumcircle(verts[tri[0]], verts[tri[1]], verts[tri[2]], vp):
+                bad.append(tri)
+            else:
+                good.append(tri)
+        if not bad:  # pragma: no cover - exact predicates locate every point
+            raise RuntimeError("Bowyer-Watson cavity is empty; input corrupt")
+
+        # Boundary of the cavity: edges that belong to exactly one bad
+        # triangle.
+        edge_count: dict[tuple[int, int], int] = {}
+        for i, j, k in bad:
+            for a, b in ((i, j), (j, k), (i, k)):
+                key = (min(a, b), max(a, b))
+                edge_count[key] = edge_count.get(key, 0) + 1
+        boundary = [e for e, count in edge_count.items() if count == 1]
+
+        triangles = good
+        for a, b in boundary:
+            if _orient_sign(verts[a], verts[b], vp) == 0:
+                continue  # vp collinear with the edge: no triangle
+            triangles.append(tuple(sorted((a, b, vi))))  # type: ignore[arg-type]
+
+    result = Triangulation(points=pts)
+    seen: set[tuple[int, int, int]] = set()
+    for i, j, k in triangles:
+        if i >= s0 or j >= s0 or k >= s0:
+            continue  # touches the super-triangle
+        # Map back to original input indices (identity for distinct points).
+        tri_ids = tuple(sorted((index_of[verts[i]], index_of[verts[j]], index_of[verts[k]])))
+        if tri_ids in seen:
+            continue
+        seen.add(tri_ids)
+        result.triangles.append(tri_ids)  # type: ignore[arg-type]
+        for a, b in ((tri_ids[0], tri_ids[1]), (tri_ids[1], tri_ids[2]), (tri_ids[0], tri_ids[2])):
+            result.edges.add((a, b))
+    return result

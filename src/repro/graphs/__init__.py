@@ -1,0 +1,46 @@
+"""Graph substrate: embedded graphs, unit disk graphs, paths, planarity."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.udg import GridIndex, UnitDiskGraph, unit_disk_graph
+from repro.graphs.paths import (
+    PathResult,
+    bfs_hops,
+    breadth_first_path,
+    connected_components,
+    dijkstra_lengths,
+    hop_diameter,
+    hop_eccentricity,
+    is_connected,
+    shortest_path,
+)
+from repro.graphs.planarity import crossing_pairs, is_planar_embedding
+from repro.graphs.connectivity import (
+    RobustnessReport,
+    articulation_points,
+    bridges,
+    robustness,
+    survives_failures,
+)
+
+__all__ = [
+    "Graph",
+    "GridIndex",
+    "UnitDiskGraph",
+    "unit_disk_graph",
+    "PathResult",
+    "bfs_hops",
+    "breadth_first_path",
+    "connected_components",
+    "dijkstra_lengths",
+    "hop_diameter",
+    "hop_eccentricity",
+    "is_connected",
+    "shortest_path",
+    "crossing_pairs",
+    "is_planar_embedding",
+    "RobustnessReport",
+    "articulation_points",
+    "bridges",
+    "robustness",
+    "survives_failures",
+]

@@ -1,0 +1,179 @@
+"""Shortest paths, connectivity, and single-source searches.
+
+The stretch-factor experiments need all-pairs shortest hop counts (BFS)
+and shortest Euclidean lengths (Dijkstra) on graphs of a few hundred
+nodes; plain Python with ``heapq`` is comfortably fast at that scale
+and keeps the library dependency-light.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """A path with its hop count and Euclidean length."""
+
+    nodes: tuple[int, ...]
+    hops: int
+    length: float
+
+    @property
+    def found(self) -> bool:
+        return bool(self.nodes)
+
+
+_NO_PATH = PathResult(nodes=(), hops=-1, length=math.inf)
+
+
+def bfs_hops(graph: Graph, source: int) -> list[int]:
+    """Hop distance from ``source`` to every node (-1 if unreachable)."""
+    dist = [-1] * graph.node_count
+    dist[source] = 0
+    frontier = [source]
+    while frontier:
+        nxt: list[int] = []
+        for u in frontier:
+            du = dist[u]
+            for v in graph.neighbors(u):
+                if dist[v] < 0:
+                    dist[v] = du + 1
+                    nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+def dijkstra_lengths(
+    graph: Graph,
+    source: int,
+    weight: Optional[Callable[[int, int], float]] = None,
+) -> list[float]:
+    """Weighted distance from ``source`` to every node (inf if unreachable).
+
+    ``weight`` defaults to Euclidean edge length; pass e.g.
+    ``lambda u, v: graph.edge_length(u, v) ** 2`` for the power metric.
+    """
+    if weight is None:
+        weight = graph.edge_length
+    dist = [math.inf] * graph.node_count
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v in graph.neighbors(u):
+            nd = d + weight(u, v)
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def breadth_first_path(graph: Graph, source: int, target: int) -> PathResult:
+    """Minimum-hop path from ``source`` to ``target``."""
+    if source == target:
+        return PathResult(nodes=(source,), hops=0, length=0.0)
+    parent: dict[int, int] = {source: source}
+    frontier = [source]
+    while frontier and target not in parent:
+        nxt: list[int] = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if v not in parent:
+                    parent[v] = u
+                    nxt.append(v)
+        frontier = nxt
+    if target not in parent:
+        return _NO_PATH
+    return _trace(graph, parent, source, target)
+
+
+def shortest_path(graph: Graph, source: int, target: int) -> PathResult:
+    """Minimum Euclidean-length path from ``source`` to ``target``."""
+    if source == target:
+        return PathResult(nodes=(source,), hops=0, length=0.0)
+    dist = [math.inf] * graph.node_count
+    dist[source] = 0.0
+    parent: dict[int, int] = {source: source}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u == target:
+            break
+        if d > dist[u]:
+            continue
+        for v in graph.neighbors(u):
+            nd = d + graph.edge_length(u, v)
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    if target not in parent:
+        return _NO_PATH
+    return _trace(graph, parent, source, target)
+
+
+def _trace(graph: Graph, parent: dict[int, int], source: int, target: int) -> PathResult:
+    nodes = [target]
+    while nodes[-1] != source:
+        nodes.append(parent[nodes[-1]])
+    nodes.reverse()
+    length = sum(graph.edge_length(a, b) for a, b in zip(nodes, nodes[1:]))
+    return PathResult(nodes=tuple(nodes), hops=len(nodes) - 1, length=length)
+
+
+def connected_components(graph: Graph) -> list[set[int]]:
+    """Connected components as sets of node ids."""
+    seen: set[int] = set()
+    components: list[set[int]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        comp = {start}
+        frontier = [start]
+        while frontier:
+            u = frontier.pop()
+            for v in graph.neighbors(u):
+                if v not in comp:
+                    comp.add(v)
+                    frontier.append(v)
+        seen |= comp
+        components.append(comp)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (vacuously true when empty)."""
+    if graph.node_count == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def hop_diameter(graph: Graph) -> int:
+    """Largest hop distance between any connected pair (0 when edgeless).
+
+    Computed per component; disconnected pairs do not count (the
+    diameter of a disconnected graph is conventionally infinite, but
+    the experiments always want the intra-component figure).
+    """
+    worst = 0
+    for source in graph.nodes():
+        distances = bfs_hops(graph, source)
+        reachable = [d for d in distances if d > 0]
+        if reachable:
+            worst = max(worst, max(reachable))
+    return worst
+
+
+def hop_eccentricity(graph: Graph, node: int) -> int:
+    """Largest hop distance from ``node`` to anything reachable."""
+    distances = bfs_hops(graph, node)
+    reachable = [d for d in distances if d > 0]
+    return max(reachable) if reachable else 0

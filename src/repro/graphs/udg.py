@@ -1,0 +1,100 @@
+"""Unit disk graphs with a uniform-grid spatial index.
+
+The paper's network model: nodes with identical transmission radius
+``r``; an undirected link exists exactly when the Euclidean distance is
+at most ``r``.  Construction uses a bucket grid with cell side ``r`` so
+each node only tests the 3x3 surrounding cells — expected O(n) for the
+uniform deployments used in the experiments instead of the naive
+O(n^2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+from repro.geometry.primitives import Point, dist_sq
+from repro.graphs.graph import Graph
+
+
+class GridIndex:
+    """Uniform bucket grid for fixed-radius neighbor queries."""
+
+    def __init__(self, points: Sequence[Point], cell_size: float) -> None:
+        if cell_size <= 0.0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = cell_size
+        self.points = list(points)
+        self._cells: dict[tuple[int, int], list[int]] = {}
+        for i, p in enumerate(self.points):
+            self._cells.setdefault(self._cell_of(p), []).append(i)
+
+    def _cell_of(self, p: Point) -> tuple[int, int]:
+        return (math.floor(p[0] / self.cell_size), math.floor(p[1] / self.cell_size))
+
+    def candidates_near(self, p: Point, radius: float) -> Iterator[int]:
+        """Indices of points whose cell is within ``radius`` of ``p``'s.
+
+        A superset of the true within-``radius`` set; callers must
+        filter by exact distance.
+        """
+        reach = max(1, math.ceil(radius / self.cell_size))
+        cx, cy = self._cell_of(p)
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                yield from self._cells.get((cx + dx, cy + dy), ())
+
+    def within(self, p: Point, radius: float) -> list[int]:
+        """Indices of points at distance <= ``radius`` from ``p``."""
+        r_sq = radius * radius
+        return [
+            i
+            for i in self.candidates_near(p, radius)
+            if dist_sq(self.points[i], p) <= r_sq
+        ]
+
+
+class UnitDiskGraph(Graph):
+    """The unit disk graph of a point set at a given radius.
+
+    Carries its ``radius`` so downstream constructions (Gabriel tests,
+    localized Delaunay length caps) can normalize distances against it.
+    """
+
+    def __init__(self, positions: Sequence[Point], radius: float, *, name: str = "UDG") -> None:
+        if radius <= 0.0:
+            raise ValueError("transmission radius must be positive")
+        super().__init__(positions, name=name)
+        self.radius = radius
+        self._build()
+
+    def _build(self) -> None:
+        index = GridIndex(self.positions, self.radius)
+        r_sq = self.radius * self.radius
+        for u, p in enumerate(self.positions):
+            for v in index.candidates_near(p, self.radius):
+                if v > u and dist_sq(p, self.positions[v]) <= r_sq:
+                    self.add_edge(u, v)
+
+    def k_hop_neighborhood(self, u: int, k: int) -> set[int]:
+        """Nodes within ``k`` hops of ``u`` (paper's N_k(u)), including ``u``."""
+        frontier = {u}
+        seen = {u}
+        for _ in range(k):
+            nxt: set[int] = set()
+            for w in frontier:
+                nxt.update(self._adj[w])
+            nxt -= seen
+            if not nxt:
+                break
+            seen |= nxt
+            frontier = nxt
+        return seen
+
+
+def unit_disk_graph(
+    coords: Iterable[tuple[float, float]], radius: float = 1.0
+) -> UnitDiskGraph:
+    """Build a :class:`UnitDiskGraph` from raw coordinate pairs."""
+    points = [Point(float(x), float(y)) for x, y in coords]
+    return UnitDiskGraph(points, radius)

@@ -1,0 +1,250 @@
+"""Localized backbone repair — the paper's future-work problem, built.
+
+The paper closes with: "Another interesting open problem is to study
+the dynamic updating of the planar backbone efficiently when nodes are
+moving."  :class:`~repro.mobility.maintenance.BackboneMaintainer`
+implements the conservative policy (full rebuild on any structural
+break); this module implements the *localized* alternative and
+quantifies what it saves.
+
+Strategy — repair only the affected region, keep everything else:
+
+1. **Scope.**  Diff the old and new unit disk graphs; the *dirty* set
+   is every node whose radio neighborhood changed, dilated by ``halo``
+   hops (default 2 — clustering and connector decisions depend on at
+   most 2-hop information).
+2. **Role repair.**  Roles outside the dirty set are frozen.  Inside,
+   roles are re-derived with the same lowest-ID greedy the election
+   protocol converges to, *seeded* with the frozen outside dominators
+   (an outside dominator adjacent to a dirty node keeps dominating
+   it).
+3. **Structure repair.**  Connectors and the localized Delaunay
+   structures are recomputed — both are functions of 2-hop-local
+   state, so recomputing them globally over the repaired roles equals
+   recomputing them only where inputs changed; the implementation
+   reuses the centralized builders and the *savings* are measured by
+   the dirty-set size, which is what a deployed incremental protocol
+   would transmit.
+4. **Validation.**  The repaired structure is checked against the
+   paper's invariants (domination, independence, CDS connectivity per
+   component, planarity).  If any check fails — possible when churn
+   cascades beyond the halo — the repair *escalates to a full
+   rebuild*, so correctness never depends on the locality heuristic.
+
+The result carries ``dirty_fraction`` and ``escalated`` so experiments
+can report how often locality sufficed and how much of the network a
+real incremental protocol would have touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.spanner import BackboneResult, build_backbone
+from repro.geometry.primitives import Point
+from repro.graphs.paths import is_connected
+from repro.graphs.planarity import is_planar_embedding
+from repro.graphs.udg import UnitDiskGraph
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of one localized repair."""
+
+    #: Nodes whose neighborhood changed (before dilation).
+    changed_nodes: frozenset[int]
+    #: The dilated repair region.
+    dirty_nodes: frozenset[int]
+    #: Fraction of the network the repair touched.
+    dirty_fraction: float
+    #: Whether validation forced a full rebuild.
+    escalated: bool
+    #: Role changes relative to the previous backbone.
+    role_changes: tuple[int, ...]
+    result: BackboneResult
+
+
+def changed_neighborhoods(
+    old_udg: UnitDiskGraph, new_udg: UnitDiskGraph
+) -> frozenset[int]:
+    """Nodes whose radio neighbor set differs between the two UDGs."""
+    return frozenset(
+        u
+        for u in old_udg.nodes()
+        if old_udg.neighbors(u) != new_udg.neighbors(u)
+    )
+
+
+def dilate(udg: UnitDiskGraph, seed_nodes: frozenset[int], hops: int) -> frozenset[int]:
+    """``seed_nodes`` plus everything within ``hops`` of them."""
+    dirty = set(seed_nodes)
+    frontier = set(seed_nodes)
+    for _ in range(hops):
+        nxt: set[int] = set()
+        for u in frontier:
+            nxt |= udg.neighbors(u)
+        nxt -= dirty
+        if not nxt:
+            break
+        dirty |= nxt
+        frontier = nxt
+    return frozenset(dirty)
+
+
+def repair_roles(
+    new_udg: UnitDiskGraph,
+    old_result: BackboneResult,
+    dirty: frozenset[int],
+) -> frozenset[int]:
+    """Re-elect dominators inside ``dirty``, frozen outside.
+
+    Greedy lowest-ID over the dirty nodes, seeded by the adjacency of
+    frozen outside dominators — the fixed point the distributed
+    election would reach if only dirty nodes re-ran it.
+    """
+    frozen_dominators = {
+        u for u in old_result.dominators if u not in dirty
+    }
+    dominated: set[int] = set()
+    for d in frozen_dominators:
+        dominated.add(d)
+        dominated |= new_udg.neighbors(d)
+
+    dominators = set(frozen_dominators)
+    for u in sorted(dirty):
+        if u in dominated:
+            continue
+        # Independence against ALL current dominators.
+        if new_udg.neighbors(u) & dominators:
+            dominated.add(u)
+            continue
+        dominators.add(u)
+        dominated.add(u)
+        dominated |= new_udg.neighbors(u)
+    return frozenset(dominators)
+
+
+def _roles_valid(udg: UnitDiskGraph, dominators: frozenset[int]) -> bool:
+    """Independence + domination of the whole graph."""
+    for d in dominators:
+        if udg.neighbors(d) & dominators:
+            return False
+    for u in udg.nodes():
+        if u not in dominators and not (udg.neighbors(u) & dominators):
+            return False
+    return True
+
+
+def _structure_valid(result: BackboneResult) -> bool:
+    """The paper's structural invariants on a built result."""
+    if not is_planar_embedding(result.ldel_icds):
+        return False
+    # Per-component connectivity of the spanning structure.
+    udg = result.udg
+    from repro.graphs.paths import connected_components
+
+    udg_components = {
+        frozenset(c) for c in connected_components(udg) if len(c) > 1
+    }
+    spanning_components = {
+        frozenset(c)
+        for c in connected_components(result.ldel_icds_prime)
+    }
+    for component in udg_components:
+        if not any(component <= sc for sc in spanning_components):
+            return False
+    return True
+
+
+def localized_repair(
+    old_result: BackboneResult,
+    positions: Sequence[Point],
+    *,
+    halo: int = 2,
+) -> RepairReport:
+    """Repair ``old_result`` for the new ``positions``, locally if possible."""
+    if len(positions) != old_result.udg.node_count:
+        raise ValueError("position update must cover every node")
+    radius = old_result.udg.radius
+    new_udg = UnitDiskGraph([Point(p[0], p[1]) for p in positions], radius)
+
+    changed = changed_neighborhoods(old_result.udg, new_udg)
+    if not changed:
+        return RepairReport(
+            changed_nodes=frozenset(),
+            dirty_nodes=frozenset(),
+            dirty_fraction=0.0,
+            escalated=False,
+            role_changes=(),
+            result=old_result,
+        )
+    dirty = dilate(new_udg, changed, halo)
+    dirty_fraction = len(dirty) / new_udg.node_count
+
+    dominators = repair_roles(new_udg, old_result, dirty)
+    escalated = not _roles_valid(new_udg, dominators)
+
+    if not escalated:
+        # Rebuild the downstream structures with the repaired roles:
+        # clustering is injected, connectors/LDel recompute (their
+        # inputs are 2-hop local, so only dirty-region outputs change).
+        result = _rebuild_with_dominators(new_udg, dominators)
+        if not _structure_valid(result):
+            escalated = True
+    if escalated:
+        result = build_backbone(list(new_udg.positions), radius)
+
+    role_changes = tuple(
+        u
+        for u in new_udg.nodes()
+        if old_result.role_of(u) != result.role_of(u)
+    )
+    return RepairReport(
+        changed_nodes=changed,
+        dirty_nodes=dirty,
+        dirty_fraction=dirty_fraction,
+        escalated=escalated,
+        role_changes=role_changes,
+        result=result,
+    )
+
+
+def _rebuild_with_dominators(
+    udg: UnitDiskGraph, dominators: frozenset[int]
+) -> BackboneResult:
+    """Run the pipeline with an injected (repaired) dominator set."""
+    from repro.core.spanner import BackboneResult as _BR
+    from repro.protocols.backbone import run_backbone_pipeline
+    from repro.protocols.clustering import ClusteringOutcome
+    from repro.sim.stats import MessageStats
+
+    dominators_of = {
+        u: frozenset(udg.neighbors(u) & dominators)
+        for u in udg.nodes()
+        if u not in dominators
+    }
+    clustering = ClusteringOutcome(
+        dominators=dominators,
+        dominators_of=dominators_of,
+        rounds=0,
+        stats=MessageStats(),
+    )
+    pipeline = run_backbone_pipeline(udg, clustering=clustering)
+    family = pipeline.family
+    return _BR(
+        udg=udg,
+        dominators=family.dominators,
+        connectors=family.connectors,
+        dominatees=family.dominatees,
+        cds=family.cds,
+        cds_prime=family.cds_prime,
+        icds=family.icds,
+        icds_prime=family.icds_prime,
+        ldel_icds=pipeline.ldel_icds,
+        ldel_icds_prime=pipeline.ldel_icds_prime,
+        stats_cds=pipeline.stats_cds,
+        stats_icds=pipeline.stats_icds,
+        stats_ldel=pipeline.stats_ldel,
+        pipeline=pipeline,
+    )

@@ -1,0 +1,123 @@
+"""Incremental backbone maintenance under mobility.
+
+The paper's observation: while nodes move, the *logical* backbone
+stays valid as long as none of its links stretches beyond the
+transmission radius — the physical drawing may momentarily be
+non-planar, but routing state need not change.  The maintainer
+implements exactly that policy: it watches the structural links,
+leaves the backbone untouched while they all hold, and rebuilds when
+one breaks, reporting how much of the structure actually changed
+(edge churn, role churn) — the quantities the mobility example and
+the maintenance tests examine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.spanner import BackboneResult, build_backbone
+from repro.geometry.primitives import Point, dist
+
+
+@dataclass(frozen=True)
+class MaintenanceReport:
+    """What one position update did to the backbone."""
+
+    #: Structural links whose endpoints drifted out of range.
+    broken_links: tuple[tuple[int, int], ...]
+    #: Whether a rebuild was triggered.
+    rebuilt: bool
+    #: Fraction of old backbone edges surviving into the new backbone
+    #: (1.0 when no rebuild happened).
+    edge_retention: float
+    #: Nodes whose role (dominator/connector/dominatee) changed.
+    role_changes: tuple[int, ...]
+    #: The current (possibly new) backbone.
+    result: BackboneResult
+
+
+class BackboneMaintainer:
+    """Keeps a backbone valid across position updates."""
+
+    def __init__(self, result: BackboneResult) -> None:
+        self.result = result
+        self.radius = result.udg.radius
+        self.rebuild_count = 0
+        self.update_count = 0
+
+    def structural_links(self) -> frozenset[tuple[int, int]]:
+        """The links whose breakage forces a rebuild.
+
+        The routed structure is LDel(ICDS') — the planar backbone plus
+        every dominatee-to-dominator link — so those are the links
+        being watched.
+        """
+        return self.result.ldel_icds_prime.edge_set()
+
+    def check(self, positions: Sequence[Point]) -> tuple[tuple[int, int], ...]:
+        """Structural links broken at the given ``positions``."""
+        broken = [
+            (u, v)
+            for u, v in sorted(self.structural_links())
+            if dist(positions[u], positions[v]) > self.radius
+        ]
+        return tuple(broken)
+
+    def new_links(self, positions: Sequence[Point]) -> tuple[tuple[int, int], ...]:
+        """UDG links available at ``positions`` that the old UDG lacked."""
+        from repro.graphs.udg import UnitDiskGraph
+
+        new_udg = UnitDiskGraph(list(positions), self.radius)
+        gained = sorted(new_udg.edge_set() - self.result.udg.edge_set())
+        return tuple(gained)
+
+    def update(
+        self, positions: Sequence[Point], *, watch_gains: bool = False
+    ) -> MaintenanceReport:
+        """Apply a position update; rebuild only when a link broke.
+
+        The paper's policy watches only *breakage*: as long as every
+        structural link holds, the logical backbone stays valid and
+        nothing happens.  The blind spot — demonstrated by the
+        partition tests — is **healing**: links that newly come into
+        range (e.g. two partitions drifting back together) are never
+        exploited.  ``watch_gains=True`` closes it by also rebuilding
+        when the radio graph gained any link.
+        """
+        if len(positions) != self.result.udg.node_count:
+            raise ValueError("position update must cover every node")
+        self.update_count += 1
+        broken = self.check(positions)
+        gains_trigger = watch_gains and bool(self.new_links(positions))
+        if not broken and not gains_trigger:
+            return MaintenanceReport(
+                broken_links=(),
+                rebuilt=False,
+                edge_retention=1.0,
+                role_changes=(),
+                result=self.result,
+            )
+
+        old = self.result
+        old_edges = old.ldel_icds_prime.edge_set()
+        new = build_backbone(positions, self.radius)
+        self.result = new
+        self.rebuild_count += 1
+
+        new_edges = new.ldel_icds_prime.edge_set()
+        retention = (
+            len(old_edges & new_edges) / len(old_edges) if old_edges else 1.0
+        )
+        role_changes = tuple(
+            node
+            for node in new.udg.nodes()
+            if old.role_of(node) != new.role_of(node)
+        )
+        return MaintenanceReport(
+            broken_links=broken,
+            rebuilt=True,
+            edge_retention=retention,
+            role_changes=role_changes,
+            result=new,
+        )

@@ -1,0 +1,61 @@
+"""The paper's distributed algorithms, run on the message simulator.
+
+* :mod:`~repro.protocols.clustering` — lowest-ID maximal-independent-set
+  election (dominators / dominatees).
+* :mod:`~repro.protocols.connectors` — Algorithm 1, gateway election for
+  dominator pairs 2 and 3 hops apart.
+* :mod:`~repro.protocols.cds` — orchestration of the two phases into the
+  CDS / CDS' / ICDS / ICDS' family.
+* :mod:`~repro.protocols.ldel_protocol` — Algorithms 2 and 3, the
+  distributed localized Delaunay construction and planarization.
+* :mod:`~repro.protocols.backbone` — the full pipeline producing
+  LDel(ICDS) and LDel(ICDS').
+"""
+
+from repro.protocols.clustering import ClusteringOutcome, run_clustering
+from repro.protocols.async_clustering import (
+    AsyncClusteringOutcome,
+    run_async_clustering,
+)
+from repro.protocols.connectors import ConnectorOutcome, run_connectors
+from repro.protocols.cds import CDSFamily, build_cds_family
+from repro.protocols.ldel_protocol import LDelProtocolOutcome, run_ldel_protocol
+from repro.protocols.ldel2_protocol import LDel2Outcome, run_ldel2_protocol
+from repro.protocols.backbone import BackbonePipelineResult, run_backbone_pipeline
+from repro.protocols.wu_li import WuLiOutcome, wu_li_cds
+from repro.protocols.maxmin_cluster import MaxMinOutcome, run_maxmin_clustering
+from repro.protocols.routing_protocol import PacketOutcome, run_routing_protocol
+from repro.protocols.convergecast import ConvergecastOutcome, run_convergecast
+from repro.protocols.neighbor_discovery import (
+    DiscoveryOutcome,
+    NeighborChange,
+    detect_changes,
+)
+
+__all__ = [
+    "ClusteringOutcome",
+    "run_clustering",
+    "AsyncClusteringOutcome",
+    "run_async_clustering",
+    "ConnectorOutcome",
+    "run_connectors",
+    "CDSFamily",
+    "build_cds_family",
+    "LDelProtocolOutcome",
+    "run_ldel_protocol",
+    "LDel2Outcome",
+    "run_ldel2_protocol",
+    "BackbonePipelineResult",
+    "run_backbone_pipeline",
+    "WuLiOutcome",
+    "wu_li_cds",
+    "MaxMinOutcome",
+    "run_maxmin_clustering",
+    "PacketOutcome",
+    "run_routing_protocol",
+    "ConvergecastOutcome",
+    "run_convergecast",
+    "DiscoveryOutcome",
+    "NeighborChange",
+    "detect_changes",
+]

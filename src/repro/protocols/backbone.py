@@ -1,0 +1,97 @@
+"""The full pipeline: points -> CDS family -> LDel(ICDS) / LDel(ICDS').
+
+This is the paper's contribution end to end: cluster, elect
+connectors, induce the backbone unit disk graph, and planarize it with
+the distributed localized Delaunay protocol.  Every phase runs as a
+message-passing protocol; the result carries the cumulative per-node
+message ledger that the communication-cost figures are drawn from, and
+separate per-structure ledgers (CDS / ICDS / LDel(ICDS)) matching the
+paper's accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.cds import CDSFamily, build_cds_family
+from repro.protocols.clustering import PriorityFn
+from repro.protocols.ldel_protocol import LDelProtocolOutcome, run_ldel_protocol
+from repro.sim.stats import MessageStats
+
+
+@dataclass(frozen=True)
+class BackbonePipelineResult:
+    """Everything the pipeline produces."""
+
+    family: CDSFamily
+    ldel_icds: Graph
+    ldel_icds_prime: Graph
+    ldel_outcome: LDelProtocolOutcome
+    #: Ledgers at each accounting boundary the paper reports:
+    #: ``stats_cds`` (clustering + connectors), ``stats_icds`` (+ one
+    #: Status per node), ``stats_ldel`` (+ the LDel protocol run on the
+    #: backbone, charged to the backbone nodes' original ids).
+    stats_cds: MessageStats
+    stats_icds: MessageStats
+    stats_ldel: MessageStats
+
+    @property
+    def udg(self) -> UnitDiskGraph:
+        return self.family.udg
+
+
+def run_backbone_pipeline(
+    udg: UnitDiskGraph,
+    *,
+    priority: Optional[PriorityFn] = None,
+    election: str = "smallest-id",
+    clustering=None,
+) -> BackbonePipelineResult:
+    """Build the planar spanner backbone over ``udg``.
+
+    ``clustering`` injects a precomputed (e.g. locally repaired)
+    clustering outcome instead of running the election.
+    """
+    family = build_cds_family(
+        udg, priority=priority, election=election, clustering=clustering
+    )
+
+    # Ledger boundaries: the Status broadcast belongs to the ICDS
+    # stage, so subtract it for the CDS-only view.
+    stats_icds = family.stats.copy()
+    stats_cds = MessageStats()
+    stats_cds.merge(family.clustering.stats)
+    stats_cds.merge(family.connector_outcome.stats)
+
+    backbone = sorted(family.backbone_nodes)
+    remap = {orig: idx for idx, orig in enumerate(backbone)}
+    sub_udg = UnitDiskGraph(
+        [udg.positions[orig] for orig in backbone], udg.radius, name="ICDS-sub"
+    )
+    ldel_outcome = run_ldel_protocol(sub_udg)
+
+    # Map the protocol output back to original node ids.
+    ldel_icds = Graph(udg.positions, name="LDel(ICDS)")
+    for u, v in ldel_outcome.graph.edges():
+        ldel_icds.add_edge(backbone[u], backbone[v])
+    ldel_icds_prime = Graph(udg.positions, ldel_icds.edges(), name="LDel(ICDS')")
+    for dominatee, doms in family.clustering.dominators_of.items():
+        for d in doms:
+            ldel_icds_prime.add_edge(dominatee, d)
+
+    stats_ldel = stats_icds.copy()
+    for (sub_id, kind), count in ldel_outcome.stats.per_node_kind.items():
+        stats_ldel.record(backbone[sub_id], kind, count)
+
+    return BackbonePipelineResult(
+        family=family,
+        ldel_icds=ldel_icds,
+        ldel_icds_prime=ldel_icds_prime,
+        ldel_outcome=ldel_outcome,
+        stats_cds=stats_cds,
+        stats_icds=stats_icds,
+        stats_ldel=stats_ldel,
+    )

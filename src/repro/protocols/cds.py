@@ -1,0 +1,130 @@
+"""The CDS family: CDS, CDS', ICDS, ICDS' from the two protocol phases.
+
+Definitions (paper Section III-A/B):
+
+* **CDS** — dominators plus connectors, with exactly the edges the
+  connector elections certified (the backbone);
+* **CDS'** — CDS plus every dominatee-to-dominator edge (the extended
+  backbone every node can reach);
+* **ICDS** — the unit disk graph *induced* on the CDS node set (all
+  links of length at most the radius between backbone nodes);
+* **ICDS'** — ICDS plus every dominatee-to-dominator edge.
+
+Building ICDS/ICDS' after CDS costs one extra broadcast per node — the
+``Status`` message telling neighbors whether the sender is a
+dominator, dominatee or connector — which we charge explicitly so the
+communication benchmarks reproduce the paper's accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry.primitives import dist_sq
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.clustering import (
+    ClusteringOutcome,
+    PriorityFn,
+    run_clustering,
+)
+from repro.protocols.connectors import ConnectorOutcome, run_connectors
+from repro.sim.messages import STATUS
+from repro.sim.stats import MessageStats
+
+
+@dataclass(frozen=True)
+class CDSFamily:
+    """All four CDS-derived graphs plus the roles and the ledger."""
+
+    udg: UnitDiskGraph
+    dominators: frozenset[int]
+    connectors: frozenset[int]
+    cds: Graph
+    cds_prime: Graph
+    icds: Graph
+    icds_prime: Graph
+    clustering: ClusteringOutcome
+    connector_outcome: ConnectorOutcome
+    #: Cumulative message ledger: clustering + connectors + Status.
+    stats: MessageStats
+
+    @property
+    def backbone_nodes(self) -> frozenset[int]:
+        return self.dominators | self.connectors
+
+    @property
+    def dominatees(self) -> frozenset[int]:
+        return frozenset(self.udg.nodes()) - self.backbone_nodes
+
+
+def _dominatee_edges(clustering: ClusteringOutcome) -> list[tuple[int, int]]:
+    edges = []
+    for dominatee, doms in clustering.dominators_of.items():
+        for d in doms:
+            edges.append((dominatee, d))
+    return edges
+
+
+def induced_udg_subgraph(udg: UnitDiskGraph, nodes: frozenset[int], name: str) -> Graph:
+    """UDG links among ``nodes`` (original node ids, full vertex set)."""
+    graph = Graph(udg.positions, name=name)
+    members = sorted(nodes)
+    r_sq = udg.radius * udg.radius
+    for i, u in enumerate(members):
+        pu = udg.positions[u]
+        for v in members[i + 1 :]:
+            if dist_sq(pu, udg.positions[v]) <= r_sq:
+                graph.add_edge(u, v)
+    return graph
+
+
+def build_cds_family(
+    udg: UnitDiskGraph,
+    *,
+    priority: Optional[PriorityFn] = None,
+    election: str = "smallest-id",
+    clustering: Optional[ClusteringOutcome] = None,
+) -> CDSFamily:
+    """Run clustering + Algorithm 1 and materialize the CDS family.
+
+    Pass a precomputed ``clustering`` outcome to reuse it (the ablation
+    benchmarks sweep the connector rule against a fixed clustering).
+    """
+    stats = MessageStats()
+    if clustering is None:
+        clustering = run_clustering(udg, priority=priority)
+    stats.merge(clustering.stats)
+
+    connector_outcome = run_connectors(udg, clustering, election=election)
+    stats.merge(connector_outcome.stats)
+
+    # One Status broadcast per node announces its final role so that
+    # every backbone node can locally assemble its ICDS links.
+    for node in udg.nodes():
+        stats.record(node, STATUS)
+
+    cds = Graph(udg.positions, connector_outcome.cds_edges, name="CDS")
+    cds_prime = Graph(udg.positions, connector_outcome.cds_edges, name="CDS'")
+    for u, v in _dominatee_edges(clustering):
+        cds_prime.add_edge(u, v)
+
+    backbone = clustering.dominators | connector_outcome.connectors
+    icds = induced_udg_subgraph(udg, backbone, "ICDS")
+    icds_prime = Graph(udg.positions, icds.edges(), name="ICDS'")
+    for u, v in _dominatee_edges(clustering):
+        icds_prime.add_edge(u, v)
+
+    return CDSFamily(
+        udg=udg,
+        dominators=clustering.dominators,
+        connectors=connector_outcome.connectors,
+        cds=cds,
+        cds_prime=cds_prime,
+        icds=icds,
+        icds_prime=icds_prime,
+        clustering=clustering,
+        connector_outcome=connector_outcome,
+        stats=stats,
+    )

@@ -1,0 +1,278 @@
+"""Phase 2 — Algorithm 1: electing connectors (gateways).
+
+Connects every pair of dominators that are 2 or 3 hops apart in the
+UDG, which suffices for a connected CDS (the dominator graph with
+edges between dominators at most 3 hops apart is connected whenever
+the UDG is).  Faithful to the paper's Algorithm 1 with smallest-ID
+elections:
+
+* a dominatee ``w`` with two dominators ``u, v`` proposes itself
+  (``TryConnector`` slot 0) and wins when no same-proposal neighbor
+  has a smaller ID — at most two winners per pair, one per side of
+  the lune (paper's "at most 2 nodes ... cannot hear each other");
+* a dominatee ``w`` with dominator ``u`` and a 2-hop dominator ``v``
+  proposes itself as the *first* node of a 3-hop path (slot 1);
+  winners announce ``IamConnector``;
+* a dominatee ``x`` of ``v`` hearing such an announcement from its
+  neighbor ``w`` proposes itself as the *second* node (slot 2);
+  winners complete the path ``u–w–x–v``.
+
+Knowledge seeding: Algorithm 1 step 1 re-broadcasts ``IamDominatee``,
+but in the combined pipeline those exact broadcasts already happened
+during clustering, and every node retained what it heard.  We seed
+each process with that (strictly 1-hop-local) knowledge instead of
+re-sending, so message counts reflect the combined protocol.  The
+paper's standalone accounting (one extra ``IamDominatee`` per
+dominatee–dominator pair) can be enabled with
+``rebroadcast_dominatees=True``.
+
+The election rule is pluggable for the ablation benchmark:
+``smallest-id`` (default, Alzoubi-style) or ``first-response``
+(paper's remark that "we can pick any node that comes first to the
+notice" — modeled as smallest hop-distance jitter, i.e. an arbitrary
+but deterministic pick that skips the ID-collection wait).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.clustering import ClusteringOutcome
+from repro.sim.messages import IAM_CONNECTOR, IAM_DOMINATEE, TRY_CONNECTOR, Message
+from repro.sim.network import SyncNetwork
+from repro.sim.protocol import NodeProcess
+from repro.sim.stats import MessageStats
+
+#: (dominator_u, dominator_v, slot) — the election arena key.
+ProposalKey = tuple[int, int, int]
+
+SLOT_COMMON = 0  # sole connector for a 2-hop dominator pair
+SLOT_FIRST = 1  # first node on a 3-hop dominator path
+SLOT_SECOND = 2  # second node on a 3-hop dominator path
+
+
+@dataclass(frozen=True)
+class ConnectorOutcome:
+    """Result of Algorithm 1."""
+
+    connectors: frozenset[int]
+    cds_edges: frozenset[tuple[int, int]]
+    rounds: int
+    stats: MessageStats
+
+
+@dataclass
+class _LocalKnowledge:
+    """What one node learned during clustering (1-hop-local only)."""
+
+    role: str  # "dominator" | "dominatee"
+    my_dominators: frozenset[int] = frozenset()
+    #: 2-hop dominators: dominator id -> via-neighbors that announced it.
+    two_hop_dominators: Mapping[int, frozenset[int]] = field(default_factory=dict)
+
+
+class ConnectorProcess(NodeProcess):
+    """One node's part in the connector election."""
+
+    def __init__(
+        self,
+        node_id: int,
+        position,
+        neighbor_ids: tuple[int, ...],
+        knowledge: _LocalKnowledge,
+        *,
+        rebroadcast_dominatees: bool,
+        election: str,
+    ) -> None:
+        super().__init__(node_id, position, neighbor_ids)
+        self.knowledge = knowledge
+        self._rebroadcast = rebroadcast_dominatees
+        self._election = election
+        #: proposals heard this protocol: key -> neighbor ids that sent it.
+        self._rivals: dict[ProposalKey, set[int]] = {}
+        #: keys this node itself proposed, with the round they were sent.
+        self._my_proposals: dict[ProposalKey, int] = {}
+        #: slot-2 context: (u, v) -> first connector heard (smallest id).
+        self._first_connector: dict[tuple[int, int], int] = {}
+        self.claims: list[tuple[int, int, int, int]] = []  # (u, v, slot, first)
+        self.cds_edges: set[tuple[int, int]] = set()
+        self._pending_second: list[tuple[int, int]] = []
+
+    # -- helpers --------------------------------------------------------
+
+    def _propose(self, u: int, v: int, slot: int) -> None:
+        key = (u, v, slot)
+        if key in self._my_proposals:
+            return
+        self._my_proposals[key] = 0
+        self.broadcast(TRY_CONNECTOR, u=u, v=v, slot=slot)
+
+    def _won(self, key: ProposalKey) -> bool:
+        rivals = self._rivals.get(key, set())
+        if self._election == "smallest-id":
+            return all(self.node_id < rival for rival in rivals)
+        # first-response: an arbitrary deterministic winner that did not
+        # wait to collect rival IDs.  Modeled as: claim unless a rival
+        # already *claimed* (we only see claims one round later, so all
+        # concurrent proposers claim) — the redundancy the paper
+        # accepts in exchange for not postponing selection.
+        return True
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        know = self.knowledge
+        if know.role != "dominatee":
+            return
+        if self._rebroadcast:
+            for dom in sorted(know.my_dominators):
+                self.broadcast(IAM_DOMINATEE, dominator=dom)
+        doms = sorted(know.my_dominators)
+        # Slot 0: I am a common dominatee of u and v.
+        for i, u in enumerate(doms):
+            for v in doms[i + 1 :]:
+                self._propose(u, v, SLOT_COMMON)
+        # Slot 1: my dominator u, a 2-hop dominator v.
+        for u in doms:
+            for v in sorted(know.two_hop_dominators):
+                if v != u and v not in know.my_dominators:
+                    self._propose(u, v, SLOT_FIRST)
+
+    def receive(self, message: Message) -> None:
+        if message.kind == TRY_CONNECTOR:
+            key = (message["u"], message["v"], message["slot"])
+            self._rivals.setdefault(key, set()).add(message.sender)
+        elif message.kind == IAM_CONNECTOR:
+            u, v, slot = message["u"], message["v"], message["slot"]
+            if slot == SLOT_FIRST:
+                self._note_first_connector(u, v, message.sender)
+            # Record the edges this claim certifies (every receiver
+            # learns them; the orchestrator reads them off the claims).
+
+    def _note_first_connector(self, u: int, v: int, first: int) -> None:
+        """A neighbor claimed to be the first node on the path u -> v."""
+        know = self.knowledge
+        if know.role != "dominatee":
+            return
+        if v not in know.my_dominators or u in know.my_dominators:
+            return
+        pair = (u, v)
+        if pair not in self._first_connector or first < self._first_connector[pair]:
+            self._first_connector[pair] = first
+        self._pending_second.append(pair)
+
+    def finish_round(self, round_index: int) -> None:
+        # Act on newly heard first-connector claims: propose as second.
+        for u, v in self._pending_second:
+            self._propose(u, v, SLOT_SECOND)
+        self._pending_second = []
+
+        # Resolve elections one full round after proposing (all rival
+        # proposals for a key are sent in the same round we sent ours,
+        # so they have all arrived by now).
+        for key, sent_round in list(self._my_proposals.items()):
+            if sent_round == -1:
+                continue  # already resolved
+            if sent_round == 0:
+                # Record the actual send round on first visit.
+                self._my_proposals[key] = round_index
+                continue
+            u, v, slot = key
+            self._my_proposals[key] = -1
+            if not self._won(key):
+                continue
+            first = self._first_connector.get((u, v), -1) if slot == SLOT_SECOND else -1
+            self.claims.append((u, v, slot, first))
+            self.broadcast(IAM_CONNECTOR, u=u, v=v, slot=slot, first=first)
+            if slot == SLOT_COMMON:
+                self.cds_edges.add(_edge(u, self.node_id))
+                self.cds_edges.add(_edge(self.node_id, v))
+            elif slot == SLOT_FIRST:
+                self.cds_edges.add(_edge(u, self.node_id))
+            else:
+                self.cds_edges.add(_edge(first, self.node_id))
+                self.cds_edges.add(_edge(self.node_id, v))
+
+    @property
+    def idle(self) -> bool:
+        return not self._pending_second and all(
+            r == -1 for r in self._my_proposals.values()
+        )
+
+
+def _edge(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a < b else (b, a)
+
+
+def derive_local_knowledge(
+    udg: UnitDiskGraph, clustering: ClusteringOutcome
+) -> list[_LocalKnowledge]:
+    """Seed each node with what it heard during the clustering phase.
+
+    Strictly 1-hop information: a node's own role and dominators, and
+    for each dominatee neighbor ``w``, the dominators ``w`` announced
+    via ``IamDominatee`` — which is how ``2HopDominators`` gets filled.
+    """
+    knowledge: list[_LocalKnowledge] = []
+    for x in udg.nodes():
+        if x in clustering.dominators:
+            role = "dominator"
+            my_doms: frozenset[int] = frozenset()
+        else:
+            role = "dominatee"
+            my_doms = clustering.dominators_of.get(x, frozenset())
+        two_hop: dict[int, set[int]] = {}
+        adjacent = udg.neighbors(x)
+        for w in adjacent:
+            for d in clustering.dominators_of.get(w, frozenset()):
+                if d != x and d not in adjacent:
+                    two_hop.setdefault(d, set()).add(w)
+        knowledge.append(
+            _LocalKnowledge(
+                role=role,
+                my_dominators=my_doms,
+                two_hop_dominators={d: frozenset(v) for d, v in two_hop.items()},
+            )
+        )
+    return knowledge
+
+
+def run_connectors(
+    udg: UnitDiskGraph,
+    clustering: ClusteringOutcome,
+    *,
+    rebroadcast_dominatees: bool = False,
+    election: str = "smallest-id",
+    stats: Optional[MessageStats] = None,
+) -> ConnectorOutcome:
+    """Run Algorithm 1 on top of a clustering outcome."""
+    if election not in ("smallest-id", "first-response"):
+        raise ValueError(f"unknown election rule {election!r}")
+    knowledge = derive_local_knowledge(udg, clustering)
+    net = SyncNetwork(
+        udg,
+        lambda node_id, _net: ConnectorProcess(
+            node_id,
+            udg.positions[node_id],
+            tuple(sorted(udg.neighbors(node_id))),
+            knowledge[node_id],
+            rebroadcast_dominatees=rebroadcast_dominatees,
+            election=election,
+        ),
+        stats=stats,
+    )
+    rounds = net.run(max_rounds=64)
+    connectors: set[int] = set()
+    edges: set[tuple[int, int]] = set()
+    for proc in net.processes:
+        if proc.claims:  # type: ignore[attr-defined]
+            connectors.add(proc.node_id)
+        edges |= proc.cds_edges  # type: ignore[attr-defined]
+    return ConnectorOutcome(
+        connectors=frozenset(connectors),
+        cds_edges=frozenset(edges),
+        rounds=rounds,
+        stats=net.stats,
+    )

@@ -1,0 +1,266 @@
+"""Convergecast: data aggregation to a sink over the backbone.
+
+The paper's footnote 1 motivates everything with sensor networks
+"collecting environmental data ... typically sent to one specific node
+called sink."  Sending each reading separately (the unicast protocol
+in :mod:`~repro.protocols.routing_protocol`) costs one transmission
+per hop per reading; *convergecast* does what real sensor networks do
+instead — build an aggregation tree once, then collect every node's
+reading in one wave, combining values at each parent, for exactly one
+transmission per node per collection round.
+
+Two protocol phases, both on the simulator:
+
+* **tree building** — the sink broadcasts ``TreeBuild(depth=0)``;
+  every node adopts the first announcer as parent (smallest ID among
+  same-round announcers, i.e. a BFS tree over the given graph) and
+  re-announces with depth+1;
+* **aggregation** — each node waits until every child reported, then
+  sends its aggregate (its own value combined with its children's) to
+  its parent in one frame.  The sink's final aggregate covers every
+  connected node.
+
+The tree is built over CDS' (backbone plus dominator links): every
+node participates, and interior traffic rides the backbone — the
+dominating-set-based routing structure used the way sensor networks
+actually use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+from repro.sim.messages import Message
+from repro.sim.network import SyncNetwork
+from repro.sim.protocol import NodeProcess
+from repro.sim.stats import MessageStats
+
+TREE_BUILD = "TreeBuild"
+REPORT = "Report"
+
+#: Aggregator: combines two partial aggregates.  Must be associative
+#: and commutative (sum, max, min, count...).
+Aggregator = Callable[[float, float], float]
+
+
+@dataclass(frozen=True)
+class ConvergecastOutcome:
+    """Result of one collection wave."""
+
+    sink: int
+    #: The sink's final aggregate.
+    value: float
+    #: How many nodes' readings reached the sink.
+    contributors: int
+    #: parent[node] for every node that joined the tree (sink absent).
+    parent: Mapping[int, int]
+    rounds: int
+    stats: MessageStats
+
+    def depth_of(self, node: int) -> int:
+        """Tree depth of ``node`` (0 for the sink)."""
+        depth = 0
+        current = node
+        while current != self.sink:
+            current = self.parent[current]
+            depth += 1
+            if depth > len(self.parent) + 1:
+                raise ValueError(f"node {node} is not attached to the tree")
+        return depth
+
+
+class ConvergecastProcess(NodeProcess):
+    """One node building the tree and reporting its aggregate."""
+
+    def __init__(
+        self,
+        node_id: int,
+        position,
+        neighbor_ids,
+        sink: int,
+        reading: float,
+        aggregator: Aggregator,
+    ) -> None:
+        super().__init__(node_id, position, neighbor_ids)
+        self.sink = sink
+        self.reading = reading
+        self.aggregator = aggregator
+        self.parent: Optional[int] = None
+        self.depth: Optional[int] = 0 if node_id == sink else None
+        self._children_expected: set[int] = set()
+        self._children_reported: dict[int, tuple[float, int]] = {}
+        self._announced = False
+        self._reported = False
+        self._round_offers: list[tuple[int, int]] = []  # (depth, sender)
+        self.final_value: Optional[float] = None
+        self.final_contributors = 0
+
+    # -- phase 1: tree building ------------------------------------------
+
+    def start(self) -> None:
+        if self.node_id == self.sink:
+            self._announced = True
+            self.broadcast(TREE_BUILD, depth=0)
+
+    def receive(self, message: Message) -> None:
+        if message.kind == TREE_BUILD:
+            if self.depth is None:
+                self._round_offers.append((message["depth"], message.sender))
+        elif message.kind == REPORT:
+            if message["parent"] == self.node_id:
+                self._children_reported[message.sender] = (
+                    message["value"],
+                    message["contributors"],
+                )
+            # A neighbor's report also reveals it is NOT our child if
+            # it reported elsewhere; children were registered when the
+            # child adopted us (see TreeBuild handling below).
+
+    def finish_round(self, round_index: int) -> None:
+        # Adopt a parent from this round's offers (BFS: all offers in
+        # one round carry the same minimal depth; break ties by ID).
+        if self.depth is None and self._round_offers:
+            best_depth, best_parent = min(self._round_offers)
+            self.parent = best_parent
+            self.depth = best_depth + 1
+            self._round_offers = []
+            if not self._announced:
+                self._announced = True
+                self.broadcast(TREE_BUILD, depth=self.depth, parent=self.parent)
+        self._round_offers = []
+
+        # Leaf detection + upward reporting: a node reports once every
+        # child it heard adopting *it* has reported.
+        if (
+            not self._reported
+            and self.depth is not None
+            and self.node_id != self.sink
+            and self._children_expected <= set(self._children_reported)
+            and self._tree_building_settled(round_index)
+        ):
+            value = self.reading
+            contributors = 1
+            for child_value, child_count in self._children_reported.values():
+                value = self.aggregator(value, child_value)
+                contributors += child_count
+            self._reported = True
+            self.broadcast(
+                REPORT,
+                parent=self.parent,
+                value=value,
+                contributors=contributors,
+            )
+
+        if self.node_id == self.sink and self._children_expected <= set(
+            self._children_reported
+        ):
+            value = self.reading
+            contributors = 1
+            for child_value, child_count in self._children_reported.values():
+                value = self.aggregator(value, child_value)
+                contributors += child_count
+            self.final_value = value
+            self.final_contributors = contributors
+
+    def _tree_building_settled(self, round_index: int) -> bool:
+        # A node can be adopted as parent one round after it announces;
+        # give announcements one extra round to land before leaves
+        # (nodes that heard no adoption) start reporting.
+        return round_index >= (self.depth or 0) + 2
+
+    def note_child(self, child: int) -> None:
+        self._children_expected.add(child)
+
+    @property
+    def idle(self) -> bool:
+        if self.depth is None:
+            return True  # unreachable from the sink: nothing to do
+        if self.node_id == self.sink:
+            return self._children_expected <= set(self._children_reported)
+        return self._reported
+
+
+def run_convergecast(
+    graph: Graph,
+    udg: UnitDiskGraph,
+    sink: int,
+    readings: Optional[Mapping[int, float]] = None,
+    *,
+    aggregator: Aggregator = lambda a, b: a + b,
+) -> ConvergecastOutcome:
+    """Collect one aggregate over ``graph``'s links at the sink.
+
+    ``graph`` supplies the tree links (CDS' in the intended use);
+    ``udg`` supplies the radio (delivery still reaches all radio
+    neighbors — a frame addressed up-tree is overheard, as in a real
+    broadcast medium, but only tree logic consumes it).  ``readings``
+    default to 1.0 per node, making the sum aggregate a live node
+    count.
+    """
+    if readings is None:
+        readings = {u: 1.0 for u in graph.nodes()}
+
+    # The protocol communicates over the *graph* links: restrict the
+    # radio to them by building a UDG-like view.  The graph is a
+    # subgraph of the UDG, so using its adjacency directly is the
+    # "logical topology" the paper routes on.
+    procs: dict[int, ConvergecastProcess] = {}
+
+    def factory(node_id: int, _net) -> ConvergecastProcess:
+        proc = ConvergecastProcess(
+            node_id,
+            graph.positions[node_id],
+            tuple(sorted(graph.neighbors(node_id))),
+            sink,
+            float(readings.get(node_id, 0.0)),
+            aggregator,
+        )
+        procs[node_id] = proc
+        return proc
+
+    from repro.sim.radio import BroadcastRadio
+
+    class _GraphRadio(BroadcastRadio):
+        def __init__(self) -> None:
+            self.udg = udg
+            self.loss_rate = 0.0
+            self._neighbors = [
+                tuple(sorted(graph.neighbors(u))) for u in graph.nodes()
+            ]
+
+    net = SyncNetwork(udg, factory, radio=_GraphRadio())
+
+    # Child registration: in a real radio the parent *hears* the
+    # child's adoption broadcast (it is a graph neighbor); register at
+    # submit time, one round early, which only makes the parent wait
+    # for every true child.
+    original_submit = net.submit
+
+    def submit_with_registration(message):
+        if message.kind == TREE_BUILD and message.get("parent") is not None:
+            procs[message["parent"]].note_child(message.sender)
+        original_submit(message)
+
+    net.submit = submit_with_registration  # type: ignore[method-assign]
+
+    rounds = net.run(max_rounds=4 * graph.node_count + 32)
+
+    sink_proc = procs[sink]
+    parent = {
+        node: proc.parent
+        for node, proc in procs.items()
+        if proc.parent is not None
+    }
+    return ConvergecastOutcome(
+        sink=sink,
+        value=sink_proc.final_value if sink_proc.final_value is not None else float(
+            readings.get(sink, 0.0)
+        ),
+        contributors=sink_proc.final_contributors or 1,
+        parent=parent,
+        rounds=rounds,
+        stats=net.stats,
+    )

@@ -1,0 +1,158 @@
+"""Beacon-based neighbor discovery and link-failure detection.
+
+The paper assumes each node knows its 1-hop neighbors and that broken
+structural links trigger maintenance; this module supplies the actual
+mechanism a deployment uses for both: periodic ``Beacon`` broadcasts
+and per-neighbor freshness counters.  A neighbor missing
+``miss_threshold`` consecutive beacon rounds is declared *lost*; a
+beacon from an unknown sender declares a *new* neighbor.
+
+:func:`detect_changes` runs the protocol over a position snapshot
+against each node's previous neighbor table and returns, per node, the
+lost and gained neighbors — which is exactly the local trigger the
+maintenance layer needs (the global
+:meth:`~repro.mobility.maintenance.BackboneMaintainer.check` computes
+the same thing omnisciently; the tests assert they agree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.geometry.primitives import Point
+from repro.graphs.udg import UnitDiskGraph
+from repro.sim.messages import Message
+from repro.sim.network import SyncNetwork
+from repro.sim.protocol import NodeProcess
+from repro.sim.stats import MessageStats
+
+BEACON = "Beacon"
+
+
+@dataclass(frozen=True)
+class NeighborChange:
+    """One node's view of how its neighborhood changed."""
+
+    lost: frozenset[int]
+    gained: frozenset[int]
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.lost or self.gained)
+
+
+@dataclass(frozen=True)
+class DiscoveryOutcome:
+    """Result of a discovery run."""
+
+    changes: Mapping[int, NeighborChange]
+    rounds: int
+    stats: MessageStats
+
+    @property
+    def any_change(self) -> bool:
+        return any(c.changed for c in self.changes.values())
+
+    def lost_links(self) -> frozenset[tuple[int, int]]:
+        """Undirected links some endpoint declared lost."""
+        links: set[tuple[int, int]] = set()
+        for node, change in self.changes.items():
+            for other in change.lost:
+                links.add((min(node, other), max(node, other)))
+        return frozenset(links)
+
+
+class BeaconProcess(NodeProcess):
+    """Broadcasts beacons; tracks who it hears."""
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Point,
+        neighbor_ids,
+        known_neighbors: frozenset[int],
+        beacon_rounds: int,
+        miss_threshold: int,
+    ) -> None:
+        super().__init__(node_id, position, neighbor_ids)
+        self.known = known_neighbors
+        self.beacon_rounds = beacon_rounds
+        self.miss_threshold = miss_threshold
+        self._heard_by_round: list[set[int]] = []
+        self._current: set[int] = set()
+        self._sent = 0
+        self.result: NeighborChange | None = None
+
+    def start(self) -> None:
+        self.broadcast(BEACON)
+        self._sent = 1
+
+    def receive(self, message: Message) -> None:
+        if message.kind == BEACON:
+            self._current.add(message.sender)
+
+    def finish_round(self, round_index: int) -> None:
+        self._heard_by_round.append(self._current)
+        self._current = set()
+        if self._sent < self.beacon_rounds:
+            self.broadcast(BEACON)
+            self._sent += 1
+        elif self.result is None and len(self._heard_by_round) >= self.beacon_rounds:
+            self._conclude()
+
+    def _conclude(self) -> None:
+        rounds = self._heard_by_round[-self.beacon_rounds :]
+        heard_any = set().union(*rounds) if rounds else set()
+        # Lost: known neighbors silent for the last miss_threshold rounds.
+        recent = rounds[-self.miss_threshold :]
+        recently_heard = set().union(*recent) if recent else set()
+        lost = frozenset(n for n in self.known if n not in recently_heard)
+        gained = frozenset(n for n in heard_any if n not in self.known)
+        self.result = NeighborChange(lost=lost, gained=gained)
+
+    @property
+    def idle(self) -> bool:
+        return self.result is not None
+
+
+def detect_changes(
+    positions: Sequence[Point],
+    radius: float,
+    previous_neighbors: Mapping[int, frozenset[int]],
+    *,
+    beacon_rounds: int = 3,
+    miss_threshold: int = 2,
+) -> DiscoveryOutcome:
+    """Run beacon rounds at the given positions; report neighbor churn.
+
+    ``previous_neighbors`` is each node's last-known neighbor table
+    (e.g. from the previous topology).  With a lossless radio,
+    ``beacon_rounds`` of beacons make detection exact; the
+    ``miss_threshold`` knob exists for lossy radios, where a single
+    missed beacon should not kill a live link.
+    """
+    if beacon_rounds < 1:
+        raise ValueError("need at least one beacon round")
+    if not 1 <= miss_threshold <= beacon_rounds:
+        raise ValueError("miss_threshold must be in [1, beacon_rounds]")
+    udg = UnitDiskGraph([Point(p[0], p[1]) for p in positions], radius)
+
+    net = SyncNetwork(
+        udg,
+        lambda node_id, _net: BeaconProcess(
+            node_id,
+            udg.positions[node_id],
+            tuple(sorted(udg.neighbors(node_id))),
+            previous_neighbors.get(node_id, frozenset()),
+            beacon_rounds,
+            miss_threshold,
+        ),
+    )
+    rounds = net.run(max_rounds=beacon_rounds + 8)
+    changes = {
+        proc.node_id: proc.result  # type: ignore[attr-defined]
+        for proc in net.processes
+        if proc.result is not None  # type: ignore[attr-defined]
+    }
+    return DiscoveryOutcome(changes=changes, rounds=rounds, stats=net.stats)

@@ -1,0 +1,116 @@
+"""Wu & Li's marking process — the other classic CDS construction.
+
+The paper's reference [8] (dominating-set-based routing).  A node
+marks itself when it has two neighbors that are not directly
+connected; two pruning rules then shed redundant nodes:
+
+* **Rule 1**: unmark ``v`` when some marked neighbor ``u`` with higher
+  ID covers it (``N[v] ⊆ N[u]``);
+* **Rule 2**: unmark ``v`` when two *adjacent* marked neighbors
+  ``u, w``, both with higher IDs, jointly cover it
+  (``N(v) ⊆ N(u) ∪ N(w)``).
+
+The surviving marked nodes form a connected dominating set whenever
+the UDG is connected and not complete.  Every decision reads only
+2-hop-local information (each node broadcasts its neighbor list once),
+so the construction is localized; the trade against the paper's
+MIS+connectors pipeline — simpler protocol, larger backbone — is
+quantified in ``benchmarks/bench_ablation_cds_algorithms.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+
+
+@dataclass(frozen=True)
+class WuLiOutcome:
+    """Result of the marking process."""
+
+    gateway_nodes: frozenset[int]
+    cds: Graph
+    #: Marked set before pruning (for the ablation's size comparison).
+    marked_before_pruning: frozenset[int]
+
+    @property
+    def size(self) -> int:
+        return len(self.gateway_nodes)
+
+
+def _closed_neighborhood(udg: UnitDiskGraph, v: int) -> frozenset[int]:
+    return udg.neighbors(v) | {v}
+
+
+def initial_marking(udg: UnitDiskGraph) -> set[int]:
+    """Mark nodes with two non-adjacent neighbors."""
+    marked: set[int] = set()
+    for v in udg.nodes():
+        neighbors = sorted(udg.neighbors(v))
+        if any(
+            not udg.has_edge(a, b)
+            for i, a in enumerate(neighbors)
+            for b in neighbors[i + 1 :]
+        ):
+            marked.add(v)
+    return marked
+
+
+def apply_rule1(udg: UnitDiskGraph, marked: set[int]) -> set[int]:
+    """Drop nodes whose closed neighborhood a higher-ID marked neighbor covers."""
+    result = set(marked)
+    for v in sorted(marked):
+        nv = _closed_neighborhood(udg, v)
+        for u in udg.neighbors(v):
+            if u in marked and u > v and nv <= _closed_neighborhood(udg, u):
+                result.discard(v)
+                break
+    return result
+
+
+def apply_rule2(udg: UnitDiskGraph, marked: set[int]) -> set[int]:
+    """Drop nodes jointly covered by two adjacent higher-ID marked neighbors."""
+    result = set(marked)
+    for v in sorted(marked):
+        nv = udg.neighbors(v)
+        candidates = sorted(
+            u for u in udg.neighbors(v) if u in marked and u > v
+        )
+        dropped = False
+        for i, u in enumerate(candidates):
+            if dropped:
+                break
+            for w in candidates[i + 1 :]:
+                if not udg.has_edge(u, w):
+                    continue
+                coverage = udg.neighbors(u) | udg.neighbors(w) | {u, w}
+                if nv <= coverage:
+                    result.discard(v)
+                    dropped = True
+                    break
+    return result
+
+
+def wu_li_cds(udg: UnitDiskGraph) -> WuLiOutcome:
+    """Run the marking process with both pruning rules.
+
+    Rule decisions use the *original* marked set (as in the paper's
+    formulation, where rules fire on marked neighbors' IDs, not on the
+    shrinking survivor set), so the result is order-independent.
+    """
+    marked = initial_marking(udg)
+    survivors = apply_rule1(udg, marked) & apply_rule2(udg, marked)
+
+    cds = Graph(udg.positions, name="WuLiCDS")
+    members = sorted(survivors)
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            if udg.has_edge(u, v):
+                cds.add_edge(u, v)
+    return WuLiOutcome(
+        gateway_nodes=frozenset(survivors),
+        cds=cds,
+        marked_before_pruning=frozenset(marked),
+    )

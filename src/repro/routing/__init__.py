@@ -1,0 +1,48 @@
+"""Geographic routing on the constructed topologies.
+
+The paper builds the planar backbone *so that* localized routing works
+on it: greedy forwarding (:mod:`~repro.routing.greedy`), right-hand
+face routing on planar graphs (:mod:`~repro.routing.face`), GPSR =
+greedy with perimeter fallback (:mod:`~repro.routing.gpsr`), and
+dominating-set-based routing through the backbone
+(:mod:`~repro.routing.backbone_routing`).
+"""
+
+from repro.routing.greedy import RouteResult, greedy_route
+from repro.routing.face import face_route
+from repro.routing.gpsr import gpsr_route
+from repro.routing.backbone_routing import backbone_route
+from repro.routing.broadcast import (
+    BroadcastResult,
+    backbone_broadcast,
+    flood,
+    relay_flood,
+    rng_broadcast,
+    rng_relay_set,
+    tree_broadcast,
+)
+from repro.routing.compass import compass_route
+from repro.routing.multipath import (
+    MultipathResult,
+    disjoint_paths,
+    survivable_pairs,
+)
+
+__all__ = [
+    "RouteResult",
+    "greedy_route",
+    "face_route",
+    "gpsr_route",
+    "backbone_route",
+    "BroadcastResult",
+    "backbone_broadcast",
+    "flood",
+    "relay_flood",
+    "rng_broadcast",
+    "rng_relay_set",
+    "tree_broadcast",
+    "compass_route",
+    "MultipathResult",
+    "disjoint_paths",
+    "survivable_pairs",
+]

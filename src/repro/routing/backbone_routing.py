@@ -1,0 +1,88 @@
+"""Dominating-set-based routing through the planar backbone.
+
+The paper's routing procedure (Sections III-B and IV): a node sends
+directly to any destination within its transmission range; otherwise
+it hands the packet to one of its dominators, the packet travels the
+backbone — with GPSR, since LDel(ICDS) is planar — to a dominator of
+the destination, which delivers it in one final hop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.routing.gpsr import gpsr_route
+from repro.routing.greedy import RouteResult, greedy_route
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only dependency
+    from repro.core.spanner import BackboneResult
+
+
+def _entry_point(result: BackboneResult, node: int) -> Optional[int]:
+    """The backbone node a packet from ``node`` enters the backbone at."""
+    if node in result.backbone_nodes:
+        return node
+    doms = result.dominators_of(node)
+    if not doms:
+        return None
+    return min(doms)
+
+
+def backbone_route(
+    result: BackboneResult,
+    source: int,
+    target: int,
+    *,
+    mode: str = "gpsr",
+    max_hops: Optional[int] = None,
+) -> RouteResult:
+    """Route ``source -> target`` per the paper's procedure.
+
+    ``mode`` selects the backbone traversal: ``"gpsr"`` (guaranteed on
+    the planar backbone) or ``"greedy"`` (may stall; used by the
+    routing ablation to show why planarity matters).
+    """
+    if mode not in ("gpsr", "greedy"):
+        raise ValueError(f"unknown mode {mode!r}")
+    udg = result.udg
+    if source == target:
+        return RouteResult((source,), True, "delivered")
+    if udg.has_edge(source, target):
+        return RouteResult((source, target), True, "delivered")
+
+    entry = _entry_point(result, source)
+    exit_ = _entry_point(result, target)
+    if entry is None or exit_ is None:
+        return RouteResult((source,), False, "stuck")
+
+    backbone = result.ldel_icds
+    if entry == exit_:
+        core = RouteResult((entry,), True, "delivered")
+    elif mode == "gpsr":
+        core = gpsr_route(backbone, entry, exit_, max_hops=max_hops)
+    else:
+        core = greedy_route(backbone, entry, exit_, max_hops=max_hops)
+    if not core.delivered:
+        return RouteResult(
+            _stitch(source, core.path, target, include_target=False),
+            False,
+            core.reason,
+        )
+    return RouteResult(
+        _stitch(source, core.path, target, include_target=True),
+        True,
+        "delivered",
+    )
+
+
+def _stitch(
+    source: int, core: tuple[int, ...], target: int, *, include_target: bool
+) -> tuple[int, ...]:
+    """Join source -> backbone path -> target without duplicate hops."""
+    path: list[int] = [source]
+    for node in core:
+        if node != path[-1]:
+            path.append(node)
+    if include_target and path[-1] != target:
+        path.append(target)
+    return tuple(path)

@@ -1,0 +1,150 @@
+"""Network-wide broadcasting over the constructed topologies.
+
+The intro's first complaint is that flooding "wastes the rare
+resources of wireless nodes"; dominating sets and sparse planar
+subgraphs are the classic remedies (the paper cites RNG-based
+broadcasting — Seddigh et al. — and dominating-set-based routing).
+Three strategies, all simulated on the radio model (one broadcast
+reaches all UDG neighbors):
+
+* **blind flooding** — every node retransmits once;
+* **relay-set flooding** — only nodes in a designated relay set
+  (e.g. the backbone) retransmit; correctness requires the relay set
+  to be a connected dominating set, which the paper's pipeline
+  guarantees;
+* **tree broadcast** — retransmit only along a precomputed spanning
+  tree (e.g. the MST or a backbone BFS tree), the lower bound on
+  retransmissions among structure-based schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+
+
+@dataclass(frozen=True)
+class BroadcastResult:
+    """Outcome of one network-wide broadcast."""
+
+    #: Nodes that received the message.
+    reached: frozenset[int]
+    #: Nodes that transmitted (the forwarding cost).
+    transmitters: frozenset[int]
+    #: Rounds until the broadcast stabilized (radio rounds).
+    rounds: int
+
+    @property
+    def coverage(self) -> int:
+        return len(self.reached)
+
+    @property
+    def transmissions(self) -> int:
+        return len(self.transmitters)
+
+
+def flood(udg: UnitDiskGraph, source: int) -> BroadcastResult:
+    """Blind flooding: every node retransmits the first copy it hears."""
+    return relay_flood(udg, source, relays=udg.nodes())
+
+
+def relay_flood(
+    udg: UnitDiskGraph, source: int, relays: Iterable[int]
+) -> BroadcastResult:
+    """Flooding where only ``relays`` (plus the source) retransmit.
+
+    Reception still happens over the full radio graph — a dominatee
+    hears its dominator even though it never forwards.
+    """
+    relay_set = set(relays)
+    relay_set.add(source)
+    reached = {source}
+    transmitters: set[int] = set()
+    frontier = [source]
+    rounds = 0
+    while frontier:
+        rounds += 1
+        next_frontier: list[int] = []
+        for u in frontier:
+            if u not in relay_set or u in transmitters:
+                continue
+            transmitters.add(u)
+            for v in udg.neighbors(u):
+                if v not in reached:
+                    reached.add(v)
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return BroadcastResult(
+        reached=frozenset(reached),
+        transmitters=frozenset(transmitters),
+        rounds=rounds,
+    )
+
+
+def backbone_broadcast(
+    udg: UnitDiskGraph, source: int, backbone_nodes: Iterable[int]
+) -> BroadcastResult:
+    """Dominating-set-based broadcast: only backbone nodes forward.
+
+    With a connected dominating set as the relay set, every node is
+    within one hop of a relay, so coverage is total while the
+    forwarding cost drops from n to |backbone|.
+    """
+    return relay_flood(udg, source, backbone_nodes)
+
+
+def rng_relay_set(udg: UnitDiskGraph) -> frozenset[int]:
+    """Relay set of RNG-based broadcasting (Seddigh et al., the paper's [11]).
+
+    Only *internal* nodes of the relative neighborhood graph — nodes
+    with RNG degree above one — retransmit; RNG leaves are always
+    covered by their single RNG neighbor's broadcast.  Because the RNG
+    is connected and spanning, relaying on its internal nodes covers
+    the whole component.
+    """
+    from repro.topology.rng import relative_neighborhood_graph
+
+    rng_graph = relative_neighborhood_graph(udg)
+    return frozenset(u for u in rng_graph.nodes() if rng_graph.degree(u) > 1)
+
+
+def rng_broadcast(udg: UnitDiskGraph, source: int) -> BroadcastResult:
+    """RNG internal-node broadcasting: flood relayed by RNG-internal nodes."""
+    return relay_flood(udg, source, rng_relay_set(udg))
+
+
+def tree_broadcast(
+    udg: UnitDiskGraph, source: int, tree: Graph
+) -> BroadcastResult:
+    """Broadcast along a spanning tree's edges only.
+
+    Each tree node transmits once; receivers are its *radio* neighbors
+    (wireless multicast advantage), but forwarding follows tree edges.
+    Internal tree nodes transmit; leaves never need to.
+    """
+    reached = {source}
+    transmitters: set[int] = set()
+    frontier = [source]
+    rounds = 0
+    seen_tree = {source}
+    while frontier:
+        rounds += 1
+        next_frontier: list[int] = []
+        for u in frontier:
+            children = [v for v in tree.neighbors(u) if v not in seen_tree]
+            if not children:
+                continue  # leaf in the remaining tree: no transmission
+            transmitters.add(u)
+            reached.update(udg.neighbors(u))
+            for v in children:
+                seen_tree.add(v)
+                next_frontier.append(v)
+        frontier = next_frontier
+    return BroadcastResult(
+        reached=frozenset(reached),
+        transmitters=frozenset(transmitters),
+        rounds=rounds,
+    )

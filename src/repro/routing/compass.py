@@ -1,0 +1,64 @@
+"""Compass routing (Kranakis, Singh, Urrutia).
+
+The other classic localized geographic heuristic: forward to the
+neighbor whose *direction* is closest to the direction of the
+destination (greedy minimizes remaining distance; compass minimizes
+angular deviation).  Compass routing is known to deliver on Delaunay
+triangulations but can cycle on general planar graphs — our tests
+exhibit both behaviours, motivating GPSR's face-based recovery on the
+paper's backbone instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geometry.primitives import angle_at
+from repro.graphs.graph import Graph
+from repro.routing.greedy import RouteResult
+
+
+def compass_route(
+    graph: Graph, source: int, target: int, *, max_hops: Optional[int] = None
+) -> RouteResult:
+    """Route by smallest angle to the destination direction.
+
+    Loops are detected by revisiting a directed edge; ties break by
+    node id so runs are deterministic.
+    """
+    if max_hops is None:
+        max_hops = 4 * graph.node_count + 16
+    pos = graph.positions
+    target_pos = pos[target]
+    path = [source]
+    current = source
+    taken: set[tuple[int, int]] = set()
+    for _ in range(max_hops):
+        if current == target:
+            return RouteResult(tuple(path), True, "delivered")
+        here = pos[current]
+        best: Optional[int] = None
+        best_angle = float("inf")
+        for v in sorted(graph.neighbors(current)):
+            if v == target:
+                best = v
+                best_angle = -1.0
+                break
+            try:
+                ang = angle_at(here, target_pos, pos[v])
+            except ValueError:
+                continue
+            if ang < best_angle:
+                best_angle = ang
+                best = v
+        if best is None:
+            return RouteResult(tuple(path), False, "stuck")
+        edge = (current, best)
+        if edge in taken:
+            return RouteResult(tuple(path), False, "loop")
+        taken.add(edge)
+        current = best
+        path.append(current)
+    if current == target:
+        return RouteResult(tuple(path), True, "delivered")
+    return RouteResult(tuple(path), False, "hop-limit")

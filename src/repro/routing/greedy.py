@@ -1,0 +1,68 @@
+"""Greedy geographic forwarding.
+
+Each node forwards the packet to its neighbor closest to the
+destination, as long as that strictly decreases the distance; a *local
+minimum* (no neighbor closer than the current node) stalls the route.
+Greedy is the fast path of GPSR; the planar backbone exists so the
+perimeter fallback can rescue exactly these stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.primitives import dist_sq
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of a routing attempt."""
+
+    path: tuple[int, ...]
+    delivered: bool
+    #: Why the route ended: "delivered", "stuck" (local minimum),
+    #: "loop" (face routing revisited a directed edge), "hop-limit".
+    reason: str
+
+    @property
+    def hops(self) -> int:
+        return max(len(self.path) - 1, 0)
+
+    def length(self, graph: Graph) -> float:
+        return sum(
+            graph.edge_length(a, b) for a, b in zip(self.path, self.path[1:])
+        )
+
+
+def greedy_route(
+    graph: Graph, source: int, target: int, *, max_hops: int | None = None
+) -> RouteResult:
+    """Route by always moving to the neighbor closest to ``target``.
+
+    Purely local: each step uses only the current node's neighbor
+    positions and the target position.
+    """
+    if max_hops is None:
+        max_hops = 4 * graph.node_count + 16
+    target_pos = graph.positions[target]
+    path = [source]
+    current = source
+    for _ in range(max_hops):
+        if current == target:
+            return RouteResult(tuple(path), True, "delivered")
+        current_d = dist_sq(graph.positions[current], target_pos)
+        best = None
+        best_d = current_d
+        for v in sorted(graph.neighbors(current)):
+            d = dist_sq(graph.positions[v], target_pos)
+            if d < best_d:
+                best = v
+                best_d = d
+        if best is None:
+            return RouteResult(tuple(path), False, "stuck")
+        current = best
+        path.append(current)
+    if current == target:
+        return RouteResult(tuple(path), True, "delivered")
+    return RouteResult(tuple(path), False, "hop-limit")

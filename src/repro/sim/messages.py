@@ -1,0 +1,43 @@
+"""Broadcast messages exchanged by the distributed protocols.
+
+A message is a ``kind`` (the paper's message names: ``IamDominator``,
+``IamDominatee``, ``TryConnector``, ``IamConnector``, ``Proposal``,
+``Accept``, ``Reject``, ...) plus an immutable payload.  One
+:class:`Message` object models one omni-directional broadcast — every
+UDG neighbor of the sender receives the same object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+# Canonical message kinds used across the protocols.  Collected here so
+# benchmark output and tests spell them identically.
+HELLO = "Hello"
+IAM_DOMINATOR = "IamDominator"
+IAM_DOMINATEE = "IamDominatee"
+TRY_CONNECTOR = "TryConnector"
+IAM_CONNECTOR = "IamConnector"
+STATUS = "Status"
+LOCATION = "Location"
+PROPOSAL = "Proposal"
+ACCEPT = "Accept"
+REJECT = "Reject"
+STRUCTURE = "Structure"
+KEPT = "Kept"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One broadcast: its kind, sender id, and read-only payload."""
+
+    kind: str
+    sender: int
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.payload.get(key, default)

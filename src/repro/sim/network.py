@@ -1,0 +1,108 @@
+"""The synchronous-round network driver.
+
+Semantics: messages submitted during round ``t`` (including round 0's
+:meth:`~repro.sim.protocol.NodeProcess.start`) are delivered at the
+beginning of round ``t + 1``; after all deliveries of a round, every
+process gets one :meth:`~repro.sim.protocol.NodeProcess.finish_round`
+call.  Processing order is by node id and submission order, so runs
+are bit-for-bit reproducible.
+
+The driver also owns the :class:`~repro.sim.stats.MessageStats`
+ledger: every submitted broadcast is charged to its sender at submit
+time (a lossy radio still costs the sender its transmission).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.graphs.udg import UnitDiskGraph
+from repro.sim.messages import Message
+from repro.sim.protocol import NodeProcess
+from repro.sim.radio import BroadcastRadio
+from repro.sim.stats import MessageStats
+from repro.sim.trace import TraceRecorder
+
+ProcessFactory = Callable[[int, "SyncNetwork"], NodeProcess]
+
+
+class SyncNetwork:
+    """Runs a set of :class:`NodeProcess` instances in lock-step rounds."""
+
+    def __init__(
+        self,
+        udg: UnitDiskGraph,
+        process_factory: ProcessFactory,
+        *,
+        radio: BroadcastRadio | None = None,
+        stats: MessageStats | None = None,
+        trace: "TraceRecorder | None" = None,
+    ) -> None:
+        self.udg = udg
+        self.radio = radio or BroadcastRadio(udg)
+        self.stats = stats or MessageStats()
+        self.trace = trace
+        self.round_index = 0
+        self._outgoing: list[Message] = []
+        #: Every message ever submitted, in order — the raw record the
+        #: path-reconstruction and debugging tools read.
+        self.sent_log: list[Message] = []
+        self.processes: list[NodeProcess] = []
+        for node_id in range(udg.node_count):
+            proc = process_factory(node_id, self)
+            proc.attach(self)
+            self.processes.append(proc)
+
+    # -- API used by processes ------------------------------------------
+
+    def submit(self, message: Message) -> None:
+        """Queue a broadcast for delivery next round (charged now)."""
+        self.stats.record(message.sender, message.kind)
+        self._outgoing.append(message)
+        self.sent_log.append(message)
+
+    def neighbors_of(self, u: int) -> tuple[int, ...]:
+        return self.radio.neighbors_of(u)
+
+    # -- driving ----------------------------------------------------------
+
+    def run(self, *, max_rounds: int = 10_000) -> int:
+        """Run to quiescence; returns the number of rounds executed.
+
+        Quiescence: a round completes with no message submitted and
+        every process idle.  Raises :class:`RuntimeError` at
+        ``max_rounds`` — protocols in this library terminate in O(n)
+        rounds, so hitting the bound indicates a bug, not a slow run.
+        """
+        for proc in self.processes:
+            proc.start()
+        while True:
+            in_flight = self._outgoing
+            self._outgoing = []
+            if not in_flight and all(p.idle for p in self.processes):
+                return self.round_index
+            self.round_index += 1
+            if self.round_index > max_rounds:
+                raise RuntimeError(
+                    f"protocol did not quiesce within {max_rounds} rounds"
+                )
+            deliveries: list[tuple[int, Message]] = []
+            for message in in_flight:
+                delivered = self.radio.deliver(message)
+                if self.trace is not None:
+                    self.trace.record(
+                        self.round_index, message, (r for r, _m in delivered)
+                    )
+                deliveries.extend(delivered)
+            # Deterministic processing: by recipient id, then by the
+            # order the messages were submitted.
+            deliveries.sort(key=lambda pair: pair[0])
+            for recipient, message in deliveries:
+                self.processes[recipient].receive(message)
+            for proc in self.processes:
+                proc.finish_round(self.round_index)
+
+    # -- inspection --------------------------------------------------------
+
+    def process_states(self) -> Sequence[NodeProcess]:
+        return tuple(self.processes)

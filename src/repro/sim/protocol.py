@@ -1,0 +1,72 @@
+"""Node-process base class for the synchronous protocols.
+
+A :class:`NodeProcess` owns one node's local state.  Its lifecycle:
+
+1. :meth:`start` — round 0, before any delivery; send opening
+   broadcasts.
+2. each later round: :meth:`receive` once per message delivered this
+   round, then :meth:`finish_round` once — the place to act on the
+   round's accumulated information.
+3. the network stops when a round passes with no messages in flight
+   and every process reports :attr:`idle`.
+
+Processes *only* see: their own id and position, the ids (and, after a
+``Hello``/``Location`` exchange, positions) of their 1-hop neighbors,
+and received messages — the locality discipline the paper's
+"localized algorithm" definition demands.  Nothing here peeks at the
+global graph.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.geometry.primitives import Point
+from repro.sim.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import SyncNetwork
+
+
+class NodeProcess:
+    """Base class: one protocol participant."""
+
+    def __init__(self, node_id: int, position: Point, neighbor_ids: tuple[int, ...]) -> None:
+        self.node_id = node_id
+        self.position = position
+        self.neighbor_ids = neighbor_ids
+        self._network: "SyncNetwork | None" = None
+
+    # -- wiring (called by the network) --------------------------------
+
+    def attach(self, network: "SyncNetwork") -> None:
+        self._network = network
+
+    # -- actions --------------------------------------------------------
+
+    def broadcast(self, kind: str, **payload: Any) -> None:
+        """Send one omni-directional broadcast to all 1-hop neighbors."""
+        if self._network is None:
+            raise RuntimeError("process is not attached to a network")
+        self._network.submit(Message(kind=kind, sender=self.node_id, payload=payload))
+
+    # -- lifecycle hooks (override in subclasses) ------------------------
+
+    def start(self) -> None:
+        """Round 0: send opening broadcasts."""
+
+    def receive(self, message: Message) -> None:
+        """Handle one delivered message."""
+
+    def finish_round(self, round_index: int) -> None:
+        """Act on everything delivered this round."""
+
+    @property
+    def idle(self) -> bool:
+        """Whether this process has nothing more to do.
+
+        The network terminates when all processes are idle *and* no
+        message is in flight.  Default: always idle (purely reactive
+        process).
+        """
+        return True

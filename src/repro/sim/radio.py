@@ -1,0 +1,57 @@
+"""The unit-disk broadcast radio.
+
+One transmission by node ``u`` is received by every UDG neighbor of
+``u`` — the omni-directional antenna model of the paper.  The radio
+optionally drops receptions at a configurable rate, which the
+failure-injection tests use to check that the protocols degrade
+gracefully rather than deadlock.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.graphs.udg import UnitDiskGraph
+from repro.sim.messages import Message
+
+
+class BroadcastRadio:
+    """Delivers broadcasts along UDG links, in deterministic order."""
+
+    def __init__(
+        self,
+        udg: UnitDiskGraph,
+        *,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.udg = udg
+        self.loss_rate = loss_rate
+        self._rng = rng or random.Random(0)
+        # Neighbor lists frozen and sorted once: delivery order must be
+        # deterministic for reproducible runs.
+        self._neighbors: list[tuple[int, ...]] = [
+            tuple(sorted(udg.neighbors(u))) for u in udg.nodes()
+        ]
+
+    def neighbors_of(self, u: int) -> tuple[int, ...]:
+        return self._neighbors[u]
+
+    def deliver(self, message: Message) -> Sequence[tuple[int, Message]]:
+        """Receivers of ``message``: (recipient, message) pairs.
+
+        With a nonzero ``loss_rate`` each individual reception is
+        dropped independently (broadcasts are not acknowledged in the
+        paper's model, so losses are per-receiver).
+        """
+        recipients = self._neighbors[message.sender]
+        if self.loss_rate == 0.0:
+            return [(v, message) for v in recipients]
+        return [
+            (v, message)
+            for v in recipients
+            if self._rng.random() >= self.loss_rate
+        ]

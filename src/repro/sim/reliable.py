@@ -1,0 +1,90 @@
+"""Reliability over lossy radios: blind retransmission with dedup.
+
+The paper's protocols assume reliable broadcast; real radios drop
+frames.  The classic cheap fix — send every frame ``copies`` times,
+receivers de-duplicate — turns a per-reception loss rate ``p`` into
+``p ** copies``, at a proportional energy cost.  This module wraps any
+:class:`~repro.sim.protocol.NodeProcess` factory so the protocol logic
+stays untouched: outgoing broadcasts are replicated with a sequence
+number, incoming duplicates are suppressed before the wrapped process
+sees them.
+
+The failure-injection tests run the clustering election over radios
+dropping 20-30% of receptions and show it completing correctly with
+``copies=3`` where the unprotected protocol stalls.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.sim.messages import Message
+from repro.sim.network import ProcessFactory, SyncNetwork
+from repro.sim.protocol import NodeProcess
+
+_SEQ_KEY = "_rel_seq"
+_COPY_KEY = "_rel_copy"
+
+
+class ReliableProcess(NodeProcess):
+    """Wraps an inner process with retransmission and dedup."""
+
+    def __init__(self, inner: NodeProcess, copies: int) -> None:
+        super().__init__(inner.node_id, inner.position, inner.neighbor_ids)
+        if copies < 1:
+            raise ValueError("copies must be at least 1")
+        self.inner = inner
+        self.copies = copies
+        self._sequence = itertools.count()
+        self._seen: set[tuple[int, int]] = set()
+        # The inner process must broadcast *through us*.
+        inner.broadcast = self._relay_broadcast  # type: ignore[method-assign]
+
+    def _relay_broadcast(self, kind: str, **payload) -> None:
+        seq = next(self._sequence)
+        for copy in range(self.copies):
+            super().broadcast(kind, **payload, **{_SEQ_KEY: seq, _COPY_KEY: copy})
+
+    # -- lifecycle forwarding ---------------------------------------------
+
+    def attach(self, network: SyncNetwork) -> None:  # noqa: D102
+        super().attach(network)
+
+    def start(self) -> None:  # noqa: D102
+        self.inner.start()
+
+    def receive(self, message: Message) -> None:  # noqa: D102
+        seq = message.get(_SEQ_KEY)
+        if seq is not None:
+            key = (message.sender, seq)
+            if key in self._seen:
+                return
+            self._seen.add(key)
+            payload = {
+                k: v
+                for k, v in message.payload.items()
+                if k not in (_SEQ_KEY, _COPY_KEY)
+            }
+            message = Message(
+                kind=message.kind, sender=message.sender, payload=payload
+            )
+        self.inner.receive(message)
+
+    def finish_round(self, round_index: int) -> None:  # noqa: D102
+        self.inner.finish_round(round_index)
+
+    @property
+    def idle(self) -> bool:  # noqa: D102
+        return self.inner.idle
+
+
+def with_retransmissions(
+    factory: ProcessFactory, copies: int
+) -> ProcessFactory:
+    """Wrap a process factory so every broadcast is sent ``copies`` times."""
+
+    def wrapped(node_id: int, network: SyncNetwork) -> NodeProcess:
+        return ReliableProcess(factory(node_id, network), copies)
+
+    return wrapped

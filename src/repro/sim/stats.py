@@ -1,0 +1,71 @@
+"""Per-node, per-kind message accounting.
+
+The experiments report the maximum and average number of messages a
+node sends while constructing each structure (paper Figs. 10 and 12);
+:class:`MessageStats` is the ledger they read from.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+@dataclass
+class MessageStats:
+    """Counts of broadcasts sent, by node and by message kind."""
+
+    per_node: Counter = field(default_factory=Counter)
+    per_kind: Counter = field(default_factory=Counter)
+    per_node_kind: Counter = field(default_factory=Counter)
+
+    def record(self, node: int, kind: str, count: int = 1) -> None:
+        """Charge ``count`` broadcasts of ``kind`` to ``node``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.per_node[node] += count
+        self.per_kind[kind] += count
+        self.per_node_kind[(node, kind)] += count
+
+    def merge(self, other: "MessageStats") -> "MessageStats":
+        """Accumulate another ledger into this one (returns self)."""
+        self.per_node.update(other.per_node)
+        self.per_kind.update(other.per_kind)
+        self.per_node_kind.update(other.per_node_kind)
+        return self
+
+    def copy(self) -> "MessageStats":
+        """Independent deep copy of the ledger."""
+        out = MessageStats()
+        return out.merge(self)
+
+    @property
+    def total(self) -> int:
+        return sum(self.per_kind.values())
+
+    def node_total(self, node: int) -> int:
+        """Broadcasts sent by ``node`` (0 if it never sent)."""
+        return self.per_node.get(node, 0)
+
+    def max_per_node(self, nodes: Iterable[int] | None = None) -> int:
+        """Largest per-node send count (over ``nodes`` if given)."""
+        if nodes is not None:
+            return max((self.per_node.get(n, 0) for n in nodes), default=0)
+        return max(self.per_node.values(), default=0)
+
+    def avg_per_node(self, node_count: int | None = None) -> float:
+        """Average sends per node.
+
+        ``node_count`` should be the number of *participating* nodes
+        (silent nodes count as zero senders); defaults to the number of
+        nodes that sent at least one message.
+        """
+        n = node_count if node_count is not None else len(self.per_node)
+        if n <= 0:
+            return 0.0
+        return self.total / n
+
+    def by_kind(self) -> Mapping[str, int]:
+        """Total sends per message kind."""
+        return dict(self.per_kind)

@@ -1,0 +1,45 @@
+"""Centralized topology constructions: baselines and reference builders.
+
+Every construction here is a pure function from a
+:class:`~repro.graphs.udg.UnitDiskGraph` (or point set) to a
+:class:`~repro.graphs.graph.Graph`.  The distributed versions of the
+paper's own structures live in :mod:`repro.protocols`; tests assert
+that both produce the same graphs.
+"""
+
+from repro.topology.rng import relative_neighborhood_graph
+from repro.topology.gabriel import gabriel_graph
+from repro.topology.yao import yao_graph
+from repro.topology.yao_sink import yao_sink_graph
+from repro.topology.delaunay_udg import delaunay_graph, unit_delaunay_graph
+from repro.topology.ldel import (
+    LDelResult,
+    local_delaunay_graph,
+    planar_local_delaunay_graph,
+    planarize_ldel1,
+)
+from repro.topology.rdg import restricted_delaunay_graph
+from repro.topology.mst import euclidean_mst
+from repro.topology.beta_skeleton import beta_skeleton
+from repro.topology.yao_yao import yao_yao_graph
+from repro.topology.greedy_spanner import greedy_spanner
+from repro.topology.knn import knn_graph
+
+__all__ = [
+    "relative_neighborhood_graph",
+    "gabriel_graph",
+    "yao_graph",
+    "yao_sink_graph",
+    "delaunay_graph",
+    "unit_delaunay_graph",
+    "LDelResult",
+    "local_delaunay_graph",
+    "planar_local_delaunay_graph",
+    "planarize_ldel1",
+    "restricted_delaunay_graph",
+    "euclidean_mst",
+    "beta_skeleton",
+    "yao_yao_graph",
+    "greedy_spanner",
+    "knn_graph",
+]

@@ -1,0 +1,70 @@
+"""Lune-based beta-skeletons restricted to the unit disk graph.
+
+The family behind the paper's reference [13] (Bose, Devroye, Evans,
+Kirkpatrick, "On the spanning ratio of Gabriel graphs and
+beta-skeletons"): an edge ``uv`` survives when its beta-*forbidden
+region* is empty of other nodes.
+
+* ``beta = 1`` — the forbidden region is the disk with diameter
+  ``uv``: exactly the **Gabriel graph**;
+* ``beta = 2`` — the region is the lune of the two radius-``|uv|``
+  disks centered at ``u`` and ``v``: exactly the **RNG**;
+* ``beta`` between 1 and 2 interpolates (lune-based definition: the
+  intersection of the two disks of radius ``beta * |uv| / 2`` centered
+  at the points ``(1 - beta/2) u + (beta/2) v`` and symmetric).
+
+Larger beta means a larger forbidden region, so fewer edges:
+``beta-skeleton(b2) ⊆ beta-skeleton(b1)`` for ``b1 <= b2`` — the knob
+that trades sparseness against spanning ratio, which Bose et al.
+quantify and our ablation benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.primitives import Point, dist_sq
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+
+
+def _in_forbidden_region(u: Point, v: Point, w: Point, beta: float) -> bool:
+    """Whether ``w`` lies strictly inside the lune-based beta region of ``uv``.
+
+    For ``beta >= 1`` the region is the intersection of two disks of
+    radius ``beta * |uv| / 2`` whose centers sit on the line ``uv`` at
+    distance ``beta * |uv| / 2`` from each endpoint (toward the other).
+    """
+    half_beta = beta / 2.0
+    c1 = Point(
+        (1.0 - half_beta) * u[0] + half_beta * v[0],
+        (1.0 - half_beta) * u[1] + half_beta * v[1],
+    )
+    c2 = Point(
+        (1.0 - half_beta) * v[0] + half_beta * u[0],
+        (1.0 - half_beta) * v[1] + half_beta * u[1],
+    )
+    radius_sq = (half_beta * half_beta) * dist_sq(u, v)
+    threshold = radius_sq - 1e-12
+    return dist_sq(c1, w) < threshold and dist_sq(c2, w) < threshold
+
+
+def beta_skeleton(udg: UnitDiskGraph, beta: float) -> Graph:
+    """The lune-based beta-skeleton on UDG edges (``beta >= 1``).
+
+    Witnesses are restricted to UDG neighbors of the endpoints, which
+    is exact for ``beta <= 2``: any point of the forbidden region is
+    within ``|uv| <= radius`` of both endpoints.  For ``beta > 2``
+    the region grows beyond the radio range and a *local* construction
+    is no longer faithful, so we refuse it.
+    """
+    if not 1.0 <= beta <= 2.0:
+        raise ValueError("locally constructible beta-skeletons need 1 <= beta <= 2")
+    skeleton = Graph(udg.positions, name=f"BetaSkeleton({beta:g})")
+    pos = udg.positions
+    for u, v in udg.edges():
+        witnesses = (udg.neighbors(u) | udg.neighbors(v)) - {u, v}
+        pu, pv = pos[u], pos[v]
+        if not any(
+            _in_forbidden_region(pu, pv, pos[w], beta) for w in witnesses
+        ):
+            skeleton.add_edge(u, v)
+    return skeleton

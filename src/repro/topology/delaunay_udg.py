@@ -1,0 +1,34 @@
+"""Global Delaunay triangulation and the unit Delaunay graph UDel.
+
+``UDel(V) = Del(V) ∩ UDG(V)`` — the Delaunay edges no longer than the
+transmission radius.  Keil & Gutwin showed Del(V) is a planar length
+spanner (stretch <= 4*sqrt(3)*pi/9 ≈ 2.42); Li, Calinescu & Wan showed
+UDel(V) is a planar spanner of the UDG.  Neither is *locally*
+constructible, which is why the paper builds LDel instead; UDel is the
+yardstick the localized structures are measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.primitives import Point
+from repro.geometry.triangulation import delaunay
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+
+
+def delaunay_graph(points: Sequence[Point]) -> Graph:
+    """The (global) Delaunay triangulation of ``points`` as a graph."""
+    tri = delaunay(points)
+    return Graph(tri.points, tri.edges, name="Del")
+
+
+def unit_delaunay_graph(udg: UnitDiskGraph) -> Graph:
+    """UDel(V): Delaunay edges of length at most the UDG radius."""
+    tri = delaunay(udg.positions)
+    udel = Graph(udg.positions, name="UDel")
+    for u, v in tri.edges:
+        if udg.edge_length(u, v) <= udg.radius:
+            udel.add_edge(u, v)
+    return udel

@@ -1,0 +1,29 @@
+"""Gabriel graph restricted to the unit disk graph.
+
+An edge ``uv`` of the UDG survives when the disk with diameter ``uv``
+contains no third node.  GG is planar, contains the RNG, and has
+length stretch factor Theta(sqrt(n)) — better than RNG but still not a
+constant-factor spanner, which the Table I benchmark shows.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.circle import gabriel_disk_empty
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+
+
+def gabriel_graph(udg: UnitDiskGraph) -> Graph:
+    """GG(V) ∩ UDG(V): the Gabriel graph on UDG edges.
+
+    A blocker inside the diameter disk of ``uv`` is within ``|uv|`` of
+    both endpoints, hence a UDG neighbor of both; the emptiness test is
+    local to 1-hop neighborhoods.
+    """
+    gg = Graph(udg.positions, name="GG")
+    pos = udg.positions
+    for u, v in udg.edges():
+        witnesses = (udg.neighbors(u) | udg.neighbors(v)) - {u, v}
+        if gabriel_disk_empty(pos[u], pos[v], (pos[w] for w in witnesses)):
+            gg.add_edge(u, v)
+    return gg

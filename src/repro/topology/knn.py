@@ -1,0 +1,31 @@
+"""k-nearest-neighbor graph restricted to the unit disk graph.
+
+The simplest degree-bounded topology and the classic connectivity
+baseline (Xue & Kumar: k on the order of log n neighbors are needed
+for asymptotic connectivity).  Not a spanner of any kind — included
+as the "what the naive fix buys you" reference point next to the
+paper's constructions.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+
+
+def knn_graph(udg: UnitDiskGraph, k: int) -> Graph:
+    """Symmetrized k-NN graph: edge ``uv`` when either chooses the other.
+
+    Only UDG links are candidates (radio range still binds).  Ties in
+    distance break by node id, so the construction is deterministic.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    graph = Graph(udg.positions, name=f"KNN{k}")
+    for u in udg.nodes():
+        nearest = sorted(
+            udg.neighbors(u), key=lambda v: (udg.edge_length(u, v), v)
+        )[:k]
+        for v in nearest:
+            graph.add_edge(u, v)
+    return graph

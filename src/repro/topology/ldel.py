@@ -1,0 +1,237 @@
+"""The k-localized Delaunay graph LDel^k and its planarization PLDel.
+
+Definitions (Li, Calinescu, Wan — INFOCOM 2002; reviewed in the
+reproduced paper, Section II):
+
+* a triangle ``uvw`` with all sides at most the transmission radius is
+  a **k-localized Delaunay triangle** when its circumcircle contains
+  no vertex of ``N_k(u) ∪ N_k(v) ∪ N_k(w)``;
+* ``LDel^k(V)`` consists of all Gabriel edges plus the edges of all
+  k-localized Delaunay triangles.
+
+``LDel^k`` is planar for ``k >= 2``; ``LDel^1`` has thickness 2 and is
+made planar by Algorithm 3: whenever two 1-localized Delaunay
+triangles intersect, any triangle whose circumcircle contains a vertex
+of the other is dropped (Li et al. prove at least one of the two
+always is).  The surviving graph, called **PLDel** here, is the planar
+structure the paper applies on top of the ICDS backbone.
+
+This module is the *centralized reference*; the message-passing
+protocol (paper Algorithms 2 and 3 verbatim) lives in
+:mod:`repro.protocols.ldel_protocol` and is tested to produce the same
+graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.geometry.circle import circumcircle
+from repro.geometry.predicates import segments_cross
+from repro.geometry.primitives import Point, angle_at, dist_sq
+from repro.geometry.triangulation import delaunay
+from repro.graphs.graph import Graph
+from repro.graphs.planarity import crossing_pairs
+from repro.graphs.udg import UnitDiskGraph
+from repro.topology.gabriel import gabriel_graph
+
+Triangle = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class LDelResult:
+    """LDel^k construction output: the graph plus its building blocks."""
+
+    graph: Graph
+    triangles: tuple[Triangle, ...]
+    gabriel_edges: frozenset[tuple[int, int]]
+    k: int
+
+
+def candidate_triangles(udg: UnitDiskGraph) -> set[Triangle]:
+    """Triangles proposed by the per-node local Delaunay triangulations.
+
+    A node generates exactly the triangles Algorithm 2 would have it
+    *propose*: incident triangles of ``Del(N_1(u))`` with all sides at
+    most the radius and an angle of at least 60 degrees at ``u``.
+    Every triangle has such a vertex and a k-localized Delaunay
+    triangle appears in that vertex's local triangulation (its
+    circumcircle is empty of the neighborhood), so generation is
+    complete.  Applying the same angle discipline as the distributed
+    protocol also makes tie-breaking identical on exactly-cocircular
+    inputs, where "the" local Delaunay triangulation is not unique.
+    """
+    r_sq = udg.radius * udg.radius
+    candidates: set[Triangle] = set()
+    pos = udg.positions
+    min_angle = math.pi / 3.0 - 1e-12
+    for u in udg.nodes():
+        local = sorted(udg.k_hop_neighborhood(u, 1))
+        if len(local) < 3:
+            continue
+        tri = delaunay([pos[i] for i in local])
+        for a, b, c in tri.triangles:
+            ga, gb, gc = local[a], local[b], local[c]
+            if u not in (ga, gb, gc):
+                continue
+            if (
+                dist_sq(pos[ga], pos[gb]) > r_sq
+                or dist_sq(pos[gb], pos[gc]) > r_sq
+                or dist_sq(pos[ga], pos[gc]) > r_sq
+            ):
+                continue
+            others = [x for x in (ga, gb, gc) if x != u]
+            try:
+                angle = angle_at(pos[u], pos[others[0]], pos[others[1]])
+            except ValueError:
+                continue
+            if angle >= min_angle:
+                candidates.add(tuple(sorted((ga, gb, gc))))  # type: ignore[arg-type]
+    return candidates
+
+
+def is_k_localized_delaunay(
+    udg: UnitDiskGraph, triangle: Triangle, k: int
+) -> bool:
+    """Whether ``triangle`` satisfies the k-localized Delaunay property."""
+    u, v, w = triangle
+    pos = udg.positions
+    circle = circumcircle(pos[u], pos[v], pos[w])
+    if circle is None:
+        return False
+    witnesses = (
+        udg.k_hop_neighborhood(u, k)
+        | udg.k_hop_neighborhood(v, k)
+        | udg.k_hop_neighborhood(w, k)
+    ) - {u, v, w}
+    return not any(circle.contains(pos[x]) for x in witnesses)
+
+
+def local_delaunay_graph(udg: UnitDiskGraph, k: int = 1) -> LDelResult:
+    """Construct LDel^k over the unit disk graph.
+
+    Returns the graph (Gabriel edges plus localized-Delaunay-triangle
+    edges), the accepted triangles, and the Gabriel edge set.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    accepted = tuple(
+        sorted(
+            t for t in candidate_triangles(udg) if is_k_localized_delaunay(udg, t, k)
+        )
+    )
+    gabriel = gabriel_graph(udg)
+    graph = Graph(udg.positions, gabriel.edges(), name=f"LDel{k}")
+    for u, v, w in accepted:
+        graph.add_edge(u, v)
+        graph.add_edge(v, w)
+        graph.add_edge(u, w)
+    return LDelResult(
+        graph=graph,
+        triangles=accepted,
+        gabriel_edges=gabriel.edge_set(),
+        k=k,
+    )
+
+
+def _triangles_intersect(pos: Sequence[Point], t1: Triangle, t2: Triangle) -> bool:
+    """Whether two triangles overlap improperly (some edges cross)."""
+    edges1 = [(t1[0], t1[1]), (t1[1], t1[2]), (t1[0], t1[2])]
+    edges2 = [(t2[0], t2[1]), (t2[1], t2[2]), (t2[0], t2[2])]
+    for a, b in edges1:
+        for c, d in edges2:
+            if len({a, b, c, d}) < 4:
+                continue
+            if segments_cross(pos[a], pos[b], pos[c], pos[d]):
+                return True
+    return False
+
+
+def _nearby_triangle_pairs(
+    pos: Sequence[Point], triangles: Sequence[Triangle], cell: float
+) -> set[tuple[int, int]]:
+    """Index pairs of triangles whose bounding boxes share a grid cell."""
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for idx, (u, v, w) in enumerate(triangles):
+        xs = (pos[u][0], pos[v][0], pos[w][0])
+        ys = (pos[u][1], pos[v][1], pos[w][1])
+        for cx in range(math.floor(min(xs) / cell), math.floor(max(xs) / cell) + 1):
+            for cy in range(math.floor(min(ys) / cell), math.floor(max(ys) / cell) + 1):
+                buckets.setdefault((cx, cy), []).append(idx)
+    pairs: set[tuple[int, int]] = set()
+    for members in buckets.values():
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                a, b = members[i], members[j]
+                pairs.add((min(a, b), max(a, b)))
+    return pairs
+
+
+def resolve_degenerate_crossings(graph: Graph) -> Graph:
+    """Break exactly-cocircular ties so the output is always planar.
+
+    The paper assumes no four nodes are cocircular; when real input
+    violates that (e.g. nodes on a perfect grid), two crossing
+    diagonals of a cocircular quad can both pass the open-disk Gabriel
+    test.  This sweep removes one edge of every surviving crossing
+    deterministically — the lexicographically larger (length, ids)
+    edge loses — leaving the graph unchanged on general-position
+    input (the common case costs one planarity check).
+    """
+    while True:
+        crossings = crossing_pairs(graph)
+        if not crossings:
+            return graph
+        for e1, e2 in crossings:
+            if not (graph.has_edge(*e1) and graph.has_edge(*e2)):
+                continue  # already resolved via an earlier pair
+            loser = max(
+                (e1, e2), key=lambda e: (graph.edge_length(*e), e)
+            )
+            graph.remove_edge(*loser)
+
+
+def planarize_ldel1(udg: UnitDiskGraph, ldel1: LDelResult) -> LDelResult:
+    """Algorithm 3 (centralized): drop crossing triangles, keep PLDel.
+
+    For every pair of intersecting 1-localized Delaunay triangles, a
+    triangle whose circumcircle contains a vertex of the other is
+    removed; Li et al. prove this leaves a planar graph.  Gabriel
+    edges are always retained.
+    """
+    if ldel1.k != 1:
+        raise ValueError("planarization applies to LDel^1")
+    pos = udg.positions
+    triangles = list(ldel1.triangles)
+    circles = [circumcircle(pos[u], pos[v], pos[w]) for u, v, w in triangles]
+    removed = [False] * len(triangles)
+
+    for i, j in _nearby_triangle_pairs(pos, triangles, udg.radius):
+        if not _triangles_intersect(pos, triangles[i], triangles[j]):
+            continue
+        ci, cj = circles[i], circles[j]
+        if ci is not None and any(ci.contains(pos[x]) for x in triangles[j]):
+            removed[i] = True
+        if cj is not None and any(cj.contains(pos[x]) for x in triangles[i]):
+            removed[j] = True
+
+    survivors = tuple(t for t, gone in zip(triangles, removed) if not gone)
+    graph = Graph(udg.positions, ldel1.gabriel_edges, name="PLDel")
+    for u, v, w in survivors:
+        graph.add_edge(u, v)
+        graph.add_edge(v, w)
+        graph.add_edge(u, w)
+    resolve_degenerate_crossings(graph)
+    return LDelResult(
+        graph=graph,
+        triangles=survivors,
+        gabriel_edges=ldel1.gabriel_edges,
+        k=1,
+    )
+
+
+def planar_local_delaunay_graph(udg: UnitDiskGraph) -> LDelResult:
+    """Convenience: LDel^1 followed by Algorithm 3 planarization."""
+    return planarize_ldel1(udg, local_delaunay_graph(udg, k=1))

@@ -1,0 +1,45 @@
+"""Euclidean minimum spanning tree over the unit disk graph.
+
+Not part of the paper's comparison table, but the natural lower bound
+on total edge length: the sparsest connected topology, with unbounded
+stretch.  Used by the ablation benchmarks to anchor the
+sparseness/stretch trade-off.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+
+
+def euclidean_mst(udg: UnitDiskGraph) -> Graph:
+    """Prim's algorithm on the UDG edge set.
+
+    When the UDG is disconnected the result is the spanning forest of
+    its components.
+    """
+    mst = Graph(udg.positions, name="MST")
+    n = udg.node_count
+    if n == 0:
+        return mst
+    in_tree = [False] * n
+    for root in range(n):
+        if in_tree[root]:
+            continue
+        in_tree[root] = True
+        heap: list[tuple[float, int, int]] = [
+            (udg.edge_length(root, v), root, v) for v in udg.neighbors(root)
+        ]
+        heapq.heapify(heap)
+        while heap:
+            d, u, v = heapq.heappop(heap)
+            if in_tree[v]:
+                continue
+            in_tree[v] = True
+            mst.add_edge(u, v)
+            for w in udg.neighbors(v):
+                if not in_tree[w]:
+                    heapq.heappush(heap, (udg.edge_length(v, w), v, w))
+    return mst

@@ -1,0 +1,32 @@
+"""Relative neighborhood graph restricted to the unit disk graph.
+
+An edge ``uv`` of the UDG survives when no third node ``w`` lies
+strictly inside the *lune* of ``u`` and ``v`` (both ``|uw| < |uv|`` and
+``|vw| < |uv|``).  RNG is planar and connected but a poor spanner:
+Bose et al. showed its length stretch factor is Theta(n) — which is
+exactly what the paper's Table I row demonstrates and our benchmarks
+reproduce.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.circle import lune_contains
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+
+
+def relative_neighborhood_graph(udg: UnitDiskGraph) -> Graph:
+    """RNG(V) ∩ UDG(V): the relative neighborhood graph on UDG edges.
+
+    Only UDG neighbors of ``u`` or ``v`` can blockade an edge ``uv``
+    (a blocker must be closer to both endpoints than ``|uv| <= r``),
+    so the test stays local to 1-hop neighborhoods.
+    """
+    rng = Graph(udg.positions, name="RNG")
+    pos = udg.positions
+    for u, v in udg.edges():
+        pu, pv = pos[u], pos[v]
+        witnesses = (udg.neighbors(u) | udg.neighbors(v)) - {u, v}
+        if not any(lune_contains(pu, pv, pos[w]) for w in witnesses):
+            rng.add_edge(u, v)
+    return rng

@@ -1,0 +1,52 @@
+"""Yao graph (theta-graph) on the unit disk graph.
+
+Each node partitions the plane into ``k`` equal cones and keeps the
+shortest UDG edge in each cone.  The Yao graph is a length spanner
+with bounded *out*-degree, but (as the paper stresses) its in-degree
+is unbounded, it is not planar, and it is not a hop spanner — the
+properties the hybrid backbone is designed to fix.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+
+
+def yao_cone_of(dx: float, dy: float, k: int) -> int:
+    """Index of the cone (0..k-1) that the direction ``(dx, dy)`` falls in."""
+    angle = math.atan2(dy, dx) % (2.0 * math.pi)
+    cone = int(angle * k / (2.0 * math.pi))
+    return min(cone, k - 1)
+
+
+def yao_edges_out(udg: UnitDiskGraph, u: int, k: int) -> list[int]:
+    """Chosen outgoing Yao neighbors of ``u`` (shortest per non-empty cone)."""
+    pos = udg.positions
+    pu = pos[u]
+    best: dict[int, tuple[float, int]] = {}
+    for v in udg.neighbors(u):
+        pv = pos[v]
+        cone = yao_cone_of(pv[0] - pu[0], pv[1] - pu[1], k)
+        d = udg.edge_length(u, v)
+        # Break distance ties by node id for determinism.
+        key = (d, v)
+        if cone not in best or key < best[cone]:
+            best[cone] = key
+    return [v for _d, v in best.values()]
+
+
+def yao_graph(udg: UnitDiskGraph, k: int = 6) -> Graph:
+    """Undirected Yao graph YG_k on the UDG (union of directed choices).
+
+    ``k >= 6`` gives length stretch factor ``1 / (1 - 2 sin(pi/k))``.
+    """
+    if k < 3:
+        raise ValueError("Yao graph needs at least 3 cones")
+    yao = Graph(udg.positions, name=f"Yao{k}")
+    for u in udg.nodes():
+        for v in yao_edges_out(udg, u, k):
+            yao.add_edge(u, v)
+    return yao

@@ -1,0 +1,65 @@
+"""Yao and Sink structure (YG*) — bounded-degree length spanner baseline.
+
+Li, Wan and Wang's fix for the Yao graph's unbounded in-degree: each
+node ``u`` replaces the star of incoming Yao edges by a *sink tree*
+built with the reverse Yao construction — in each cone around ``u``
+the nearest in-neighbor links directly to ``u`` and becomes the local
+sink for the remaining in-neighbors of that cone, recursively.  The
+result keeps a constant length stretch factor and gains a constant
+degree bound, but is still neither planar nor a hop spanner (the
+paper's motivating comparison for the hybrid backbone).
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+from repro.topology.yao import yao_cone_of, yao_edges_out
+
+
+def _sink_tree_edges(
+    udg: UnitDiskGraph, root: int, members: list[int], k: int
+) -> list[tuple[int, int]]:
+    """Edges of the reverse-Yao sink tree connecting ``members`` to ``root``."""
+    edges: list[tuple[int, int]] = []
+    stack: list[tuple[int, list[int]]] = [(root, members)]
+    pos = udg.positions
+    while stack:
+        sink, group = stack.pop()
+        if not group:
+            continue
+        ps = pos[sink]
+        cones: dict[int, list[int]] = {}
+        for v in group:
+            pv = pos[v]
+            cone = yao_cone_of(pv[0] - ps[0], pv[1] - ps[1], k)
+            cones.setdefault(cone, []).append(v)
+        for group_in_cone in cones.values():
+            nearest = min(
+                group_in_cone, key=lambda v: (udg.edge_length(sink, v), v)
+            )
+            edges.append((nearest, sink))
+            rest = [v for v in group_in_cone if v != nearest]
+            if rest:
+                stack.append((nearest, rest))
+    return edges
+
+
+def yao_sink_graph(udg: UnitDiskGraph, k: int = 6) -> Graph:
+    """Undirected Yao-and-Sink graph YG*_k on the UDG.
+
+    Built from the directed Yao graph: out-edges are kept as chosen,
+    and each node's incoming star is rewired through its sink tree.
+    """
+    if k < 3:
+        raise ValueError("Yao graph needs at least 3 cones")
+    incoming: dict[int, list[int]] = {u: [] for u in udg.nodes()}
+    for u in udg.nodes():
+        for v in yao_edges_out(udg, u, k):
+            incoming[v].append(u)
+
+    result = Graph(udg.positions, name=f"YaoSink{k}")
+    for u in udg.nodes():
+        for a, b in _sink_tree_edges(udg, u, incoming[u], k):
+            result.add_edge(a, b)
+    return result

@@ -1,0 +1,43 @@
+"""Yao-Yao graph (YY_k): the in-degree-pruned Yao graph.
+
+The other classical fix for the Yao graph's unbounded in-degree
+(discussed alongside Yao+Sink in the Li–Wan–Wang line of work the
+paper builds on): after the usual Yao selection of outgoing edges,
+every node applies a *reverse* Yao step to its incoming edges, keeping
+only the shortest incoming edge per cone.  Total degree is at most
+``2k``; the structure is connected and empirically a good length
+spanner, though — unlike Yao+Sink — no constant stretch proof is
+known, which is exactly why it makes an interesting ablation point.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+from repro.topology.yao import yao_cone_of, yao_edges_out
+
+
+def yao_yao_graph(udg: UnitDiskGraph, k: int = 6) -> Graph:
+    """Undirected Yao-Yao graph YY_k on the UDG."""
+    if k < 3:
+        raise ValueError("Yao graph needs at least 3 cones")
+    pos = udg.positions
+    # Phase 1: standard directed Yao choices.
+    incoming: dict[int, list[int]] = {u: [] for u in udg.nodes()}
+    for u in udg.nodes():
+        for v in yao_edges_out(udg, u, k):
+            incoming[v].append(u)
+    # Phase 2: reverse Yao — keep the shortest incoming edge per cone.
+    result = Graph(udg.positions, name=f"YaoYao{k}")
+    for v in udg.nodes():
+        pv = pos[v]
+        best: dict[int, tuple[float, int]] = {}
+        for u in incoming[v]:
+            pu = pos[u]
+            cone = yao_cone_of(pu[0] - pv[0], pu[1] - pv[1], k)
+            key = (udg.edge_length(u, v), u)
+            if cone not in best or key < best[cone]:
+                best[cone] = key
+        for _d, u in best.values():
+            result.add_edge(u, v)
+    return result

@@ -1,0 +1,5 @@
+"""Dependency-free SVG rendering of deployments and topologies."""
+
+from repro.viz.svg import render_backbone_svg, render_topology_svg
+
+__all__ = ["render_backbone_svg", "render_topology_svg"]

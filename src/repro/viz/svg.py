@@ -1,0 +1,117 @@
+"""SVG rendering — the paper's Figures 6 and 7 as actual pictures.
+
+Pure string generation, no plotting dependency: each topology becomes
+one self-contained SVG document with nodes drawn by role (dominator /
+connector / dominatee, the square-vs-circle convention of the paper's
+Figure 3) and straight-line edges.  Viewable in any browser.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.core.spanner import BackboneResult
+from repro.graphs.graph import Graph
+
+_ROLE_STYLE: Mapping[str, tuple[str, str]] = {
+    # role -> (fill color, shape)
+    "dominator": ("#d62728", "square"),
+    "connector": ("#ff7f0e", "square"),
+    "dominatee": ("#1f77b4", "circle"),
+    "plain": ("#444444", "circle"),
+}
+
+
+def _svg_header(width: float, height: float, title: str) -> list[str]:
+    return [
+        (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'viewBox="0 0 {width:.0f} {height:.0f}" '
+            f'width="{width:.0f}" height="{height:.0f}">'
+        ),
+        f"<title>{title}</title>",
+        f'<rect width="{width:.0f}" height="{height:.0f}" fill="white"/>',
+    ]
+
+
+def _node_markup(x: float, y: float, role: str, radius: float) -> str:
+    color, shape = _ROLE_STYLE.get(role, _ROLE_STYLE["plain"])
+    if shape == "square":
+        side = 2.0 * radius
+        return (
+            f'<rect x="{x - radius:.2f}" y="{y - radius:.2f}" '
+            f'width="{side:.2f}" height="{side:.2f}" fill="{color}"/>'
+        )
+    return f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{radius:.2f}" fill="{color}"/>'
+
+
+def render_topology_svg(
+    graph: Graph,
+    *,
+    roles: Optional[Mapping[int, str]] = None,
+    side: Optional[float] = None,
+    canvas: float = 500.0,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``graph`` as a standalone SVG document string.
+
+    ``roles`` maps node ids to 'dominator' / 'connector' / 'dominatee'
+    for the paper's square/circle convention; unmapped nodes draw as
+    plain circles.  ``side`` is the deployment region side (defaults
+    to the bounding box of the positions).
+    """
+    positions = graph.positions
+    if side is None:
+        side = max(
+            [1.0]
+            + [p.x for p in positions]
+            + [p.y for p in positions]
+        ) * 1.05
+    scale = canvas / side
+    margin = 0.03 * canvas
+    extent = canvas + 2 * margin
+
+    def sx(x: float) -> float:
+        return margin + x * scale
+
+    def sy(y: float) -> float:
+        # SVG's y axis grows downward; flip for the usual orientation.
+        return margin + (side - y) * scale
+
+    parts = _svg_header(extent, extent, title or graph.name)
+    parts.append('<g stroke="#999999" stroke-width="1">')
+    for u, v in sorted(graph.edges()):
+        pu, pv = positions[u], positions[v]
+        parts.append(
+            f'<line x1="{sx(pu.x):.2f}" y1="{sy(pu.y):.2f}" '
+            f'x2="{sx(pv.x):.2f}" y2="{sy(pv.y):.2f}"/>'
+        )
+    parts.append("</g>")
+    node_radius = max(2.0, 0.006 * canvas)
+    for node in graph.nodes():
+        p = positions[node]
+        role = (roles or {}).get(node, "plain")
+        parts.append(_node_markup(sx(p.x), sy(p.y), role, node_radius))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_backbone_svg(
+    result: BackboneResult,
+    *,
+    which: str = "ldel_icds_prime",
+    canvas: float = 500.0,
+) -> str:
+    """Render one of a backbone result's graphs with role styling."""
+    graph: Graph = getattr(result, which, None)
+    if not isinstance(graph, Graph):
+        raise ValueError(f"unknown backbone graph {which!r}")
+    roles = {node: result.role_of(node) for node in result.udg.nodes()}
+    side = max(
+        [result.udg.radius]
+        + [p.x for p in result.udg.positions]
+        + [p.y for p in result.udg.positions]
+    ) * 1.05
+    return render_topology_svg(
+        graph, roles=roles, side=side, canvas=canvas, title=graph.name
+    )

@@ -1,0 +1,36 @@
+"""Node-deployment workload generators for the experiments."""
+
+from repro.workloads.generators import (
+    Deployment,
+    clustered_points,
+    connected_udg_instance,
+    corridor_points,
+    grid_points,
+    uniform_points,
+)
+from repro.workloads.corpus import CORPUS, CorpusEntry, get_instance
+from repro.workloads.io import (
+    load_deployment,
+    load_graph,
+    save_deployment,
+    save_graph,
+)
+from repro.workloads.export import save_dot, save_graphml
+
+__all__ = [
+    "Deployment",
+    "clustered_points",
+    "connected_udg_instance",
+    "corridor_points",
+    "grid_points",
+    "uniform_points",
+    "CORPUS",
+    "CorpusEntry",
+    "get_instance",
+    "load_deployment",
+    "load_graph",
+    "save_deployment",
+    "save_graph",
+    "save_dot",
+    "save_graphml",
+]

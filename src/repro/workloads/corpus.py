@@ -1,0 +1,115 @@
+"""The canonical instance corpus.
+
+Named, seeded deployments frozen for cross-version comparability:
+benchmarks and bug reports can say "run on ``paper-table1/0``" and
+everyone regenerates bit-identical coordinates.  The corpus mirrors
+the calibrated experiment regimes from DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.generators import Deployment, connected_udg_instance
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """Recipe for one family of canonical instances."""
+
+    name: str
+    n: int
+    side: float
+    radius: float
+    generator: str
+    base_seed: int
+    description: str
+
+    def instance(self, index: int = 0) -> Deployment:
+        """Deterministically regenerate instance ``index`` of the family."""
+        if index < 0:
+            raise ValueError("index must be non-negative")
+        rng = random.Random(self.base_seed * 100_003 + index)
+        return connected_udg_instance(
+            self.n, self.side, self.radius, rng, generator=self.generator
+        )
+
+
+CORPUS: dict[str, CorpusEntry] = {
+    entry.name: entry
+    for entry in (
+        CorpusEntry(
+            name="paper-table1",
+            n=100,
+            side=200.0,
+            radius=60.0,
+            generator="uniform",
+            base_seed=1001,
+            description="Table I regime: 100 nodes, R=60, 200x200 uniform",
+        ),
+        CorpusEntry(
+            name="paper-sparse",
+            n=20,
+            side=200.0,
+            radius=60.0,
+            generator="uniform",
+            base_seed=1002,
+            description="Figure 8-10 low end: 20 nodes at R=60",
+        ),
+        CorpusEntry(
+            name="paper-dense",
+            n=500,
+            side=200.0,
+            radius=60.0,
+            generator="uniform",
+            base_seed=1003,
+            description="Figure 11-12 regime: 500 nodes at R=60",
+        ),
+        CorpusEntry(
+            name="sensor-clusters",
+            n=120,
+            side=200.0,
+            radius=55.0,
+            generator="clustered",
+            base_seed=1004,
+            description="clustered sensor pockets with inter-cluster voids",
+        ),
+        CorpusEntry(
+            name="road-corridor",
+            n=90,
+            side=300.0,
+            radius=45.0,
+            generator="corridor",
+            base_seed=1005,
+            description="elongated corridor: large hop diameter",
+        ),
+        CorpusEntry(
+            name="survey-grid",
+            n=100,
+            side=200.0,
+            radius=40.0,
+            generator="grid",
+            base_seed=1006,
+            description="jittered survey grid: near-degenerate geometry",
+        ),
+        CorpusEntry(
+            name="wide-field",
+            n=150,
+            side=400.0,
+            radius=48.0,
+            generator="uniform",
+            base_seed=1007,
+            description="~10-hop diameter field for locality experiments",
+        ),
+    )
+}
+
+
+def get_instance(name: str, index: int = 0) -> Deployment:
+    """Regenerate corpus instance ``name``/``index``."""
+    if name not in CORPUS:
+        raise KeyError(
+            f"unknown corpus entry {name!r}; have {sorted(CORPUS)}"
+        )
+    return CORPUS[name].instance(index)

@@ -1,0 +1,83 @@
+"""Interop exports: GraphML and DOT renderings of embedded graphs.
+
+For handing constructed topologies to external tools (Gephi, yEd,
+NetworkX pipelines, Graphviz).  Positions travel as standard node
+attributes (``x``/``y`` in GraphML, ``pos`` in DOT); edge lengths ride
+along so downstream tools can weight layouts without recomputing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Optional, Union
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.graphs.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def graph_to_graphml(graph: Graph, *, roles: Optional[Mapping[int, str]] = None) -> str:
+    """GraphML document for ``graph`` (positions + lengths + roles)."""
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<graphml xmlns="http://graphml.graphdrawing.org/xmlns">',
+        '<key id="x" for="node" attr.name="x" attr.type="double"/>',
+        '<key id="y" for="node" attr.name="y" attr.type="double"/>',
+        '<key id="role" for="node" attr.name="role" attr.type="string"/>',
+        '<key id="length" for="edge" attr.name="length" attr.type="double"/>',
+        f"<graph id={quoteattr(graph.name)} edgedefault=\"undirected\">",
+    ]
+    for node in graph.nodes():
+        p = graph.positions[node]
+        role = (roles or {}).get(node, "")
+        lines.append(
+            f'<node id="n{node}">'
+            f'<data key="x">{p.x!r}</data>'
+            f'<data key="y">{p.y!r}</data>'
+            f'<data key="role">{escape(role)}</data>'
+            "</node>"
+        )
+    for i, (u, v) in enumerate(sorted(graph.edges())):
+        lines.append(
+            f'<edge id="e{i}" source="n{u}" target="n{v}">'
+            f'<data key="length">{graph.edge_length(u, v)!r}</data>'
+            "</edge>"
+        )
+    lines.append("</graph>")
+    lines.append("</graphml>")
+    return "\n".join(lines)
+
+
+def graph_to_dot(graph: Graph, *, roles: Optional[Mapping[int, str]] = None) -> str:
+    """Graphviz DOT document for ``graph``.
+
+    Positions use the ``pos="x,y!"`` pin syntax understood by
+    ``neato -n``; roles map to shapes matching the SVG renderer's
+    convention (squares for backbone nodes).
+    """
+    safe_name = "".join(c if c.isalnum() else "_" for c in graph.name)
+    lines = [f"graph {safe_name} {{", "  node [fixedsize=true, width=0.15];"]
+    for node in graph.nodes():
+        p = graph.positions[node]
+        role = (roles or {}).get(node, "")
+        shape = "box" if role in ("dominator", "connector") else "circle"
+        lines.append(
+            f'  n{node} [pos="{p.x:.3f},{p.y:.3f}!", shape={shape}'
+            + (f', tooltip="{role}"' if role else "")
+            + "];"
+        )
+    for u, v in sorted(graph.edges()):
+        lines.append(f"  n{u} -- n{v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def save_graphml(graph: Graph, path: PathLike, *, roles=None) -> None:
+    """Write ``graph`` to ``path`` as GraphML."""
+    Path(path).write_text(graph_to_graphml(graph, roles=roles))
+
+
+def save_dot(graph: Graph, path: PathLike, *, roles=None) -> None:
+    """Write ``graph`` to ``path`` as Graphviz DOT."""
+    Path(path).write_text(graph_to_dot(graph, roles=roles))

@@ -1,0 +1,141 @@
+"""Random node deployments.
+
+The paper's simulations place ``n`` nodes uniformly at random in a
+square and keep only instances whose unit disk graph is connected;
+:func:`connected_udg_instance` reproduces exactly that sampling loop.
+The clustered / grid / corridor generators exercise the constructions
+on the non-uniform deployments a real sensor field produces (the
+intro's motivating scenario).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry.primitives import Point
+from repro.graphs.paths import is_connected
+from repro.graphs.udg import UnitDiskGraph
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A sampled deployment: the points, the region side, and the radius."""
+
+    points: tuple[Point, ...]
+    side: float
+    radius: float
+
+    def udg(self) -> UnitDiskGraph:
+        """Unit disk graph of this deployment."""
+        return UnitDiskGraph(list(self.points), self.radius)
+
+
+def uniform_points(n: int, side: float, rng: random.Random) -> list[Point]:
+    """``n`` points uniform in the ``side x side`` square."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return [Point(rng.uniform(0.0, side), rng.uniform(0.0, side)) for _ in range(n)]
+
+
+def clustered_points(
+    n: int,
+    side: float,
+    rng: random.Random,
+    *,
+    clusters: int = 5,
+    spread_fraction: float = 0.08,
+) -> list[Point]:
+    """``n`` points in Gaussian clusters around random centers.
+
+    Models dense sensor pockets (e.g. instruments around points of
+    interest) with sparse space between them.
+    """
+    if clusters < 1:
+        raise ValueError("need at least one cluster")
+    centers = [
+        Point(rng.uniform(0.15 * side, 0.85 * side), rng.uniform(0.15 * side, 0.85 * side))
+        for _ in range(clusters)
+    ]
+    spread = spread_fraction * side
+    points: list[Point] = []
+    for i in range(n):
+        cx, cy = centers[i % clusters]
+        x = min(max(rng.gauss(cx, spread), 0.0), side)
+        y = min(max(rng.gauss(cy, spread), 0.0), side)
+        points.append(Point(x, y))
+    return points
+
+
+def grid_points(n: int, side: float, rng: random.Random, *, jitter: float = 0.1) -> list[Point]:
+    """Roughly ``n`` points on a jittered grid covering the square.
+
+    Models an engineered deployment (sensors dropped on a survey
+    grid).  The actual count is the nearest perfect square >= ``n``,
+    truncated back to ``n``.
+    """
+    per_side = max(1, math.ceil(math.sqrt(n)))
+    step = side / per_side
+    points: list[Point] = []
+    for i in range(per_side):
+        for j in range(per_side):
+            if len(points) == n:
+                return points
+            x = (i + 0.5 + rng.uniform(-jitter, jitter)) * step
+            y = (j + 0.5 + rng.uniform(-jitter, jitter)) * step
+            points.append(Point(min(max(x, 0.0), side), min(max(y, 0.0), side)))
+    return points
+
+
+def corridor_points(
+    n: int, side: float, rng: random.Random, *, width_fraction: float = 0.12
+) -> list[Point]:
+    """``n`` points in a thin horizontal strip across the square.
+
+    Models vehicles or sensors along a road — the elongated topology
+    where hop counts are large and spanner quality matters most.
+    """
+    width = width_fraction * side
+    y0 = (side - width) / 2.0
+    return [
+        Point(rng.uniform(0.0, side), y0 + rng.uniform(0.0, width)) for _ in range(n)
+    ]
+
+
+def connected_udg_instance(
+    n: int,
+    side: float,
+    radius: float,
+    rng: random.Random,
+    *,
+    max_attempts: int = 1000,
+    generator: str = "uniform",
+) -> Deployment:
+    """Sample deployments until the unit disk graph is connected.
+
+    This mirrors the paper's experimental loop ("we generate UDG(V) and
+    test the connectivity ... if it is connected, we construct
+    different topologies").  Raises :class:`RuntimeError` when no
+    connected instance is found within ``max_attempts`` — a sign the
+    chosen ``(n, side, radius)`` regime is sub-critical.
+    """
+    generators = {
+        "uniform": uniform_points,
+        "clustered": clustered_points,
+        "grid": grid_points,
+        "corridor": corridor_points,
+    }
+    if generator not in generators:
+        raise ValueError(f"unknown generator {generator!r}")
+    make = generators[generator]
+    for _ in range(max_attempts):
+        points = make(n, side, rng)
+        udg = UnitDiskGraph(points, radius)
+        if is_connected(udg):
+            return Deployment(points=tuple(points), side=side, radius=radius)
+    raise RuntimeError(
+        f"no connected UDG instance after {max_attempts} attempts "
+        f"(n={n}, side={side}, radius={radius}, generator={generator})"
+    )

@@ -1,0 +1,81 @@
+"""Serialization: save and load deployments and graphs as JSON.
+
+Experiment reproducibility plumbing: a deployment (points + region +
+radius) or a constructed topology (positions + edges) round-trips
+through a stable JSON schema, so benchmark inputs and backbone outputs
+can be archived and diffed across runs or machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.geometry.primitives import Point
+from repro.graphs.graph import Graph
+from repro.workloads.generators import Deployment
+
+_SCHEMA_DEPLOYMENT = "repro/deployment/v1"
+_SCHEMA_GRAPH = "repro/graph/v1"
+
+PathLike = Union[str, Path]
+
+
+def deployment_to_dict(deployment: Deployment) -> dict:
+    """JSON-ready representation of a deployment."""
+    return {
+        "schema": _SCHEMA_DEPLOYMENT,
+        "side": deployment.side,
+        "radius": deployment.radius,
+        "points": [[p.x, p.y] for p in deployment.points],
+    }
+
+
+def deployment_from_dict(data: dict) -> Deployment:
+    """Inverse of :func:`deployment_to_dict` (validates the schema tag)."""
+    if data.get("schema") != _SCHEMA_DEPLOYMENT:
+        raise ValueError(f"not a deployment document: {data.get('schema')!r}")
+    points = tuple(Point(float(x), float(y)) for x, y in data["points"])
+    return Deployment(
+        points=points, side=float(data["side"]), radius=float(data["radius"])
+    )
+
+
+def save_deployment(deployment: Deployment, path: PathLike) -> None:
+    """Write a deployment to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(deployment_to_dict(deployment), indent=1))
+
+
+def load_deployment(path: PathLike) -> Deployment:
+    """Read a deployment written by :func:`save_deployment`."""
+    return deployment_from_dict(json.loads(Path(path).read_text()))
+
+
+def graph_to_dict(graph: Graph) -> dict:
+    """JSON-ready representation of an embedded graph."""
+    return {
+        "schema": _SCHEMA_GRAPH,
+        "name": graph.name,
+        "positions": [[p.x, p.y] for p in graph.positions],
+        "edges": sorted(graph.edges()),
+    }
+
+
+def graph_from_dict(data: dict) -> Graph:
+    """Inverse of :func:`graph_to_dict` (validates the schema tag)."""
+    if data.get("schema") != _SCHEMA_GRAPH:
+        raise ValueError(f"not a graph document: {data.get('schema')!r}")
+    positions = [Point(float(x), float(y)) for x, y in data["positions"]]
+    edges = [(int(u), int(v)) for u, v in data["edges"]]
+    return Graph(positions, edges, name=data.get("name", "graph"))
+
+
+def save_graph(graph: Graph, path: PathLike) -> None:
+    """Write an embedded graph to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=1))
+
+
+def load_graph(path: PathLike) -> Graph:
+    """Read a graph written by :func:`save_graph`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

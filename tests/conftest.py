@@ -1,0 +1,40 @@
+"""Shared fixtures: deterministic deployments and prebuilt backbones.
+
+Session-scoped where construction is expensive so the suite stays
+fast; everything is seeded, so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.spanner import BackboneResult, build_backbone
+from repro.workloads.generators import Deployment, connected_udg_instance
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def deployment() -> Deployment:
+    """A mid-size connected deployment (60 nodes, R=60, 200x200)."""
+    return connected_udg_instance(60, 200.0, 60.0, random.Random(7))
+
+
+@pytest.fixture(scope="session")
+def backbone(deployment: Deployment) -> BackboneResult:
+    """The full pipeline output for the shared deployment."""
+    return build_backbone(deployment.points, deployment.radius)
+
+
+@pytest.fixture(scope="session")
+def small_deployments() -> list[Deployment]:
+    """Five small connected deployments for cross-seed property checks."""
+    return [
+        connected_udg_instance(30, 150.0, 55.0, random.Random(seed))
+        for seed in range(5)
+    ]

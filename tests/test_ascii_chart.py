@@ -1,0 +1,79 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.ascii_chart import default_series, render_chart
+from repro.experiments.runner import SeriesPoint
+
+
+def make_points():
+    return [
+        SeriesPoint(x=10, values={"a avg": 1.0, "b max": 5.0}),
+        SeriesPoint(x=20, values={"a avg": 2.0, "b max": 4.0}),
+        SeriesPoint(x=30, values={"a avg": 3.0, "b max": 6.0}),
+    ]
+
+
+class TestRenderChart:
+    def test_contains_axis_and_legend(self):
+        text = render_chart(make_points(), ["a avg", "b max"], x_label="n")
+        assert "o = a avg" in text
+        assert "x = b max" in text
+        assert "+" + "-" * 64 in text
+        assert "10" in text and "30" in text
+
+    def test_marks_plotted(self):
+        text = render_chart(make_points(), ["a avg"])
+        assert text.count("o") >= 3 + 1  # 3 data points + legend
+
+    def test_extremes_on_borders(self):
+        lines = render_chart(make_points(), ["b max"], height=8).splitlines()
+        # Max value (6.0) lands on the top row (the sole series plots
+        # with the first glyph, "o").
+        assert "o" in lines[0]
+        assert lines[0].lstrip().startswith("6.00")
+
+    def test_empty_inputs(self):
+        assert render_chart([], ["a"]) == "(no data)"
+        assert render_chart(make_points(), []) == "(no data)"
+
+    def test_unknown_series_rejected(self):
+        with pytest.raises(KeyError):
+            render_chart(make_points(), ["nope"])
+
+    def test_flat_series_renders(self):
+        points = [
+            SeriesPoint(x=1, values={"c": 2.0}),
+            SeriesPoint(x=2, values={"c": 2.0}),
+        ]
+        text = render_chart(points, ["c"])
+        assert "o" in text
+
+    def test_single_point(self):
+        points = [SeriesPoint(x=5, values={"c": 1.0})]
+        text = render_chart(points, ["c"])
+        assert "o" in text
+
+
+class TestDefaultSeries:
+    def test_prefers_averages(self):
+        series = default_series(make_points(), limit=1)
+        assert series == ["a avg"]
+
+    def test_limit(self):
+        series = default_series(make_points(), limit=2)
+        assert len(series) == 2
+
+    def test_empty(self):
+        assert default_series([]) == []
+
+
+class TestHarnessChartFlag:
+    def test_chart_flag_appends_plot(self, capsys):
+        from repro.experiments.harness import main
+
+        assert (
+            main(["fig8", "--quick", "--chart", "--instances", "1"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert " = CDS deg avg" in out

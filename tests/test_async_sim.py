@@ -1,0 +1,158 @@
+"""Tests for the asynchronous event-driven simulator and clustering."""
+
+import random
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.async_clustering import run_async_clustering
+from repro.protocols.clustering import centralized_mis, run_clustering
+from repro.sim.events import AsyncNetwork, AsyncNodeProcess, LatencyModel
+from repro.sim.messages import HELLO
+
+
+def line_udg(n, spacing=1.0, radius=1.0):
+    return UnitDiskGraph([Point(i * spacing, 0.0) for i in range(n)], radius)
+
+
+class TestLatencyModel:
+    def test_sample_in_range(self):
+        model = LatencyModel(0.2, 0.8)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 0.2 <= model.sample(rng) <= 0.8
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            LatencyModel(0.0, 1.0)
+        with pytest.raises(ValueError):
+            LatencyModel(2.0, 1.0)
+
+
+class _Echo(AsyncNodeProcess):
+    """Broadcasts once; remembers what it heard and when."""
+
+    def __init__(self, node_id, position, neighbor_ids):
+        super().__init__(node_id, position, neighbor_ids)
+        self.heard: list[int] = []
+
+    def start(self):
+        self.broadcast(HELLO)
+
+    def receive(self, message):
+        self.heard.append(message.sender)
+
+
+class TestAsyncNetwork:
+    def _run(self, udg, seed=0, latency=None):
+        net = AsyncNetwork(
+            udg,
+            lambda node_id, _net: _Echo(
+                node_id,
+                udg.positions[node_id],
+                tuple(sorted(udg.neighbors(node_id))),
+            ),
+            seed=seed,
+            latency=latency,
+        )
+        finish = net.run()
+        return net, finish
+
+    def test_every_broadcast_delivered_per_neighbor(self):
+        udg = line_udg(5)
+        net, _ = self._run(udg)
+        # Line of 5: 2*4 directed deliveries.
+        assert net.delivered_count == 8
+        assert net.processes[1].heard.count(0) == 1
+
+    def test_clock_advances_to_last_delivery(self):
+        udg = line_udg(3)
+        net, finish = self._run(udg, latency=LatencyModel(0.5, 0.5))
+        assert finish == pytest.approx(0.5)
+
+    def test_deterministic_per_seed(self):
+        udg = line_udg(6)
+        net1, t1 = self._run(udg, seed=9)
+        net2, t2 = self._run(udg, seed=9)
+        assert t1 == t2
+        assert [p.heard for p in net1.processes] == [
+            p.heard for p in net2.processes
+        ]
+
+    def test_different_seeds_differ(self):
+        udg = line_udg(6)
+        _, t1 = self._run(udg, seed=1)
+        _, t2 = self._run(udg, seed=2)
+        assert t1 != t2
+
+    def test_max_events_guard(self):
+        udg = line_udg(2)
+
+        class Chatter(AsyncNodeProcess):
+            def start(self):
+                self.broadcast("Noise")
+
+            def receive(self, message):
+                self.broadcast("Noise")
+
+        net = AsyncNetwork(
+            udg,
+            lambda node_id, _net: Chatter(
+                node_id,
+                udg.positions[node_id],
+                tuple(sorted(udg.neighbors(node_id))),
+            ),
+        )
+        with pytest.raises(RuntimeError):
+            net.run(max_events=50)
+
+    def test_detached_process_cannot_broadcast(self):
+        proc = AsyncNodeProcess(0, Point(0, 0), ())
+        with pytest.raises(RuntimeError):
+            proc.broadcast("Hello")
+
+
+class TestAsyncClustering:
+    def test_matches_synchronous_on_line(self):
+        udg = line_udg(9)
+        outcome = run_async_clustering(udg)
+        assert outcome.dominators == {0, 2, 4, 6, 8}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_timing_independence(self, small_deployments, seed):
+        """The lowest-ID MIS is the same under any message delays."""
+        udg = small_deployments[seed % len(small_deployments)].udg()
+        outcome = run_async_clustering(
+            udg, seed=seed, latency=LatencyModel(0.01, 5.0)
+        )
+        assert outcome.dominators == centralized_mis(udg)
+
+    def test_matches_sync_protocol(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            sync = run_clustering(udg)
+            asyn = run_async_clustering(udg, seed=3)
+            assert sync.dominators == asyn.dominators
+            assert dict(sync.dominators_of) == dict(asyn.dominators_of)
+
+    def test_message_bound_holds_asynchronously(self, small_deployments):
+        for dep in small_deployments:
+            outcome = run_async_clustering(dep.udg(), seed=1)
+            assert outcome.stats.max_per_node() <= 6
+
+    def test_extreme_jitter(self, small_deployments):
+        """Three orders of magnitude of delay variance: still correct."""
+        udg = small_deployments[0].udg()
+        outcome = run_async_clustering(
+            udg, seed=13, latency=LatencyModel(0.001, 10.0)
+        )
+        assert outcome.dominators == centralized_mis(udg)
+        for doms in outcome.dominators_of.values():
+            assert len(doms) <= 5
+
+    def test_single_node(self):
+        udg = UnitDiskGraph([Point(0, 0)], 1.0)
+        outcome = run_async_clustering(udg)
+        assert outcome.dominators == {0}
+        assert outcome.finish_time == 0.0

@@ -1,0 +1,145 @@
+"""End-to-end tests: the paper's five headline properties.
+
+(1) planar backbone; (2) bounded backbone degree; (3) spanner for both
+hops and length; (4) localized construction; (5) constant per-node
+communication.  Each property gets a direct check on random instances.
+"""
+
+import pytest
+
+from repro.core.metrics import hop_stretch, length_stretch
+from repro.core.spanner import build_backbone
+from repro.graphs.paths import is_connected
+from repro.graphs.planarity import is_planar_embedding
+from repro.sim.messages import STATUS
+
+
+class TestProperty1Planarity:
+    def test_ldel_icds_planar(self, small_deployments, backbone):
+        assert is_planar_embedding(backbone.ldel_icds)
+        for dep in small_deployments:
+            result = build_backbone(dep.points, dep.radius)
+            assert is_planar_embedding(result.ldel_icds)
+
+
+class TestProperty2BoundedDegree:
+    def test_backbone_degree_constant(self, small_deployments):
+        # Paper Lemma 8 bound is enormous; empirically degrees stay
+        # tiny.  Assert a comfortably sub-UDG constant.
+        for dep in small_deployments:
+            result = build_backbone(dep.points, dep.radius)
+            assert max(result.ldel_icds.degrees(), default=0) <= 16
+            assert max(result.cds.degrees(), default=0) <= 30
+
+    def test_planar_graph_average_degree(self, backbone):
+        # Planar => average degree < 6.
+        degs = [d for d in backbone.ldel_icds.degrees() if d > 0]
+        assert sum(degs) / len(degs) < 6.0
+
+
+class TestProperty3Spanner:
+    def test_spanning_structures_connected(self, small_deployments):
+        for dep in small_deployments:
+            result = build_backbone(dep.points, dep.radius)
+            assert is_connected(result.cds_prime)
+            assert is_connected(result.icds_prime)
+            assert is_connected(result.ldel_icds_prime)
+
+    def test_length_stretch_bounded(self, small_deployments):
+        for dep in small_deployments:
+            result = build_backbone(dep.points, dep.radius)
+            stats = length_stretch(
+                result.ldel_icds_prime, result.udg, skip_udg_adjacent=True
+            )
+            assert stats.max < 8.0, "length stretch should be a small constant"
+
+    def test_hop_stretch_bounded(self, small_deployments):
+        for dep in small_deployments:
+            result = build_backbone(dep.points, dep.radius)
+            stats = hop_stretch(
+                result.ldel_icds_prime, result.udg, skip_udg_adjacent=True
+            )
+            assert stats.max < 6.0, "hop stretch should be a small constant"
+
+    def test_lemma5_hop_bound_3h_plus_2(self, small_deployments):
+        """Lemma 5's explicit bound: backbone path <= 3h + 2 hops."""
+        from repro.graphs.paths import bfs_hops
+
+        for dep in small_deployments[:3]:
+            result = build_backbone(dep.points, dep.radius)
+            udg = result.udg
+            for source in list(udg.nodes())[:8]:
+                hops_udg = bfs_hops(udg, source)
+                hops_bb = bfs_hops(result.cds_prime, source)
+                for target in udg.nodes():
+                    h = hops_udg[target]
+                    if h > 1:
+                        assert hops_bb[target] <= 3 * h + 2
+
+
+class TestProperty5CommunicationCost:
+    def test_constant_messages_per_node(self, small_deployments):
+        for dep in small_deployments:
+            result = build_backbone(dep.points, dep.radius)
+            # The paper measured ~13 max for CDS and ~60 for the whole
+            # pipeline; allow generous constants, assert no blowup.
+            assert result.stats_cds.max_per_node() <= 50
+            assert result.stats_ldel.max_per_node() <= 120
+
+    def test_total_messages_linear(self, small_deployments):
+        for dep in small_deployments:
+            result = build_backbone(dep.points, dep.radius)
+            n = result.udg.node_count
+            assert result.stats_ldel.total <= 120 * n
+
+    def test_ledger_boundaries_nest(self, backbone):
+        assert backbone.stats_cds.total < backbone.stats_icds.total
+        assert backbone.stats_icds.total < backbone.stats_ldel.total
+        n = backbone.udg.node_count
+        assert (
+            backbone.stats_icds.total - backbone.stats_cds.total == n
+        ), "ICDS adds exactly one Status broadcast per node"
+        assert backbone.stats_icds.per_kind[STATUS] == n
+
+
+class TestResultAccessors:
+    def test_roles_partition(self, backbone):
+        roles = {backbone.role_of(u) for u in backbone.udg.nodes()}
+        assert roles <= {"dominator", "connector", "dominatee"}
+        for u in backbone.dominators:
+            assert backbone.role_of(u) == "dominator"
+        for u in backbone.connectors:
+            assert backbone.role_of(u) == "connector"
+
+    def test_dominators_of_accessor(self, backbone):
+        for u in backbone.dominatees:
+            doms = backbone.dominators_of(u)
+            assert doms and doms <= backbone.dominators
+        for u in backbone.dominators:
+            assert backbone.dominators_of(u) == frozenset()
+
+    def test_accepts_raw_coordinate_pairs(self):
+        result = build_backbone([(0.0, 0.0), (0.5, 0.0), (1.0, 0.0)], 0.6)
+        assert result.udg.node_count == 3
+
+    def test_graph_names(self, backbone):
+        assert backbone.cds.name == "CDS"
+        assert backbone.ldel_icds.name == "LDel(ICDS)"
+        assert backbone.ldel_icds_prime.name == "LDel(ICDS')"
+
+    def test_backbone_edges_within_radius(self, backbone):
+        for u, v in backbone.ldel_icds.edges():
+            assert backbone.udg.edge_length(u, v) <= backbone.udg.radius + 1e-9
+
+    def test_prime_graphs_extend_base(self, backbone):
+        assert backbone.ldel_icds.is_subgraph_of(backbone.ldel_icds_prime)
+
+    def test_disconnected_udg_supported(self):
+        # Two far-apart triangles: per-component structures.
+        pts = [
+            (0.0, 0.0), (0.5, 0.0), (0.25, 0.4),
+            (100.0, 0.0), (100.5, 0.0), (100.25, 0.4),
+        ]
+        result = build_backbone(pts, 0.6)
+        assert is_planar_embedding(result.ldel_icds)
+        assert len(result.dominators) >= 2

@@ -1,0 +1,69 @@
+"""Tests for the beta-skeleton family."""
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.udg import UnitDiskGraph
+from repro.topology.beta_skeleton import beta_skeleton
+from repro.topology.gabriel import gabriel_graph
+from repro.topology.rng import relative_neighborhood_graph
+
+
+class TestEndpointsOfTheFamily:
+    def test_beta_one_is_gabriel(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            assert beta_skeleton(udg, 1.0).edge_set() == gabriel_graph(
+                udg
+            ).edge_set()
+
+    def test_beta_two_is_rng(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            assert beta_skeleton(udg, 2.0).edge_set() == relative_neighborhood_graph(
+                udg
+            ).edge_set()
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("pair", [(1.0, 1.3), (1.3, 1.7), (1.7, 2.0)])
+    def test_larger_beta_means_fewer_edges(self, small_deployments, pair):
+        lo, hi = pair
+        for dep in small_deployments[:3]:
+            udg = dep.udg()
+            sparser = beta_skeleton(udg, hi)
+            denser = beta_skeleton(udg, lo)
+            assert sparser.is_subgraph_of(denser)
+
+
+class TestValidation:
+    def test_beta_below_one_rejected(self):
+        udg = UnitDiskGraph([Point(0, 0), Point(1, 0)], 2.0)
+        with pytest.raises(ValueError):
+            beta_skeleton(udg, 0.9)
+
+    def test_beta_above_two_rejected(self):
+        udg = UnitDiskGraph([Point(0, 0), Point(1, 0)], 2.0)
+        with pytest.raises(ValueError):
+            beta_skeleton(udg, 2.5)
+
+
+class TestForbiddenRegionGeometry:
+    def test_midpoint_witness_blocks_everything(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0.5, 0.01)]
+        udg = UnitDiskGraph(pts, 1.5)
+        for beta in (1.0, 1.5, 2.0):
+            assert not beta_skeleton(udg, beta).has_edge(0, 1)
+
+    def test_witness_between_disk_and_lune(self):
+        # w outside the diameter disk (dist 0.6 > 0.5 from the center)
+        # but inside the lune (0.78 < |uv| from both endpoints): the
+        # edge survives at beta=1 (Gabriel) and dies at beta=2 (RNG).
+        pts = [Point(0, 0), Point(1, 0), Point(0.5, 0.6)]
+        udg = UnitDiskGraph(pts, 1.5)
+        assert beta_skeleton(udg, 1.0).has_edge(0, 1)
+        assert not beta_skeleton(udg, 2.0).has_edge(0, 1)
+
+    def test_graph_name_records_beta(self, deployment):
+        skeleton = beta_skeleton(deployment.udg(), 1.5)
+        assert skeleton.name == "BetaSkeleton(1.5)"

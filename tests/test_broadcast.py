@@ -1,0 +1,147 @@
+"""Tests for network-wide broadcasting strategies."""
+
+import pytest
+
+from repro.core.spanner import build_backbone
+from repro.geometry.primitives import Point
+from repro.graphs.udg import UnitDiskGraph
+from repro.routing.broadcast import (
+    backbone_broadcast,
+    flood,
+    relay_flood,
+    rng_broadcast,
+    rng_relay_set,
+    tree_broadcast,
+)
+from repro.topology.mst import euclidean_mst
+
+
+def line_udg(n):
+    return UnitDiskGraph([Point(float(i), 0.0) for i in range(n)], 1.0)
+
+
+class TestFlood:
+    def test_full_coverage_on_connected_graph(self, deployment):
+        udg = deployment.udg()
+        result = flood(udg, 0)
+        assert result.coverage == udg.node_count
+
+    def test_every_node_transmits_once(self, deployment):
+        udg = deployment.udg()
+        result = flood(udg, 0)
+        assert result.transmissions == udg.node_count
+
+    def test_rounds_equal_eccentricity_plus_one(self):
+        result = flood(line_udg(5), 0)
+        assert result.rounds == 5  # each hop is one round
+
+    def test_disconnected_component_unreached(self):
+        pts = [Point(0, 0), Point(1, 0), Point(10, 0)]
+        udg = UnitDiskGraph(pts, 1.0)
+        result = flood(udg, 0)
+        assert result.reached == {0, 1}
+
+
+class TestRelayFlood:
+    def test_relay_set_limits_transmitters(self):
+        udg = line_udg(5)
+        result = relay_flood(udg, 0, relays=[0, 1, 2, 3])
+        # Node 4 hears node 3 but never forwards.
+        assert result.coverage == 5
+        assert 4 not in result.transmitters
+
+    def test_source_always_transmits(self):
+        udg = line_udg(3)
+        result = relay_flood(udg, 0, relays=[])
+        assert result.transmitters == {0}
+        assert result.reached == {0, 1}
+
+    def test_broken_relay_set_loses_coverage(self):
+        udg = line_udg(5)
+        result = relay_flood(udg, 0, relays=[0, 1])  # gap at 2
+        assert result.coverage == 3  # 0,1,2 (2 hears 1 but won't relay)
+
+
+class TestBackboneBroadcast:
+    def test_full_coverage_via_cds(self, deployment, backbone):
+        udg = deployment.udg()
+        for source in [0, 5, udg.node_count - 1]:
+            result = backbone_broadcast(udg, source, backbone.backbone_nodes)
+            assert result.coverage == udg.node_count
+
+    def test_cheaper_than_flooding(self, deployment, backbone):
+        udg = deployment.udg()
+        blind = flood(udg, 0)
+        smart = backbone_broadcast(udg, 0, backbone.backbone_nodes)
+        assert smart.transmissions < blind.transmissions
+        assert smart.transmissions <= len(backbone.backbone_nodes) + 1
+
+    def test_transmitters_are_backbone_or_source(self, deployment, backbone):
+        udg = deployment.udg()
+        source = next(iter(backbone.dominatees))
+        result = backbone_broadcast(udg, source, backbone.backbone_nodes)
+        assert result.transmitters <= backbone.backbone_nodes | {source}
+
+
+class TestRngBroadcast:
+    def test_full_coverage(self, deployment):
+        udg = deployment.udg()
+        result = rng_broadcast(udg, 0)
+        assert result.coverage == udg.node_count
+
+    def test_rng_leaves_do_not_relay(self, deployment):
+        udg = deployment.udg()
+        relays = rng_relay_set(udg)
+        result = rng_broadcast(udg, 5)
+        assert result.transmitters <= relays | {5}
+
+    def test_cheaper_than_flooding(self, deployment):
+        udg = deployment.udg()
+        assert (
+            rng_broadcast(udg, 0).transmissions
+            <= flood(udg, 0).transmissions
+        )
+
+    def test_relay_set_on_line(self):
+        udg = line_udg(5)
+        # The RNG of a line is the line; interior nodes are internal.
+        assert rng_relay_set(udg) == {1, 2, 3}
+
+
+class TestTreeBroadcast:
+    def test_full_coverage_on_mst(self, deployment):
+        udg = deployment.udg()
+        mst = euclidean_mst(udg)
+        result = tree_broadcast(udg, 0, mst)
+        assert result.coverage == udg.node_count
+
+    def test_leaves_do_not_transmit(self, deployment):
+        udg = deployment.udg()
+        mst = euclidean_mst(udg)
+        result = tree_broadcast(udg, 0, mst)
+        leaves = {u for u in mst.nodes() if mst.degree(u) == 1 and u != 0}
+        assert not (result.transmitters & leaves)
+
+    def test_structured_strategies_beat_flooding(self, deployment, backbone):
+        # Both structure-based schemes beat blind flooding.  Note the
+        # backbone typically beats the MST too: the MST is deep and
+        # skinny, so most of its nodes are internal (must transmit),
+        # while the CDS was built to be a small relay set — the
+        # quantitative version of the paper's case for backbones.
+        udg = deployment.udg()
+        mst = euclidean_mst(udg)
+        tree = tree_broadcast(udg, 0, mst)
+        relay = backbone_broadcast(udg, 0, backbone.backbone_nodes)
+        blind = flood(udg, 0)
+        assert tree.transmissions < blind.transmissions
+        assert relay.transmissions < blind.transmissions
+        assert relay.transmissions <= len(backbone.backbone_nodes) + 1
+
+    def test_tree_broadcast_latency_cost(self, deployment, backbone):
+        # The flip side: the tree takes far more rounds than the
+        # backbone flood (depth vs near-BFS).
+        udg = deployment.udg()
+        mst = euclidean_mst(udg)
+        tree = tree_broadcast(udg, 0, mst)
+        relay = backbone_broadcast(udg, 0, backbone.backbone_nodes)
+        assert tree.rounds >= relay.rounds

@@ -1,0 +1,34 @@
+"""Tests for the corpus CLI command and --corpus deployment source."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCorpusCommand:
+    def test_lists_all_entries(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper-table1", "sensor-clusters", "road-corridor"):
+            assert name in out
+
+    def test_measure_from_corpus(self, capsys):
+        assert main(["measure", "--corpus", "paper-sparse"]) == 0
+        out = capsys.readouterr().out
+        assert "UDG" in out
+
+    def test_corpus_with_index(self, capsys):
+        assert main(["build", "--corpus", "paper-sparse/1"]) == 0
+        out = capsys.readouterr().out
+        assert "planar: True" in out
+
+    def test_unknown_corpus_name(self, capsys):
+        with pytest.raises(KeyError):
+            main(["build", "--corpus", "bogus"])
+
+    def test_corpus_build_deterministic(self, capsys):
+        main(["build", "--corpus", "paper-sparse"])
+        first = capsys.readouterr().out
+        main(["build", "--corpus", "paper-sparse"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,141 @@
+"""Tests for the distributed clustering (MIS election) protocol."""
+
+import random
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.clustering import (
+    centralized_mis,
+    highest_degree_priority,
+    lowest_id_priority,
+    run_clustering,
+)
+from repro.sim.messages import HELLO, IAM_DOMINATEE, IAM_DOMINATOR
+
+
+def line_udg(n, spacing=1.0, radius=1.0):
+    return UnitDiskGraph([Point(i * spacing, 0.0) for i in range(n)], radius)
+
+
+class TestElectionOutcome:
+    def test_single_node_is_dominator(self):
+        udg = UnitDiskGraph([Point(0, 0)], 1.0)
+        outcome = run_clustering(udg)
+        assert outcome.dominators == {0}
+
+    def test_line_of_three(self):
+        # 0 wins (smallest ID); 2 wins after 1 becomes dominatee.
+        udg = line_udg(3)
+        outcome = run_clustering(udg)
+        assert outcome.dominators == {0, 2}
+        assert outcome.dominators_of[1] == {0, 2}
+
+    def test_chain_election_cascade(self):
+        # IDs increase along the line: elections cascade one by one,
+        # the worst case for round count.
+        udg = line_udg(9)
+        outcome = run_clustering(udg)
+        assert outcome.dominators == {0, 2, 4, 6, 8}
+
+    def test_matches_centralized_greedy(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            outcome = run_clustering(udg)
+            assert outcome.dominators == centralized_mis(udg)
+
+
+class TestMisProperties:
+    def test_independence(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            doms = run_clustering(udg).dominators
+            for u in doms:
+                assert not (udg.neighbors(u) & doms)
+
+    def test_domination(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            outcome = run_clustering(udg)
+            doms = outcome.dominators
+            for u in udg.nodes():
+                assert u in doms or (udg.neighbors(u) & doms)
+
+    def test_maximality(self, small_deployments):
+        # No node could be added: every non-dominator has a dominator
+        # neighbor (same as domination for MIS).
+        for dep in small_deployments:
+            udg = dep.udg()
+            outcome = run_clustering(udg)
+            for u in udg.nodes():
+                if u not in outcome.dominators:
+                    assert udg.neighbors(u) & outcome.dominators
+
+    def test_lemma1_at_most_five_dominators(self, small_deployments):
+        """Paper Lemma 1: a dominatee has at most 5 adjacent dominators."""
+        for dep in small_deployments:
+            outcome = run_clustering(dep.udg())
+            for doms in outcome.dominators_of.values():
+                assert len(doms) <= 5
+
+    def test_dominators_of_lists_actual_neighbors(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            outcome = run_clustering(udg)
+            for node, doms in outcome.dominators_of.items():
+                for d in doms:
+                    assert udg.has_edge(node, d)
+                    assert d in outcome.dominators
+
+
+class TestMessageAccounting:
+    def test_hello_once_per_node(self, deployment):
+        udg = deployment.udg()
+        outcome = run_clustering(udg)
+        assert outcome.stats.per_kind[HELLO] == udg.node_count
+
+    def test_dominator_message_once_per_dominator(self, deployment):
+        udg = deployment.udg()
+        outcome = run_clustering(udg)
+        assert outcome.stats.per_kind[IAM_DOMINATOR] == len(outcome.dominators)
+
+    def test_dominatee_messages_bounded_by_lemma1(self, deployment):
+        udg = deployment.udg()
+        outcome = run_clustering(udg)
+        for node in udg.nodes():
+            sent = outcome.stats.per_node_kind.get((node, IAM_DOMINATEE), 0)
+            assert sent <= 5
+
+    def test_constant_messages_per_node(self, deployment):
+        # Hello + IamDominator/IamDominatee(<=5): at most 6.
+        udg = deployment.udg()
+        outcome = run_clustering(udg)
+        assert outcome.stats.max_per_node() <= 6
+
+
+class TestPriorityVariants:
+    def test_highest_degree_priority_orders_by_degree(self):
+        assert highest_degree_priority(5, 10) < highest_degree_priority(1, 3)
+
+    def test_lowest_id_ignores_degree(self):
+        assert lowest_id_priority(1, 99) < lowest_id_priority(2, 1)
+
+    def test_highest_degree_election_runs(self, small_deployments):
+        for dep in small_deployments[:2]:
+            udg = dep.udg()
+            outcome = run_clustering(udg, priority=highest_degree_priority)
+            # Still a valid MIS.
+            for u in outcome.dominators:
+                assert not (udg.neighbors(u) & outcome.dominators)
+            for u in udg.nodes():
+                assert u in outcome.dominators or (
+                    udg.neighbors(u) & outcome.dominators
+                )
+
+    def test_star_elects_hub_under_degree_priority(self):
+        pts = [Point(0, 0)] + [Point(1.0, 0.01 * i) for i in range(1, 6)]
+        udg = UnitDiskGraph(pts, 1.1)
+        # Give the hub a *large* ID so lowest-id would not pick it alone.
+        outcome = run_clustering(udg, priority=highest_degree_priority)
+        assert 0 in outcome.dominators

@@ -1,0 +1,126 @@
+"""Tests for compass routing and the power model."""
+
+import math
+
+import pytest
+
+from repro.core.power import (
+    PowerProfile,
+    link_energy,
+    power_profile,
+    power_saving_ratio,
+)
+from repro.geometry.primitives import Point
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+from repro.routing.compass import compass_route
+from repro.topology.delaunay_udg import delaunay_graph
+
+
+class TestCompassRoute:
+    def test_delivers_on_chain(self):
+        pts = [Point(float(i), 0.0) for i in range(5)]
+        g = Graph(pts, [(i, i + 1) for i in range(4)])
+        result = compass_route(g, 0, 4)
+        assert result.delivered and result.hops == 4
+
+    def test_direct_neighbor_shortcut(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0.5, 1)]
+        g = Graph(pts, [(0, 1), (0, 2), (1, 2)])
+        result = compass_route(g, 0, 1)
+        assert result.path == (0, 1)
+
+    def test_delivers_on_delaunay_triangulation(self, small_deployments):
+        """Kranakis et al.: compass routing succeeds on DTs."""
+        for dep in small_deployments[:3]:
+            dt = delaunay_graph(list(dep.points))
+            n = dt.node_count
+            for s, t in [(0, n - 1), (1, n // 2), (n - 1, 0)]:
+                if s == t:
+                    continue
+                result = compass_route(dt, s, t)
+                assert result.delivered, f"compass failed {s}->{t} on DT"
+
+    def test_detects_loops(self):
+        # A ring with the target in the middle, unreachable: compass
+        # circles and must detect the repeated edge.
+        pts = [
+            Point(math.cos(a), math.sin(a))
+            for a in [i * 2 * math.pi / 6 for i in range(6)]
+        ] + [Point(0, 0)]
+        g = Graph(pts, [(i, (i + 1) % 6) for i in range(6)])
+        result = compass_route(g, 0, 6)
+        assert not result.delivered
+        assert result.reason in ("loop", "stuck")
+
+    def test_stuck_on_isolated_node(self):
+        g = Graph([Point(0, 0), Point(5, 5)])
+        assert compass_route(g, 0, 1).reason == "stuck"
+
+
+class TestLinkEnergy:
+    def test_energy_is_length_to_alpha(self):
+        g = Graph([Point(0, 0), Point(2, 0)], [(0, 1)])
+        assert link_energy(g, 0, 1, alpha=2.0) == pytest.approx(4.0)
+        assert link_energy(g, 0, 1, alpha=3.0) == pytest.approx(8.0)
+
+    def test_alpha_validated(self):
+        g = Graph([Point(0, 0), Point(1, 0)], [(0, 1)])
+        with pytest.raises(ValueError):
+            link_energy(g, 0, 1, alpha=1.0)
+        with pytest.raises(ValueError):
+            link_energy(g, 0, 1, alpha=6.0)
+
+
+class TestPowerProfile:
+    def test_node_power_is_longest_link(self):
+        pts = [Point(0, 0), Point(1, 0), Point(3, 0)]
+        g = Graph(pts, [(0, 1), (1, 2)])
+        profile = power_profile(g, alpha=2.0)
+        assert profile.node_power[0] == pytest.approx(1.0)
+        assert profile.node_power[1] == pytest.approx(4.0)  # 2^2
+        assert profile.node_power[2] == pytest.approx(4.0)
+
+    def test_isolated_node_listens_for_free(self):
+        g = Graph([Point(0, 0), Point(1, 0), Point(9, 9)], [(0, 1)])
+        profile = power_profile(g)
+        assert profile.node_power[2] == 0.0
+
+    def test_total_link_energy(self):
+        pts = [Point(0, 0), Point(1, 0), Point(3, 0)]
+        g = Graph(pts, [(0, 1), (1, 2)])
+        profile = power_profile(g, alpha=2.0)
+        assert profile.total_link_energy == pytest.approx(1.0 + 4.0)
+
+    def test_aggregates(self):
+        profile = PowerProfile(alpha=2.0, node_power=(1.0, 3.0), total_link_energy=4.0)
+        assert profile.total_assigned_power == 4.0
+        assert profile.max_node_power == 3.0
+        assert profile.avg_node_power == 2.0
+
+    def test_empty_graph(self):
+        profile = power_profile(Graph([]))
+        assert profile.total_assigned_power == 0.0
+        assert profile.avg_node_power == 0.0
+
+
+class TestPowerSavingRatio:
+    def test_backbone_saves_power_over_udg(self, deployment, backbone):
+        udg = deployment.udg()
+        ratio = power_saving_ratio(backbone.ldel_icds_prime, udg, alpha=2.0)
+        assert ratio > 1.0, "the sparse spanner should allow lower radio power"
+
+    def test_mismatched_nodes_rejected(self, backbone):
+        with pytest.raises(ValueError):
+            power_saving_ratio(Graph([Point(0, 0)]), backbone.udg)
+
+    def test_identical_graph_ratio_one(self, deployment):
+        udg = deployment.udg()
+        assert power_saving_ratio(udg, udg) == pytest.approx(1.0)
+
+    def test_empty_sparse_graph(self):
+        pts = [Point(0, 0), Point(1, 0)]
+        empty = Graph(pts)
+        dense = Graph(pts, [(0, 1)])
+        assert power_saving_ratio(empty, dense) == float("inf")
+        assert power_saving_ratio(empty, empty) == 1.0

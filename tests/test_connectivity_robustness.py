@@ -1,0 +1,153 @@
+"""Tests for articulation points, bridges and failure robustness."""
+
+import random
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.connectivity import (
+    articulation_points,
+    bridges,
+    robustness,
+    survives_failures,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.paths import connected_components, is_connected
+
+
+def path_graph(n):
+    pts = [Point(float(i), 0.0) for i in range(n)]
+    return Graph(pts, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n):
+    pts = [Point(float(i), 0.0) for i in range(n)]
+    return Graph(pts, [(i, (i + 1) % n) for i in range(n)])
+
+
+class TestArticulationPoints:
+    def test_path_interior_nodes(self):
+        assert articulation_points(path_graph(5)) == {1, 2, 3}
+
+    def test_cycle_has_none(self):
+        assert articulation_points(cycle_graph(6)) == frozenset()
+
+    def test_star_hub(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0, 1), Point(-1, 0)]
+        star = Graph(pts, [(0, 1), (0, 2), (0, 3)])
+        assert articulation_points(star) == {0}
+
+    def test_two_triangles_sharing_a_vertex(self):
+        pts = [Point(float(i), float(i % 2)) for i in range(5)]
+        g = Graph(pts, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        assert articulation_points(g) == {2}
+
+    def test_matches_brute_force(self, small_deployments):
+        from repro.topology.gabriel import gabriel_graph
+
+        for dep in small_deployments[:3]:
+            g = gabriel_graph(dep.udg())
+            fast = articulation_points(g)
+            brute = set()
+            base = len(connected_components(g))
+            for v in g.nodes():
+                survivor = survives_failures(g, [v])
+                # Removing v also isolates it; compare non-singleton
+                # component counts among the other nodes.
+                comps = [
+                    c for c in connected_components(survivor) if v not in c or len(c) > 1
+                ]
+                comps = [c - {v} for c in comps]
+                comps = [c for c in comps if c]
+                if len(comps) > base:
+                    brute.add(v)
+            assert fast == brute
+
+    def test_empty_and_single(self):
+        assert articulation_points(Graph([])) == frozenset()
+        assert articulation_points(Graph([Point(0, 0)])) == frozenset()
+
+
+class TestBridges:
+    def test_every_path_edge_is_a_bridge(self):
+        assert bridges(path_graph(4)) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_cycle_has_none(self):
+        assert bridges(cycle_graph(5)) == frozenset()
+
+    def test_bridge_between_cycles(self):
+        pts = [Point(float(i), 0.0) for i in range(6)]
+        g = Graph(
+            pts,
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
+        )
+        assert bridges(g) == {(2, 3)}
+
+
+class TestRobustnessReport:
+    def test_cycle_is_biconnected(self):
+        report = robustness(cycle_graph(8))
+        assert report.biconnected
+        assert report.cut_fraction == 0.0
+
+    def test_path_is_fragile(self):
+        report = robustness(path_graph(10))
+        assert not report.biconnected
+        assert report.cut_fraction == pytest.approx(8 / 10)
+
+    def test_restricted_to_node_subset(self, backbone):
+        report = robustness(backbone.icds, nodes=backbone.backbone_nodes)
+        assert report.node_count == len(backbone.backbone_nodes)
+        assert 0.0 <= report.cut_fraction <= 1.0
+
+    def test_empty(self):
+        report = robustness(Graph([]))
+        assert report.cut_fraction == 0.0
+
+
+class TestSurvivesFailures:
+    def test_removes_incident_edges(self):
+        g = path_graph(4)
+        survivor = survives_failures(g, [1])
+        assert survivor.degree(1) == 0
+        assert survivor.has_edge(2, 3)
+        assert not survivor.has_edge(0, 1)
+
+    def test_node_ids_stable(self, backbone):
+        failed = sorted(backbone.connectors)[:2]
+        survivor = survives_failures(backbone.ldel_icds, failed)
+        assert survivor.node_count == backbone.ldel_icds.node_count
+
+
+class TestBackboneRobustness:
+    def test_icds_less_fragile_than_cds(self, small_deployments):
+        """The paper's redundancy argument: ICDS keeps every UDG link
+        among backbone nodes, so it is never more fragile than the
+        elected-edges-only CDS."""
+        from repro.core.spanner import build_backbone
+
+        for dep in small_deployments[:3]:
+            result = build_backbone(dep.points, dep.radius)
+            members = result.backbone_nodes
+            cds_report = robustness(result.cds, nodes=members)
+            icds_report = robustness(result.icds, nodes=members)
+            assert icds_report.cut_fraction <= cds_report.cut_fraction + 1e-9
+
+    def test_routing_survives_non_cut_failure(self, backbone):
+        from repro.routing.gpsr import gpsr_route
+
+        members = sorted(backbone.backbone_nodes)
+        report = robustness(backbone.ldel_icds, nodes=backbone.backbone_nodes)
+        remap = {new: old for new, old in enumerate(sorted(members))}
+        safe = [
+            remap[i]
+            for i in range(len(members))
+            if i not in report.articulation_points
+        ]
+        if len(safe) < 3:
+            pytest.skip("no safe node to fail on this instance")
+        victim = safe[len(safe) // 2]
+        survivor = survives_failures(backbone.ldel_icds, [victim])
+        others = [m for m in members if m != victim]
+        route = gpsr_route(survivor, others[0], others[-1])
+        assert route.delivered

@@ -1,0 +1,103 @@
+"""Tests for the convergecast (data aggregation) protocol."""
+
+import random
+
+import pytest
+
+from repro.core.spanner import build_backbone
+from repro.geometry.primitives import Point
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.convergecast import REPORT, TREE_BUILD, run_convergecast
+from repro.workloads.generators import connected_udg_instance
+
+
+def line_world(n):
+    pts = [Point(float(i), 0.0) for i in range(n)]
+    udg = UnitDiskGraph(pts, 1.0)
+    return udg
+
+
+class TestTreeBuilding:
+    def test_bfs_parents_on_line(self):
+        udg = line_world(5)
+        out = run_convergecast(udg, udg, sink=0)
+        assert out.parent == {1: 0, 2: 1, 3: 2, 4: 3}
+        assert out.depth_of(4) == 4
+        assert out.depth_of(0) == 0
+
+    def test_middle_sink(self):
+        udg = line_world(5)
+        out = run_convergecast(udg, udg, sink=2)
+        assert out.parent[1] == 2 and out.parent[3] == 2
+        assert out.depth_of(0) == 2 and out.depth_of(4) == 2
+
+    def test_detached_node_not_in_tree(self):
+        pts = [Point(0, 0), Point(1, 0), Point(9, 9)]
+        udg = UnitDiskGraph(pts, 1.5)
+        out = run_convergecast(udg, udg, sink=0)
+        assert 2 not in out.parent
+        assert out.contributors == 2
+
+    def test_depth_of_detached_raises(self):
+        pts = [Point(0, 0), Point(9, 9)]
+        udg = UnitDiskGraph(pts, 1.0)
+        out = run_convergecast(udg, udg, sink=0)
+        with pytest.raises(Exception):
+            out.depth_of(1)
+
+
+class TestAggregation:
+    def test_count_aggregate(self, deployment, backbone):
+        out = run_convergecast(backbone.cds_prime, backbone.udg, sink=0)
+        assert out.contributors == backbone.udg.node_count
+        assert out.value == pytest.approx(float(backbone.udg.node_count))
+
+    def test_sum_aggregate_exact(self, deployment, backbone):
+        n = backbone.udg.node_count
+        readings = {u: float(u) for u in range(n)}
+        out = run_convergecast(
+            backbone.cds_prime, backbone.udg, sink=0, readings=readings
+        )
+        assert out.value == pytest.approx(sum(range(n)))
+
+    def test_max_aggregate(self, deployment, backbone):
+        n = backbone.udg.node_count
+        readings = {u: float(u) for u in range(n)}
+        out = run_convergecast(
+            backbone.cds_prime, backbone.udg, sink=3,
+            readings=readings, aggregator=max,
+        )
+        assert out.value == pytest.approx(float(n - 1))
+
+    def test_single_node(self):
+        udg = UnitDiskGraph([Point(0, 0)], 1.0)
+        out = run_convergecast(udg, udg, sink=0, readings={0: 7.0})
+        assert out.value == 7.0 and out.contributors == 1
+
+
+class TestCost:
+    def test_two_messages_per_node(self, deployment, backbone):
+        # One TreeBuild + one Report per non-sink node; the sink sends
+        # only its TreeBuild.
+        out = run_convergecast(backbone.cds_prime, backbone.udg, sink=0)
+        assert out.stats.max_per_node() <= 2
+        n = backbone.udg.node_count
+        assert out.stats.per_kind[TREE_BUILD] == n
+        assert out.stats.per_kind[REPORT] == n - 1
+
+    def test_cheaper_than_per_reading_unicast(self, deployment, backbone):
+        # Convergecast: ~2n transmissions for all readings; unicast:
+        # one per hop per reading.
+        from repro.protocols.routing_protocol import run_routing_protocol
+
+        n = backbone.udg.node_count
+        out = run_convergecast(backbone.cds_prime, backbone.udg, sink=0)
+        packets = [(u, 0) for u in range(1, n)]
+        _outcomes, route_stats = run_routing_protocol(backbone, packets)
+        assert out.stats.total < route_stats.per_kind["Data"]
+
+    def test_rounds_scale_with_depth(self):
+        shallow = run_convergecast(line_world(4), line_world(4), sink=0)
+        deep = run_convergecast(line_world(12), line_world(12), sink=0)
+        assert deep.rounds > shallow.rounds

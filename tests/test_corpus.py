@@ -1,0 +1,51 @@
+"""Tests for the canonical instance corpus."""
+
+import pytest
+
+from repro.graphs.paths import is_connected
+from repro.workloads.corpus import CORPUS, get_instance
+
+
+class TestCorpus:
+    def test_all_entries_regenerate(self):
+        for name, entry in CORPUS.items():
+            if entry.n > 200:
+                continue  # the dense entry is covered separately
+            deployment = get_instance(name)
+            assert len(deployment.points) == entry.n
+            assert deployment.radius == entry.radius
+            assert is_connected(deployment.udg())
+
+    def test_deterministic(self):
+        a = get_instance("paper-table1", 0)
+        b = get_instance("paper-table1", 0)
+        assert a.points == b.points
+
+    def test_indices_differ(self):
+        a = get_instance("paper-table1", 0)
+        b = get_instance("paper-table1", 1)
+        assert a.points != b.points
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_instance("paper-table9")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            get_instance("paper-table1", -1)
+
+    def test_dense_entry(self):
+        deployment = get_instance("paper-dense")
+        assert len(deployment.points) == 500
+        assert is_connected(deployment.udg())
+
+    def test_table1_regime_matches_calibration(self):
+        # The corpus instance reproduces the calibrated UDG regime:
+        # ~21 average degree (DESIGN.md).
+        udg = get_instance("paper-table1").udg()
+        avg_degree = 2 * udg.edge_count / udg.node_count
+        assert 15 < avg_degree < 28
+
+    def test_descriptions_present(self):
+        for entry in CORPUS.values():
+            assert entry.description

@@ -1,0 +1,153 @@
+"""Tests for degenerate-input handling across the geometry stack.
+
+The paper assumes general position (no four cocircular nodes); these
+tests feed the library exactly the inputs that assumption excludes and
+check the documented guarantees still hold.
+"""
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.geometry.triangulation import (
+    _in_circumcircle,
+    _incircle_sign_exact,
+    _orient_sign,
+    _orient_sign_exact,
+    delaunay,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.paths import is_connected
+from repro.graphs.planarity import is_planar_embedding
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.ldel2_protocol import run_ldel2_protocol
+from repro.protocols.ldel_protocol import run_ldel_protocol
+from repro.topology.ldel import (
+    planar_local_delaunay_graph,
+    resolve_degenerate_crossings,
+)
+
+
+class TestExactPredicates:
+    def test_orient_sign_exact_collinear(self):
+        assert _orient_sign_exact(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+    def test_orient_sign_exact_ccw(self):
+        assert _orient_sign_exact(Point(0, 0), Point(1, 0), Point(0, 1)) == 1
+
+    def test_orient_sign_matches_exact_on_tiny_determinants(self):
+        # Near-collinear float triple: the adaptive filter must agree
+        # with the exact computation.
+        a, b = Point(0.0, 0.0), Point(1.0, 1.0)
+        c = Point(0.5, 0.5 + 1e-18)  # rounds to exactly 0.5
+        assert _orient_sign(a, b, c) == _orient_sign_exact(a, b, c)
+
+    def test_incircle_sign_exact_cocircular(self):
+        square = (Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1))
+        assert _incircle_sign_exact(*square) == 0
+
+    def test_in_circumcircle_boundary_inclusive(self):
+        # Exactly cocircular: counted inside so the cavity opens.
+        assert _in_circumcircle(Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1))
+
+    def test_in_circumcircle_degenerate_triangle_empty(self):
+        assert not _in_circumcircle(
+            Point(0, 0), Point(1, 1), Point(2, 2), Point(0, 1)
+        )
+
+
+class TestDegenerateTriangulations:
+    def test_point_exactly_on_edge(self):
+        # Four collinear points plus one off-line: the interior points
+        # land exactly on existing edges during insertion.
+        pts = [Point(1, 0), Point(1, 1), Point(1, 3), Point(1, 2), Point(0, 12)]
+        tri = delaunay(pts)
+        assert sorted(tri.triangles) == [(0, 1, 4), (1, 3, 4), (2, 3, 4)]
+
+    def test_two_cocircular_squares(self):
+        pts = [
+            Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1),
+            Point(10, 0), Point(11, 0), Point(11, 1), Point(10, 1),
+        ]
+        tri = delaunay(pts)
+        # Each square triangulates with exactly one diagonal.
+        for quad in ((0, 1, 2, 3), (4, 5, 6, 7)):
+            diagonals = [
+                (quad[0], quad[2]),
+                (quad[1], quad[3]),
+            ]
+            present = sum(1 for d in diagonals if tuple(sorted(d)) in tri.edges)
+            assert present == 1
+
+    def test_concentric_cocircular_ring(self):
+        import math
+
+        ring = [
+            Point(math.cos(i * math.pi / 4), math.sin(i * math.pi / 4))
+            for i in range(8)
+        ]
+        tri = delaunay(ring)
+        # 8 cocircular points: fan triangulation, 6 triangles, planar.
+        assert len(tri.triangles) == 6
+        graph = Graph(tri.points, tri.edges)
+        assert is_planar_embedding(graph)
+
+
+class TestResolveDegenerateCrossings:
+    def crossing_graph(self):
+        pts = [Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0)]
+        return Graph(pts, [(0, 1), (2, 3), (0, 2), (1, 3)])
+
+    def test_removes_exactly_one_of_a_crossing_pair(self):
+        graph = self.crossing_graph()
+        resolve_degenerate_crossings(graph)
+        assert is_planar_embedding(graph)
+        # One diagonal survived.
+        assert graph.has_edge(0, 1) != graph.has_edge(2, 3)
+
+    def test_deterministic_loser(self):
+        # Equal lengths: the lexicographically larger edge loses.
+        g1 = self.crossing_graph()
+        g2 = self.crossing_graph()
+        resolve_degenerate_crossings(g1)
+        resolve_degenerate_crossings(g2)
+        assert g1.edge_set() == g2.edge_set()
+        assert g1.has_edge(0, 1)  # (0,1) < (2,3)
+
+    def test_noop_on_planar_graph(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0.5, 1)]
+        graph = Graph(pts, [(0, 1), (1, 2), (0, 2)])
+        before = graph.edge_set()
+        resolve_degenerate_crossings(graph)
+        assert graph.edge_set() == before
+
+
+class TestPlanarityOnCocircularDeployments:
+    # The falsifying example hypothesis found: a perfect half-unit
+    # square, all four nodes mutually in range.
+    SQUARE = [Point(0, 0), Point(0, 0.5), Point(0.5, 0), Point(0.5, 0.5)]
+
+    def test_pldel_planar_on_perfect_square(self):
+        udg = UnitDiskGraph(self.SQUARE, 3.0)
+        pldel = planar_local_delaunay_graph(udg)
+        assert is_planar_embedding(pldel.graph)
+        assert is_connected(pldel.graph)
+
+    def test_distributed_protocols_agree_on_square(self):
+        udg = UnitDiskGraph(self.SQUARE, 3.0)
+        one = run_ldel_protocol(udg)
+        centralized = planar_local_delaunay_graph(udg)
+        assert one.graph.edge_set() == centralized.graph.edge_set()
+        assert is_planar_embedding(one.graph)
+
+    def test_ldel2_planar_on_square(self):
+        udg = UnitDiskGraph(self.SQUARE, 3.0)
+        two = run_ldel2_protocol(udg)
+        assert is_planar_embedding(two.graph)
+
+    def test_grid_deployment_end_to_end(self):
+        from repro.core.spanner import build_backbone
+
+        pts = [(float(i), float(j)) for i in range(5) for j in range(5)]
+        result = build_backbone(pts, 1.6)
+        assert is_planar_embedding(result.ldel_icds)
+        assert is_connected(result.ldel_icds_prime)

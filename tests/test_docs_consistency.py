@@ -1,0 +1,71 @@
+"""Documentation consistency: what the docs point at must exist."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestDesignDoc:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return (ROOT / "DESIGN.md").read_text()
+
+    def test_referenced_bench_files_exist(self, design):
+        for match in re.finditer(r"benchmarks/(bench_\w+\.py)", design):
+            assert (ROOT / "benchmarks" / match.group(1)).exists(), match.group(0)
+
+    def test_referenced_modules_exist(self, design):
+        for match in re.finditer(r"`repro\.([a-z_.]+)`", design):
+            dotted = match.group(1).rstrip(".")
+            path = ROOT / "src" / "repro" / Path(*dotted.split("."))
+            assert (
+                path.with_suffix(".py").exists() or (path / "__init__.py").exists()
+            ), f"repro.{dotted}"
+
+    def test_paper_confirmation_present(self, design):
+        assert "Paper-text check" in design
+        assert "matches the stated" in design
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return (ROOT / "README.md").read_text()
+
+    def test_referenced_examples_exist(self, readme):
+        for match in re.finditer(r"`examples/(\w+\.py)`", readme):
+            assert (ROOT / "examples" / match.group(1)).exists(), match.group(0)
+
+    def test_doc_files_exist(self, readme):
+        for name in ("DESIGN.md", "EXPERIMENTS.md"):
+            assert name in readme
+            assert (ROOT / name).exists()
+
+    def test_every_example_is_documented(self, readme):
+        for example in (ROOT / "examples").glob("*.py"):
+            assert f"`examples/{example.name}`" in readme, example.name
+
+
+class TestDocsDir:
+    def test_docs_referenced_from_readme_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for match in re.finditer(r"`(\w+\.md)`", readme):
+            name = match.group(1)
+            assert (
+                (ROOT / name).exists() or (ROOT / "docs" / name).exists()
+            ), name
+
+    def test_experiments_md_covers_every_figure(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for heading in (
+            "Table I",
+            "Figure 8",
+            "Figure 9",
+            "Figure 10",
+            "Figure 11",
+            "Figure 12",
+        ):
+            assert heading in text, heading

@@ -1,0 +1,64 @@
+"""Tests for protocol energy accounting."""
+
+import pytest
+
+from repro.core.spanner import build_backbone
+from repro.geometry.primitives import Point
+from repro.graphs.udg import UnitDiskGraph
+from repro.sim.energy import protocol_energy
+from repro.sim.stats import MessageStats
+
+
+def line_udg(n):
+    return UnitDiskGraph([Point(float(i), 0.0) for i in range(n)], 1.0)
+
+
+class TestProtocolEnergy:
+    def test_single_broadcast(self):
+        udg = line_udg(3)
+        stats = MessageStats()
+        stats.record(1, "Hello")  # node 1 has two neighbors
+        report = protocol_energy(stats, udg, alpha=2.0, rx_cost_fraction=0.1)
+        assert report.node(1) == pytest.approx(1.0)  # tx: r^2 = 1
+        assert report.node(0) == pytest.approx(0.1)  # rx
+        assert report.node(2) == pytest.approx(0.1)
+        assert report.total == pytest.approx(1.2)
+
+    def test_alpha_scales_tx(self):
+        udg = UnitDiskGraph([Point(0, 0), Point(2, 0)], 2.0)
+        stats = MessageStats()
+        stats.record(0, "Hello")
+        r2 = protocol_energy(stats, udg, alpha=2.0, rx_cost_fraction=0.0)
+        r4 = protocol_energy(stats, udg, alpha=4.0, rx_cost_fraction=0.0)
+        assert r4.total == pytest.approx(r2.total * 4.0)  # 16 vs 4
+
+    def test_validation(self):
+        udg = line_udg(2)
+        stats = MessageStats()
+        with pytest.raises(ValueError):
+            protocol_energy(stats, udg, alpha=1.0)
+        with pytest.raises(ValueError):
+            protocol_energy(stats, udg, rx_cost_fraction=-0.5)
+
+    def test_empty_run(self):
+        report = protocol_energy(MessageStats(), line_udg(4))
+        assert report.total == 0.0
+        assert report.max_node == 0.0
+
+    def test_pipeline_energy_bounded_per_node(self, deployment, backbone):
+        udg = backbone.udg
+        report = protocol_energy(backbone.stats_ldel, udg, alpha=2.0)
+        # Constant messages per node => per-node energy bounded by
+        # (max msgs) * tx + (neighbors' msgs) * rx; sanity-check scale.
+        tx_unit = udg.radius**2
+        assert report.max_node <= 120 * tx_unit * (1 + 0.1 * max(udg.degrees()))
+
+    def test_energy_attribution_sums(self, deployment, backbone):
+        udg = backbone.udg
+        report = protocol_energy(
+            backbone.stats_cds, udg, alpha=2.0, rx_cost_fraction=0.0
+        )
+        # With free reception, total = total sends * r^alpha.
+        assert report.total == pytest.approx(
+            backbone.stats_cds.total * udg.radius**2
+        )

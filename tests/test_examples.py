@@ -1,0 +1,104 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed in-process at reduced scale via runpy with
+patched argv; the assertions check the banner lines that prove the
+scenario actually ran (delivery counts, planarity, savings).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(capsys, monkeypatch, script: str, *args: str) -> str:
+    monkeypatch.setattr(sys, "argv", [script, *args])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestQuickstart:
+    def test_runs_and_reports_topologies(self, capsys, monkeypatch):
+        out = run_example(
+            capsys, monkeypatch, "quickstart.py",
+            "--nodes", "30", "--radius", "60", "--seed", "2",
+        )
+        assert "backbone:" in out
+        assert "LDel(ICDS)" in out
+        assert "RNG" in out
+
+    def test_edge_export(self, capsys, monkeypatch, tmp_path):
+        run_example(
+            capsys, monkeypatch, "quickstart.py",
+            "--nodes", "25", "--seed", "3", "--export-dir", str(tmp_path),
+        )
+        exported = list(tmp_path.glob("*.edges"))
+        assert len(exported) == 10
+        lines = (tmp_path / "UDG.edges").read_text().splitlines()
+        assert all(len(line.split()) == 4 for line in lines)
+
+
+class TestSensorSinkRouting:
+    def test_full_delivery(self, capsys, monkeypatch):
+        out = run_example(
+            capsys, monkeypatch, "sensor_sink_routing.py",
+            "--nodes", "40", "--seed", "4",
+        )
+        assert "delivered: 39/39" in out
+        assert "x saving" in out
+
+
+class TestGpsrDemo:
+    def test_gpsr_delivers_everything(self, capsys, monkeypatch):
+        out = run_example(
+            capsys, monkeypatch, "gpsr_demo.py",
+            "--nodes", "50", "--seed", "12",
+        )
+        assert "planar: True" in out
+        assert "GPSR delivered everything" in out
+
+
+class TestMobilityMaintenance:
+    def test_session_runs(self, capsys, monkeypatch):
+        out = run_example(
+            capsys, monkeypatch, "mobility_maintenance.py",
+            "--nodes", "30", "--steps", "4", "--seed", "6",
+        )
+        assert "rebuilds:" in out
+        assert "routable" in out
+
+
+class TestNetworkLifetime:
+    def test_capstone_runs_all_phases(self, capsys, monkeypatch):
+        out = run_example(
+            capsys, monkeypatch, "network_lifetime.py",
+            "--nodes", "40", "--flows", "10", "--mobility-steps", "3",
+            "--seed", "42",
+        )
+        assert "phase 1" in out and "phase 4" in out
+        assert "TOTAL" in out
+        assert "packets delivered" in out
+
+
+class TestNodeFailures:
+    def test_failure_sweep_runs(self, capsys, monkeypatch):
+        out = run_example(
+            capsys, monkeypatch, "node_failures.py",
+            "--nodes", "40", "--deaths", "3", "--seed", "33",
+        )
+        assert "single points of failure" in out
+        assert "after rebuild" in out
+
+
+class TestBroadcastComparison:
+    def test_reports_savings(self, capsys, monkeypatch):
+        out = run_example(
+            capsys, monkeypatch, "broadcast_comparison.py",
+            "--nodes", "40", "--seed", "5",
+        )
+        assert "blind flooding" in out
+        assert "backbone relay" in out
+        assert "fewer tx" in out

@@ -1,0 +1,121 @@
+"""Tests for the experiment runner and CLI harness (smoke scale)."""
+
+import pytest
+
+from repro.experiments.harness import main as harness_main
+from repro.experiments.runner import (
+    ExperimentConfig,
+    STRETCH_TOPOLOGIES,
+    TABLE1_ORDER,
+    TopologyRow,
+    build_all_topologies,
+    fig8_degree_vs_density,
+    fig10_comm_vs_density,
+    format_rows,
+    format_series,
+    table1,
+)
+
+SMOKE = ExperimentConfig(instances=2, seed=5)
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return table1(n=25, radius=60.0, config=SMOKE)
+
+
+class TestBuildAllTopologies:
+    def test_all_names_present(self, deployment):
+        graphs, backbone = build_all_topologies(deployment.udg())
+        assert set(graphs) == set(TABLE1_ORDER)
+        assert backbone.udg.node_count == deployment.udg().node_count
+
+    def test_expected_subgraph_relations(self, deployment):
+        graphs, _ = build_all_topologies(deployment.udg())
+        assert graphs["RNG"].is_subgraph_of(graphs["GG"])
+        assert graphs["CDS"].is_subgraph_of(graphs["ICDS"])
+        assert graphs["GG"].is_subgraph_of(graphs["UDG"])
+
+
+class TestTable1:
+    def test_row_order_matches_paper(self, table1_rows):
+        assert [r.name for r in table1_rows] == list(TABLE1_ORDER)
+
+    def test_stretch_only_where_paper_reports_it(self, table1_rows):
+        for row in table1_rows:
+            assert row.has_stretch == (row.name in STRETCH_TOPOLOGIES)
+
+    def test_udg_is_densest(self, table1_rows):
+        by_name = {r.name: r for r in table1_rows}
+        udg = by_name["UDG"]
+        for row in table1_rows:
+            assert row.edges <= udg.edges + 1e-9
+
+    def test_backbone_sparser_than_flat_planar_graphs(self, table1_rows):
+        by_name = {r.name: r for r in table1_rows}
+        assert by_name["LDel(ICDS)"].edges <= by_name["LDel"].edges
+
+    def test_stretch_values_sane(self, table1_rows):
+        for row in table1_rows:
+            if row.has_stretch:
+                assert 1.0 <= row.len_avg <= row.len_max
+                assert 1.0 <= row.hop_avg <= row.hop_max
+
+
+class TestTopologyRowAbsorb:
+    def test_incremental_average(self, deployment):
+        udg = deployment.udg()
+        row = TopologyRow("UDG")
+        row.absorb(udg, None, None)
+        first_avg = row.deg_avg
+        row.absorb(udg, None, None)
+        assert row.deg_avg == pytest.approx(first_avg)
+        assert row.edges == pytest.approx(udg.edge_count)
+
+
+class TestSweeps:
+    def test_fig8_shape(self):
+        points = fig8_degree_vs_density(ns=(20, 30), config=SMOKE)
+        assert [p.x for p in points] == [20, 30]
+        assert "LDel(ICDS) deg max" in points[0].values
+        assert "CDS deg avg" in points[0].values
+
+    def test_fig10_comm_keys(self):
+        points = fig10_comm_vs_density(ns=(20,), config=SMOKE)
+        values = points[0].values
+        assert set(values) == {
+            f"{n} comm {k}"
+            for n in ("CDS", "ICDS", "LDelICDS")
+            for k in ("max", "avg")
+        }
+        # Cumulative ledgers are monotone.
+        assert values["CDS comm max"] <= values["ICDS comm max"]
+        assert values["ICDS comm max"] <= values["LDelICDS comm max"]
+
+
+class TestFormatting:
+    def test_format_rows_renders_all(self, table1_rows):
+        text = format_rows(table1_rows)
+        for name in TABLE1_ORDER:
+            assert name in text
+        assert "deg_a" in text
+
+    def test_format_series(self):
+        points = fig8_degree_vs_density(ns=(20,), config=SMOKE)
+        text = format_series(points, x_label="nodes")
+        assert "nodes" in text and "20" in text
+
+    def test_format_empty_series(self):
+        assert format_series([]) == "(no data)"
+
+
+class TestHarnessCli:
+    def test_quick_table1(self, capsys):
+        assert harness_main(["table1", "--quick", "--instances", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "=== table1" in out
+        assert "LDel(ICDS')" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            harness_main(["fig99"])

@@ -1,0 +1,76 @@
+"""Tests for GraphML/DOT export."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.graph import Graph
+from repro.workloads.export import (
+    graph_to_dot,
+    graph_to_graphml,
+    save_dot,
+    save_graphml,
+)
+
+networkx = pytest.importorskip("networkx")
+
+
+def triangle():
+    pts = [Point(0, 0), Point(100, 0), Point(50, 80)]
+    return Graph(pts, [(0, 1), (1, 2), (0, 2)], name="tri")
+
+
+class TestGraphml:
+    def test_valid_xml(self):
+        root = ET.fromstring(graph_to_graphml(triangle()))
+        assert root.tag.endswith("graphml")
+
+    def test_round_trips_through_networkx(self, tmp_path):
+        g = triangle()
+        path = tmp_path / "g.graphml"
+        save_graphml(g, path, roles={0: "dominator"})
+        loaded = networkx.read_graphml(path)
+        assert loaded.number_of_nodes() == 3
+        assert loaded.number_of_edges() == 3
+        assert loaded.nodes["n0"]["role"] == "dominator"
+        assert loaded.nodes["n1"]["x"] == pytest.approx(100.0)
+        lengths = sorted(d["length"] for _u, _v, d in loaded.edges(data=True))
+        assert lengths[-1] == pytest.approx(100.0)
+
+    def test_backbone_export(self, backbone, tmp_path):
+        roles = {u: backbone.role_of(u) for u in backbone.udg.nodes()}
+        path = tmp_path / "bb.graphml"
+        save_graphml(backbone.ldel_icds, path, roles=roles)
+        loaded = networkx.read_graphml(path)
+        assert loaded.number_of_edges() == backbone.ldel_icds.edge_count
+
+    def test_graph_name_escaped(self):
+        g = Graph([Point(0, 0)], name='weird "name" <&>')
+        text = graph_to_graphml(g)
+        ET.fromstring(text)  # must stay well-formed
+
+
+class TestDot:
+    def test_structure(self):
+        text = graph_to_dot(triangle(), roles={0: "connector"})
+        assert text.startswith("graph tri {")
+        assert "n0 -- n1;" in text
+        assert 'n0 [pos="0.000,0.000!", shape=box' in text
+        assert text.rstrip().endswith("}")
+
+    def test_role_shapes(self):
+        text = graph_to_dot(triangle(), roles={0: "dominator", 1: "dominatee"})
+        assert "shape=box" in text
+        assert "shape=circle" in text
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "g.dot"
+        save_dot(triangle(), path)
+        content = path.read_text()
+        assert "graph tri" in content
+
+    def test_weird_name_sanitized(self):
+        g = Graph([Point(0, 0)], name="LDel(ICDS')")
+        text = graph_to_dot(g)
+        assert text.startswith("graph LDel_ICDS__ {")

@@ -1,0 +1,101 @@
+"""Unit tests for repro.graphs.graph.Graph."""
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.graph import Graph
+
+SQUARE = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph([])
+        assert g.node_count == 0 and g.edge_count == 0
+
+    def test_initial_edges(self):
+        g = Graph(SQUARE, [(0, 1), (1, 2)])
+        assert g.edge_count == 2
+        assert g.has_edge(1, 0)
+
+    def test_self_loop_rejected(self):
+        g = Graph(SQUARE)
+        with pytest.raises(ValueError):
+            g.add_edge(2, 2)
+
+    def test_out_of_range_edge_rejected(self):
+        g = Graph(SQUARE)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 9)
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(SQUARE)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        assert g.edge_count == 1
+
+
+class TestEdgeOperations:
+    def test_remove_edge(self):
+        g = Graph(SQUARE, [(0, 1)])
+        g.remove_edge(1, 0)
+        assert not g.has_edge(0, 1)
+        assert g.degree(0) == 0
+
+    def test_remove_missing_edge_is_noop(self):
+        g = Graph(SQUARE, [(0, 1)])
+        g.remove_edge(2, 3)
+        assert g.edge_count == 1
+
+    def test_neighbors(self):
+        g = Graph(SQUARE, [(0, 1), (0, 2)])
+        assert g.neighbors(0) == {1, 2}
+        assert g.neighbors(3) == frozenset()
+
+    def test_degrees(self):
+        g = Graph(SQUARE, [(0, 1), (0, 2), (0, 3)])
+        assert g.degrees() == [3, 1, 1, 1]
+
+
+class TestGeometryAccessors:
+    def test_edge_length(self):
+        g = Graph(SQUARE)
+        assert g.edge_length(0, 2) == pytest.approx(2 ** 0.5)
+
+    def test_total_edge_length(self):
+        g = Graph(SQUARE, [(0, 1), (1, 2)])
+        assert g.total_edge_length() == pytest.approx(2.0)
+
+
+class TestStructureOperations:
+    def test_copy_is_independent(self):
+        g = Graph(SQUARE, [(0, 1)])
+        h = g.copy(name="copy")
+        h.add_edge(2, 3)
+        assert not g.has_edge(2, 3)
+        assert h.name == "copy"
+
+    def test_is_subgraph_of(self):
+        g = Graph(SQUARE, [(0, 1)])
+        h = Graph(SQUARE, [(0, 1), (1, 2)])
+        assert g.is_subgraph_of(h)
+        assert not h.is_subgraph_of(g)
+
+    def test_subgraph_remaps_ids(self):
+        g = Graph(SQUARE, [(0, 1), (1, 2), (2, 3)])
+        sub, remap = g.subgraph([1, 2, 3])
+        assert sub.node_count == 3
+        assert sub.has_edge(remap[1], remap[2])
+        assert sub.has_edge(remap[2], remap[3])
+        assert sub.edge_count == 2
+
+    def test_subgraph_drops_outside_edges(self):
+        g = Graph(SQUARE, [(0, 1), (2, 3)])
+        sub, _ = g.subgraph([0, 1])
+        assert sub.edge_count == 1
+
+    def test_edge_set_is_frozen(self):
+        g = Graph(SQUARE, [(0, 1)])
+        edges = g.edge_set()
+        assert edges == frozenset({(0, 1)})
+        assert isinstance(edges, frozenset)

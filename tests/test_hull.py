@@ -1,0 +1,74 @@
+"""Unit tests for repro.geometry.hull."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.hull import convex_hull
+from repro.geometry.predicates import orientation_value
+from repro.geometry.primitives import Point, polygon_area
+
+# Rounded coordinates: keeps exactly-degenerate (collinear, duplicate)
+# cases, which are the interesting ones, while excluding denormal-scale
+# values whose orientation determinant underflows to a meaningless 0.
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False).map(
+    lambda v: round(v, 6)
+)
+points = st.builds(Point, coords, coords)
+
+
+class TestConvexHullBasics:
+    def test_empty(self):
+        assert convex_hull([]) == []
+
+    def test_single_point(self):
+        assert convex_hull([Point(1, 1)]) == [Point(1, 1)]
+
+    def test_two_points_sorted(self):
+        assert convex_hull([Point(1, 0), Point(0, 0)]) == [Point(0, 0), Point(1, 0)]
+
+    def test_duplicates_collapse(self):
+        assert convex_hull([Point(0, 0)] * 5) == [Point(0, 0)]
+
+    def test_collinear_input_keeps_extremes(self):
+        pts = [Point(float(i), float(i)) for i in range(5)]
+        assert convex_hull(pts) == [Point(0, 0), Point(4, 4)]
+
+    def test_square_with_interior_point(self):
+        square = [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)]
+        hull = convex_hull(square + [Point(2, 2)])
+        assert set(hull) == set(square)
+        assert len(hull) == 4
+
+    def test_ccw_orientation(self):
+        hull = convex_hull(
+            [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4), Point(2, 1)]
+        )
+        assert polygon_area(hull) > 0
+
+    def test_collinear_boundary_points_dropped(self):
+        pts = [Point(0, 0), Point(2, 0), Point(4, 0), Point(4, 4), Point(0, 4)]
+        hull = convex_hull(pts)
+        assert Point(2, 0) not in hull
+
+
+class TestConvexHullProperties:
+    @given(st.lists(points, min_size=3, max_size=40))
+    def test_hull_is_convex(self, pts):
+        hull = convex_hull(pts)
+        n = len(hull)
+        if n < 3:
+            return
+        for i in range(n):
+            a, b, c = hull[i], hull[(i + 1) % n], hull[(i + 2) % n]
+            assert orientation_value(a, b, c) > 0
+
+    @given(st.lists(points, min_size=1, max_size=40))
+    def test_hull_vertices_are_input_points(self, pts):
+        assert set(convex_hull(pts)) <= set(pts)
+
+    @given(st.lists(points, min_size=1, max_size=40))
+    def test_extremes_are_on_hull(self, pts):
+        hull = set(convex_hull(pts))
+        assert min(pts) in hull  # lexicographic min is always extreme
+        assert max(pts) in hull

@@ -1,0 +1,134 @@
+"""Tests for interference metrics and the spanner verifier."""
+
+import math
+
+import pytest
+
+from repro.core.interference import interference, link_interference
+from repro.core.verify import verify_spanner
+from repro.geometry.primitives import Point
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+from repro.topology.gabriel import gabriel_graph
+from repro.topology.rng import relative_neighborhood_graph
+
+
+class TestLinkInterference:
+    def test_isolated_link(self):
+        g = Graph([Point(0, 0), Point(1, 0)], [(0, 1)])
+        assert link_interference(g, 0, 1) == 0
+
+    def test_covered_bystander(self):
+        g = Graph([Point(0, 0), Point(1, 0), Point(0.5, 0.5)], [(0, 1)])
+        assert link_interference(g, 0, 1) == 1
+
+    def test_bystander_out_of_reach(self):
+        g = Graph([Point(0, 0), Point(1, 0), Point(3, 3)], [(0, 1)])
+        assert link_interference(g, 0, 1) == 0
+
+    def test_long_links_disturb_more(self):
+        pts = [Point(0, 0), Point(5, 0), Point(1, 0.5), Point(2, -0.5), Point(4, 0.5)]
+        g = Graph(pts, [(0, 1)])
+        assert link_interference(g, 0, 1) == 3
+
+
+class TestInterferenceStats:
+    def test_empty_graph(self):
+        stats = interference(Graph([]))
+        assert stats.max == 0 and stats.avg == 0.0 and stats.links == 0
+
+    def test_matches_brute_force(self, deployment):
+        udg = deployment.udg()
+        gg = gabriel_graph(udg)
+        stats = interference(gg)
+        for (u, v), value in list(stats.per_link.items())[:20]:
+            assert value == link_interference(gg, u, v)
+
+    def test_sparse_topologies_interfere_less(self, deployment):
+        # The sparseness pitch: shorter kept links disturb fewer nodes.
+        udg = deployment.udg()
+        rng_graph = relative_neighborhood_graph(udg)
+        assert interference(rng_graph).max <= interference(udg).max
+
+    def test_backbone_interference_bounded(self, backbone):
+        stats = interference(backbone.ldel_icds)
+        assert stats.max <= interference(backbone.udg).max
+
+
+class TestVerifySpanner:
+    def square_world(self):
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        udg = UnitDiskGraph(pts, 2.0)  # complete graph
+        ring = Graph(pts, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        return udg, ring
+
+    def test_holds_for_generous_bound(self):
+        udg, ring = self.square_world()
+        verdict = verify_spanner(ring, udg, claimed=2.0)
+        assert verdict.holds
+        assert verdict.pairs_checked == 6
+
+    def test_witnesses_tight_violation(self):
+        udg, ring = self.square_world()
+        # Diagonals: ring path 2.0 vs direct sqrt(2) => ratio ~1.414.
+        verdict = verify_spanner(ring, udg, claimed=1.2)
+        assert not verdict.holds
+        assert len(verdict.violations) == 2  # both diagonals
+        worst = verdict.worst
+        assert worst.ratio == pytest.approx(2.0 / math.sqrt(2.0))
+
+    def test_disconnected_pair_is_violation(self):
+        pts = [Point(0, 0), Point(1, 0)]
+        udg = UnitDiskGraph(pts, 2.0)
+        empty = Graph(pts)
+        verdict = verify_spanner(empty, udg, claimed=100.0)
+        assert not verdict.holds
+        assert verdict.worst.ratio == math.inf
+
+    def test_hops_metric(self):
+        udg, ring = self.square_world()
+        verdict = verify_spanner(ring, udg, claimed=1.5, metric="hops")
+        assert not verdict.holds  # diagonals: 2 hops vs 1
+
+    def test_skip_udg_adjacent(self):
+        udg, ring = self.square_world()
+        # All pairs are UDG-adjacent in the complete graph.
+        verdict = verify_spanner(
+            ring, udg, claimed=1.0, skip_udg_adjacent=True
+        )
+        assert verdict.pairs_checked == 0 and verdict.holds
+
+    def test_witness_cap(self):
+        udg, ring = self.square_world()
+        verdict = verify_spanner(ring, udg, claimed=1.0, max_witnesses=1)
+        assert len(verdict.violations) == 1
+
+    def test_validation(self):
+        udg, ring = self.square_world()
+        with pytest.raises(ValueError):
+            verify_spanner(ring, udg, claimed=0.5)
+        with pytest.raises(ValueError):
+            verify_spanner(ring, udg, claimed=2.0, metric="power")
+
+    def test_backbone_passes_its_measured_bound(self, backbone):
+        from repro.core.metrics import length_stretch
+
+        stats = length_stretch(
+            backbone.ldel_icds_prime, backbone.udg, skip_udg_adjacent=True
+        )
+        verdict = verify_spanner(
+            backbone.ldel_icds_prime,
+            backbone.udg,
+            claimed=stats.max + 1e-6,
+            skip_udg_adjacent=True,
+        )
+        assert verdict.holds
+
+    def test_rng_fails_a_tight_bound_somewhere(self, deployment):
+        # RNG is not a constant-factor spanner; find a witness.
+        udg = deployment.udg()
+        rng_graph = relative_neighborhood_graph(udg)
+        verdict = verify_spanner(rng_graph, udg, claimed=1.05)
+        assert not verdict.holds
+        w = verdict.worst
+        assert w.graph_value > 1.05 * w.udg_value

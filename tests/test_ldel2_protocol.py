@@ -1,0 +1,62 @@
+"""Tests for the distributed LDel^2 protocol."""
+
+import pytest
+
+from repro.graphs.paths import is_connected
+from repro.graphs.planarity import is_planar_embedding
+from repro.protocols.ldel2_protocol import run_ldel2_protocol
+from repro.protocols.ldel_protocol import run_ldel_protocol
+from repro.sim.messages import LOCATION
+from repro.topology.ldel import local_delaunay_graph
+
+
+class TestEquivalenceWithCentralized:
+    def test_matches_centralized_ldel2(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            distributed = run_ldel2_protocol(udg)
+            centralized = local_delaunay_graph(udg, k=2)
+            assert set(distributed.triangles) == set(centralized.triangles)
+            assert distributed.graph.edge_set() == centralized.graph.edge_set()
+
+
+class TestPlanarWithoutPruning:
+    def test_planar_as_built(self, small_deployments):
+        for dep in small_deployments:
+            outcome = run_ldel2_protocol(dep.udg())
+            assert is_planar_embedding(outcome.graph)
+
+    def test_connected(self, small_deployments):
+        for dep in small_deployments:
+            outcome = run_ldel2_protocol(dep.udg())
+            assert is_connected(outcome.graph)
+
+    def test_subset_of_pruned_ldel1(self, small_deployments):
+        # LDel^2's triangles are a subset of LDel^1's survivors' union
+        # with Gabriel edges; edge counts are near-identical.
+        for dep in small_deployments:
+            udg = dep.udg()
+            two = run_ldel2_protocol(udg)
+            one = run_ldel_protocol(udg)
+            assert two.gabriel_edges == one.gabriel_edges
+
+
+class TestCostTradeoff:
+    def test_fewer_rounds_than_ldel1_pipeline(self, deployment):
+        udg = deployment.udg()
+        two = run_ldel2_protocol(udg)
+        one = run_ldel_protocol(udg)
+        assert two.rounds < one.rounds  # no pruning/confirm phases
+
+    def test_extra_neighborhood_message_per_node(self, deployment):
+        udg = deployment.udg()
+        outcome = run_ldel2_protocol(udg)
+        from repro.protocols.ldel2_protocol import NEIGHBORHOOD
+
+        assert outcome.stats.per_kind[NEIGHBORHOOD] == udg.node_count
+        assert outcome.stats.per_kind[LOCATION] == udg.node_count
+
+    def test_message_count_bounded(self, small_deployments):
+        for dep in small_deployments:
+            outcome = run_ldel2_protocol(dep.udg())
+            assert outcome.stats.max_per_node() <= 60

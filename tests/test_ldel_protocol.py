@@ -1,0 +1,92 @@
+"""Tests for the distributed LDel protocol (Algorithms 2 + 3)."""
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.paths import is_connected
+from repro.graphs.planarity import is_planar_embedding
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.ldel_protocol import run_ldel_protocol
+from repro.sim.messages import ACCEPT, KEPT, LOCATION, PROPOSAL, REJECT, STRUCTURE
+from repro.topology.ldel import planar_local_delaunay_graph
+
+
+class TestEquivalenceWithCentralized:
+    def test_same_graph_on_random_instances(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            distributed = run_ldel_protocol(udg)
+            centralized = planar_local_delaunay_graph(udg)
+            assert distributed.graph.edge_set() == centralized.graph.edge_set()
+            assert set(distributed.triangles) == set(centralized.triangles)
+            assert distributed.gabriel_edges == centralized.gabriel_edges
+
+    def test_single_triangle(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0.5, 0.8)]
+        udg = UnitDiskGraph(pts, 1.2)
+        outcome = run_ldel_protocol(udg)
+        assert outcome.triangles == ((0, 1, 2),)
+        assert outcome.graph.edge_count == 3
+
+    def test_two_isolated_nodes(self):
+        pts = [Point(0, 0), Point(5, 5)]
+        udg = UnitDiskGraph(pts, 1.0)
+        outcome = run_ldel_protocol(udg)
+        assert outcome.graph.edge_count == 0
+        assert outcome.triangles == ()
+
+
+class TestProtocolProperties:
+    def test_result_is_planar(self, small_deployments):
+        for dep in small_deployments:
+            outcome = run_ldel_protocol(dep.udg())
+            assert is_planar_embedding(outcome.graph)
+
+    def test_result_is_connected(self, small_deployments):
+        for dep in small_deployments:
+            outcome = run_ldel_protocol(dep.udg())
+            assert is_connected(outcome.graph)
+
+    def test_edges_within_radius(self, small_deployments):
+        dep = small_deployments[0]
+        udg = dep.udg()
+        outcome = run_ldel_protocol(udg)
+        for u, v in outcome.graph.edges():
+            assert udg.edge_length(u, v) <= udg.radius + 1e-9
+
+    def test_fixed_round_count(self, small_deployments):
+        # The protocol is a fixed 6-phase pipeline regardless of size.
+        rounds = {run_ldel_protocol(dep.udg()).rounds for dep in small_deployments}
+        assert len(rounds) == 1
+
+
+class TestMessageAccounting:
+    def test_location_once_per_node(self, deployment):
+        udg = deployment.udg()
+        outcome = run_ldel_protocol(udg)
+        assert outcome.stats.per_kind[LOCATION] == udg.node_count
+
+    def test_structure_and_kept_once_per_node(self, deployment):
+        udg = deployment.udg()
+        outcome = run_ldel_protocol(udg)
+        assert outcome.stats.per_kind[STRUCTURE] == udg.node_count
+        assert outcome.stats.per_kind[KEPT] == udg.node_count
+
+    def test_proposals_bounded_by_local_triangles(self, deployment):
+        # A node proposes only triangles of its own local Delaunay
+        # triangulation, which has O(degree) triangles.
+        udg = deployment.udg()
+        outcome = run_ldel_protocol(udg)
+        for node in udg.nodes():
+            proposals = outcome.stats.per_node_kind.get((node, PROPOSAL), 0)
+            assert proposals <= 2 * max(udg.degree(node), 1)
+
+    def test_responses_follow_proposals(self, deployment):
+        udg = deployment.udg()
+        outcome = run_ldel_protocol(udg)
+        responses = outcome.stats.per_kind.get(ACCEPT, 0) + outcome.stats.per_kind.get(
+            REJECT, 0
+        )
+        # Every proposal draws at most two responses (the other two
+        # vertices), and co-proposed triangles draw fewer.
+        assert responses <= 2 * outcome.stats.per_kind[PROPOSAL]

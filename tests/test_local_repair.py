@@ -1,0 +1,164 @@
+"""Tests for localized backbone repair (the paper's future-work problem)."""
+
+import random
+
+import pytest
+
+from repro.core.spanner import build_backbone
+from repro.geometry.primitives import Point
+from repro.graphs.paths import is_connected
+from repro.graphs.planarity import is_planar_embedding
+from repro.graphs.udg import UnitDiskGraph
+from repro.mobility.local_repair import (
+    changed_neighborhoods,
+    dilate,
+    localized_repair,
+    repair_roles,
+)
+from repro.workloads.generators import connected_udg_instance
+
+
+@pytest.fixture(scope="module")
+def wide_world():
+    """A large-diameter deployment where locality can pay off."""
+    dep = connected_udg_instance(120, 400.0, 48.0, random.Random(23))
+    return dep, build_backbone(dep.points, dep.radius)
+
+
+def perturb(positions, movers, rng, side=400.0, magnitude=12.0):
+    out = list(positions)
+    for m in movers:
+        out[m] = Point(
+            min(max(out[m].x + rng.uniform(-magnitude, magnitude), 0.0), side),
+            min(max(out[m].y + rng.uniform(-magnitude, magnitude), 0.0), side),
+        )
+    return out
+
+
+class TestChangedNeighborhoods:
+    def test_no_change(self, wide_world):
+        dep, result = wide_world
+        udg = result.udg
+        assert changed_neighborhoods(udg, udg) == frozenset()
+
+    def test_detects_moved_node(self, wide_world):
+        dep, result = wide_world
+        rng = random.Random(1)
+        positions = perturb(dep.points, [7], rng, magnitude=60.0)
+        new_udg = UnitDiskGraph(positions, dep.radius)
+        changed = changed_neighborhoods(result.udg, new_udg)
+        # A 60-unit jump at radius 48 must change node 7's neighborhood.
+        assert 7 in changed
+        # And only nodes that gained/lost 7 plus 7 itself change.
+        for u in changed:
+            assert u == 7 or (
+                (7 in result.udg.neighbors(u)) != (7 in new_udg.neighbors(u))
+            )
+
+
+class TestDilate:
+    def test_zero_hops_is_identity(self, wide_world):
+        _dep, result = wide_world
+        seeds = frozenset({3, 9})
+        assert dilate(result.udg, seeds, 0) == seeds
+
+    def test_one_hop_adds_neighbors(self, wide_world):
+        _dep, result = wide_world
+        udg = result.udg
+        seeds = frozenset({3})
+        assert dilate(udg, seeds, 1) == frozenset({3}) | udg.neighbors(3)
+
+    def test_monotone_in_hops(self, wide_world):
+        _dep, result = wide_world
+        seeds = frozenset({0})
+        d1 = dilate(result.udg, seeds, 1)
+        d2 = dilate(result.udg, seeds, 2)
+        assert seeds <= d1 <= d2
+
+
+class TestRepairRoles:
+    def test_valid_mis_after_small_move(self, wide_world):
+        dep, result = wide_world
+        rng = random.Random(2)
+        positions = perturb(dep.points, [11, 43], rng)
+        new_udg = UnitDiskGraph(positions, dep.radius)
+        changed = changed_neighborhoods(result.udg, new_udg)
+        dirty = dilate(new_udg, changed, 2)
+        dominators = repair_roles(new_udg, result, dirty)
+        # Independence.
+        for d in dominators:
+            assert not (new_udg.neighbors(d) & dominators)
+        # Domination.
+        for u in new_udg.nodes():
+            assert u in dominators or (new_udg.neighbors(u) & dominators)
+
+    def test_outside_roles_frozen(self, wide_world):
+        dep, result = wide_world
+        rng = random.Random(3)
+        positions = perturb(dep.points, [20], rng)
+        new_udg = UnitDiskGraph(positions, dep.radius)
+        changed = changed_neighborhoods(result.udg, new_udg)
+        dirty = dilate(new_udg, changed, 2)
+        dominators = repair_roles(new_udg, result, dirty)
+        for u in new_udg.nodes():
+            if u not in dirty:
+                assert (u in dominators) == (u in result.dominators)
+
+
+class TestLocalizedRepair:
+    def test_noop_when_nothing_changed(self, wide_world):
+        dep, result = wide_world
+        report = localized_repair(result, list(dep.points))
+        assert not report.escalated
+        assert report.dirty_fraction == 0.0
+        assert report.result is result
+
+    def test_invariants_after_repair(self, wide_world):
+        dep, result = wide_world
+        rng = random.Random(4)
+        positions = perturb(dep.points, rng.sample(range(120), 4), rng)
+        report = localized_repair(result, positions)
+        repaired = report.result
+        assert is_planar_embedding(repaired.ldel_icds)
+        # Per-component spanning.
+        from repro.graphs.paths import connected_components
+
+        udg_comps = [c for c in connected_components(repaired.udg) if len(c) > 1]
+        prime_comps = connected_components(repaired.ldel_icds_prime)
+        for comp in udg_comps:
+            assert any(comp <= pc for pc in prime_comps)
+
+    def test_dirty_fraction_below_one_for_local_churn(self, wide_world):
+        dep, result = wide_world
+        rng = random.Random(5)
+        positions = perturb(dep.points, [60], rng)
+        report = localized_repair(result, positions)
+        if report.changed_nodes:  # the move may not cross any boundary
+            assert report.dirty_fraction < 0.6
+
+    def test_wrong_position_count_rejected(self, wide_world):
+        _dep, result = wide_world
+        with pytest.raises(ValueError):
+            localized_repair(result, [Point(0, 0)])
+
+    def test_repeated_repairs_stay_valid(self, wide_world):
+        dep, result = wide_world
+        rng = random.Random(6)
+        positions = list(dep.points)
+        current = result
+        for _ in range(5):
+            positions = perturb(positions, rng.sample(range(120), 3), rng)
+            report = localized_repair(current, positions)
+            current = report.result
+            assert is_planar_embedding(current.ldel_icds)
+
+    def test_escalation_fallback_is_correct(self, wide_world):
+        # Teleport half the network: locality cannot hold, but the
+        # result must still be valid (escalated or not).
+        dep, result = wide_world
+        rng = random.Random(7)
+        positions = perturb(
+            dep.points, rng.sample(range(120), 60), rng, magnitude=150.0
+        )
+        report = localized_repair(result, positions)
+        assert is_planar_embedding(report.result.ldel_icds)

@@ -1,0 +1,84 @@
+"""Tests for Max-Min d-cluster formation."""
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.paths import bfs_hops
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.maxmin_cluster import run_maxmin_clustering
+from repro.sim.messages import Message
+
+
+def line_udg(n):
+    return UnitDiskGraph([Point(float(i), 0.0) for i in range(n)], 1.0)
+
+
+class TestBasics:
+    def test_d_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_maxmin_clustering(line_udg(3), d=0)
+
+    def test_single_node_heads_itself(self):
+        udg = UnitDiskGraph([Point(0, 0)], 1.0)
+        outcome = run_maxmin_clustering(udg, d=2)
+        assert outcome.clusterheads == {0}
+        assert outcome.head_of[0] == 0
+
+    def test_every_node_has_a_head(self, deployment):
+        udg = deployment.udg()
+        outcome = run_maxmin_clustering(udg, d=2)
+        assert set(outcome.head_of) == set(udg.nodes())
+        assert outcome.clusterheads
+
+    def test_heads_head_themselves(self, deployment):
+        outcome = run_maxmin_clustering(deployment.udg(), d=2)
+        for h in outcome.clusterheads:
+            assert outcome.head_of[h] == h
+
+
+class TestDHopGuarantee:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_every_node_within_d_hops_of_its_head(self, small_deployments, d):
+        """The algorithm's defining guarantee."""
+        for dep in small_deployments:
+            udg = dep.udg()
+            outcome = run_maxmin_clustering(udg, d=d)
+            for node, head in outcome.head_of.items():
+                hops = bfs_hops(udg, node)[head]
+                assert 0 <= hops <= d, (
+                    f"node {node} is {hops} hops from head {head} (d={d})"
+                )
+
+    def test_larger_d_gives_fewer_heads(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            h1 = len(run_maxmin_clustering(udg, d=1).clusterheads)
+            h3 = len(run_maxmin_clustering(udg, d=3).clusterheads)
+            assert h3 <= h1
+
+
+class TestLineBehaviour:
+    def test_line_highest_id_is_a_head(self):
+        # On a line 0..8 with d=2: node 8 wins floodmax everywhere in
+        # its 2-hop radius, so it heads itself.  (Node 7 also ends up a
+        # head via Rule 1: its ID conquers node 5 in floodmax and the
+        # floodmin wave carries it back — the algorithm's deliberate
+        # load-balancing behaviour.)
+        outcome = run_maxmin_clustering(line_udg(9), d=2)
+        assert 8 in outcome.clusterheads
+        assert outcome.head_of[8] == 8
+        assert outcome.head_of[7] in outcome.clusterheads
+
+    def test_rounds_are_2d(self):
+        outcome = run_maxmin_clustering(line_udg(9), d=3)
+        # 2d flooding rounds plus the final tally round.
+        assert outcome.rounds <= 2 * 3 + 2
+
+
+class TestMessageCost:
+    def test_2d_broadcasts_per_node(self, deployment):
+        d = 2
+        udg = deployment.udg()
+        outcome = run_maxmin_clustering(udg, d=d)
+        assert outcome.stats.max_per_node() == 2 * d
+        assert outcome.stats.total == 2 * d * udg.node_count

@@ -1,0 +1,145 @@
+"""Tests for repro.core.metrics."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import (
+    StretchStats,
+    degree_stats,
+    hop_stretch,
+    length_stretch,
+    measure_topology,
+    power_stretch,
+)
+from repro.geometry.primitives import Point
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+
+
+def square_udg():
+    """Four corners of a unit-ish square, all pairs within radius."""
+    pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+    return UnitDiskGraph(pts, 2.0)  # complete graph
+
+
+class TestDegreeStats:
+    def test_empty(self):
+        assert degree_stats(Graph([])) == (0.0, 0)
+
+    def test_star(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0, 1), Point(-1, 0)]
+        g = Graph(pts, [(0, 1), (0, 2), (0, 3)])
+        avg, mx = degree_stats(g)
+        assert avg == pytest.approx(1.5)
+        assert mx == 3
+
+
+class TestLengthStretch:
+    def test_identity_graph_has_stretch_one(self):
+        udg = square_udg()
+        stats = length_stretch(udg, udg)
+        assert stats.avg == pytest.approx(1.0)
+        assert stats.max == pytest.approx(1.0)
+        assert stats.pairs == 6
+
+    def test_cycle_subgraph_stretch(self):
+        udg = square_udg()
+        ring = Graph(udg.positions, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        stats = length_stretch(ring, udg)
+        # Diagonal pairs: ring distance 2 vs direct sqrt(2).
+        assert stats.max == pytest.approx(2.0 / math.sqrt(2.0))
+
+    def test_skip_udg_adjacent(self):
+        udg = square_udg()
+        ring = Graph(udg.positions, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        stats = length_stretch(ring, udg, skip_udg_adjacent=True)
+        # All pairs are UDG-adjacent in the complete graph: none left.
+        assert stats.pairs == 0
+        assert stats == StretchStats.empty()
+
+    def test_disconnected_measured_graph_is_infinite(self):
+        udg = square_udg()
+        broken = Graph(udg.positions, [(0, 1)])
+        stats = length_stretch(broken, udg)
+        assert stats.max == math.inf
+
+    def test_mismatched_node_sets_rejected(self):
+        udg = square_udg()
+        other = Graph([Point(0, 0)])
+        with pytest.raises(ValueError):
+            length_stretch(other, udg)
+
+
+class TestHopStretch:
+    def test_chain_vs_shortcut(self):
+        pts = [Point(0, 0), Point(1, 0), Point(2, 0)]
+        udg = UnitDiskGraph(pts, 2.5)  # complete
+        chain = Graph(pts, [(0, 1), (1, 2)])
+        stats = hop_stretch(chain, udg)
+        # Pair (0,2): 2 hops vs 1.
+        assert stats.max == pytest.approx(2.0)
+
+    def test_identity_hop_stretch(self):
+        udg = square_udg()
+        assert hop_stretch(udg, udg).max == pytest.approx(1.0)
+
+
+class TestPowerStretch:
+    def test_relay_matches_udg_optimum_in_power(self):
+        # Power metric (alpha=2): the UDG's optimal power path also
+        # relays through the middle node (cost 1+1=2, not 4), so the
+        # chain — which drops the long direct edge — has stretch 1.
+        pts = [Point(0, 0), Point(1, 0), Point(2, 0)]
+        udg = UnitDiskGraph(pts, 2.5)
+        chain = Graph(pts, [(0, 1), (1, 2)])
+        stats = power_stretch(chain, udg, alpha=2.0)
+        assert stats.max == pytest.approx(1.0)
+        assert stats.avg == pytest.approx(1.0)
+
+    def test_alpha_below_one_rejected(self):
+        udg = square_udg()
+        with pytest.raises(ValueError):
+            power_stretch(udg, udg, alpha=0.5)
+
+    def test_backbone_power_stretch_is_finite(self, deployment, backbone):
+        stats = power_stretch(
+            backbone.ldel_icds_prime, backbone.udg, alpha=2.0,
+            skip_udg_adjacent=True,
+        )
+        assert 0.0 < stats.avg < 10.0
+
+
+class TestMeasureTopology:
+    def test_full_measurement(self):
+        udg = square_udg()
+        metrics = measure_topology(udg, udg, power_alpha=2.0)
+        assert metrics.name == "UDG"
+        assert metrics.edge_count == 6
+        assert metrics.length is not None and metrics.length.avg == pytest.approx(1.0)
+        assert metrics.hops is not None
+        assert metrics.power is not None
+
+    def test_stretch_disabled(self):
+        udg = square_udg()
+        metrics = measure_topology(udg, udg, stretch=False)
+        assert metrics.length is None and metrics.hops is None
+
+    def test_agrees_with_pure_python_fallback(self, deployment):
+        # Force the pure-Python APSP path and compare with scipy's.
+        import repro.core.metrics as metrics_mod
+
+        udg = deployment.udg()
+        from repro.topology.gabriel import gabriel_graph
+
+        gg = gabriel_graph(udg)
+        fast = length_stretch(gg, udg)
+        have_scipy = metrics_mod._HAVE_SCIPY
+        metrics_mod._HAVE_SCIPY = False
+        try:
+            slow = length_stretch(gg, udg)
+        finally:
+            metrics_mod._HAVE_SCIPY = have_scipy
+        assert fast.avg == pytest.approx(slow.avg, rel=1e-9)
+        assert fast.max == pytest.approx(slow.max, rel=1e-9)
+        assert fast.pairs == slow.pairs

@@ -1,0 +1,98 @@
+"""Tests for disjoint multipath routing."""
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.graph import Graph
+from repro.routing.multipath import (
+    disjoint_paths,
+    route_survives,
+    survivable_pairs,
+)
+
+
+def diamond():
+    """Two node-disjoint routes 0 -> 3: via 1 and via 2."""
+    pts = [Point(0, 0), Point(1, 1), Point(1, -1), Point(2, 0)]
+    return Graph(pts, [(0, 1), (1, 3), (0, 2), (2, 3)])
+
+
+def path_graph(n):
+    pts = [Point(float(i), 0.0) for i in range(n)]
+    return Graph(pts, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestDisjointPaths:
+    def test_diamond_has_two(self):
+        result = disjoint_paths(diamond(), 0, 3, k=2)
+        assert result.count == 2
+        assert result.survivable
+        interiors = [set(p[1:-1]) for p in result.paths]
+        assert interiors[0].isdisjoint(interiors[1])
+
+    def test_chain_has_one(self):
+        result = disjoint_paths(path_graph(5), 0, 4, k=3)
+        assert result.count == 1
+        assert not result.survivable
+
+    def test_no_path(self):
+        g = Graph([Point(0, 0), Point(9, 9)])
+        result = disjoint_paths(g, 0, 1)
+        assert result.count == 0
+
+    def test_source_equals_target(self):
+        result = disjoint_paths(diamond(), 2, 2)
+        assert result.paths == ((2,),)
+
+    def test_direct_edge_plus_detour(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0.5, 1)]
+        g = Graph(pts, [(0, 1), (0, 2), (1, 2)])
+        result = disjoint_paths(g, 0, 1, k=2)
+        assert result.count == 2
+        assert (0, 1) in result.paths
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            disjoint_paths(diamond(), 0, 3, k=0)
+
+    def test_paths_sorted_shortest_first(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0.5, 1), Point(1.5, 1), Point(2, 0)]
+        g = Graph(pts, [(0, 1), (1, 4), (0, 2), (2, 3), (3, 4)])
+        result = disjoint_paths(g, 0, 4, k=2)
+        assert len(result.paths[0]) <= len(result.paths[1])
+
+
+class TestRouteSurvives:
+    def test_diamond_survives_any_single_interior_failure(self):
+        g = diamond()
+        result = disjoint_paths(g, 0, 3, k=2)
+        for victim in (1, 2):
+            assert route_survives(g, result, victim)
+
+    def test_chain_does_not_survive(self):
+        g = path_graph(4)
+        result = disjoint_paths(g, 0, 3, k=2)
+        assert not route_survives(g, result, 1)
+
+
+class TestSurvivablePairs:
+    def test_cycle_fully_survivable(self):
+        pts = [Point(float(i), float(i % 2)) for i in range(6)]
+        ring = Graph(pts, [(i, (i + 1) % 6) for i in range(6)])
+        good, total = survivable_pairs(ring, list(range(6)))
+        assert good == total == 15
+
+    def test_chain_not_survivable(self):
+        g = path_graph(5)
+        good, total = survivable_pairs(g, list(range(5)))
+        assert good == 0 and total == 10
+
+    def test_backbone_survivability_fraction(self, backbone):
+        members = sorted(backbone.backbone_nodes)
+        good, total = survivable_pairs(
+            backbone.icds, members, sample_stride=3
+        )
+        assert total > 0
+        # ICDS keeps all UDG links among members: a solid majority of
+        # pairs should enjoy 2-path survivability on this instance.
+        assert good / total > 0.5

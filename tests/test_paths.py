@@ -1,0 +1,148 @@
+"""Unit tests for repro.graphs.paths."""
+
+import math
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.graph import Graph
+from repro.graphs.paths import (
+    bfs_hops,
+    breadth_first_path,
+    connected_components,
+    dijkstra_lengths,
+    is_connected,
+    shortest_path,
+)
+
+
+def path_graph(n):
+    pts = [Point(float(i), 0.0) for i in range(n)]
+    return Graph(pts, [(i, i + 1) for i in range(n - 1)])
+
+
+def detour_graph():
+    """Two routes 0->3: direct long edge vs short zig-zag."""
+    pts = [Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0), Point(1.5, 2.0)]
+    g = Graph(pts, [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)])
+    return g
+
+
+class TestBfsHops:
+    def test_on_path(self):
+        g = path_graph(5)
+        assert bfs_hops(g, 0) == [0, 1, 2, 3, 4]
+
+    def test_unreachable_is_minus_one(self):
+        g = Graph([Point(0, 0), Point(10, 10)])
+        assert bfs_hops(g, 0) == [0, -1]
+
+    def test_source_only(self):
+        g = Graph([Point(0, 0)])
+        assert bfs_hops(g, 0) == [0]
+
+
+class TestDijkstra:
+    def test_euclidean_lengths_on_path(self):
+        g = path_graph(4)
+        assert dijkstra_lengths(g, 0) == pytest.approx([0.0, 1.0, 2.0, 3.0])
+
+    def test_unreachable_is_inf(self):
+        g = Graph([Point(0, 0), Point(5, 5)])
+        assert dijkstra_lengths(g, 0)[1] == math.inf
+
+    def test_custom_weight(self):
+        g = path_graph(3)
+        hops = dijkstra_lengths(g, 0, weight=lambda u, v: 1.0)
+        assert hops == pytest.approx([0.0, 1.0, 2.0])
+
+    def test_prefers_shorter_total_length(self):
+        g = detour_graph()
+        d = dijkstra_lengths(g, 0)
+        # The straight chain 0-1-2-3 (length 3) beats 0-4-3 (length 5).
+        assert d[3] == pytest.approx(3.0)
+
+
+class TestPathQueries:
+    def test_bfs_path_minimizes_hops(self):
+        g = detour_graph()
+        result = breadth_first_path(g, 0, 3)
+        assert result.found and result.hops == 2
+        assert result.nodes == (0, 4, 3)
+
+    def test_dijkstra_path_minimizes_length(self):
+        g = detour_graph()
+        result = shortest_path(g, 0, 3)
+        assert result.found
+        assert result.nodes == (0, 1, 2, 3)
+        assert result.length == pytest.approx(3.0)
+
+    def test_source_equals_target(self):
+        g = path_graph(3)
+        for fn in (breadth_first_path, shortest_path):
+            result = fn(g, 1, 1)
+            assert result.found and result.hops == 0 and result.length == 0.0
+
+    def test_no_path(self):
+        g = Graph([Point(0, 0), Point(9, 9)])
+        for fn in (breadth_first_path, shortest_path):
+            result = fn(g, 0, 1)
+            assert not result.found
+            assert result.length == math.inf
+
+    def test_path_length_matches_edges(self):
+        g = path_graph(5)
+        result = shortest_path(g, 0, 4)
+        assert result.length == pytest.approx(4.0)
+        assert result.hops == 4
+
+
+class TestDiameter:
+    def test_path_diameter(self):
+        from repro.graphs.paths import hop_diameter
+
+        assert hop_diameter(path_graph(6)) == 5
+
+    def test_edgeless_diameter_zero(self):
+        from repro.graphs.paths import hop_diameter
+
+        assert hop_diameter(Graph([Point(0, 0), Point(5, 5)])) == 0
+
+    def test_disconnected_uses_components(self):
+        from repro.graphs.paths import hop_diameter
+
+        pts = [Point(float(i), 0.0) for i in range(6)]
+        g = Graph(pts, [(0, 1), (1, 2), (4, 5)])
+        assert hop_diameter(g) == 2
+
+    def test_eccentricity(self):
+        from repro.graphs.paths import hop_eccentricity
+
+        g = path_graph(5)
+        assert hop_eccentricity(g, 0) == 4
+        assert hop_eccentricity(g, 2) == 2
+
+    def test_backbone_diameter_tracks_udg(self, deployment, backbone):
+        from repro.graphs.paths import hop_diameter
+
+        udg_diam = hop_diameter(backbone.udg)
+        bb_diam = hop_diameter(backbone.cds_prime)
+        assert bb_diam <= 3 * udg_diam + 2
+
+
+class TestConnectivity:
+    def test_connected_path(self):
+        assert is_connected(path_graph(6))
+
+    def test_disconnected(self):
+        g = Graph([Point(0, 0), Point(9, 9)])
+        assert not is_connected(g)
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(Graph([]))
+
+    def test_components(self):
+        pts = [Point(float(i), 0.0) for i in range(5)]
+        g = Graph(pts, [(0, 1), (2, 3)])
+        comps = connected_components(g)
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2, 3], [4]]

@@ -1,0 +1,160 @@
+"""Unit tests for repro.geometry.predicates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.predicates import (
+    Orientation,
+    in_circle,
+    on_segment,
+    orientation,
+    orientation_value,
+    point_in_polygon,
+    segments_cross,
+    segments_intersect,
+)
+from repro.geometry.primitives import Point
+
+coords = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestOrientation:
+    def test_counterclockwise(self):
+        assert (
+            orientation(Point(0, 0), Point(1, 0), Point(0, 1))
+            == Orientation.COUNTERCLOCKWISE
+        )
+
+    def test_clockwise(self):
+        assert (
+            orientation(Point(0, 0), Point(0, 1), Point(1, 0))
+            == Orientation.CLOCKWISE
+        )
+
+    def test_collinear(self):
+        assert (
+            orientation(Point(0, 0), Point(1, 1), Point(2, 2))
+            == Orientation.COLLINEAR
+        )
+
+    def test_collinear_with_large_coordinates(self):
+        # The epsilon must scale with coordinate magnitude.
+        a, b, c = Point(1e5, 1e5), Point(2e5, 2e5), Point(3e5, 3e5)
+        assert orientation(a, b, c) == Orientation.COLLINEAR
+
+    @given(points, points, points)
+    def test_swap_flips_sign(self, a, b, c):
+        assert orientation_value(a, b, c) == -orientation_value(a, c, b)
+
+    @given(points, points, points)
+    def test_cyclic_invariance(self, a, b, c):
+        v1 = orientation_value(a, b, c)
+        v2 = orientation_value(b, c, a)
+        assert v1 == pytest.approx(v2, rel=1e-6, abs=1e-3)
+
+
+class TestInCircle:
+    def test_inside_positive_for_ccw(self):
+        # Unit circle through three ccw points; origin is inside.
+        a, b, c = Point(1, 0), Point(0, 1), Point(-1, 0)
+        assert in_circle(a, b, c, Point(0, 0)) > 0
+
+    def test_outside_negative_for_ccw(self):
+        a, b, c = Point(1, 0), Point(0, 1), Point(-1, 0)
+        assert in_circle(a, b, c, Point(5, 5)) < 0
+
+    def test_cocircular_near_zero(self):
+        a, b, c = Point(1, 0), Point(0, 1), Point(-1, 0)
+        assert in_circle(a, b, c, Point(0, -1)) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestOnSegment:
+    def test_interior_point(self):
+        assert on_segment(Point(0, 0), Point(2, 2), Point(1, 1))
+
+    def test_endpoint(self):
+        assert on_segment(Point(0, 0), Point(2, 2), Point(2, 2))
+
+    def test_outside_bbox(self):
+        assert not on_segment(Point(0, 0), Point(2, 2), Point(3, 3))
+
+
+class TestSegmentsIntersect:
+    def test_plain_crossing(self):
+        assert segments_intersect(
+            Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0)
+        )
+
+    def test_shared_endpoint_counts(self):
+        assert segments_intersect(
+            Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0)
+        )
+
+    def test_disjoint(self):
+        assert not segments_intersect(
+            Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)
+        )
+
+    def test_collinear_overlap(self):
+        assert segments_intersect(
+            Point(0, 0), Point(2, 0), Point(1, 0), Point(3, 0)
+        )
+
+    def test_t_junction(self):
+        assert segments_intersect(
+            Point(0, 0), Point(2, 0), Point(1, 0), Point(1, 1)
+        )
+
+
+class TestSegmentsCross:
+    def test_proper_crossing(self):
+        assert segments_cross(Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0))
+
+    def test_shared_endpoint_is_not_a_crossing(self):
+        assert not segments_cross(
+            Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0)
+        )
+
+    def test_disjoint_segments(self):
+        assert not segments_cross(
+            Point(0, 0), Point(1, 0), Point(5, 5), Point(6, 6)
+        )
+
+    def test_t_junction_interior_touch_crosses(self):
+        # One segment's endpoint strictly inside the other.
+        assert segments_cross(Point(0, 0), Point(2, 0), Point(1, -1), Point(1, 0))
+
+    def test_endpoint_touch_does_not_cross(self):
+        assert not segments_cross(
+            Point(0, 0), Point(2, 0), Point(2, 0), Point(3, 1)
+        )
+
+    @given(points, points, points, points)
+    def test_cross_implies_intersect(self, a, b, c, d):
+        if segments_cross(a, b, c, d):
+            assert segments_intersect(a, b, c, d)
+
+    @given(points, points, points, points)
+    def test_symmetric_in_segments(self, a, b, c, d):
+        assert segments_cross(a, b, c, d) == segments_cross(c, d, a, b)
+
+
+class TestPointInPolygon:
+    SQUARE = [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)]
+
+    def test_inside(self):
+        assert point_in_polygon(Point(2, 2), self.SQUARE)
+
+    def test_outside(self):
+        assert not point_in_polygon(Point(5, 2), self.SQUARE)
+
+    def test_concave_polygon(self):
+        # A "C" shape: the notch is outside.
+        c_shape = [
+            Point(0, 0), Point(4, 0), Point(4, 1), Point(1, 1),
+            Point(1, 3), Point(4, 3), Point(4, 4), Point(0, 4),
+        ]
+        assert point_in_polygon(Point(0.5, 2), c_shape)
+        assert not point_in_polygon(Point(3, 2), c_shape)

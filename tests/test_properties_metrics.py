@@ -1,0 +1,88 @@
+"""Property-based tests for the metrics and verification layers."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import hop_stretch, length_stretch
+from repro.core.verify import verify_spanner
+from repro.geometry.primitives import Point
+from repro.graphs.udg import UnitDiskGraph
+from repro.topology.gabriel import gabriel_graph
+from repro.topology.rng import relative_neighborhood_graph
+
+deployments = st.lists(
+    st.tuples(st.integers(0, 18), st.integers(0, 18)),
+    min_size=4,
+    max_size=22,
+    unique=True,
+).map(lambda pts: [Point(x / 2.0, y / 2.0) for x, y in pts])
+
+RADIUS = 3.0
+
+slow = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@slow
+@given(deployments)
+def test_stretch_at_least_one(points):
+    udg = UnitDiskGraph(points, RADIUS)
+    gg = gabriel_graph(udg)
+    for stats in (length_stretch(gg, udg), hop_stretch(gg, udg)):
+        if stats.pairs:
+            assert stats.avg >= 1.0 - 1e-9
+            assert stats.max >= stats.avg - 1e-9
+
+
+@slow
+@given(deployments)
+def test_subgraph_monotonicity(points):
+    """Removing edges can only worsen (or keep) the stretch."""
+    udg = UnitDiskGraph(points, RADIUS)
+    gg = gabriel_graph(udg)
+    rng_graph = relative_neighborhood_graph(udg)  # RNG ⊆ GG
+    gg_stats = length_stretch(gg, udg)
+    rng_stats = length_stretch(rng_graph, udg)
+    if gg_stats.pairs and rng_stats.pairs:
+        assert rng_stats.max >= gg_stats.max - 1e-9
+
+
+@slow
+@given(deployments)
+def test_verify_agrees_with_measured_max(points):
+    udg = UnitDiskGraph(points, RADIUS)
+    gg = gabriel_graph(udg)
+    stats = length_stretch(gg, udg)
+    if not stats.pairs:
+        return
+    # Just above the measured max: holds.
+    assert verify_spanner(gg, udg, claimed=float(stats.max) + 1e-6).holds
+    # Just below (when max > 1): violated, and the worst witness
+    # reproduces the measured max.
+    if stats.max > 1.0 + 1e-9:
+        verdict = verify_spanner(
+            gg, udg, claimed=float(stats.max) - 1e-6, max_witnesses=10_000
+        )
+        assert not verdict.holds
+        assert verdict.worst.ratio == pytest.approx(float(stats.max), rel=1e-9)
+
+
+@slow
+@given(deployments)
+def test_hop_stretch_integral_numerators(points):
+    """Hop stretch ratios are ratios of integers: k / m."""
+    udg = UnitDiskGraph(points, RADIUS)
+    gg = gabriel_graph(udg)
+    stats = hop_stretch(gg, udg)
+    if stats.pairs:
+        # max = k/m with m <= diameter; sanity: multiplying by some
+        # m <= n yields an integer.
+        found = any(
+            abs(stats.max * m - round(stats.max * m)) < 1e-6
+            for m in range(1, udg.node_count + 1)
+        )
+        assert found

@@ -1,0 +1,115 @@
+"""Property-based tests over randomly generated deployments.
+
+Hypothesis drives the node placement; every draw must satisfy the
+paper's invariants end to end.  These are the heaviest properties in
+the suite, so example counts are kept moderate; the seeds that matter
+get cached in hypothesis's example database.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.spanner import build_backbone
+from repro.geometry.primitives import Point
+from repro.graphs.paths import bfs_hops, connected_components, is_connected
+from repro.graphs.planarity import is_planar_embedding
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.clustering import centralized_mis, run_clustering
+from repro.protocols.ldel_protocol import run_ldel_protocol
+from repro.topology.gabriel import gabriel_graph
+from repro.topology.ldel import planar_local_delaunay_graph
+from repro.topology.rng import relative_neighborhood_graph
+
+# Deployments: 4-28 nodes on a coarse grid scaled into a ~[0,10]^2
+# region, radius 3.  Coarse coordinates generate plenty of collinear /
+# near-cocircular layouts, which stress the geometry more than uniform
+# floats do.
+deployments = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(0, 20)),
+    min_size=4,
+    max_size=28,
+    unique=True,
+).map(lambda pts: [Point(x / 2.0, y / 2.0) for x, y in pts])
+
+RADIUS = 3.0
+
+slow = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@slow
+@given(deployments)
+def test_mis_invariants(points):
+    udg = UnitDiskGraph(points, RADIUS)
+    outcome = run_clustering(udg)
+    doms = outcome.dominators
+    # Independence.
+    for u in doms:
+        assert not (udg.neighbors(u) & doms)
+    # Domination.
+    for u in udg.nodes():
+        assert u in doms or (udg.neighbors(u) & doms)
+    # Matches the centralized greedy.
+    assert doms == centralized_mis(udg)
+    # Lemma 1.
+    for adjacent in outcome.dominators_of.values():
+        assert len(adjacent) <= 5
+
+
+@slow
+@given(deployments)
+def test_pldel_planar_and_spans_components(points):
+    udg = UnitDiskGraph(points, RADIUS)
+    pldel = planar_local_delaunay_graph(udg)
+    assert is_planar_embedding(pldel.graph)
+    # PLDel preserves the UDG's connectivity structure exactly.
+    assert components(pldel.graph) == components(udg)
+
+
+@slow
+@given(deployments)
+def test_distributed_ldel_equals_centralized(points):
+    udg = UnitDiskGraph(points, RADIUS)
+    distributed = run_ldel_protocol(udg)
+    centralized = planar_local_delaunay_graph(udg)
+    assert distributed.graph.edge_set() == centralized.graph.edge_set()
+
+
+@slow
+@given(deployments)
+def test_backbone_headline_properties(points):
+    result = build_backbone(points, RADIUS)
+    udg = result.udg
+    # Planarity of the backbone.
+    assert is_planar_embedding(result.ldel_icds)
+    # The spanning structure preserves component structure.
+    assert components(result.ldel_icds_prime) == components(udg)
+    # Constant per-node communication (generous constant).
+    assert result.stats_ldel.max_per_node() <= 150
+    # Hop bound of Lemma 5 within each component.
+    for source in list(udg.nodes())[:5]:
+        h_udg = bfs_hops(udg, source)
+        h_bb = bfs_hops(result.cds_prime, source)
+        for target in udg.nodes():
+            if h_udg[target] > 1:
+                assert 0 < h_bb[target] <= 3 * h_udg[target] + 2
+
+
+@slow
+@given(deployments)
+def test_proximity_chain_and_connectivity(points):
+    udg = UnitDiskGraph(points, RADIUS)
+    rng_graph = relative_neighborhood_graph(udg)
+    gg = gabriel_graph(udg)
+    assert rng_graph.is_subgraph_of(gg)
+    assert gg.is_subgraph_of(udg)
+    assert components(rng_graph) == components(udg)
+
+
+def components(graph):
+    """Canonical component partition for equality checks."""
+    return sorted(tuple(sorted(c)) for c in connected_components(graph))

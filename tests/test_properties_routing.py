@@ -1,0 +1,103 @@
+"""Property-based tests for the routing stack.
+
+Hypothesis generates deployments; every draw must satisfy the routing
+invariants: GPSR delivers on every connected planar structure, paths
+are genuine walks, greedy strictly shrinks the distance each hop, and
+perimeter mode honours its resume contract.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import Point, dist
+from repro.graphs.paths import bfs_hops, connected_components
+from repro.graphs.udg import UnitDiskGraph
+from repro.routing.compass import compass_route
+from repro.routing.gpsr import gpsr_route
+from repro.routing.greedy import greedy_route
+from repro.topology.gabriel import gabriel_graph
+from repro.topology.ldel import planar_local_delaunay_graph
+
+deployments = st.lists(
+    st.tuples(st.integers(0, 18), st.integers(0, 18)),
+    min_size=4,
+    max_size=22,
+    unique=True,
+).map(lambda pts: [Point(x / 2.0, y / 2.0) for x, y in pts])
+
+RADIUS = 3.0
+
+slow = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def same_component_pairs(graph, limit=6):
+    comps = [sorted(c) for c in connected_components(graph) if len(c) > 1]
+    pairs = []
+    for comp in comps:
+        pairs.append((comp[0], comp[-1]))
+        if len(comp) > 2:
+            pairs.append((comp[1], comp[-1]))
+    return pairs[:limit]
+
+
+@slow
+@given(deployments)
+def test_gpsr_delivers_on_gabriel(points):
+    udg = UnitDiskGraph(points, RADIUS)
+    gg = gabriel_graph(udg)
+    for s, t in same_component_pairs(gg):
+        result = gpsr_route(gg, s, t)
+        assert result.delivered, f"GPSR failed {s}->{t} on Gabriel"
+        for a, b in zip(result.path, result.path[1:]):
+            assert gg.has_edge(a, b)
+
+
+@slow
+@given(deployments)
+def test_gpsr_delivers_on_pldel(points):
+    udg = UnitDiskGraph(points, RADIUS)
+    pldel = planar_local_delaunay_graph(udg).graph
+    for s, t in same_component_pairs(pldel):
+        result = gpsr_route(pldel, s, t)
+        assert result.delivered, f"GPSR failed {s}->{t} on PLDel"
+
+
+@slow
+@given(deployments)
+def test_greedy_strictly_decreases_distance(points):
+    udg = UnitDiskGraph(points, RADIUS)
+    for s, t in same_component_pairs(udg):
+        result = greedy_route(udg, s, t)
+        target = udg.positions[t]
+        distances = [dist(udg.positions[n], target) for n in result.path]
+        for a, b in zip(distances, distances[1:]):
+            assert b < a + 1e-12
+
+
+@slow
+@given(deployments)
+def test_routes_never_exceed_reasonable_hop_bounds(points):
+    udg = UnitDiskGraph(points, RADIUS)
+    gg = gabriel_graph(udg)
+    for s, t in same_component_pairs(gg):
+        result = gpsr_route(gg, s, t)
+        if result.delivered:
+            optimal = bfs_hops(gg, s)[t]
+            assert result.hops <= 8 * optimal + 16
+
+
+@slow
+@given(deployments)
+def test_compass_terminates(points):
+    """Compass may fail on general graphs, but must never hang."""
+    udg = UnitDiskGraph(points, RADIUS)
+    gg = gabriel_graph(udg)
+    for s, t in same_component_pairs(gg):
+        result = compass_route(gg, s, t)
+        assert result.reason in ("delivered", "stuck", "loop", "hop-limit")
+        assert len(result.path) <= 4 * gg.node_count + 17

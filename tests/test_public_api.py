@@ -1,0 +1,71 @@
+"""API-surface guard: every advertised symbol is importable.
+
+Each subpackage declares ``__all__``; this test imports every name, so
+a refactor that breaks the public surface (renamed symbol, missed
+re-export, circular import) fails loudly here rather than in user
+code.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.geometry",
+    "repro.graphs",
+    "repro.topology",
+    "repro.sim",
+    "repro.protocols",
+    "repro.routing",
+    "repro.mobility",
+    "repro.workloads",
+    "repro.experiments",
+    "repro.viz",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", [])
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_top_level_quickstart_names():
+    import repro
+
+    for name in (
+        "build_backbone",
+        "BackboneResult",
+        "UnitDiskGraph",
+        "uniform_points",
+        "connected_udg_instance",
+        "measure_topology",
+    ):
+        assert hasattr(repro, name)
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_no_duplicate_exports():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        exported = getattr(package, "__all__", [])
+        assert len(exported) == len(set(exported)), package_name
+
+
+def test_py_typed_marker_shipped():
+    import repro
+    from pathlib import Path
+
+    assert (Path(repro.__file__).parent / "py.typed").exists()

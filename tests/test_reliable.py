@@ -1,0 +1,142 @@
+"""Failure injection: protocols over lossy radios, with and without
+retransmission protection."""
+
+import random
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.clustering import (
+    ClusteringProcess,
+    centralized_mis,
+    lowest_id_priority,
+)
+from repro.sim.messages import Message
+from repro.sim.network import SyncNetwork
+from repro.sim.protocol import NodeProcess
+from repro.sim.radio import BroadcastRadio
+from repro.sim.reliable import ReliableProcess, with_retransmissions
+from repro.workloads.generators import connected_udg_instance
+
+
+def clustering_factory(udg):
+    def factory(node_id, _net):
+        return ClusteringProcess(
+            node_id,
+            udg.positions[node_id],
+            tuple(sorted(udg.neighbors(node_id))),
+            lowest_id_priority,
+        )
+
+    return factory
+
+
+def run_clustering_over(udg, radio, factory):
+    net = SyncNetwork(udg, factory, radio=radio)
+    net.run(max_rounds=4 * udg.node_count + 16)
+    statuses = {p.node_id: getattr(p, "status", None) for p in net.processes}
+    # ReliableProcess wraps: unwrap for status.
+    for p in net.processes:
+        if isinstance(p, ReliableProcess):
+            statuses[p.node_id] = p.inner.status
+    return statuses, net
+
+
+class TestReliableWrapper:
+    def test_copies_validated(self):
+        inner = NodeProcess(0, Point(0, 0), ())
+        with pytest.raises(ValueError):
+            ReliableProcess(inner, 0)
+
+    def test_duplicates_suppressed(self):
+        received = []
+
+        class Probe(NodeProcess):
+            def receive(self, message):
+                received.append(message.kind)
+
+        wrapper = ReliableProcess(Probe(1, Point(0, 0), ()), copies=3)
+        msg = Message(kind="X", sender=0, payload={"_rel_seq": 7, "_rel_copy": 0})
+        dup = Message(kind="X", sender=0, payload={"_rel_seq": 7, "_rel_copy": 1})
+        wrapper.receive(msg)
+        wrapper.receive(dup)
+        assert received == ["X"]
+
+    def test_internal_keys_stripped(self):
+        payloads = []
+
+        class Probe(NodeProcess):
+            def receive(self, message):
+                payloads.append(dict(message.payload))
+
+        wrapper = ReliableProcess(Probe(1, Point(0, 0), ()), copies=2)
+        wrapper.receive(
+            Message(kind="X", sender=0, payload={"a": 1, "_rel_seq": 0, "_rel_copy": 0})
+        )
+        assert payloads == [{"a": 1}]
+
+    def test_unwrapped_messages_pass_through(self):
+        seen = []
+
+        class Probe(NodeProcess):
+            def receive(self, message):
+                seen.append(message.kind)
+
+        wrapper = ReliableProcess(Probe(1, Point(0, 0), ()), copies=2)
+        wrapper.receive(Message(kind="Plain", sender=0))
+        assert seen == ["Plain"]
+
+    def test_broadcast_multiplies_cost(self):
+        udg = UnitDiskGraph([Point(0, 0), Point(1, 0)], 1.5)
+        factory = with_retransmissions(clustering_factory(udg), copies=3)
+        statuses, net = run_clustering_over(udg, BroadcastRadio(udg), factory)
+        # Lossless: same outcome, 3x the messages.
+        assert statuses[0] == "dominator"
+        plain_net = SyncNetwork(udg, clustering_factory(udg))
+        plain_net.run()
+        assert net.stats.total == 3 * plain_net.stats.total
+
+
+class TestClusteringUnderLoss:
+    @pytest.fixture(scope="class")
+    def udg(self):
+        return connected_udg_instance(30, 150.0, 55.0, random.Random(3)).udg()
+
+    def test_unprotected_protocol_suffers_under_loss(self, udg):
+        # With 30% reception loss the bare election usually stalls
+        # (white nodes miss the messages they are waiting on) or
+        # mis-elects.  Find a seed demonstrating degradation.
+        degraded = 0
+        for seed in range(6):
+            radio = BroadcastRadio(udg, loss_rate=0.3, rng=random.Random(seed))
+            try:
+                statuses, _ = run_clustering_over(
+                    udg, radio, clustering_factory(udg)
+                )
+                dominators = frozenset(
+                    n for n, s in statuses.items() if s == "dominator"
+                )
+                if statuses != {} and (
+                    any(s == "white" for s in statuses.values())
+                    or dominators != centralized_mis(udg)
+                ):
+                    degraded += 1
+            except RuntimeError:
+                degraded += 1
+        assert degraded > 0, "30% loss should break the bare protocol sometimes"
+
+    def test_retransmissions_restore_correctness(self, udg):
+        # The run has ~1400 reception opportunities, so copies must
+        # push per-message loss well below 1/1400: with loss 0.3 and
+        # copies=6, 0.3^6 * 1400 ~ 1.0 expected losses network-wide,
+        # and these seeded radios all complete with the exact MIS.
+        expected = centralized_mis(udg)
+        for seed in range(4):
+            radio = BroadcastRadio(udg, loss_rate=0.3, rng=random.Random(seed))
+            factory = with_retransmissions(clustering_factory(udg), copies=6)
+            statuses, _ = run_clustering_over(udg, radio, factory)
+            dominators = frozenset(
+                n for n, s in statuses.items() if s == "dominator"
+            )
+            assert dominators == expected, f"seed {seed}"

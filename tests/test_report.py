@@ -1,0 +1,59 @@
+"""Tests for the Markdown report generator and its CLI command."""
+
+import pytest
+
+from repro.analysis.report import generate_report
+from repro.__main__ import main
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self, deployment):
+        # Class-scoped: the report builds every topology once.
+        return generate_report(deployment, title="Test report")
+
+    def test_has_all_sections(self, report):
+        for heading in (
+            "# Test report",
+            "## Deployment",
+            "## Construction",
+            "## Topology quality",
+            "## Power",
+            "## Spanner verification",
+            "## Routing spot checks",
+        ):
+            assert heading in report
+
+    def test_topology_rows_present(self, report):
+        for name in ("UDG", "RNG", "GG", "LDel(ICDS)", "LDel(ICDS')"):
+            assert f"| {name} |" in report
+
+    def test_claims_verified_inline(self, report):
+        assert "planar: **True**" in report
+        assert ": **True**" in report  # spanner verification line
+        assert "delivered in" in report
+
+    def test_no_figures_section_without_svg_dir(self, report):
+        assert "## Figures" not in report
+
+    def test_svg_export(self, deployment, tmp_path):
+        report = generate_report(deployment, svg_dir=tmp_path)
+        assert "## Figures" in report
+        assert (tmp_path / "ldel_icds.svg").exists()
+
+
+class TestReportCommand:
+    def test_cli_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        code = main(
+            [
+                "report",
+                "--nodes", "25", "--side", "150", "--radius", "60",
+                "--seed", "2",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "## Topology quality" in text
+        assert "report written" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Tests for the distributed (message-passing) routing protocol."""
+
+import random
+
+import pytest
+
+from repro.core.spanner import build_backbone
+from repro.graphs.paths import breadth_first_path
+from repro.protocols.routing_protocol import DATA, run_routing_protocol
+from repro.workloads.generators import connected_udg_instance
+
+
+@pytest.fixture(scope="module")
+def clustered_world():
+    # Clustered: inter-cluster voids force perimeter mode.
+    dep = connected_udg_instance(
+        70, 200.0, 55.0, random.Random(13), generator="clustered"
+    )
+    return dep, build_backbone(dep.points, dep.radius)
+
+
+class TestDelivery:
+    def test_all_pairs_sample_delivered(self, clustered_world):
+        dep, result = clustered_world
+        n = result.udg.node_count
+        packets = [(s, t) for s in range(0, n, 9) for t in range(3, n, 11) if s != t]
+        outcomes, _stats = run_routing_protocol(result, packets)
+        failures = [(o.source, o.target) for o in outcomes if not o.delivered]
+        assert not failures, f"undelivered: {failures[:5]}"
+
+    def test_source_equals_target(self, clustered_world):
+        _dep, result = clustered_world
+        outcomes, _ = run_routing_protocol(result, [(4, 4)])
+        assert outcomes[0].delivered and outcomes[0].path == (4,)
+
+    def test_adjacent_pair_single_frame(self, clustered_world):
+        _dep, result = clustered_world
+        u, v = next(iter(result.udg.edges()))
+        outcomes, stats = run_routing_protocol(result, [(u, v)])
+        assert outcomes[0].delivered
+        assert outcomes[0].path == (u, v)
+        assert stats.per_kind[DATA] == 1
+
+
+class TestPaths:
+    def test_paths_are_radio_walks(self, clustered_world):
+        _dep, result = clustered_world
+        udg = result.udg
+        packets = [(0, udg.node_count - 1), (1, udg.node_count // 2)]
+        outcomes, _ = run_routing_protocol(result, packets)
+        for outcome in outcomes:
+            assert outcome.delivered
+            for a, b in zip(outcome.path, outcome.path[1:]):
+                assert udg.has_edge(a, b)
+            assert outcome.path[0] == outcome.source
+            assert outcome.path[-1] == outcome.target
+
+    def test_hop_count_bounded_vs_optimal(self, clustered_world):
+        _dep, result = clustered_world
+        udg = result.udg
+        n = udg.node_count
+        packets = [(0, n - 1), (2, n - 3), (5, n // 2)]
+        outcomes, _ = run_routing_protocol(result, packets)
+        for outcome in outcomes:
+            optimal = breadth_first_path(udg, outcome.source, outcome.target).hops
+            assert outcome.hops <= 6 * optimal + 10
+
+    def test_transmissions_equal_hops(self, clustered_world):
+        _dep, result = clustered_world
+        outcomes, stats = run_routing_protocol(
+            result, [(0, result.udg.node_count - 1)]
+        )
+        assert outcomes[0].transmissions == outcomes[0].hops
+        assert stats.per_kind[DATA] == outcomes[0].hops
+
+
+class TestAgainstCentralized:
+    def test_matches_backbone_route_delivery(self, clustered_world):
+        from repro.routing.backbone_routing import backbone_route
+
+        _dep, result = clustered_world
+        n = result.udg.node_count
+        pairs = [(s, t) for s in range(0, n, 13) for t in range(1, n, 17) if s != t]
+        outcomes, _ = run_routing_protocol(result, pairs)
+        for outcome, (s, t) in zip(outcomes, pairs):
+            central = backbone_route(result, s, t)
+            assert outcome.delivered == central.delivered
+
+    def test_many_packets_one_run(self, clustered_world):
+        # The protocol multiplexes: all packets in one network run.
+        _dep, result = clustered_world
+        n = result.udg.node_count
+        packets = [(i, (i + n // 2) % n) for i in range(0, n, 2)]
+        outcomes, stats = run_routing_protocol(result, packets)
+        delivered = sum(o.delivered for o in outcomes)
+        assert delivered == len([p for p in packets if p[0] != p[1]])
+        total_hops = sum(o.hops for o in outcomes)
+        assert stats.per_kind[DATA] == total_hops

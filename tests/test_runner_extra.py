@@ -1,0 +1,87 @@
+"""Unit tests for the newer experiment-runner functions."""
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    deployment_sensitivity,
+    format_rows,
+    message_breakdown,
+    table1,
+)
+
+SMOKE = ExperimentConfig(instances=2, seed=11)
+
+
+class TestMessageBreakdown:
+    @pytest.fixture(scope="class")
+    def kinds(self):
+        return message_breakdown(n=25, config=SMOKE)
+
+    def test_expected_kinds_present(self, kinds):
+        for kind in ("Hello", "IamDominator", "TryConnector", "Status"):
+            assert kind in kinds
+
+    def test_hello_and_status_exactly_one_per_node(self, kinds):
+        assert kinds["Hello"] == pytest.approx(1.0)
+        assert kinds["Status"] == pytest.approx(1.0)
+
+    def test_values_non_negative(self, kinds):
+        assert all(v >= 0 for v in kinds.values())
+
+    def test_total_matches_ledger_scale(self, kinds):
+        # Per-node total stays a small constant.
+        assert 3.0 < sum(kinds.values()) < 40.0
+
+
+class TestDeploymentSensitivity:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return deployment_sensitivity(
+            n=25,
+            generators=("uniform", "grid"),
+            config=ExperimentConfig(instances=2, seed=11),
+        )
+
+    def test_all_generators_reported(self, results):
+        assert set(results) == {"uniform", "grid"}
+
+    def test_metric_keys(self, results):
+        for values in results.values():
+            assert set(values) == {
+                "backbone deg max",
+                "length avg",
+                "hop avg",
+                "comm max",
+                "backbone fraction",
+            }
+
+    def test_invariants_hold_per_generator(self, results):
+        for generator, values in results.items():
+            assert values["length avg"] >= 1.0, generator
+            assert values["hop avg"] >= 1.0, generator
+            assert 0.0 < values["backbone fraction"] <= 1.0, generator
+
+
+class TestStdDevTracking:
+    def test_stddev_zero_with_one_sample(self):
+        rows = table1(n=20, radius=60.0, config=ExperimentConfig(instances=1, seed=4))
+        assert rows[0].stddev("deg_avg") == 0.0
+        assert rows[0].samples == 1
+
+    def test_stddev_positive_with_many_samples(self):
+        rows = table1(n=20, radius=60.0, config=ExperimentConfig(instances=3, seed=4))
+        udg_row = rows[0]
+        assert udg_row.samples == 3
+        assert udg_row.stddev("edges") > 0.0
+
+    def test_format_with_std_columns(self):
+        rows = table1(n=20, radius=60.0, config=ExperimentConfig(instances=2, seed=4))
+        text = format_rows(rows, with_std=True)
+        assert "±deg" in text and "±edges" in text
+        plain = format_rows(rows)
+        assert "±deg" not in plain
+
+    def test_unknown_quantity_is_zero(self):
+        rows = table1(n=20, radius=60.0, config=ExperimentConfig(instances=2, seed=4))
+        assert rows[0].stddev("nonexistent") == 0.0

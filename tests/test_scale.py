@@ -1,0 +1,73 @@
+"""Scale test: the pipeline's invariants at a larger-than-usual size.
+
+One n=250 instance exercised end to end.  Not a performance benchmark
+(those live in benchmarks/), but a guard against properties that only
+break when structures get big: planarity with thousands of candidate
+triangle pairs, message bounds at high density, GPSR on a large planar
+graph.
+"""
+
+import random
+
+import pytest
+
+from repro.core.metrics import hop_stretch, length_stretch
+from repro.core.spanner import build_backbone
+from repro.graphs.paths import is_connected
+from repro.graphs.planarity import is_planar_embedding
+from repro.routing.gpsr import gpsr_route
+from repro.workloads.generators import connected_udg_instance
+
+
+@pytest.fixture(scope="module")
+def big():
+    deployment = connected_udg_instance(250, 200.0, 50.0, random.Random(31))
+    result = build_backbone(deployment.points, deployment.radius)
+    return deployment, result
+
+
+class TestScale:
+    def test_backbone_planar(self, big):
+        _dep, result = big
+        assert is_planar_embedding(result.ldel_icds)
+
+    def test_spanning_connected(self, big):
+        _dep, result = big
+        assert is_connected(result.ldel_icds_prime)
+
+    def test_degree_bound_holds_at_density(self, big):
+        _dep, result = big
+        assert max(result.ldel_icds.degrees()) <= 16
+        assert max(result.cds.degrees()) <= 30
+
+    def test_message_bound_holds_at_density(self, big):
+        _dep, result = big
+        assert result.stats_ldel.max_per_node() <= 120
+        assert result.stats_ldel.total <= 120 * result.udg.node_count
+
+    def test_stretch_constant_at_density(self, big):
+        _dep, result = big
+        length = length_stretch(
+            result.ldel_icds_prime, result.udg, skip_udg_adjacent=True
+        )
+        hops = hop_stretch(
+            result.ldel_icds_prime, result.udg, skip_udg_adjacent=True
+        )
+        assert length.max < 6.0
+        assert hops.max < 5.0
+
+    def test_gpsr_delivers_on_large_backbone(self, big):
+        _dep, result = big
+        members = sorted(result.backbone_nodes)
+        pairs = [
+            (members[i], members[-1 - i]) for i in range(0, len(members) // 2, 5)
+        ]
+        for s, t in pairs:
+            if s == t:
+                continue
+            assert gpsr_route(result.ldel_icds, s, t).delivered
+
+    def test_backbone_is_small_fraction(self, big):
+        _dep, result = big
+        # At this density the CDS should be well under half the nodes.
+        assert len(result.backbone_nodes) < 0.5 * result.udg.node_count

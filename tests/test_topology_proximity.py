@@ -1,0 +1,103 @@
+"""Tests for RNG, Gabriel, UDel and their classical containment chain.
+
+RNG(V) ⊆ GG(V) ⊆ UDel(V) ⊆ UDG(V), all connected when the UDG is,
+all planar — the textbook hierarchy both the paper and its baselines
+rely on.
+"""
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.paths import is_connected
+from repro.graphs.planarity import is_planar_embedding
+from repro.graphs.udg import UnitDiskGraph
+from repro.topology.delaunay_udg import delaunay_graph, unit_delaunay_graph
+from repro.topology.gabriel import gabriel_graph
+from repro.topology.rng import relative_neighborhood_graph
+
+
+class TestRelativeNeighborhoodGraph:
+    def test_blocked_edge(self):
+        # w sits in the lune of u and v.
+        pts = [Point(0, 0), Point(1, 0), Point(0.5, 0.2)]
+        udg = UnitDiskGraph(pts, 1.5)
+        rng_graph = relative_neighborhood_graph(udg)
+        assert not rng_graph.has_edge(0, 1)
+        assert rng_graph.has_edge(0, 2) and rng_graph.has_edge(1, 2)
+
+    def test_no_blocker_keeps_edge(self):
+        pts = [Point(0, 0), Point(1, 0)]
+        udg = UnitDiskGraph(pts, 1.5)
+        assert relative_neighborhood_graph(udg).has_edge(0, 1)
+
+    def test_blocker_beyond_radius_is_irrelevant(self):
+        # w in the lune of (u, v) but the lune test only applies to UDG
+        # edges; if |uv| > radius there is no edge to block.
+        pts = [Point(0, 0), Point(2, 0), Point(1, 0.1)]
+        udg = UnitDiskGraph(pts, 1.5)
+        rng_graph = relative_neighborhood_graph(udg)
+        assert not udg.has_edge(0, 1)
+        assert not rng_graph.has_edge(0, 1)
+
+
+class TestGabrielGraph:
+    def test_blocked_by_diameter_disk_witness(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0.5, 0.1)]
+        udg = UnitDiskGraph(pts, 1.5)
+        gg = gabriel_graph(udg)
+        assert not gg.has_edge(0, 1)
+
+    def test_lune_witness_outside_disk_keeps_gabriel_edge(self):
+        # In the lune (blocks RNG) but outside the diameter disk
+        # (Gabriel keeps it): the classic RNG-strict-subset witness.
+        pts = [Point(0, 0), Point(1, 0), Point(0.5, 0.8)]
+        udg = UnitDiskGraph(pts, 1.5)
+        assert gabriel_graph(udg).has_edge(0, 1)
+        assert not relative_neighborhood_graph(udg).has_edge(0, 1)
+
+
+class TestUnitDelaunay:
+    def test_udel_edges_within_radius(self, deployment):
+        udg = deployment.udg()
+        udel = unit_delaunay_graph(udg)
+        for u, v in udel.edges():
+            assert udel.edge_length(u, v) <= udg.radius + 1e-9
+
+    def test_udel_subset_of_delaunay(self, deployment):
+        udg = deployment.udg()
+        udel = unit_delaunay_graph(udg)
+        full = delaunay_graph(udg.positions)
+        assert udel.is_subgraph_of(full)
+
+
+class TestContainmentChain:
+    def test_rng_subset_gg_subset_udel(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            rng_graph = relative_neighborhood_graph(udg)
+            gg = gabriel_graph(udg)
+            udel = unit_delaunay_graph(udg)
+            assert rng_graph.is_subgraph_of(gg)
+            assert gg.is_subgraph_of(udel)
+            assert udel.is_subgraph_of(udg)
+
+    def test_all_connected(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            assert is_connected(relative_neighborhood_graph(udg))
+            assert is_connected(gabriel_graph(udg))
+            assert is_connected(unit_delaunay_graph(udg))
+
+    def test_all_planar(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            assert is_planar_embedding(relative_neighborhood_graph(udg))
+            assert is_planar_embedding(gabriel_graph(udg))
+            assert is_planar_embedding(unit_delaunay_graph(udg))
+
+    def test_sparseness(self, small_deployments):
+        # Planar graphs have at most 3n - 6 edges.
+        for dep in small_deployments:
+            udg = dep.udg()
+            n = udg.node_count
+            assert gabriel_graph(udg).edge_count <= 3 * n - 6

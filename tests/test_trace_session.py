@@ -1,0 +1,157 @@
+"""Tests for protocol tracing and mobility sessions."""
+
+import random
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.udg import UnitDiskGraph
+from repro.mobility.session import SessionResult, SessionStep, run_mobility_session
+from repro.protocols.clustering import ClusteringProcess, lowest_id_priority
+from repro.sim.messages import HELLO, IAM_DOMINATOR, Message
+from repro.sim.network import SyncNetwork
+from repro.sim.trace import TraceRecorder
+from repro.workloads.generators import connected_udg_instance
+
+
+def traced_clustering(udg, **trace_kwargs):
+    trace = TraceRecorder(**trace_kwargs)
+    net = SyncNetwork(
+        udg,
+        lambda node_id, _net: ClusteringProcess(
+            node_id,
+            udg.positions[node_id],
+            tuple(sorted(udg.neighbors(node_id))),
+            lowest_id_priority,
+        ),
+        trace=trace,
+    )
+    net.run()
+    return net, trace
+
+
+class TestTraceRecorder:
+    def line_udg(self, n):
+        return UnitDiskGraph([Point(float(i), 0.0) for i in range(n)], 1.0)
+
+    def test_records_all_broadcasts(self):
+        udg = self.line_udg(5)
+        net, trace = traced_clustering(udg)
+        assert len(trace.events) == net.stats.total
+
+    def test_kind_filter(self):
+        udg = self.line_udg(5)
+        _net, trace = traced_clustering(udg, kinds=frozenset({IAM_DOMINATOR}))
+        assert trace.events
+        assert all(e.kind == IAM_DOMINATOR for e in trace.events)
+
+    def test_sender_filter(self):
+        udg = self.line_udg(5)
+        _net, trace = traced_clustering(udg, senders=frozenset({0}))
+        assert trace.events
+        assert all(e.sender == 0 for e in trace.events)
+
+    def test_events_of(self):
+        udg = self.line_udg(5)
+        _net, trace = traced_clustering(udg)
+        own = trace.events_of(2)
+        assert own and all(e.sender == 2 for e in own)
+
+    def test_rounds_grouping(self):
+        udg = self.line_udg(4)
+        _net, trace = traced_clustering(udg)
+        grouped = trace.rounds()
+        # Hellos all fly in round 1 (sent at start, delivered round 1).
+        assert all(e.kind == HELLO for e in grouped[1])
+        assert len(grouped[1]) == 4
+
+    def test_kind_counts(self):
+        udg = self.line_udg(5)
+        net, trace = traced_clustering(udg)
+        assert trace.kind_counts() == dict(net.stats.per_kind)
+
+    def test_timeline_rendering(self):
+        udg = self.line_udg(4)
+        _net, trace = traced_clustering(udg)
+        text = trace.timeline()
+        assert "round 1" in text
+        assert HELLO in text
+
+    def test_timeline_truncation(self):
+        udg = self.line_udg(6)
+        _net, trace = traced_clustering(udg)
+        text = trace.timeline(max_events_per_round=1)
+        assert "... " in text and " more" in text
+
+    def test_empty_trace(self):
+        assert TraceRecorder().timeline() == "(empty trace)"
+
+    def test_payload_summary_truncated(self):
+        trace = TraceRecorder()
+        trace.record(
+            1,
+            Message(kind="Big", sender=0, payload={"blob": "x" * 200}),
+            recipients=[1, 2],
+        )
+        assert len(trace.events[0].payload_summary) < 80
+
+
+class TestMobilitySession:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        return connected_udg_instance(40, 180.0, 60.0, random.Random(19))
+
+    def test_session_shape(self, deployment):
+        result = run_mobility_session(deployment, steps=5, seed=1)
+        assert len(result.steps) == 5
+        assert all(isinstance(s, SessionStep) for s in result.steps)
+        times = [s.time for s in result.steps]
+        assert times == sorted(times)
+
+    def test_aggregates_consistent(self, deployment):
+        result = run_mobility_session(deployment, steps=6, seed=2)
+        assert result.rebuild_count == sum(1 for s in result.steps if s.rebuilt)
+        assert 0.0 <= result.rebuild_rate <= 1.0
+        assert 0.0 <= result.mean_retention_on_rebuild <= 1.0
+        assert 0.0 <= result.availability <= 1.0
+
+    def test_zero_steps(self, deployment):
+        result = run_mobility_session(deployment, steps=0)
+        assert result.steps == ()
+        assert result.rebuild_rate == 0.0
+        assert result.availability == 1.0
+
+    def test_negative_steps_rejected(self, deployment):
+        with pytest.raises(ValueError):
+            run_mobility_session(deployment, steps=-1)
+
+    def test_slow_speed_means_fewer_rebuilds(self, deployment):
+        slow = run_mobility_session(deployment, steps=6, speed=0.2, seed=3)
+        fast = run_mobility_session(deployment, steps=6, speed=8.0, seed=3)
+        assert slow.rebuild_count <= fast.rebuild_count
+
+    def test_custom_probe_pairs(self, deployment):
+        result = run_mobility_session(
+            deployment, steps=2, probe_pairs=[(0, 1), (2, 2)], seed=4
+        )
+        # The degenerate (2, 2) pair is filtered out.
+        assert result.steps[0].total_probes == 1
+
+    def test_local_policy_runs(self, deployment):
+        result = run_mobility_session(
+            deployment, steps=4, seed=5, policy="local"
+        )
+        assert len(result.steps) == 4
+        assert 0.0 <= result.availability <= 1.0
+        for step in result.steps:
+            assert 0.0 <= step.edge_retention <= 1.0
+
+    def test_unknown_policy_rejected(self, deployment):
+        with pytest.raises(ValueError):
+            run_mobility_session(deployment, steps=1, policy="psychic")
+
+    def test_policies_keep_routing_available(self, deployment):
+        full = run_mobility_session(deployment, steps=4, seed=6, policy="full")
+        local = run_mobility_session(deployment, steps=4, seed=6, policy="local")
+        assert full.availability >= 0.8
+        assert local.availability >= 0.8

@@ -1,0 +1,153 @@
+"""Tests for geometric transforms (with structure-invariance properties)
+and the k-NN baseline."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.primitives import Point, dist
+from repro.geometry.transforms import (
+    mirror_x,
+    normalize_to_unit_square,
+    rotate,
+    scale,
+    translate,
+)
+from repro.graphs.paths import is_connected
+from repro.graphs.udg import UnitDiskGraph
+from repro.topology.gabriel import gabriel_graph
+from repro.topology.knn import knn_graph
+from repro.topology.rng import relative_neighborhood_graph
+
+
+class TestTransformBasics:
+    def test_translate(self):
+        assert translate([Point(1, 2)], 3, -1) == [Point(4, 1)]
+
+    def test_rotate_quarter_turn(self):
+        (p,) = rotate([Point(1, 0)], math.pi / 2)
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(1.0)
+
+    def test_rotate_about_center(self):
+        (p,) = rotate([Point(2, 1)], math.pi, about=Point(1, 1))
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(1.0)
+
+    def test_scale(self):
+        (p,) = scale([Point(2, 4)], 0.5)
+        assert p == Point(1.0, 2.0)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            scale([Point(0, 0)], 0.0)
+
+    def test_mirror(self):
+        assert mirror_x([Point(1, 3)], axis_y=1.0) == [Point(1, -1)]
+
+    def test_rigid_motions_preserve_distances(self, rng):
+        pts = [Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(8)]
+        moved = rotate(translate(pts, 5, -3), 0.7, about=Point(2, 2))
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert dist(pts[i], pts[j]) == pytest.approx(
+                    dist(moved[i], moved[j]), rel=1e-9
+                )
+
+    def test_normalize_to_unit_square(self):
+        pts = [Point(10, 10), Point(30, 20)]
+        norm = normalize_to_unit_square(pts)
+        assert norm[0] == Point(0.0, 0.0)
+        assert norm[1] == Point(1.0, 0.5)
+
+    def test_normalize_degenerate(self):
+        assert normalize_to_unit_square([Point(5, 5)] * 3) == [Point(0, 0)] * 3
+        assert normalize_to_unit_square([]) == []
+
+
+class TestStructureInvariance:
+    """Constructions must be equivariant under rigid motions/scalings."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        rng = random.Random(41)
+        pts = [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(40)]
+        return pts
+
+    @pytest.mark.parametrize(
+        "transform",
+        [
+            lambda pts: translate(pts, 37.5, -12.25),
+            lambda pts: rotate(pts, 1.234, about=Point(50, 50)),
+            lambda pts: mirror_x(pts, axis_y=50.0),
+        ],
+        ids=["translate", "rotate", "mirror"],
+    )
+    def test_rigid_motion_invariance(self, world, transform):
+        radius = 30.0
+        base_udg = UnitDiskGraph(world, radius)
+        moved_udg = UnitDiskGraph(transform(world), radius)
+        assert base_udg.edge_set() == moved_udg.edge_set()
+        assert gabriel_graph(base_udg).edge_set() == gabriel_graph(
+            moved_udg
+        ).edge_set()
+        assert relative_neighborhood_graph(base_udg).edge_set() == (
+            relative_neighborhood_graph(moved_udg).edge_set()
+        )
+
+    def test_scaling_equivariance(self, world):
+        # Scaling positions AND radius by the same factor preserves
+        # every structure.
+        base_udg = UnitDiskGraph(world, 30.0)
+        scaled_udg = UnitDiskGraph(scale(world, 2.5), 75.0)
+        assert base_udg.edge_set() == scaled_udg.edge_set()
+        assert gabriel_graph(base_udg).edge_set() == gabriel_graph(
+            scaled_udg
+        ).edge_set()
+
+    def test_backbone_invariant_under_translation(self, world):
+        from repro.core.spanner import build_backbone
+
+        base = build_backbone(world, 30.0)
+        moved = build_backbone(translate(world, 11.0, 7.0), 30.0)
+        assert base.dominators == moved.dominators
+        assert base.ldel_icds.edge_set() == moved.ldel_icds.edge_set()
+
+
+class TestKnnGraph:
+    def test_k_validated(self, deployment):
+        with pytest.raises(ValueError):
+            knn_graph(deployment.udg(), 0)
+
+    def test_subgraph_of_udg(self, deployment):
+        udg = deployment.udg()
+        assert knn_graph(udg, 3).is_subgraph_of(udg)
+
+    def test_each_node_keeps_k_nearest(self):
+        pts = [Point(0, 0), Point(1, 0), Point(2.1, 0), Point(3.5, 0)]
+        udg = UnitDiskGraph(pts, 5.0)
+        g = knn_graph(udg, 1)
+        # 0 chooses 1; 1 chooses 0; 2 chooses 1; 3 chooses 2.
+        assert g.has_edge(0, 1) and g.has_edge(1, 2) and g.has_edge(2, 3)
+
+    def test_monotone_in_k(self, deployment):
+        udg = deployment.udg()
+        assert knn_graph(udg, 2).is_subgraph_of(knn_graph(udg, 4))
+
+    def test_small_k_can_disconnect(self):
+        # Two pairs far apart within radio range of each other only
+        # via long links: k=1 keeps each node's nearest only.
+        pts = [Point(0, 0), Point(0.1, 0), Point(3, 0), Point(3.1, 0)]
+        udg = UnitDiskGraph(pts, 4.0)
+        assert is_connected(udg)
+        g1 = knn_graph(udg, 1)
+        assert not is_connected(g1)
+
+    def test_sufficient_k_connects(self, small_deployments):
+        # With k near the average degree the symmetrized k-NN graph is
+        # connected on these instances.
+        for dep in small_deployments:
+            udg = dep.udg()
+            k = max(3, round(2 * udg.edge_count / udg.node_count))
+            assert is_connected(knn_graph(udg, k))

@@ -1,0 +1,179 @@
+"""Unit + property tests for the from-scratch Delaunay triangulation.
+
+The gold standard is the empty-circumcircle property itself, checked
+directly; scipy.spatial.Delaunay provides an independent
+implementation to cross-validate the edge set against.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.circle import circumcircle
+from repro.geometry.hull import convex_hull
+from repro.geometry.primitives import Point
+from repro.geometry.triangulation import delaunay
+
+scipy_spatial = pytest.importorskip("scipy.spatial")
+
+
+def random_points(n, seed, side=100.0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, side), rng.uniform(0, side)) for _ in range(n)]
+
+
+class TestDegenerateInputs:
+    def test_empty(self):
+        tri = delaunay([])
+        assert tri.triangles == [] and tri.edges == set()
+
+    def test_single_point(self):
+        tri = delaunay([Point(1, 1)])
+        assert tri.triangles == [] and tri.edges == set()
+
+    def test_two_points(self):
+        tri = delaunay([Point(0, 0), Point(1, 0)])
+        assert tri.triangles == []
+        assert tri.edges == {(0, 1)}
+
+    def test_collinear_points_form_path(self):
+        pts = [Point(float(i), 0.0) for i in (3, 0, 1, 2)]
+        tri = delaunay(pts)
+        assert tri.triangles == []
+        # Path along the sorted order: 0-1, 1-2, 2-3 in coordinates.
+        assert tri.edges == {(1, 2), (2, 3), (0, 3)}
+
+    def test_duplicate_points_collapse(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0, 1), Point(0, 0)]
+        tri = delaunay(pts)
+        assert tri.triangles == [(0, 1, 2)]
+
+    def test_single_triangle(self):
+        tri = delaunay([Point(0, 0), Point(2, 0), Point(1, 2)])
+        assert tri.triangles == [(0, 1, 2)]
+        assert tri.edges == {(0, 1), (1, 2), (0, 2)}
+
+
+class TestDelaunayProperty:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_empty_circumcircles(self, seed):
+        pts = random_points(30, seed)
+        tri = delaunay(pts)
+        for a, b, c in tri.triangles:
+            circle = circumcircle(pts[a], pts[b], pts[c])
+            assert circle is not None
+            for i, p in enumerate(pts):
+                if i in (a, b, c):
+                    continue
+                assert not circle.contains(p, tol=1e-7), (
+                    f"point {i} inside circumcircle of triangle {(a, b, c)}"
+                )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scipy_edges(self, seed):
+        pts = random_points(40, seed)
+        ours = delaunay(pts)
+        sp = scipy_spatial.Delaunay([(p.x, p.y) for p in pts])
+        sp_edges = set()
+        for simplex in sp.simplices:
+            a, b, c = sorted(int(i) for i in simplex)
+            sp_edges |= {(a, b), (b, c), (a, c)}
+        assert ours.edges == sp_edges
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_triangle_count_euler(self, seed):
+        # For points in general position: T = 2n - 2 - h (h hull points).
+        pts = random_points(50, seed)
+        tri = delaunay(pts)
+        h = len(convex_hull(pts))
+        assert len(tri.triangles) == 2 * len(pts) - 2 - h
+
+    def test_cocircular_square_still_triangulates(self):
+        square = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        tri = delaunay(square)
+        assert len(tri.triangles) == 2
+        assert len(tri.edges) == 5
+
+    def test_grid_handles_many_cocircular_quadruples(self):
+        pts = [Point(float(i), float(j)) for i in range(5) for j in range(5)]
+        tri = delaunay(pts)
+        # 25 points, 16 hull -> 2*25 - 2 - 16 = 32 triangles.
+        assert len(tri.triangles) == 32
+
+
+class TestTriangulationAccessors:
+    def test_adjacency(self):
+        tri = delaunay([Point(0, 0), Point(2, 0), Point(1, 2)])
+        adj = tri.adjacency()
+        assert adj[0] == {1, 2}
+
+    def test_triangles_of(self):
+        pts = [Point(0, 0), Point(2, 0), Point(1, 2), Point(3, 2)]
+        tri = delaunay(pts)
+        assert all(0 in t for t in tri.triangles_of(0))
+        assert len(tri.triangles_of(1)) >= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=40),
+            st.integers(min_value=0, max_value=40),
+        ),
+        min_size=3,
+        max_size=25,
+        unique=True,
+    )
+)
+def test_hypothesis_delaunay_circumcircles_empty(int_coords):
+    """Integer grids maximize collinear/cocircular degeneracy."""
+    pts = [Point(float(x), float(y)) for x, y in int_coords]
+    tri = delaunay(pts)
+    for a, b, c in tri.triangles:
+        circle = circumcircle(pts[a], pts[b], pts[c])
+        assert circle is not None
+        for i, p in enumerate(pts):
+            if i not in (a, b, c):
+                assert not circle.contains(p, tol=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False).map(
+                lambda v: round(v, 6)
+            ),
+            st.floats(min_value=0, max_value=100, allow_nan=False).map(
+                lambda v: round(v, 6)
+            ),
+        ),
+        min_size=2,
+        max_size=25,
+        unique=True,
+    )
+)
+def test_hypothesis_edges_connect_all_points(float_coords):
+    """The Delaunay graph of >= 2 distinct points is connected."""
+    pts = [Point(x, y) for x, y in float_coords]
+    distinct = sorted(set(pts))
+    if len(distinct) < 2:
+        return
+    tri = delaunay(pts)
+    adj = tri.adjacency()
+    index_of_first = {p: i for i, p in reversed(list(enumerate(pts)))}
+    start = index_of_first[distinct[0]]
+    seen = {start}
+    stack = [start]
+    while stack:
+        u = stack.pop()
+        for v in adj[u]:
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    expected = {index_of_first[p] for p in distinct}
+    assert expected <= seen

@@ -1,0 +1,93 @@
+"""Unit + property tests for repro.graphs.udg."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import Point, dist
+from repro.graphs.udg import GridIndex, UnitDiskGraph, unit_disk_graph
+
+coords = st.floats(min_value=0.0, max_value=50.0, allow_nan=False).map(
+    lambda v: round(v, 4)
+)
+point_lists = st.lists(st.tuples(coords, coords), min_size=0, max_size=40)
+
+
+class TestGridIndex:
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex([Point(0, 0)], 0.0)
+
+    def test_within_matches_brute_force(self):
+        rng = random.Random(5)
+        pts = [Point(rng.uniform(0, 20), rng.uniform(0, 20)) for _ in range(60)]
+        index = GridIndex(pts, 3.0)
+        for probe in pts[:10]:
+            expected = {
+                i for i, p in enumerate(pts) if dist(p, probe) <= 3.0
+            }
+            assert set(index.within(probe, 3.0)) == expected
+
+    def test_within_radius_larger_than_cell(self):
+        pts = [Point(float(i), 0.0) for i in range(10)]
+        index = GridIndex(pts, 1.0)
+        assert set(index.within(Point(0, 0), 4.5)) == {0, 1, 2, 3, 4}
+
+    @given(point_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_candidates_superset_of_true_neighbors(self, raw):
+        pts = [Point(x, y) for x, y in raw]
+        if not pts:
+            return
+        index = GridIndex(pts, 2.0)
+        probe = pts[0]
+        true_set = {i for i, p in enumerate(pts) if dist(p, probe) <= 2.0}
+        assert true_set <= set(index.candidates_near(probe, 2.0))
+
+
+class TestUnitDiskGraph:
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ValueError):
+            UnitDiskGraph([Point(0, 0)], 0.0)
+
+    def test_edges_iff_within_radius(self):
+        pts = [Point(0, 0), Point(1, 0), Point(2.5, 0)]
+        udg = UnitDiskGraph(pts, 1.5)
+        assert udg.has_edge(0, 1)
+        assert udg.has_edge(1, 2)
+        assert not udg.has_edge(0, 2)
+
+    def test_boundary_distance_included(self):
+        udg = UnitDiskGraph([Point(0, 0), Point(1, 0)], 1.0)
+        assert udg.has_edge(0, 1)
+
+    @given(point_lists, st.floats(min_value=0.5, max_value=10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force(self, raw, radius):
+        pts = [Point(x, y) for x, y in raw]
+        udg = UnitDiskGraph(pts, radius)
+        expected = {
+            (i, j)
+            for i in range(len(pts))
+            for j in range(i + 1, len(pts))
+            if dist(pts[i], pts[j]) <= radius
+        }
+        assert udg.edge_set() == expected
+
+    def test_k_hop_neighborhood_on_path(self):
+        pts = [Point(float(i), 0.0) for i in range(6)]
+        udg = UnitDiskGraph(pts, 1.0)
+        assert udg.k_hop_neighborhood(0, 1) == {0, 1}
+        assert udg.k_hop_neighborhood(0, 2) == {0, 1, 2}
+        assert udg.k_hop_neighborhood(2, 2) == {0, 1, 2, 3, 4}
+
+    def test_k_hop_includes_self(self):
+        udg = UnitDiskGraph([Point(0, 0)], 1.0)
+        assert udg.k_hop_neighborhood(0, 3) == {0}
+
+    def test_unit_disk_graph_helper(self):
+        udg = unit_disk_graph([(0, 0), (0.5, 0)], radius=1.0)
+        assert udg.edge_count == 1
+        assert udg.radius == 1.0

@@ -1,0 +1,122 @@
+"""Tests for SVG rendering and JSON serialization."""
+
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.graph import Graph
+from repro.viz.svg import render_backbone_svg, render_topology_svg
+from repro.workloads.io import (
+    deployment_from_dict,
+    deployment_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    load_deployment,
+    load_graph,
+    save_deployment,
+    save_graph,
+)
+
+
+class TestRenderTopologySvg:
+    def triangle(self):
+        pts = [Point(0, 0), Point(100, 0), Point(50, 80)]
+        return Graph(pts, [(0, 1), (1, 2), (0, 2)], name="tri")
+
+    def test_valid_xml(self):
+        svg = render_topology_svg(self.triangle())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_edges_and_nodes(self):
+        svg = render_topology_svg(self.triangle())
+        assert svg.count("<line") == 3
+        assert svg.count("<circle") == 3
+
+    def test_title_defaults_to_graph_name(self):
+        svg = render_topology_svg(self.triangle())
+        assert "<title>tri</title>" in svg
+
+    def test_roles_change_shapes(self):
+        svg = render_topology_svg(
+            self.triangle(),
+            roles={0: "dominator", 1: "connector", 2: "dominatee"},
+        )
+        # Two squares (dominator + connector), one role circle.
+        assert svg.count("<rect") == 3  # background + 2 squares
+        assert svg.count("<circle") == 1
+
+    def test_y_axis_flipped(self):
+        # The highest node (y=80) must get the smallest SVG y.
+        svg = render_topology_svg(self.triangle())
+        circles = [
+            line for line in svg.splitlines() if line.startswith("<circle")
+        ]
+        ys = [float(c.split('cy="')[1].split('"')[0]) for c in circles]
+        assert ys[2] == min(ys)
+
+
+class TestRenderBackboneSvg:
+    def test_renders_every_known_graph(self, backbone):
+        for which in ("cds", "icds", "ldel_icds", "ldel_icds_prime"):
+            svg = render_backbone_svg(backbone, which=which)
+            ET.fromstring(svg)
+            assert "<line" in svg
+
+    def test_unknown_graph_rejected(self, backbone):
+        with pytest.raises(ValueError):
+            render_backbone_svg(backbone, which="positions")
+
+    def test_role_shapes_present(self, backbone):
+        svg = render_backbone_svg(backbone)
+        # squares for backbone nodes + the background rect.
+        assert svg.count("<rect") == len(backbone.backbone_nodes) + 1
+        assert svg.count("<circle") == len(backbone.dominatees)
+
+
+class TestDeploymentIo:
+    def test_round_trip_dict(self, deployment):
+        data = deployment_to_dict(deployment)
+        restored = deployment_from_dict(data)
+        assert restored == deployment
+
+    def test_round_trip_file(self, deployment, tmp_path):
+        path = tmp_path / "dep.json"
+        save_deployment(deployment, path)
+        assert load_deployment(path) == deployment
+
+    def test_json_serializable(self, deployment):
+        text = json.dumps(deployment_to_dict(deployment))
+        assert deployment_from_dict(json.loads(text)) == deployment
+
+    def test_schema_validated(self):
+        with pytest.raises(ValueError):
+            deployment_from_dict({"schema": "bogus", "points": []})
+
+
+class TestGraphIo:
+    def test_round_trip(self, backbone, tmp_path):
+        graph = backbone.ldel_icds
+        path = tmp_path / "graph.json"
+        save_graph(graph, path)
+        restored = load_graph(path)
+        assert restored.edge_set() == graph.edge_set()
+        assert restored.positions == graph.positions
+        assert restored.name == graph.name
+
+    def test_schema_validated(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"schema": "repro/deployment/v1"})
+
+    def test_graph_from_dict_casts_types(self):
+        data = {
+            "schema": "repro/graph/v1",
+            "name": "g",
+            "positions": [[0, 0], [1, 1]],
+            "edges": [[0, 1]],
+        }
+        graph = graph_from_dict(data)
+        assert graph.has_edge(0, 1)
+        assert isinstance(graph.positions[0], Point)

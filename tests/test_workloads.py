@@ -1,0 +1,95 @@
+"""Unit tests for repro.workloads.generators."""
+
+import random
+
+import pytest
+
+from repro.graphs.paths import is_connected
+from repro.workloads.generators import (
+    clustered_points,
+    connected_udg_instance,
+    corridor_points,
+    grid_points,
+    uniform_points,
+)
+
+
+class TestUniformPoints:
+    def test_count_and_bounds(self, rng):
+        pts = uniform_points(50, 100.0, rng)
+        assert len(pts) == 50
+        assert all(0 <= p.x <= 100 and 0 <= p.y <= 100 for p in pts)
+
+    def test_zero_points(self, rng):
+        assert uniform_points(0, 10.0, rng) == []
+
+    def test_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            uniform_points(-1, 10.0, rng)
+
+    def test_deterministic_per_seed(self):
+        a = uniform_points(10, 50.0, random.Random(3))
+        b = uniform_points(10, 50.0, random.Random(3))
+        assert a == b
+
+
+class TestClusteredPoints:
+    def test_count_and_bounds(self, rng):
+        pts = clustered_points(40, 100.0, rng, clusters=4)
+        assert len(pts) == 40
+        assert all(0 <= p.x <= 100 and 0 <= p.y <= 100 for p in pts)
+
+    def test_needs_a_cluster(self, rng):
+        with pytest.raises(ValueError):
+            clustered_points(10, 100.0, rng, clusters=0)
+
+    def test_clusters_are_tight(self, rng):
+        # With one cluster and small spread, points bunch together.
+        pts = clustered_points(30, 100.0, rng, clusters=1, spread_fraction=0.01)
+        xs = [p.x for p in pts]
+        assert max(xs) - min(xs) < 20.0
+
+
+class TestGridPoints:
+    def test_exact_count(self, rng):
+        pts = grid_points(37, 100.0, rng)
+        assert len(pts) == 37
+
+    def test_perfect_square_covers_region(self, rng):
+        pts = grid_points(25, 100.0, rng, jitter=0.0)
+        xs = sorted({round(p.x, 6) for p in pts})
+        assert len(xs) == 5  # 5x5 grid columns
+
+    def test_bounds(self, rng):
+        pts = grid_points(50, 60.0, rng)
+        assert all(0 <= p.x <= 60 and 0 <= p.y <= 60 for p in pts)
+
+
+class TestCorridorPoints:
+    def test_confined_to_strip(self, rng):
+        pts = corridor_points(40, 100.0, rng, width_fraction=0.1)
+        assert all(45.0 <= p.y <= 55.0 for p in pts)
+        assert len(pts) == 40
+
+
+class TestConnectedUdgInstance:
+    def test_returns_connected_udg(self, rng):
+        dep = connected_udg_instance(30, 150.0, 55.0, rng)
+        assert is_connected(dep.udg())
+        assert dep.radius == 55.0 and dep.side == 150.0
+
+    def test_subcritical_regime_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            connected_udg_instance(30, 1000.0, 5.0, rng, max_attempts=5)
+
+    def test_unknown_generator_rejected(self, rng):
+        with pytest.raises(ValueError):
+            connected_udg_instance(10, 100.0, 50.0, rng, generator="hexagonal")
+
+    @pytest.mark.parametrize("generator", ["clustered", "grid", "corridor"])
+    def test_alternative_generators(self, rng, generator):
+        dep = connected_udg_instance(
+            25, 120.0, 60.0, rng, generator=generator
+        )
+        assert is_connected(dep.udg())
+        assert len(dep.points) == 25

@@ -1,0 +1,108 @@
+"""Tests for the Wu & Li marking-process CDS."""
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.graphs.paths import is_connected
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.cds import build_cds_family
+from repro.protocols.wu_li import (
+    apply_rule1,
+    apply_rule2,
+    initial_marking,
+    wu_li_cds,
+)
+
+
+def line_udg(n):
+    return UnitDiskGraph([Point(float(i), 0.0) for i in range(n)], 1.0)
+
+
+class TestInitialMarking:
+    def test_line_marks_interior(self):
+        # Interior nodes see two non-adjacent neighbors; ends do not.
+        marked = initial_marking(line_udg(5))
+        assert marked == {1, 2, 3}
+
+    def test_complete_graph_marks_nothing(self):
+        pts = [Point(0, 0), Point(0.3, 0), Point(0.15, 0.2)]
+        udg = UnitDiskGraph(pts, 1.0)
+        assert initial_marking(udg) == set()
+
+    def test_star_marks_hub_only(self):
+        pts = [Point(0, 0), Point(1, 0), Point(-1, 0), Point(0, 1)]
+        udg = UnitDiskGraph(pts, 1.0)
+        assert initial_marking(udg) == {0}
+
+
+class TestPruningRules:
+    def test_rule1_drops_covered_lower_id(self):
+        # Nodes 1 and 2 adjacent with N[1] ⊆ N[2]: 1 is dropped.
+        pts = [Point(0, 0), Point(0.9, 0.0), Point(1.0, 0.1), Point(1.9, 0.2)]
+        udg = UnitDiskGraph(pts, 1.0)
+        marked = initial_marking(udg)
+        assert {1, 2} <= marked
+        pruned = apply_rule1(udg, marked)
+        # 1's closed neighborhood {0,1,2,3}... check coverage first:
+        if udg.neighbors(1) | {1} <= udg.neighbors(2) | {2}:
+            assert 1 not in pruned
+
+    def test_rule2_joint_coverage(self):
+        # A diamond: 0-1, 0-2, 1-2, 1-3, 2-3; node 1,2 adjacent and
+        # jointly cover node 0's neighborhood.
+        pts = [
+            Point(0.0, 0.0),
+            Point(0.8, 0.4),
+            Point(0.8, -0.4),
+            Point(1.6, 0.0),
+        ]
+        udg = UnitDiskGraph(pts, 1.0)
+        marked = initial_marking(udg)
+        pruned = apply_rule2(udg, marked)
+        assert 0 not in pruned or 0 not in marked
+
+
+class TestWuLiCds:
+    def test_line_cds(self):
+        outcome = wu_li_cds(line_udg(5))
+        assert outcome.gateway_nodes == {1, 2, 3}
+        assert is_connected(outcome.cds.subgraph(outcome.gateway_nodes)[0])
+
+    def test_dominating_on_random_instances(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            outcome = wu_li_cds(udg)
+            gateways = outcome.gateway_nodes
+            for v in udg.nodes():
+                assert v in gateways or (udg.neighbors(v) & gateways), (
+                    f"node {v} undominated by Wu-Li CDS"
+                )
+
+    def test_connected_on_random_instances(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            outcome = wu_li_cds(udg)
+            sub, _ = outcome.cds.subgraph(outcome.gateway_nodes)
+            assert is_connected(sub)
+
+    def test_pruning_only_shrinks(self, small_deployments):
+        for dep in small_deployments:
+            outcome = wu_li_cds(dep.udg())
+            assert outcome.gateway_nodes <= outcome.marked_before_pruning
+
+    def test_size_comparable_to_mis_based_cds(self, small_deployments):
+        # Both are constant-factor CDS approximations, so their sizes
+        # stay within a small factor of each other.  (On these
+        # instances Wu-Li is actually *smaller*: Algorithm 1 keeps
+        # every elected connector from both directions of each
+        # dominator pair — the redundancy EXPERIMENTS.md discusses.)
+        for dep in small_deployments:
+            udg = dep.udg()
+            wu = wu_li_cds(udg).size
+            mis_based = len(build_cds_family(udg).backbone_nodes)
+            assert wu <= 3 * mis_based + 2
+            assert mis_based <= 3 * wu + 2
+
+    def test_size_accessor(self, deployment):
+        outcome = wu_li_cds(deployment.udg())
+        assert outcome.size == len(outcome.gateway_nodes)

@@ -1,0 +1,99 @@
+"""Tests for the Yao-Yao graph and the path-greedy spanner."""
+
+import pytest
+
+from repro.core.metrics import length_stretch
+from repro.core.verify import verify_spanner
+from repro.geometry.primitives import Point
+from repro.graphs.paths import is_connected
+from repro.graphs.udg import UnitDiskGraph
+from repro.topology.greedy_spanner import greedy_spanner
+from repro.topology.yao import yao_graph
+from repro.topology.yao_yao import yao_yao_graph
+
+
+class TestYaoYao:
+    def test_needs_three_cones(self):
+        udg = UnitDiskGraph([Point(0, 0), Point(1, 0)], 2.0)
+        with pytest.raises(ValueError):
+            yao_yao_graph(udg, k=2)
+
+    def test_subgraph_of_yao(self, small_deployments):
+        for dep in small_deployments:
+            udg = dep.udg()
+            assert yao_yao_graph(udg, 6).is_subgraph_of(yao_graph(udg, 6))
+
+    def test_degree_at_most_2k(self, small_deployments):
+        k = 6
+        for dep in small_deployments:
+            yy = yao_yao_graph(dep.udg(), k)
+            assert max(yy.degrees(), default=0) <= 2 * k
+
+    def test_connected_on_random_instances(self, small_deployments):
+        for dep in small_deployments:
+            assert is_connected(yao_yao_graph(dep.udg(), 6))
+
+    def test_prunes_the_hub_star(self):
+        import math
+
+        n_spokes = 24
+        pts = [Point(0, 0)] + [
+            Point(
+                math.cos(2 * math.pi * i / n_spokes),
+                math.sin(2 * math.pi * i / n_spokes),
+            )
+            for i in range(n_spokes)
+        ]
+        udg = UnitDiskGraph(pts, 1.05)
+        k = 6
+        yao = yao_graph(udg, k)
+        yy = yao_yao_graph(udg, k)
+        assert yy.degree(0) <= 2 * k < yao.degree(0)
+
+
+class TestGreedySpanner:
+    def test_t_below_one_rejected(self, deployment):
+        with pytest.raises(ValueError):
+            greedy_spanner(deployment.udg(), 0.9)
+
+    @pytest.mark.parametrize("t", [1.2, 1.5, 2.0])
+    def test_is_a_t_spanner_by_construction(self, small_deployments, t):
+        for dep in small_deployments[:3]:
+            udg = dep.udg()
+            spanner = greedy_spanner(udg, t)
+            verdict = verify_spanner(spanner, udg, claimed=t)
+            assert verdict.holds, verdict.worst
+
+    def test_larger_t_means_fewer_edges(self, deployment):
+        udg = deployment.udg()
+        tight = greedy_spanner(udg, 1.1)
+        loose = greedy_spanner(udg, 2.0)
+        assert loose.edge_count <= tight.edge_count
+
+    def test_t_one_keeps_every_shortest_path_edge(self):
+        # With t = 1 every UDG edge whose endpoints lack an equal-length
+        # alternative path must be kept; on a triangle with strict
+        # inequalities that is all three edges.
+        pts = [Point(0, 0), Point(1, 0), Point(0.4, 0.8)]
+        udg = UnitDiskGraph(pts, 2.0)
+        spanner = greedy_spanner(udg, 1.0)
+        assert spanner.edge_count == 3
+
+    def test_connected(self, deployment):
+        udg = deployment.udg()
+        assert is_connected(greedy_spanner(udg, 1.5))
+
+    def test_sparser_than_udg_but_tighter_than_backbone(self, deployment, backbone):
+        # The yardstick role: the greedy 1.5-spanner achieves stretch
+        # <= 1.5 with a fraction of the UDG's edges; the localized
+        # backbone is sparser still but with looser (yet constant)
+        # stretch.
+        udg = deployment.udg()
+        greedy = greedy_spanner(udg, 1.5)
+        assert greedy.edge_count < udg.edge_count
+        g_stretch = length_stretch(greedy, udg)
+        b_stretch = length_stretch(
+            backbone.ldel_icds_prime, udg, skip_udg_adjacent=True
+        )
+        assert g_stretch.max <= 1.5 + 1e-9
+        assert b_stretch.max >= g_stretch.avg  # looser, as expected
