@@ -1,0 +1,120 @@
+"""Service throughput — cold vs. warm-cache batch latency.
+
+The serving layer's reason to exist: a batch of build requests that
+each cost a full pipeline construction when cold should cost only a
+content-addressed lookup when warm.  This benchmark drives the
+:class:`~repro.service.server.SpannerService` application object
+directly (no sockets) over a 100-scenario corpus, twice, and checks
+
+* the warm pass is >= 10x faster than the cold pass, and
+* the ``/metrics`` accounting is consistent: exactly one miss per
+  distinct scenario on the cold pass, exactly one hit per request on
+  the warm pass.
+
+Run like every other benchmark here::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service_throughput.py \
+        --benchmark-only --benchmark-json=service_throughput.json
+"""
+
+import time
+
+import pytest
+
+from repro.service.server import SpannerService
+
+#: The corpus: 100 distinct small deployments across pipelines and
+#: generator shapes — distinct cache keys, service-scale variety.
+N_SCENARIOS = 100
+
+
+def _corpus() -> list[dict]:
+    requests = []
+    for i in range(N_SCENARIOS):
+        pipeline = ("backbone", "gg", "rng", "ldel")[i % 4]
+        generator = ("uniform", "clustered", "corridor", "grid")[(i // 4) % 4]
+        requests.append(
+            {
+                "pipeline": pipeline,
+                "scenario": {
+                    "nodes": 20 + (i % 3) * 5,
+                    "side": 150.0,
+                    "radius": 60.0,
+                    "seed": i,
+                    "generator": generator,
+                },
+            }
+        )
+    return requests
+
+
+def _run_batches(service: SpannerService, requests: list[dict]) -> dict:
+    cold_start = time.perf_counter()
+    cold = service.batch({"requests": requests, "executor": {"mode": "serial"}})
+    cold_s = time.perf_counter() - cold_start
+
+    warm_start = time.perf_counter()
+    warm = service.batch({"requests": requests, "executor": {"mode": "serial"}})
+    warm_s = time.perf_counter() - warm_start
+    return {
+        "cold": cold, "warm": warm,
+        "cold_s": cold_s, "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+    }
+
+
+def test_cold_vs_warm_cache(benchmark):
+    service = SpannerService(executor_mode="serial", cache_size=2 * N_SCENARIOS)
+    requests = _corpus()
+    run = benchmark.pedantic(
+        lambda: _run_batches(service, requests), rounds=1, iterations=1
+    )
+
+    cold, warm = run["cold"], run["warm"]
+    assert cold["succeeded"] == N_SCENARIOS
+    assert warm["succeeded"] == N_SCENARIOS
+    assert cold["cache_hits"] == 0
+    assert warm["cache_hits"] == N_SCENARIOS
+
+    metrics = service.metrics_snapshot()
+    cache = metrics["cache"]
+    counters = metrics["counters"]
+    # Consistent accounting: one miss per scenario (cold), one hit per
+    # request (warm); the service counters agree with the cache's own.
+    assert counters["build.cache_misses"] == N_SCENARIOS
+    assert counters["build.cache_hits"] == N_SCENARIOS
+    assert cache["misses"] == N_SCENARIOS
+    assert cache["hits"] == N_SCENARIOS
+    assert cache["hit_rate"] == pytest.approx(0.5)
+
+    print()
+    print("service throughput (100-scenario corpus, serial executor):")
+    print(f"{'pass':>6}{'total_s':>10}{'per_req_ms':>12}{'hit_rate':>10}")
+    for name, seconds, hits in (
+        ("cold", run["cold_s"], cold["cache_hits"]),
+        ("warm", run["warm_s"], warm["cache_hits"]),
+    ):
+        print(
+            f"{name:>6}{seconds:>10.3f}{seconds / N_SCENARIOS * 1000:>12.2f}"
+            f"{hits / N_SCENARIOS:>10.2f}"
+        )
+    print(f"warm-cache speedup: {run['speedup']:.1f}x")
+    assert run["speedup"] >= 10.0, (
+        f"warm cache only {run['speedup']:.1f}x faster than cold construction"
+    )
+
+
+def test_parallel_cold_batch(benchmark):
+    """The process-pool path on the same corpus (fresh cache)."""
+    service = SpannerService(executor_mode="process", cache_size=2 * N_SCENARIOS)
+    requests = _corpus()
+    result = benchmark.pedantic(
+        lambda: service.batch({"requests": requests}), rounds=1, iterations=1
+    )
+    assert result["succeeded"] == N_SCENARIOS
+    print()
+    print(
+        f"parallel cold batch: mode={result['executor']['mode']} "
+        f"workers={result['executor']['workers']} "
+        f"succeeded={result['succeeded']}/{result['tasks']}"
+    )

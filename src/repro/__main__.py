@@ -7,6 +7,8 @@ Commands:
   and JSON graph dumps.
 * ``measure`` — Table-I-style quality metrics for one instance.
 * ``route`` — route a packet between two nodes over the backbone.
+* ``serve`` — run the long-lived spanner construction service (the
+  cached, parallel HTTP serving layer in :mod:`repro.service`).
 * ``experiments`` — regenerate the paper's tables/figures (delegates
   to :mod:`repro.experiments.harness`).
 """
@@ -140,6 +142,20 @@ def cmd_route(args: argparse.Namespace) -> int:
     return 0 if route.delivered else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        args.host,
+        args.port,
+        cache_size=args.cache_size,
+        cache_dir=str(args.cache_dir) if args.cache_dir else None,
+        executor_mode=args.executor,
+        max_workers=args.workers,
+        task_timeout=args.task_timeout,
+    )
+
+
 def cmd_corpus(args: argparse.Namespace) -> int:
     from repro.workloads.corpus import CORPUS
 
@@ -190,6 +206,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_report.add_argument("--output", type=Path, default=Path("report.md"))
     p_report.add_argument("--svg-dir", type=Path, default=None)
     p_report.set_defaults(func=cmd_report)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the spanner construction service (HTTP JSON API)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8972)
+    p_serve.add_argument(
+        "--cache-size", type=int, default=256, help="in-memory LRU entries"
+    )
+    p_serve.add_argument(
+        "--cache-dir", type=Path, default=None, help="on-disk cache directory"
+    )
+    p_serve.add_argument(
+        "--executor", choices=("process", "thread", "serial"), default="process"
+    )
+    p_serve.add_argument("--workers", type=int, default=None)
+    p_serve.add_argument("--task-timeout", type=float, default=120.0)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_corpus = sub.add_parser(
         "corpus", help="list the canonical instance corpus"

@@ -16,6 +16,7 @@ GG, LDel) are measured over all pairs.
 
 from __future__ import annotations
 
+import functools
 import math
 import random
 from dataclasses import dataclass, field
@@ -30,6 +31,9 @@ from repro.core.metrics import (
 from repro.core.spanner import BackboneResult, build_backbone
 from repro.graphs.graph import Graph
 from repro.graphs.udg import UnitDiskGraph
+from repro.routing.backbone_routing import backbone_route
+from repro.routing.greedy import RouteResult
+from repro.service.executor import BatchOutcome, run_batch
 from repro.sim.stats import MessageStats
 from repro.topology.gabriel import gabriel_graph
 from repro.topology.ldel import planar_local_delaunay_graph
@@ -431,6 +435,82 @@ def message_breakdown(
             totals[kind] = totals.get(kind, 0.0) + sent / udg.node_count
         count += 1
     return {kind: value / max(count, 1) for kind, value in sorted(totals.items())}
+
+
+# -- batched routing ----------------------------------------------------------
+
+
+def _route_pair(
+    result: BackboneResult, mode: str, pair: tuple[int, int]
+) -> RouteResult:
+    source, target = pair
+    return backbone_route(result, source, target, mode=mode)
+
+
+def route_batch(
+    result: BackboneResult,
+    pairs: Iterable[tuple[int, int]],
+    *,
+    mode: str = "gpsr",
+    executor: str = "thread",
+    max_workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> BatchOutcome:
+    """Route many source/target pairs through the batch executor.
+
+    Results come back in pair order with per-pair latencies and error
+    capture (see :mod:`repro.service.executor`).  Threads are the
+    default: routing shares the in-memory backbone, which a process
+    pool would re-pickle per task.
+    """
+    worker = functools.partial(_route_pair, result, mode)
+    return run_batch(
+        list(pairs),
+        worker,
+        mode=executor,
+        max_workers=max_workers,
+        timeout=timeout,
+        metric_name="route.pair",
+    )
+
+
+def routing_quality(
+    *,
+    n: int = 100,
+    radius: float = 60.0,
+    pairs: int = 200,
+    mode: str = "gpsr",
+    config: ExperimentConfig = ExperimentConfig(instances=3),
+    executor: str = "thread",
+) -> dict[str, float]:
+    """Delivery rate and mean hop count of the paper's routing procedure.
+
+    Samples ``pairs`` random source/target pairs per instance and
+    routes them all through :func:`route_batch`.
+    """
+    rng = random.Random(config.seed)
+    delivered = 0
+    total = 0
+    hop_sum = 0.0
+    for udg in _instance_stream(n, radius, config):
+        result = build_backbone(udg.positions, udg.radius)
+        sampled = [
+            (rng.randrange(udg.node_count), rng.randrange(udg.node_count))
+            for _ in range(pairs)
+        ]
+        outcome = route_batch(result, sampled, mode=mode, executor=executor)
+        for task in outcome.outcomes:
+            if not task.ok:
+                continue
+            total += 1
+            if task.value.delivered:
+                delivered += 1
+                hop_sum += task.value.hops
+    return {
+        "pairs": float(total),
+        "delivery_rate": delivered / total if total else 0.0,
+        "hops_avg": hop_sum / delivered if delivered else 0.0,
+    }
 
 
 # -- plain-text rendering -----------------------------------------------------

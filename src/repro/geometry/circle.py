@@ -77,9 +77,18 @@ def point_in_circumcircle(a: Point, b: Point, c: Point, d: Point) -> bool:
         1e-30,
     )
     eps = 1e-12 * scale ** 4
-    if orient > 0:
-        return det > eps
-    return det < -eps
+    signed = det if orient > 0 else -det
+    if signed > eps:
+        return True
+    if signed >= -eps:
+        # Ambiguous band: the determinant is proportional to the
+        # triangle area, so a near-degenerate (sliver) triangle can
+        # push a clearly-inside point under ``eps``.  Decide those by
+        # the explicit circumcircle instead of calling them outside.
+        circle = circumcircle(a, b, c)
+        if circle is not None:
+            return circle.contains(d)
+    return False
 
 
 def disk_contains(center: Point, radius: float, p: Point, *, tol: float = 1e-9) -> bool:

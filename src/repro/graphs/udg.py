@@ -39,6 +39,13 @@ class GridIndex:
         filter by exact distance.
         """
         reach = max(1, math.ceil(radius / self.cell_size))
+        # When the query radius spans more cells than there are points
+        # (e.g. radius >> cell_size), scanning the cell window would be
+        # O(reach^2) mostly-empty lookups; a flat scan is the superset
+        # too and never slower than the caller's distance filter.
+        if (2 * reach + 1) ** 2 > len(self.points):
+            yield from range(len(self.points))
+            return
         cx, cy = self._cell_of(p)
         for dx in range(-reach, reach + 1):
             for dy in range(-reach, reach + 1):

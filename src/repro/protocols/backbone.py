@@ -21,6 +21,11 @@ from repro.protocols.clustering import PriorityFn
 from repro.protocols.ldel_protocol import LDelProtocolOutcome, run_ldel_protocol
 from repro.sim.stats import MessageStats
 
+#: Connector election rules the pipeline understands (see
+#: :mod:`repro.protocols.connectors`): collect rival IDs and let the
+#: smallest win, or claim immediately without waiting.
+ELECTIONS = ("smallest-id", "first-response")
+
 
 @dataclass(frozen=True)
 class BackbonePipelineResult:
@@ -55,6 +60,8 @@ def run_backbone_pipeline(
     ``clustering`` injects a precomputed (e.g. locally repaired)
     clustering outcome instead of running the election.
     """
+    if election not in ELECTIONS:
+        raise ValueError(f"unknown election {election!r}; known: {ELECTIONS}")
     family = build_cds_family(
         udg, priority=priority, election=election, clustering=clustering
     )

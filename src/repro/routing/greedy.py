@@ -34,6 +34,19 @@ class RouteResult:
             graph.edge_length(a, b) for a, b in zip(self.path, self.path[1:])
         )
 
+    def as_dict(self, graph: Graph | None = None) -> dict:
+        """JSON-ready form; ``graph`` supplies edge lengths when given."""
+        out: dict = {
+            "delivered": self.delivered,
+            "reason": self.reason,
+            "hops": self.hops,
+            "path": list(self.path),
+        }
+        out["length"] = (
+            self.length(graph) if graph is not None and self.delivered else None
+        )
+        return out
+
 
 def greedy_route(
     graph: Graph, source: int, target: int, *, max_hops: int | None = None

@@ -1,0 +1,214 @@
+"""Content-addressed result cache for spanner constructions.
+
+The serving layer's core amortization: a build request is keyed by a
+stable hash of *what* is being built — the point set (bit-exact, via
+``float.hex``), the transmission radius, the pipeline name, and the
+canonicalized parameters.  Two requests that would produce the same
+topology share one construction.
+
+Two layers:
+
+* an in-memory LRU (``max_entries``) holding live Python objects,
+* an optional on-disk layer (``disk_dir``) holding pickled results,
+  so a restarted server warms from previous traffic.
+
+Accounting (hits / misses / evictions / disk hits / stores) is kept on
+the cache itself and surfaced through ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Optional, Union
+
+from repro.workloads.io import points_fingerprint
+
+PathLike = Union[str, Path]
+
+#: Bump when the cached value layout changes; invalidates disk entries.
+_CACHE_VERSION = "v1"
+
+
+def _canonical_params(params: Mapping[str, Any]) -> str:
+    """Deterministic JSON rendering of a parameter mapping.
+
+    Floats are rendered via ``float.hex`` so that e.g. ``0.1`` hashes
+    identically regardless of how it was parsed.
+    """
+    def normalize(value: Any) -> Any:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, float):
+            return value.hex()
+        return value
+
+    return json.dumps(
+        {key: normalize(params[key]) for key in sorted(params)},
+        separators=(",", ":"),
+    )
+
+
+def scenario_key(
+    points: Iterable[tuple[float, float]],
+    radius: float,
+    pipeline: str,
+    params: Mapping[str, Any],
+) -> str:
+    """Content address of one build: sha256 over (points, radius, pipeline, params)."""
+    digest = hashlib.sha256()
+    digest.update(_CACHE_VERSION.encode())
+    digest.update(b"|")
+    digest.update(points_fingerprint(points).encode())
+    digest.update(b"|r=")
+    digest.update(float(radius).hex().encode())
+    digest.update(b"|p=")
+    digest.update(pipeline.encode())
+    digest.update(b"|a=")
+    digest.update(_canonical_params(params).encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+    disk_errors: int = 0
+
+    def as_dict(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
+            "disk_errors": self.disk_errors,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Thread-safe LRU of build results, with an optional disk layer.
+
+    ``get_or_build(key, build)`` is the only path the serving layer
+    uses: it returns the cached value or invokes ``build()`` exactly
+    once per miss (the build itself runs outside the cache lock; two
+    concurrent misses on the same key may both build — acceptable, the
+    result is deterministic and the second store is idempotent).
+    """
+
+    max_entries: int = 256
+    disk_dir: Optional[PathLike] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        if self.disk_dir is not None:
+            self.disk_dir = Path(self.disk_dir)
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value for ``key``, or ``None`` (counts hit/miss)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+        value = self._disk_load(key)
+        if value is not None:
+            with self._lock:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+            self._store_memory(key, value)
+            return value
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert ``value`` under ``key`` in both layers."""
+        self._store_memory(key, value)
+        self._disk_store(key, value)
+        with self._lock:
+            self.stats.stores += 1
+
+    def get_or_build(self, key: str, build: Callable[[], Any]) -> tuple[Any, bool]:
+        """``(value, was_hit)`` — builds and stores on miss."""
+        value = self.get(key)
+        if value is not None:
+            return value, True
+        value = build()
+        self.put(key, value)
+        return value, False
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk entries are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    # -- internals -------------------------------------------------------
+
+    def _store_memory(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return Path(self.disk_dir) / f"{key}.pkl"
+
+    def _disk_load(self, key: str) -> Optional[Any]:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # A torn write or version skew; treat as a miss and let the
+            # rebuild overwrite it.
+            with self._lock:
+                self.stats.disk_errors += 1
+            return None
+
+    def _disk_store(self, key: str, value: Any) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            tmp = path.with_suffix(".tmp")
+            with tmp.open("wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)  # atomic on POSIX: readers never see torn files
+            with self._lock:
+                self.stats.disk_stores += 1
+        except Exception:
+            with self._lock:
+                self.stats.disk_errors += 1

@@ -1,0 +1,102 @@
+"""A small stdlib client for the spanner service.
+
+Used by the integration tests, the benchmark, and scripts; mirrors the
+endpoint surface one-to-one.  Raises :class:`ClientError` with the
+server's status code and error message on any non-2xx response.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Mapping, Optional, Sequence
+
+
+class ClientError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talks JSON to a running spanner service."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: Any = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", exc.reason)
+            except Exception:
+                message = str(exc.reason)
+            raise ClientError(exc.code, message) from None
+
+    # -- endpoints -------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def pipelines(self) -> dict:
+        return self._request("GET", "/pipelines")
+
+    def build(
+        self,
+        pipeline: str,
+        scenario: Mapping[str, Any],
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> dict:
+        payload: dict[str, Any] = {"pipeline": pipeline, "scenario": dict(scenario)}
+        if params:
+            payload["params"] = dict(params)
+        return self._request("POST", "/build", payload)
+
+    def batch(
+        self,
+        requests: Sequence[Mapping[str, Any]],
+        executor: Optional[Mapping[str, Any]] = None,
+    ) -> dict:
+        payload: dict[str, Any] = {"requests": [dict(r) for r in requests]}
+        if executor:
+            payload["executor"] = dict(executor)
+        return self._request("POST", "/batch", payload)
+
+    def route(
+        self,
+        source: int,
+        target: int,
+        *,
+        key: Optional[str] = None,
+        pipeline: Optional[str] = None,
+        scenario: Optional[Mapping[str, Any]] = None,
+        params: Optional[Mapping[str, Any]] = None,
+        mode: str = "gpsr",
+    ) -> dict:
+        payload: dict[str, Any] = {"source": source, "target": target, "mode": mode}
+        if key is not None:
+            payload["key"] = key
+        if pipeline is not None:
+            payload["pipeline"] = pipeline
+        if scenario is not None:
+            payload["scenario"] = dict(scenario)
+        if params:
+            payload["params"] = dict(params)
+        return self._request("POST", "/route", payload)

@@ -1,0 +1,411 @@
+"""The spanner construction service and its HTTP JSON API.
+
+:class:`SpannerService` is the transport-free application object: it
+owns the result cache, the metrics registry, and the batch executor
+configuration, and exposes one method per endpoint.  The HTTP layer
+(:class:`ServiceHandler` on a ``ThreadingHTTPServer``) is a thin JSON
+shim over it — tests and benchmarks drive the service object directly
+and only the integration test pays for sockets.
+
+Endpoints:
+
+* ``POST /build``  — build one topology (through the cache);
+* ``POST /batch``  — fan many build requests across the executor;
+* ``POST /route``  — greedy/GPSR routing on a cached backbone build;
+* ``GET /pipelines`` — the registry listing with parameter schemas;
+* ``GET /metrics`` — counters, latency percentiles, cache accounting;
+* ``GET /healthz`` — liveness.
+
+Run it with ``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping, Optional
+
+from repro.routing.backbone_routing import backbone_route
+from repro.service.cache import ResultCache, scenario_key
+from repro.service.executor import MODES, run_batch
+from repro.service.metrics import MetricsRegistry
+from repro.service.registry import (
+    BuildProduct,
+    RegistryError,
+    available_pipelines,
+    build_scenario,
+    get_pipeline,
+    resolve_scenario,
+)
+
+#: Route traversal modes accepted by ``POST /route``.
+ROUTE_MODES = ("gpsr", "greedy")
+
+
+class ServiceError(Exception):
+    """A request-level failure with an HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class SpannerService:
+    """The serving layer: cache + registry + executor + metrics."""
+
+    def __init__(
+        self,
+        *,
+        cache_size: int = 256,
+        cache_dir: Optional[str] = None,
+        executor_mode: str = "process",
+        max_workers: Optional[int] = None,
+        task_timeout: Optional[float] = 120.0,
+    ) -> None:
+        if executor_mode not in MODES:
+            raise ValueError(f"unknown executor mode {executor_mode!r}")
+        self.cache = ResultCache(max_entries=cache_size, disk_dir=cache_dir)
+        self.metrics = MetricsRegistry()
+        self.executor_mode = executor_mode
+        self.max_workers = max_workers
+        self.task_timeout = task_timeout
+
+    # -- building --------------------------------------------------------
+
+    def _prepare(self, payload: Mapping[str, Any]) -> tuple[str, dict, dict, str]:
+        """Validate one build request -> (pipeline, scenario, params, key).
+
+        Scenario resolution happens here (cheap relative to
+        construction) so the cache key addresses the *resolved point
+        set*: a corpus reference and the same points sent explicitly
+        share one cache entry.
+        """
+        if not isinstance(payload, Mapping):
+            raise ServiceError(400, "request body must be a JSON object")
+        name = payload.get("pipeline")
+        if not isinstance(name, str):
+            raise ServiceError(400, "missing required field 'pipeline'")
+        scenario = payload.get("scenario")
+        if scenario is None:
+            raise ServiceError(400, "missing required field 'scenario'")
+        try:
+            spec = get_pipeline(name)
+            params = spec.canonicalize(payload.get("params"))
+            deployment = resolve_scenario(scenario)
+        except RegistryError as exc:
+            raise ServiceError(400, str(exc)) from None
+        key = scenario_key(deployment.points, deployment.radius, name, params)
+        resolved = {
+            "points": [[p.x, p.y] for p in deployment.points],
+            "radius": deployment.radius,
+            "side": deployment.side,
+        }
+        return name, resolved, params, key
+
+    def build(self, payload: Mapping[str, Any]) -> dict:
+        """``POST /build`` — one construction through the cache."""
+        self.metrics.inc("build.requests")
+        with self.metrics.timer("build.request"):
+            name, scenario, params, key = self._prepare(payload)
+            product, hit = self._build_cached(name, scenario, params, key)
+        self.metrics.inc("build.cache_hits" if hit else "build.cache_misses")
+        response = {"key": key, "params": params, "cache": "hit" if hit else "miss"}
+        response.update(product.summary())
+        return response
+
+    def _build_cached(
+        self, name: str, scenario: dict, params: dict, key: str
+    ) -> tuple[BuildProduct, bool]:
+        def construct() -> BuildProduct:
+            with self.metrics.timer("build.construct"):
+                return build_scenario(name, scenario, params)
+
+        return self.cache.get_or_build(key, construct)
+
+    # -- batching --------------------------------------------------------
+
+    def batch(self, payload: Mapping[str, Any]) -> dict:
+        """``POST /batch`` — fan build requests across the worker pool.
+
+        Cache hits are answered inline; only misses travel to the
+        pool.  Results keep request order.
+        """
+        if not isinstance(payload, Mapping):
+            raise ServiceError(400, "request body must be a JSON object")
+        requests = payload.get("requests")
+        if not isinstance(requests, list) or not requests:
+            raise ServiceError(400, "'requests' must be a non-empty list")
+        options = payload.get("executor") or {}
+        mode = options.get("mode", self.executor_mode)
+        if mode not in MODES:
+            raise ServiceError(400, f"unknown executor mode {mode!r}")
+        max_workers = options.get("max_workers", self.max_workers)
+        timeout = options.get("timeout", self.task_timeout)
+
+        self.metrics.inc("batch.requests")
+        self.metrics.inc("batch.tasks", len(requests))
+        with self.metrics.timer("batch.request"):
+            prepared = []
+            for i, request in enumerate(requests):
+                try:
+                    prepared.append(self._prepare(request))
+                except ServiceError as exc:
+                    prepared.append(exc)
+
+            results: list[Optional[dict]] = [None] * len(requests)
+            pending: list[tuple[int, str, dict, dict, str]] = []
+            for i, item in enumerate(prepared):
+                if isinstance(item, ServiceError):
+                    results[i] = {"ok": False, "error": item.message}
+                    continue
+                name, scenario, params, key = item
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self.metrics.inc("build.cache_hits")
+                    results[i] = {
+                        "ok": True, "key": key, "cache": "hit",
+                        **cached.summary(),
+                    }
+                else:
+                    self.metrics.inc("build.cache_misses")
+                    pending.append((i, name, scenario, params, key))
+
+            outcome = None
+            if pending:
+                outcome = run_batch(
+                    [(name, scenario, params) for _, name, scenario, params, _ in pending],
+                    _batch_worker,
+                    mode=mode,
+                    max_workers=max_workers,
+                    timeout=timeout,
+                    metrics=self.metrics,
+                    metric_name="build.construct",
+                )
+                for (i, name, scenario, params, key), task in zip(
+                    pending, outcome.outcomes
+                ):
+                    if task.ok:
+                        self.cache.put(key, task.value)
+                        results[i] = {
+                            "ok": True, "key": key, "cache": "miss",
+                            "elapsed_ms": round(task.duration_s * 1000.0, 3),
+                            **task.value.summary(),
+                        }
+                    else:
+                        self.metrics.inc("batch.task_errors")
+                        results[i] = {
+                            "ok": False, "error": task.error,
+                            "timed_out": task.timed_out,
+                        }
+        return {
+            "tasks": len(requests),
+            "succeeded": sum(1 for r in results if r and r.get("ok")),
+            "cache_hits": sum(1 for r in results if r and r.get("cache") == "hit"),
+            "executor": {
+                "mode": outcome.mode if outcome else "inline",
+                "workers": outcome.workers if outcome else 0,
+            },
+            "results": results,
+        }
+
+    # -- routing ---------------------------------------------------------
+
+    def route(self, payload: Mapping[str, Any]) -> dict:
+        """``POST /route`` — paper-procedure routing on a cached backbone.
+
+        Accepts either ``{"key": <build key>}`` referencing a previous
+        routable build, or an inline build request (``pipeline`` +
+        ``scenario``), which is served through the cache first.
+        """
+        if not isinstance(payload, Mapping):
+            raise ServiceError(400, "request body must be a JSON object")
+        self.metrics.inc("route.requests")
+        with self.metrics.timer("route.request"):
+            key = payload.get("key")
+            if key is not None:
+                product = self.cache.get(key)
+                if product is None:
+                    raise ServiceError(
+                        404, f"no cached build under key {key!r}; POST /build first"
+                    )
+            else:
+                name, scenario, params, key = self._prepare(payload)
+                product, _ = self._build_cached(name, scenario, params, key)
+            if product.backbone is None:
+                raise ServiceError(
+                    400,
+                    f"pipeline {product.pipeline!r} is not routable; use a "
+                    "backbone pipeline (e.g. 'backbone', 'ldel_icds')",
+                )
+            try:
+                source = int(payload["source"])
+                target = int(payload["target"])
+            except (KeyError, TypeError, ValueError):
+                raise ServiceError(
+                    400, "'source' and 'target' must be integer node ids"
+                ) from None
+            mode = payload.get("mode", "gpsr")
+            if mode not in ROUTE_MODES:
+                raise ServiceError(400, f"unknown route mode {mode!r}")
+            n = product.backbone.udg.node_count
+            if not (0 <= source < n and 0 <= target < n):
+                raise ServiceError(400, f"source/target must be in [0, {n})")
+            result = backbone_route(product.backbone, source, target, mode=mode)
+        self.metrics.inc("route.delivered" if result.delivered else "route.failed")
+        return {
+            "key": key,
+            "source": source,
+            "target": target,
+            "mode": mode,
+            **result.as_dict(product.backbone.udg),
+        }
+
+    # -- introspection ---------------------------------------------------
+
+    def pipelines(self) -> dict:
+        return {"pipelines": available_pipelines()}
+
+    def metrics_snapshot(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = {
+            "entries": len(self.cache),
+            "max_entries": self.cache.max_entries,
+            "disk_dir": str(self.cache.disk_dir) if self.cache.disk_dir else None,
+            **self.cache.stats.as_dict(),
+        }
+        return snapshot
+
+    def healthz(self) -> dict:
+        return {"status": "ok", "uptime_s": self.metrics.snapshot()["uptime_s"]}
+
+
+def _batch_worker(task: tuple[str, dict, dict]) -> BuildProduct:
+    """Process-pool entry point: rebuild by value (name, scenario, params)."""
+    name, scenario, params = task
+    return build_scenario(name, scenario, params)
+
+
+# -- HTTP layer ---------------------------------------------------------------
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """JSON shim: one route table entry per service method."""
+
+    service: SpannerService  # set by make_server()
+    protocol_version = "HTTP/1.1"
+    #: Request bodies above this are rejected (64 MiB: a 500k-point
+    #: explicit scenario still fits).
+    max_body = 64 * 1024 * 1024
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging goes through metrics, not stderr
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._respond(200, self.service.healthz())
+        elif path == "/metrics":
+            self._respond(200, self.service.metrics_snapshot())
+        elif path == "/pipelines":
+            self._respond(200, self.service.pipelines())
+        else:
+            self._respond(404, {"error": f"unknown path {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0].rstrip("/")
+        handlers = {
+            "/build": self.service.build,
+            "/batch": self.service.batch,
+            "/route": self.service.route,
+        }
+        handler = handlers.get(path)
+        if handler is None:
+            self._respond(404, {"error": f"unknown path {path!r}"})
+            return
+        try:
+            payload = self._read_json()
+            self._respond(200, handler(payload))
+        except ServiceError as exc:
+            self._respond(exc.status, {"error": exc.message})
+        except Exception as exc:  # a bug, not a bad request
+            self.service.metrics.inc("server.errors")
+            self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServiceError(400, "request body required")
+        if length > self.max_body:
+            raise ServiceError(413, "request body too large")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(400, f"invalid JSON body: {exc}") from None
+
+    def _respond(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 8972,
+    service: Optional[SpannerService] = None,
+    **service_kwargs: Any,
+) -> tuple[ThreadingHTTPServer, SpannerService]:
+    """A bound (not yet serving) HTTP server over a service instance."""
+    svc = service or SpannerService(**service_kwargs)
+    handler = type("BoundServiceHandler", (ServiceHandler,), {"service": svc})
+    httpd = ThreadingHTTPServer((host, port), handler)
+    return httpd, svc
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8972,
+    service: Optional[SpannerService] = None,
+    **service_kwargs: Any,
+) -> int:
+    """Blocking entry point behind ``python -m repro serve``."""
+    httpd, svc = make_server(host, port, service, **service_kwargs)
+    actual_port = httpd.server_address[1]
+    print(f"spanner service on http://{host}:{actual_port} "
+          f"(executor={svc.executor_mode}, cache={svc.cache.max_entries})")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        httpd.server_close()
+    return 0
+
+
+class BackgroundServer:
+    """Context manager running the server on a daemon thread (tests)."""
+
+    def __init__(self, service: Optional[SpannerService] = None, **kwargs: Any) -> None:
+        self.httpd, self.service = make_server(port=0, service=service, **kwargs)
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        )
+
+    @property
+    def url(self) -> str:
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self._thread.join(timeout=5)

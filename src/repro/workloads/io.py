@@ -8,9 +8,10 @@ can be archived and diffed across runs or machines.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Union
+from typing import Iterable, Union
 
 from repro.geometry.primitives import Point
 from repro.graphs.graph import Graph
@@ -50,6 +51,37 @@ def save_deployment(deployment: Deployment, path: PathLike) -> None:
 def load_deployment(path: PathLike) -> Deployment:
     """Read a deployment written by :func:`save_deployment`."""
     return deployment_from_dict(json.loads(Path(path).read_text()))
+
+
+def points_fingerprint(points: Iterable[tuple[float, float]]) -> str:
+    """Stable content hash of an ordered point sequence.
+
+    Coordinates are hashed via ``float.hex`` so the fingerprint is
+    bit-exact (no decimal rounding ambiguity) and identical across
+    platforms and process restarts.  Order matters: node ids are
+    positional throughout the codebase.
+    """
+    digest = hashlib.sha256()
+    for x, y in points:
+        digest.update(float(x).hex().encode())
+        digest.update(b",")
+        digest.update(float(y).hex().encode())
+        digest.update(b";")
+    return digest.hexdigest()
+
+
+def deployment_fingerprint(deployment: Deployment) -> str:
+    """Content hash of a deployment: points + radius (side excluded).
+
+    The side only describes the sampling region; every construction
+    depends on points and radius alone, so two deployments with equal
+    fingerprints yield identical topologies.
+    """
+    digest = hashlib.sha256()
+    digest.update(points_fingerprint(deployment.points).encode())
+    digest.update(b"|r=")
+    digest.update(float(deployment.radius).hex().encode())
+    return digest.hexdigest()
 
 
 def graph_to_dict(graph: Graph) -> dict:

@@ -83,3 +83,31 @@ class TestArgumentParsing:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["teleport"])
+
+
+class TestServeCommand:
+    def test_serve_wiring(self, monkeypatch, capsys):
+        # Stub the blocking server loop; assert the CLI passes its
+        # flags through to repro.service.server.serve.
+        import repro.service.server as server_module
+
+        captured = {}
+
+        def fake_serve(host, port, **kwargs):
+            captured.update(host=host, port=port, **kwargs)
+            return 0
+
+        monkeypatch.setattr(server_module, "serve", fake_serve)
+        code = main(
+            [
+                "serve", "--host", "0.0.0.0", "--port", "9001",
+                "--cache-size", "32", "--executor", "thread",
+                "--workers", "3",
+            ]
+        )
+        assert code == 0
+        assert captured["host"] == "0.0.0.0"
+        assert captured["port"] == 9001
+        assert captured["cache_size"] == 32
+        assert captured["executor_mode"] == "thread"
+        assert captured["max_workers"] == 3

@@ -1,0 +1,87 @@
+"""Edge-case tests for the uniform bucket grid in repro.graphs.udg."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import Point, dist
+from repro.graphs.udg import GridIndex, UnitDiskGraph
+
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestConstruction:
+    def test_nonpositive_cell_size_rejected(self):
+        with pytest.raises(ValueError):
+            GridIndex([Point(0, 0)], 0.0)
+        with pytest.raises(ValueError):
+            GridIndex([Point(0, 0)], -1.0)
+
+    def test_empty_point_set(self):
+        index = GridIndex([], 1.0)
+        assert index.within(Point(0, 0), 10.0) == []
+        assert list(index.candidates_near(Point(3, -7), 2.0)) == []
+
+
+class TestNegativeCoordinates:
+    def test_within_straddling_origin(self):
+        # floor-based cell hashing must not collapse cells around zero
+        # (int() truncation would map -0.5 and 0.5 to the same cell).
+        pts = [Point(-1.5, -1.5), Point(-0.5, 0.5), Point(0.5, -0.5), Point(1.5, 1.5)]
+        index = GridIndex(pts, 1.0)
+        found = index.within(Point(0.0, 0.0), 1.0)
+        assert sorted(found) == [1, 2]
+
+    def test_all_negative_quadrant(self):
+        pts = [Point(-10.0, -10.0), Point(-10.5, -10.5), Point(-20.0, -20.0)]
+        index = GridIndex(pts, 1.0)
+        assert sorted(index.within(Point(-10.2, -10.2), 1.0)) == [0, 1]
+
+
+class TestLargeQueryRadius:
+    def test_radius_many_times_cell_size(self):
+        pts = [Point(float(i), 0.0) for i in range(10)]
+        index = GridIndex(pts, cell_size=0.5)
+        # radius 20x the cell size must reach every point.
+        assert sorted(index.within(Point(0.0, 0.0), 10.0)) == list(range(10))
+
+    def test_boundary_inclusive(self):
+        index = GridIndex([Point(3.0, 0.0)], 1.0)
+        assert index.within(Point(0.0, 0.0), 3.0) == [0]
+        assert index.within(Point(0.0, 0.0), 2.999) == []
+
+
+class TestDuplicatePoints:
+    def test_duplicates_each_reported(self):
+        pts = [Point(1.0, 1.0)] * 3 + [Point(5.0, 5.0)]
+        index = GridIndex(pts, 1.0)
+        assert sorted(index.within(Point(1.0, 1.0), 0.5)) == [0, 1, 2]
+
+    def test_udg_with_duplicates_connects_them(self):
+        udg = UnitDiskGraph([Point(0, 0), Point(0, 0), Point(0.5, 0)], 1.0)
+        assert udg.has_edge(0, 1)
+        assert udg.has_edge(0, 2) and udg.has_edge(1, 2)
+
+
+class TestAgainstBruteForce:
+    @given(st.lists(points, max_size=30), points,
+           st.floats(min_value=0.1, max_value=40.0),
+           st.floats(min_value=0.05, max_value=10.0))
+    def test_within_matches_linear_scan(self, pts, query, radius, cell_size):
+        index = GridIndex(pts, cell_size)
+        expected = sorted(
+            i for i, p in enumerate(pts) if dist(p, query) <= radius
+        )
+        assert sorted(index.within(query, radius)) == expected
+
+    @given(st.lists(points, max_size=25), points,
+           st.floats(min_value=0.1, max_value=20.0))
+    def test_candidates_are_a_superset(self, pts, query, radius):
+        index = GridIndex(pts, 1.0)
+        candidates = set(index.candidates_near(query, radius))
+        for i, p in enumerate(pts):
+            if dist(p, query) <= radius:
+                assert i in candidates

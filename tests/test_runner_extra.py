@@ -85,3 +85,47 @@ class TestStdDevTracking:
     def test_unknown_quantity_is_zero(self):
         rows = table1(n=20, radius=60.0, config=ExperimentConfig(instances=2, seed=4))
         assert rows[0].stddev("nonexistent") == 0.0
+
+
+class TestRouteBatch:
+    @pytest.fixture(scope="class")
+    def backbone(self):
+        import random
+
+        from repro.core.spanner import build_backbone
+        from repro.workloads.generators import connected_udg_instance
+
+        deployment = connected_udg_instance(30, 150.0, 55.0, random.Random(1))
+        return build_backbone(deployment.points, deployment.radius)
+
+    def test_matches_direct_calls(self, backbone):
+        from repro.experiments.runner import route_batch
+        from repro.routing.backbone_routing import backbone_route
+
+        pairs = [(0, 17), (3, 21), (5, 5), (29, 0)]
+        outcome = route_batch(backbone, pairs, executor="thread")
+        assert outcome.succeeded == len(pairs)
+        for (source, target), task in zip(pairs, outcome.outcomes):
+            expected = backbone_route(backbone, source, target)
+            assert task.value.path == expected.path
+            assert task.value.delivered == expected.delivered
+
+    def test_serial_executor(self, backbone):
+        from repro.experiments.runner import route_batch
+
+        outcome = route_batch(backbone, [(0, 1)], executor="serial")
+        assert outcome.mode == "serial"
+        assert outcome.outcomes[0].ok
+
+    def test_routing_quality_summary(self):
+        from repro.experiments.runner import routing_quality
+
+        summary = routing_quality(
+            n=25, radius=60.0, pairs=20,
+            config=ExperimentConfig(instances=1, seed=11),
+        )
+        assert summary["pairs"] == 20.0
+        assert 0.0 <= summary["delivery_rate"] <= 1.0
+        # GPSR on the planar backbone delivers everything in-component.
+        assert summary["delivery_rate"] == 1.0
+        assert summary["hops_avg"] >= 1.0
