@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Benchmark the construction hot path against the recorded baseline.
+
+Times UDG / Gabriel / LDel^1 / planarization / full-backbone
+construction at the regression sizes and writes a machine-readable
+report with per-stage speedups versus ``baseline_hotpath.json``:
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --sizes 200 --reps 3
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --record-baseline
+
+``--record-baseline`` re-pins the baseline file from the current run
+(do this only on a commit whose timings you want future runs compared
+against); otherwise the report lands in ``BENCH_hotpath.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.experiments.hotpath_bench import (
+    DEFAULT_RADIUS,
+    DEFAULT_SEED,
+    DEFAULT_SIZES,
+    baseline_from_report,
+    default_baseline_path,
+    format_report,
+    load_baseline,
+    run_benchmark,
+)
+
+
+def _current_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+        return out.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+        help="deployment sizes to benchmark",
+    )
+    parser.add_argument("--radius", type=float, default=DEFAULT_RADIUS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--reps", type=int, default=1,
+        help="timing repetitions per stage (minimum kept)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=default_baseline_path(),
+        help="baseline file to compare against",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_hotpath.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--record-baseline", action="store_true",
+        help="overwrite the baseline file with this run's timings",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline(args.baseline)
+    if baseline is None and not args.record_baseline:
+        print(f"note: no baseline at {args.baseline}; reporting raw timings")
+
+    report = run_benchmark(
+        args.sizes,
+        radius=args.radius,
+        seed=args.seed,
+        reps=args.reps,
+        baseline=baseline,
+        baseline_path=str(args.baseline),
+    )
+
+    if args.record_baseline:
+        pinned = baseline_from_report(report, commit=_current_commit())
+        args.baseline.write_text(json.dumps(pinned, indent=2, sort_keys=True) + "\n")
+        print(f"baseline re-pinned: {args.baseline}")
+
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(format_report(report))
+    print(f"\nreport written: {args.output}")
+
+    mismatches = [
+        key for key, entry in report.get("speedup", {}).items()
+        if not entry["edges_match"]
+    ]
+    if mismatches:
+        print(f"EDGE-COUNT MISMATCH vs baseline at n in {mismatches}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,229 @@
+"""Hot-path benchmark: stage timings for the construction pipeline.
+
+Times the stages the spanner construction actually spends its cycles
+in — UDG build, Gabriel graph, LDel^1, Algorithm 3 planarization (the
+two together reported as ``pldel``), and the full ICDS backbone — on
+the deployment recipe the paper's experiments use (uniform points in a
+``10 sqrt(n)`` square, radius 25), and compares against a recorded
+baseline so regressions show up as a number, not a feeling.
+
+Shared by ``benchmarks/bench_hotpath.py`` (standalone CLI), the
+``hotpath`` mode of :mod:`repro.experiments.harness`, and the CI
+bench-smoke job.  Output is machine-readable JSON
+(``hotpath-bench/v1``); baselines use the sibling
+``hotpath-baseline/v1`` schema with the same per-size layout.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.spanner import build_backbone
+from repro.graphs.udg import UnitDiskGraph
+from repro.topology.construction_cache import ConstructionCache
+from repro.topology.gabriel import gabriel_graph
+from repro.topology.ldel import local_delaunay_graph, planarize_ldel1
+from repro.workloads.generators import connected_udg_instance
+
+#: Deployment sizes the regression harness tracks.
+DEFAULT_SIZES = (200, 500, 1000, 2000)
+DEFAULT_RADIUS = 25.0
+DEFAULT_SEED = 2002
+
+#: Stage keys in reporting order.
+STAGES = ("udg", "gabriel", "ldel1", "planarize", "pldel", "backbone")
+
+BENCH_SCHEMA = "hotpath-bench/v1"
+BASELINE_SCHEMA = "hotpath-baseline/v1"
+
+
+def default_baseline_path() -> Path:
+    """The checked-in baseline next to the benchmarks CLI."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "baseline_hotpath.json"
+
+
+def measure_size(
+    n: int,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    reps: int = 1,
+) -> dict:
+    """Stage timings, edge counts, and cache counters for one size.
+
+    The deployment is sampled once (``connected_udg_instance`` with a
+    size-derived side, so density stays constant across ``n``); each
+    stage is timed ``reps`` times and the minimum kept — the usual
+    guard against scheduler noise.  Edge counts are recorded so a
+    baseline comparison can assert the optimized pipeline still builds
+    the *same* graphs, and the construction-cache counters quantify how
+    much work the cache absorbed.
+    """
+    side = 10.0 * math.sqrt(n)
+    dep = connected_udg_instance(n, side, radius, random.Random(seed))
+    seconds: dict[str, float] = {}
+    edges: dict[str, int] = {}
+    counters: dict[str, int] = {}
+
+    for _ in range(max(1, reps)):
+        t0 = time.perf_counter()
+        udg = UnitDiskGraph(list(dep.points), dep.radius)
+        t_udg = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        gg = gabriel_graph(udg)
+        t_gg = time.perf_counter() - t0
+
+        cache = ConstructionCache(udg)
+        t0 = time.perf_counter()
+        ldel1 = local_delaunay_graph(udg, k=1, cache=cache)
+        t_ldel1 = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        pldel = planarize_ldel1(udg, ldel1, cache=cache)
+        t_plan = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        backbone = build_backbone(dep.points, dep.radius)
+        t_bb = time.perf_counter() - t0
+
+        rep_seconds = {
+            "udg": t_udg,
+            "gabriel": t_gg,
+            "ldel1": t_ldel1,
+            "planarize": t_plan,
+            "pldel": t_ldel1 + t_plan,
+            "backbone": t_bb,
+        }
+        for key, value in rep_seconds.items():
+            seconds[key] = min(seconds.get(key, value), value)
+        edges = {
+            "udg": udg.edge_count,
+            "gabriel": gg.edge_count,
+            "ldel1": ldel1.graph.edge_count,
+            "pldel": pldel.graph.edge_count,
+            "backbone": backbone.ldel_icds.edge_count,
+        }
+        counters = cache.snapshot()
+
+    return {
+        "seconds": {k: round(v, 6) for k, v in seconds.items()},
+        "edges": edges,
+        "counters": counters,
+    }
+
+
+def run_benchmark(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    reps: int = 1,
+    baseline: Optional[dict] = None,
+    baseline_path: Optional[str] = None,
+) -> dict:
+    """Benchmark every size and fold in the baseline comparison."""
+    results = {str(n): measure_size(n, radius=radius, seed=seed, reps=reps) for n in sizes}
+    report: dict = {
+        "schema": BENCH_SCHEMA,
+        "params": {
+            "generator": "uniform",
+            "side": "10*sqrt(n)",
+            "radius": radius,
+            "seed": seed,
+            "reps": reps,
+        },
+        "sizes": list(sizes),
+        "results": results,
+    }
+    if baseline is not None:
+        report["baseline"] = {
+            "path": baseline_path,
+            "commit": baseline.get("commit"),
+            "schema": baseline.get("schema"),
+        }
+        report["speedup"] = compare_to_baseline(results, baseline)
+    return report
+
+
+def compare_to_baseline(results: dict, baseline: dict) -> dict:
+    """Per-size, per-stage speedup factors plus edge-count agreement.
+
+    ``speedup > 1`` means the current code is faster than the recorded
+    baseline; ``edges_match`` is the regression tripwire — a speedup
+    bought by building a different graph is a bug, not an optimization.
+    """
+    out: dict = {}
+    base_results = baseline.get("results", {})
+    for key, current in results.items():
+        base = base_results.get(key)
+        if base is None:
+            continue
+        stage_speedup = {}
+        for stage in STAGES:
+            now = current["seconds"].get(stage)
+            then = base["seconds"].get(stage)
+            if now and then:
+                stage_speedup[stage] = round(then / now, 3)
+        out[key] = {
+            "speedup": stage_speedup,
+            "edges_match": current["edges"] == base["edges"],
+        }
+    return out
+
+
+def load_baseline(path: str | Path) -> Optional[dict]:
+    """Parse a baseline file; ``None`` when absent or unreadable."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if data.get("schema") != BASELINE_SCHEMA:
+        return None
+    return data
+
+
+def baseline_from_report(report: dict, commit: str = "unknown") -> dict:
+    """Re-pin a baseline file from a fresh benchmark report."""
+    return {
+        "schema": BASELINE_SCHEMA,
+        "commit": commit,
+        "params": report["params"],
+        "sizes": report["sizes"],
+        "results": {
+            key: {"seconds": value["seconds"], "edges": value["edges"]}
+            for key, value in report["results"].items()
+        },
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of the per-size stage timings and speedups."""
+    lines = [
+        f"{'n':>6} {'stage':<10} {'seconds':>10} {'speedup':>9} {'edges':>8}"
+    ]
+    speedups = report.get("speedup", {})
+    for n in report["sizes"]:
+        key = str(n)
+        entry = report["results"][key]
+        stage_speedup = speedups.get(key, {}).get("speedup", {})
+        for stage in STAGES:
+            sec = entry["seconds"].get(stage)
+            if sec is None:
+                continue
+            factor = stage_speedup.get(stage)
+            factor_s = f"{factor:.2f}x" if factor else "-"
+            edge_s = str(entry["edges"].get(stage, "-"))
+            lines.append(
+                f"{n:>6} {stage:<10} {sec:>10.4f} {factor_s:>9} {edge_s:>8}"
+            )
+        if key in speedups:
+            match = "yes" if speedups[key]["edges_match"] else "NO (REGRESSION)"
+            lines.append(f"{'':>6} edges identical to baseline: {match}")
+    return "\n".join(lines)

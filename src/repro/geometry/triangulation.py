@@ -26,6 +26,7 @@ Degenerate inputs are handled explicitly:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Sequence
@@ -47,6 +48,9 @@ class Triangulation:
     points: list[Point]
     triangles: list[tuple[int, int, int]] = field(default_factory=list)
     edges: set[tuple[int, int]] = field(default_factory=set)
+    _incidence: dict[int, list[tuple[int, int, int]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def adjacency(self) -> dict[int, set[int]]:
         """Adjacency map of the triangulation's edge set."""
@@ -57,8 +61,17 @@ class Triangulation:
         return adj
 
     def triangles_of(self, vertex: int) -> list[tuple[int, int, int]]:
-        """All triangles incident on ``vertex``."""
-        return [t for t in self.triangles if vertex in t]
+        """All triangles incident on ``vertex`` (O(deg) via incidence map).
+
+        The vertex→triangles map is built once on first use and reused;
+        callers that probe every vertex (the localized Delaunay
+        candidate generation does) pay O(T) total instead of O(V·T).
+        """
+        if not self._incidence and self.triangles:
+            for tri in self.triangles:
+                for v in tri:
+                    self._incidence.setdefault(v, []).append(tri)
+        return list(self._incidence.get(vertex, ()))
 
 
 def _sign(value: float) -> int:
@@ -110,7 +123,7 @@ def _orient_sign(a: Point, b: Point, c: Point) -> int:
     return _orient_sign_exact(a, b, c)
 
 
-def _in_circumcircle(a: Point, b: Point, c: Point, d: Point) -> bool:
+def _in_circumcircle(a: Point, b: Point, c: Point, d: Point, orient: int | None = None) -> bool:
     """Whether ``d`` is inside (or exactly on) the circumcircle of ``abc``.
 
     Boundary-inclusive on purpose: a point exactly on an existing edge
@@ -119,8 +132,13 @@ def _in_circumcircle(a: Point, b: Point, c: Point, d: Point) -> bool:
     decides when it exceeds a forward-error bound (the summed term
     magnitudes scaled by a safe multiple of machine epsilon); only
     borderline cases pay for exact arithmetic.
+
+    ``orient`` may carry a precomputed ``_orient_sign(a, b, c)`` — the
+    sign is a property of the triangle alone, so callers testing many
+    points against one triangle compute it once.
     """
-    orient = _orient_sign(a, b, c)
+    if orient is None:
+        orient = _orient_sign(a, b, c)
     if orient == 0:
         return False  # degenerate triangle: no interior
     adx = a[0] - d[0]
@@ -151,6 +169,80 @@ def _in_circumcircle(a: Point, b: Point, c: Point, d: Point) -> bool:
     return det_sign == orient
 
 
+# The cavity-scan prefilter brackets each circumcircle with an
+# uncertainty band derived from the float error of its computed center:
+# err(center) ~ eps * lb * lc * (lb + lc) / (2 |det|) for edge scales
+# lb, lc and orientation determinant det, which propagates to the
+# squared-distance comparison as 2 * r * err(center) + O(eps * r^2).
+# The band is that bound inflated by _PREFILTER_SAFETY, so the cheap
+# distance test can only ever *defer* to the adaptive exact determinant
+# inside the band, never contradict it — the prefilter cannot change
+# the output.  Triangles flatter than _PREFILTER_COND skip the
+# prefilter entirely (their float circumcenter is meaningless).
+_PREFILTER_SAFETY = 1e4
+_PREFILTER_COND = 1e-4
+_EPS = 2.220446049250313e-16  # 2**-52
+
+
+def _triangle_record(
+    tri: tuple[int, int, int], verts: Sequence[Point]
+) -> tuple[tuple[int, int, int], int, float, float, float, float]:
+    """Precompute per-triangle data for the cavity scan.
+
+    Returns ``(tri, orient, cx, cy, near, far)``: the cached
+    orientation sign plus a float circumcenter with conservative
+    inner/outer squared-radius bands.  A candidate point farther than
+    ``far`` is certainly outside the circumcircle and one closer than
+    ``near`` is certainly inside; only the thin shell between them (and
+    every point of an ill-conditioned triangle, flagged ``far < 0``)
+    pays for the adaptive exact in-circle test.
+    """
+    a, b, c = verts[tri[0]], verts[tri[1]], verts[tri[2]]
+    # Work in coordinates relative to ``a`` so the conditioning check
+    # and the center are immune to a large common offset.  The cross
+    # product below is bit-identical to orientation_value(a, b, c), so
+    # the cached sign replicates _orient_sign exactly (including its
+    # exact-arithmetic fallback band).
+    bx, by = b[0] - a[0], b[1] - a[1]
+    cx_, cy_ = c[0] - a[0], c[1] - a[1]
+    det = bx * cy_ - by * cx_
+    abs_det = abs(det)
+    abx = abs(bx)
+    aby = abs(by)
+    lb = abx if abx > aby else aby
+    acx = abs(cx_)
+    acy = abs(cy_)
+    lc = acx if acx > acy else acy
+    scale = lb if lb > lc else lc
+    if scale < 1e-300:
+        scale = 1e-300
+    if abs_det > 1e-12 * scale * scale:
+        orient = 1 if det > 0.0 else -1
+    else:
+        orient = _orient_sign_exact(a, b, c)
+    if orient == 0:
+        # Degenerate triangle: no interior, every point is "outside".
+        return (tri, 0, 0.0, 0.0, -1.0, float("inf"))
+    # Condition on the *product* of the edge scales, not scale**2: a
+    # triangle with one short and one astronomically long edge (every
+    # super-triangle neighbor during construction) is perfectly well
+    # conditioned when its angles are, and must not lose the prefilter.
+    if abs_det <= _PREFILTER_COND * lb * lc:
+        # Sliver: float circumcenter too inaccurate, no prefilter.
+        return (tri, orient, 0.0, 0.0, -1.0, -1.0)
+    d = 2.0 * det
+    b2 = bx * bx + by * by
+    c2 = cx_ * cx_ + cy_ * cy_
+    ux = (cy_ * b2 - by * c2) / d
+    uy = (bx * c2 - cx_ * b2) / d
+    r_sq = ux * ux + uy * uy
+    center_err = _EPS * lb * lc * (lb + lc) / (2.0 * abs_det)
+    band = _PREFILTER_SAFETY * (
+        2.0 * math.sqrt(r_sq) * center_err + 4.0 * _EPS * r_sq
+    )
+    return (tri, orient, a[0] + ux, a[1] + uy, r_sq - band, r_sq + band)
+
+
 def _collinear_path(points: Sequence[Point], index_of: dict[Point, int]) -> Triangulation:
     """Degenerate triangulation for collinear input: a sorted path."""
     tri = Triangulation(points=list(points))
@@ -168,7 +260,9 @@ def delaunay(points: Sequence[Point]) -> Triangulation:
     quadruples) thanks to the adaptively exact predicates; cocircular
     ties are broken deterministically.
     """
-    pts = [Point(float(p[0]), float(p[1])) for p in points]
+    # Callers on the hot path (the per-node local triangulations) pass
+    # Point instances already; only re-wrap foreign coordinate pairs.
+    pts = [p if type(p) is Point else Point(float(p[0]), float(p[1])) for p in points]
     index_of: dict[Point, int] = {}
     for i, p in enumerate(pts):
         index_of.setdefault(p, i)
@@ -206,46 +300,80 @@ def delaunay(points: Sequence[Point]) -> Triangulation:
     verts: list[Point] = distinct + super_pts
     s0 = len(distinct)
 
-    triangles: list[tuple[int, int, int]] = [(s0, s0 + 1, s0 + 2)]
+    # The working set holds one record per triangle: the index triple
+    # plus its cached orientation sign and circumcenter bands (see
+    # _triangle_record), so the cavity scan is one dict-free distance
+    # test per triangle in the common case.
+    records = [_triangle_record((s0, s0 + 1, s0 + 2), verts)]
 
     for vi in range(len(distinct)):
         vp = verts[vi]
+        px, py = vp
         bad: list[tuple[int, int, int]] = []
-        good: list[tuple[int, int, int]] = []
-        for tri in triangles:
-            if _in_circumcircle(verts[tri[0]], verts[tri[1]], verts[tri[2]], vp):
-                bad.append(tri)
+        good: list[tuple] = []
+        bad_append = bad.append
+        good_append = good.append
+        for rec in records:
+            near = rec[4]
+            if near >= 0.0:
+                dx = px - rec[2]
+                dy = py - rec[3]
+                d_sq = dx * dx + dy * dy
+                if d_sq > rec[5]:
+                    good_append(rec)
+                    continue
+                if d_sq < near:
+                    bad_append(rec[0])
+                    continue
+            elif rec[5] > 0.0:  # degenerate triangle: no interior
+                good_append(rec)
+                continue
+            tri = rec[0]
+            if _in_circumcircle(verts[tri[0]], verts[tri[1]], verts[tri[2]], vp, rec[1]):
+                bad_append(tri)
             else:
-                good.append(tri)
+                good_append(rec)
         if not bad:  # pragma: no cover - exact predicates locate every point
             raise RuntimeError("Bowyer-Watson cavity is empty; input corrupt")
 
         # Boundary of the cavity: edges that belong to exactly one bad
-        # triangle.
+        # triangle.  Triangles are stored as sorted triples, so each
+        # edge pair below is already ordered — no min/max per key.
         edge_count: dict[tuple[int, int], int] = {}
         for i, j, k in bad:
-            for a, b in ((i, j), (j, k), (i, k)):
-                key = (min(a, b), max(a, b))
+            for key in ((i, j), (j, k), (i, k)):
                 edge_count[key] = edge_count.get(key, 0) + 1
         boundary = [e for e, count in edge_count.items() if count == 1]
 
-        triangles = good
+        records = good
         for a, b in boundary:
-            if _orient_sign(verts[a], verts[b], vp) == 0:
+            # a < b (boundary keys are ordered) and vi is new, so the
+            # sorted triple follows from a three-way placement of vi.
+            if vi < a:
+                new_tri = (vi, a, b)
+            elif vi < b:
+                new_tri = (a, vi, b)
+            else:
+                new_tri = (a, b, vi)
+            rec = _triangle_record(new_tri, verts)
+            if rec[1] == 0:
                 continue  # vp collinear with the edge: no triangle
-            triangles.append(tuple(sorted((a, b, vi))))  # type: ignore[arg-type]
+            records.append(rec)
 
     result = Triangulation(points=pts)
     seen: set[tuple[int, int, int]] = set()
-    for i, j, k in triangles:
+    for i, j, k in (rec[0] for rec in records):
         if i >= s0 or j >= s0 or k >= s0:
             continue  # touches the super-triangle
-        # Map back to original input indices (identity for distinct points).
-        tri_ids = tuple(sorted((index_of[verts[i]], index_of[verts[j]], index_of[verts[k]])))
+        # Map back to original input indices.  index_of values increase
+        # in first-occurrence order, which is exactly the order of
+        # ``distinct``, so the sorted triple (i, j, k) maps to a triple
+        # that is already sorted.
+        tri_ids = (index_of[verts[i]], index_of[verts[j]], index_of[verts[k]])
         if tri_ids in seen:
             continue
         seen.add(tri_ids)
-        result.triangles.append(tri_ids)  # type: ignore[arg-type]
+        result.triangles.append(tri_ids)
         for a, b in ((tri_ids[0], tri_ids[1]), (tri_ids[1], tri_ids[2]), (tri_ids[0], tri_ids[2])):
             result.edges.add((a, b))
     return result

@@ -54,11 +54,78 @@ class GridIndex:
     def within(self, p: Point, radius: float) -> list[int]:
         """Indices of points at distance <= ``radius`` from ``p``."""
         r_sq = radius * radius
-        return [
-            i
-            for i in self.candidates_near(p, radius)
-            if dist_sq(self.points[i], p) <= r_sq
+        px, py = p[0], p[1]
+        points = self.points
+        out: list[int] = []
+        reach = max(1, math.ceil(radius / self.cell_size))
+        if (2 * reach + 1) ** 2 > len(points):
+            # Same flat-scan cutover as candidates_near, but without
+            # the generator indirection on this hot query path.
+            for i, q in enumerate(points):
+                dx = q[0] - px
+                dy = q[1] - py
+                if dx * dx + dy * dy <= r_sq:
+                    out.append(i)
+            return out
+        cx, cy = self._cell_of(p)
+        cells = self._cells
+        for dx_cell in range(-reach, reach + 1):
+            for dy_cell in range(-reach, reach + 1):
+                for i in cells.get((cx + dx_cell, cy + dy_cell), ()):
+                    q = points[i]
+                    dx = q[0] - px
+                    dy = q[1] - py
+                    if dx * dx + dy * dy <= r_sq:
+                        out.append(i)
+        return out
+
+    def pairs_within(self, radius: float) -> Iterator[tuple[int, int]]:
+        """All unordered pairs ``(i, j)``, ``i < j``, within ``radius``.
+
+        The bulk analogue of calling :meth:`within` once per point:
+        each cell is paired with itself and with the half of its
+        neighbor window that sorts after it, so every candidate pair is
+        distance-tested exactly once instead of twice.
+        """
+        r_sq = radius * radius
+        points = self.points
+        n = len(points)
+        reach = max(1, math.ceil(radius / self.cell_size))
+        if (2 * reach + 1) ** 2 > n:
+            # Dense-radius regime: the cell window covers everything,
+            # so enumerate the triangle of index pairs directly.
+            for i in range(n):
+                p = points[i]
+                for j in range(i + 1, n):
+                    if dist_sq(p, points[j]) <= r_sq:
+                        yield (i, j)
+            return
+        # Forward half-window: (0, 0) handled specially (within-cell
+        # pairs), then only offsets that are lexicographically positive
+        # so each cell pair is visited once.
+        offsets = [
+            (dx, dy)
+            for dx in range(0, reach + 1)
+            for dy in range(-reach if dx > 0 else 1, reach + 1)
         ]
+        cells = self._cells
+        for (cx, cy), members in cells.items():
+            for a in range(len(members)):
+                i = members[a]
+                p = points[i]
+                for b in range(a + 1, len(members)):
+                    j = members[b]
+                    if dist_sq(p, points[j]) <= r_sq:
+                        yield (i, j) if i < j else (j, i)
+            for dx, dy in offsets:
+                other = cells.get((cx + dx, cy + dy))
+                if not other:
+                    continue
+                for i in members:
+                    p = points[i]
+                    for j in other:
+                        if dist_sq(p, points[j]) <= r_sq:
+                            yield (i, j) if i < j else (j, i)
 
 
 class UnitDiskGraph(Graph):
@@ -76,12 +143,11 @@ class UnitDiskGraph(Graph):
         self._build()
 
     def _build(self) -> None:
+        # pairs_within yields each qualifying pair exactly once, which
+        # halves the duplicate distance tests of the old per-node scan.
         index = GridIndex(self.positions, self.radius)
-        r_sq = self.radius * self.radius
-        for u, p in enumerate(self.positions):
-            for v in index.candidates_near(p, self.radius):
-                if v > u and dist_sq(p, self.positions[v]) <= r_sq:
-                    self.add_edge(u, v)
+        for u, v in index.pairs_within(self.radius):
+            self.add_edge(u, v)
 
     def k_hop_neighborhood(self, u: int, k: int) -> set[int]:
         """Nodes within ``k`` hops of ``u`` (paper's N_k(u)), including ``u``."""

@@ -22,6 +22,7 @@ from repro.core.spanner import BackboneResult, build_backbone
 from repro.graphs.graph import Graph
 from repro.protocols.backbone import ELECTIONS
 from repro.topology.beta_skeleton import beta_skeleton
+from repro.topology.construction_cache import ConstructionCache
 from repro.topology.delaunay_udg import unit_delaunay_graph
 from repro.topology.gabriel import gabriel_graph
 from repro.topology.greedy_spanner import greedy_spanner
@@ -139,14 +140,27 @@ def _flat(name: str, make: Callable[..., Graph]) -> Callable[[Deployment, dict],
     return builder
 
 
+def _construction_extras(cache: ConstructionCache) -> dict:
+    """Cache-effectiveness accounting shipped with LDel build products.
+
+    Travels in ``extras`` so ``POST /build`` responses surface it and
+    the serving layer can fold the counters into ``GET /metrics``.
+    """
+    return {"construction_cache": cache.snapshot()}
+
+
 def _ldel_builder(deployment: Deployment, params: dict) -> BuildProduct:
-    result = planar_local_delaunay_graph(deployment.udg())
-    return BuildProduct("ldel", result.graph)
+    udg = deployment.udg()
+    cache = ConstructionCache(udg)
+    result = planar_local_delaunay_graph(udg, cache=cache)
+    return BuildProduct("ldel", result.graph, extras=_construction_extras(cache))
 
 
 def _ldel1_builder(deployment: Deployment, params: dict) -> BuildProduct:
-    result = local_delaunay_graph(deployment.udg(), k=params["k"])
-    return BuildProduct("ldel1", result.graph)
+    udg = deployment.udg()
+    cache = ConstructionCache(udg)
+    result = local_delaunay_graph(udg, k=params["k"], cache=cache)
+    return BuildProduct("ldel1", result.graph, extras=_construction_extras(cache))
 
 
 def _udg_builder(deployment: Deployment, params: dict) -> BuildProduct:

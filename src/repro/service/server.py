@@ -111,6 +111,8 @@ class SpannerService:
             name, scenario, params, key = self._prepare(payload)
             product, hit = self._build_cached(name, scenario, params, key)
         self.metrics.inc("build.cache_hits" if hit else "build.cache_misses")
+        if not hit:
+            self._record_construction_metrics(product)
         response = {"key": key, "params": params, "cache": "hit" if hit else "miss"}
         response.update(product.summary())
         return response
@@ -123,6 +125,19 @@ class SpannerService:
                 return build_scenario(name, scenario, params)
 
         return self.cache.get_or_build(key, construct)
+
+    def _record_construction_metrics(self, product: BuildProduct) -> None:
+        """Fold a fresh build's construction-cache counters into metrics.
+
+        LDel-family builders ship a ``construction_cache`` snapshot in
+        their extras (hit/miss counts for the neighborhood and
+        circumcircle layers, triangle-pair statistics); exposing the
+        running totals under ``construction.*`` makes the hot-path
+        cache effectiveness visible on ``GET /metrics``.
+        """
+        counters = product.extras.get("construction_cache")
+        if isinstance(counters, Mapping):
+            self.metrics.merge_counters(dict(counters), prefix="construction.")
 
     # -- batching --------------------------------------------------------
 
@@ -188,6 +203,7 @@ class SpannerService:
                 ):
                     if task.ok:
                         self.cache.put(key, task.value)
+                        self._record_construction_metrics(task.value)
                         results[i] = {
                             "ok": True, "key": key, "cache": "miss",
                             "elapsed_ms": round(task.duration_s * 1000.0, 3),

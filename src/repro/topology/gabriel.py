@@ -8,22 +8,35 @@ constant-factor spanner, which the Table I benchmark shows.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.geometry.circle import gabriel_disk_empty
 from repro.graphs.graph import Graph
 from repro.graphs.udg import UnitDiskGraph
 
+if TYPE_CHECKING:  # avoid a runtime import cycle with construction_cache
+    from repro.topology.construction_cache import ConstructionCache
 
-def gabriel_graph(udg: UnitDiskGraph) -> Graph:
+
+def gabriel_graph(
+    udg: UnitDiskGraph, *, cache: Optional["ConstructionCache"] = None
+) -> Graph:
     """GG(V) ∩ UDG(V): the Gabriel graph on UDG edges.
 
     A blocker inside the diameter disk of ``uv`` is within ``|uv|`` of
     both endpoints, hence a UDG neighbor of both; the emptiness test is
-    local to 1-hop neighborhoods.
+    local to 1-hop neighborhoods.  A shared ``cache`` (from the LDel
+    pipeline) serves those neighborhoods memoized — the candidate
+    generation already computed every one of them.
     """
     gg = Graph(udg.positions, name="GG")
     pos = udg.positions
+    if cache is not None and cache.udg is udg:
+        hood = lambda u: cache.k_hop(u, 1)  # noqa: E731 - tiny dispatch shim
+    else:
+        hood = udg.neighbors
     for u, v in udg.edges():
-        witnesses = (udg.neighbors(u) | udg.neighbors(v)) - {u, v}
+        witnesses = (hood(u) | hood(v)) - {u, v}
         if gabriel_disk_empty(pos[u], pos[v], (pos[w] for w in witnesses)):
             gg.add_edge(u, v)
     return gg

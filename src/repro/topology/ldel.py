@@ -20,24 +20,41 @@ This module is the *centralized reference*; the message-passing
 protocol (paper Algorithms 2 and 3 verbatim) lives in
 :mod:`repro.protocols.ldel_protocol` and is tested to produce the same
 graph.
+
+Hot-path notes: every stage accepts an optional
+:class:`~repro.topology.construction_cache.ConstructionCache` so
+neighborhoods and circumcircles are computed once per construction,
+and :func:`candidate_triangles` can fan the per-node local
+triangulations out over the batch executor
+(:mod:`repro.service.executor`) with bit-identical output — per-node
+candidate generation is a pure function of the node's 1-hop
+neighborhood, so the union over nodes is order-independent.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.geometry.circle import circumcircle
 from repro.geometry.predicates import segments_cross
 from repro.geometry.primitives import Point, angle_at, dist_sq
 from repro.geometry.triangulation import delaunay
 from repro.graphs.graph import Graph
 from repro.graphs.planarity import crossing_pairs
 from repro.graphs.udg import UnitDiskGraph
+from repro.topology.construction_cache import ConstructionCache
 from repro.topology.gabriel import gabriel_graph
 
 Triangle = tuple[int, int, int]
+
+#: Below this node count the parallel fan-out costs more than it saves
+#: (pool spin-up plus pickling dominates sub-second constructions).
+PARALLEL_MIN_NODES = 600
+
+#: Minimum angle at the proposing vertex (Algorithm 2's 60° rule).
+_MIN_ANGLE = math.pi / 3.0 - 1e-12
 
 
 @dataclass(frozen=True)
@@ -50,7 +67,60 @@ class LDelResult:
     k: int
 
 
-def candidate_triangles(udg: UnitDiskGraph) -> set[Triangle]:
+def _node_candidates(
+    pos: Sequence[Point], r_sq: float, u: int, local: Sequence[int]
+) -> list[Triangle]:
+    """Triangles node ``u`` proposes from ``Del(N_1(u))``.
+
+    Shared by the serial and parallel paths so both produce the same
+    triangles by construction.  ``local`` is the sorted 1-hop
+    neighborhood of ``u`` (including ``u``).
+    """
+    if len(local) < 3:
+        return []
+    tri = delaunay([pos[i] for i in local])
+    iu = bisect_left(local, u)
+    out: list[Triangle] = []
+    for a, b, c in tri.triangles_of(iu):
+        ga, gb, gc = local[a], local[b], local[c]
+        if (
+            dist_sq(pos[ga], pos[gb]) > r_sq
+            or dist_sq(pos[gb], pos[gc]) > r_sq
+            or dist_sq(pos[ga], pos[gc]) > r_sq
+        ):
+            continue
+        others = [x for x in (ga, gb, gc) if x != u]
+        try:
+            angle = angle_at(pos[u], pos[others[0]], pos[others[1]])
+        except ValueError:
+            continue
+        if angle >= _MIN_ANGLE:
+            out.append(tuple(sorted((ga, gb, gc))))  # type: ignore[arg-type]
+    return out
+
+
+def _candidate_chunk(
+    payload: tuple[Sequence[Point], float, list[tuple[int, list[int]]]]
+) -> list[Triangle]:
+    """Process-pool worker: candidates for a chunk of nodes.
+
+    Module-level and addressed purely by value so it pickles cleanly.
+    """
+    pos, r_sq, items = payload
+    out: list[Triangle] = []
+    for u, local in items:
+        out.extend(_node_candidates(pos, r_sq, u, local))
+    return out
+
+
+def candidate_triangles(
+    udg: UnitDiskGraph,
+    *,
+    cache: Optional[ConstructionCache] = None,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    executor_mode: str = "process",
+) -> set[Triangle]:
     """Triangles proposed by the per-node local Delaunay triangulations.
 
     A node generates exactly the triangles Algorithm 2 would have it
@@ -62,67 +132,110 @@ def candidate_triangles(udg: UnitDiskGraph) -> set[Triangle]:
     complete.  Applying the same angle discipline as the distributed
     protocol also makes tie-breaking identical on exactly-cocircular
     inputs, where "the" local Delaunay triangulation is not unique.
+
+    ``parallel=None`` (auto) fans the per-node triangulations out over
+    the batch executor when the deployment is large enough and more
+    than one worker is available; ``True``/``False`` force the choice.
+    The result is identical either way: each node's candidates depend
+    only on that node's neighborhood, and the union is a set.
     """
+    cache = ConstructionCache.for_udg(udg, cache)
     r_sq = udg.radius * udg.radius
-    candidates: set[Triangle] = set()
     pos = udg.positions
-    min_angle = math.pi / 3.0 - 1e-12
-    for u in udg.nodes():
-        local = sorted(udg.k_hop_neighborhood(u, 1))
-        if len(local) < 3:
-            continue
-        tri = delaunay([pos[i] for i in local])
-        for a, b, c in tri.triangles:
-            ga, gb, gc = local[a], local[b], local[c]
-            if u not in (ga, gb, gc):
-                continue
-            if (
-                dist_sq(pos[ga], pos[gb]) > r_sq
-                or dist_sq(pos[gb], pos[gc]) > r_sq
-                or dist_sq(pos[ga], pos[gc]) > r_sq
-            ):
-                continue
-            others = [x for x in (ga, gb, gc) if x != u]
-            try:
-                angle = angle_at(pos[u], pos[others[0]], pos[others[1]])
-            except ValueError:
-                continue
-            if angle >= min_angle:
-                candidates.add(tuple(sorted((ga, gb, gc))))  # type: ignore[arg-type]
+    nodes = [(u, sorted(cache.k_hop(u, 1))) for u in udg.nodes()]
+    cache.count("local_delaunay_calls", sum(1 for _, local in nodes if len(local) >= 3))
+
+    if parallel or (parallel is None and len(nodes) >= PARALLEL_MIN_NODES):
+        chunk_results = _parallel_candidates(pos, r_sq, nodes, max_workers, executor_mode)
+        if chunk_results is not None:
+            cache.count("parallel_chunks", len(chunk_results))
+            candidates: set[Triangle] = set()
+            for chunk in chunk_results:
+                candidates.update(chunk)
+            return candidates
+
+    candidates = set()
+    for u, local in nodes:
+        candidates.update(_node_candidates(pos, r_sq, u, local))
     return candidates
 
 
+def _parallel_candidates(
+    pos: Sequence[Point],
+    r_sq: float,
+    nodes: list[tuple[int, list[int]]],
+    max_workers: Optional[int],
+    executor_mode: str,
+) -> Optional[list[list[Triangle]]]:
+    """Fan node chunks over the executor; ``None`` means "run serially".
+
+    Imported lazily so the topology layer only touches the serving
+    layer when parallelism is actually requested.
+    """
+    from repro.service.executor import default_workers, run_batch
+
+    workers = max_workers or default_workers()
+    if workers < 2:
+        return None
+    chunk_size = max(1, math.ceil(len(nodes) / (workers * 4)))
+    payloads = [
+        (pos, r_sq, nodes[i : i + chunk_size])
+        for i in range(0, len(nodes), chunk_size)
+    ]
+    batch = run_batch(
+        payloads, _candidate_chunk, mode=executor_mode, max_workers=workers
+    )
+    if batch.failed:
+        # A broken pool or pickling failure: the serial path is always
+        # correct, so degrade rather than surface executor internals.
+        return None
+    return batch.values()
+
+
 def is_k_localized_delaunay(
-    udg: UnitDiskGraph, triangle: Triangle, k: int
+    udg: UnitDiskGraph,
+    triangle: Triangle,
+    k: int,
+    cache: Optional[ConstructionCache] = None,
 ) -> bool:
     """Whether ``triangle`` satisfies the k-localized Delaunay property."""
+    cache = ConstructionCache.for_udg(udg, cache)
     u, v, w = triangle
     pos = udg.positions
-    circle = circumcircle(pos[u], pos[v], pos[w])
+    circle = cache.circumcircle_of(triangle)
     if circle is None:
         return False
-    witnesses = (
-        udg.k_hop_neighborhood(u, k)
-        | udg.k_hop_neighborhood(v, k)
-        | udg.k_hop_neighborhood(w, k)
-    ) - {u, v, w}
-    return not any(circle.contains(pos[x]) for x in witnesses)
+    witnesses = (cache.k_hop(u, k) | cache.k_hop(v, k) | cache.k_hop(w, k)) - {u, v, w}
+    contains = circle.contains
+    return not any(contains(pos[x]) for x in witnesses)
 
 
-def local_delaunay_graph(udg: UnitDiskGraph, k: int = 1) -> LDelResult:
+def local_delaunay_graph(
+    udg: UnitDiskGraph,
+    k: int = 1,
+    *,
+    cache: Optional[ConstructionCache] = None,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+) -> LDelResult:
     """Construct LDel^k over the unit disk graph.
 
     Returns the graph (Gabriel edges plus localized-Delaunay-triangle
-    edges), the accepted triangles, and the Gabriel edge set.
+    edges), the accepted triangles, and the Gabriel edge set.  Pass a
+    shared ``cache`` to reuse neighborhoods/circumcircles across
+    stages, and ``parallel`` to control the candidate fan-out (see
+    :func:`candidate_triangles`).
     """
     if k < 1:
         raise ValueError("k must be at least 1")
-    accepted = tuple(
-        sorted(
-            t for t in candidate_triangles(udg) if is_k_localized_delaunay(udg, t, k)
-        )
+    cache = ConstructionCache.for_udg(udg, cache)
+    candidates = candidate_triangles(
+        udg, cache=cache, parallel=parallel, max_workers=max_workers
     )
-    gabriel = gabriel_graph(udg)
+    accepted = tuple(
+        sorted(t for t in candidates if is_k_localized_delaunay(udg, t, k, cache))
+    )
+    gabriel = gabriel_graph(udg, cache=cache)
     graph = Graph(udg.positions, gabriel.edges(), name=f"LDel{k}")
     for u, v, w in accepted:
         graph.add_edge(u, v)
@@ -136,15 +249,60 @@ def local_delaunay_graph(udg: UnitDiskGraph, k: int = 1) -> LDelResult:
     )
 
 
-def _triangles_intersect(pos: Sequence[Point], t1: Triangle, t2: Triangle) -> bool:
-    """Whether two triangles overlap improperly (some edges cross)."""
-    edges1 = [(t1[0], t1[1]), (t1[1], t1[2]), (t1[0], t1[2])]
-    edges2 = [(t2[0], t2[1]), (t2[1], t2[2]), (t2[0], t2[2])]
-    for a, b in edges1:
-        for c, d in edges2:
-            if len({a, b, c, d}) < 4:
+#: Absolute slack on per-edge bounding boxes, matching the 1e-12
+#: tolerance of :func:`repro.geometry.predicates.on_segment` so the
+#: box rejection can never contradict ``segments_cross`` (a proper
+#: crossing implies exactly-overlapping boxes; the collinear-touch
+#: branch implies overlap within the ``on_segment`` slack).
+_EDGE_BBOX_SLACK = 1e-12
+
+
+def _triangle_edges(
+    pos: Sequence[Point], tri: Triangle
+) -> tuple[tuple[int, int, Point, Point, float, float, float, float], ...]:
+    """Edge descriptors for the pairwise-intersection test.
+
+    Each entry is ``(a, b, pa, pb, x0, y0, x1, y1)``: endpoint indices,
+    endpoint points, and the slack-inflated edge bounding box.
+    """
+    u, v, w = tri
+    pu, pv, pw = pos[u], pos[v], pos[w]
+    out = []
+    for a, b, pa, pb in ((u, v, pu, pv), (v, w, pv, pw), (u, w, pu, pw)):
+        ax, ay = pa
+        bx, by = pb
+        out.append(
+            (
+                a,
+                b,
+                pa,
+                pb,
+                (ax if ax < bx else bx) - _EDGE_BBOX_SLACK,
+                (ay if ay < by else by) - _EDGE_BBOX_SLACK,
+                (ax if ax > bx else bx) + _EDGE_BBOX_SLACK,
+                (ay if ay > by else by) + _EDGE_BBOX_SLACK,
+            )
+        )
+    return tuple(out)
+
+
+def _triangles_intersect(
+    edges1: Sequence[tuple[int, int, Point, Point, float, float, float, float]],
+    edges2: Sequence[tuple[int, int, Point, Point, float, float, float, float]],
+) -> bool:
+    """Whether two triangles overlap improperly (some edges cross).
+
+    Takes precomputed :func:`_triangle_edges` descriptors; edge pairs
+    sharing a vertex index or with disjoint (slack-inflated) bounding
+    boxes are rejected before the exact segment test runs.
+    """
+    for a, b, pa, pb, ax0, ay0, ax1, ay1 in edges1:
+        for c, d, pc, pd, bx0, by0, bx1, by1 in edges2:
+            if a == c or a == d or b == c or b == d:
                 continue
-            if segments_cross(pos[a], pos[b], pos[c], pos[d]):
+            if ax1 < bx0 or bx1 < ax0 or ay1 < by0 or by1 < ay0:
+                continue
+            if segments_cross(pa, pb, pc, pd):
                 return True
     return False
 
@@ -178,44 +336,76 @@ def resolve_degenerate_crossings(graph: Graph) -> Graph:
     test.  This sweep removes one edge of every surviving crossing
     deterministically — the lexicographically larger (length, ids)
     edge loses — leaving the graph unchanged on general-position
-    input (the common case costs one planarity check).
+    input.
+
+    One scan suffices: removing an edge never *creates* a crossing, so
+    every crossing pair among the surviving edges was already in the
+    initial list — and any pair whose two edges both survive to the
+    end was processed with both edges present, which would have removed
+    one of them.  The previous implementation re-scanned the whole
+    graph after each sweep; the incremental argument makes that second
+    scan provably empty, so it is gone.
     """
-    while True:
-        crossings = crossing_pairs(graph)
-        if not crossings:
-            return graph
-        for e1, e2 in crossings:
-            if not (graph.has_edge(*e1) and graph.has_edge(*e2)):
-                continue  # already resolved via an earlier pair
-            loser = max(
-                (e1, e2), key=lambda e: (graph.edge_length(*e), e)
-            )
-            graph.remove_edge(*loser)
+    for e1, e2 in crossing_pairs(graph):
+        if not (graph.has_edge(*e1) and graph.has_edge(*e2)):
+            continue  # already resolved via an earlier pair
+        loser = max((e1, e2), key=lambda e: (graph.edge_length(*e), e))
+        graph.remove_edge(*loser)
+    return graph
 
 
-def planarize_ldel1(udg: UnitDiskGraph, ldel1: LDelResult) -> LDelResult:
+def planarize_ldel1(
+    udg: UnitDiskGraph,
+    ldel1: LDelResult,
+    *,
+    cache: Optional[ConstructionCache] = None,
+) -> LDelResult:
     """Algorithm 3 (centralized): drop crossing triangles, keep PLDel.
 
     For every pair of intersecting 1-localized Delaunay triangles, a
     triangle whose circumcircle contains a vertex of the other is
     removed; Li et al. prove this leaves a planar graph.  Gabriel
     edges are always retained.
+
+    Candidate pairs come from a uniform grid over triangle bounding
+    boxes; a cheap bounding-box overlap test then rejects most of them
+    before the nine-way segment-crossing test runs.  Circumcircles are
+    served from the shared ``cache`` (the k-localized filter already
+    computed every one of them).
     """
     if ldel1.k != 1:
         raise ValueError("planarization applies to LDel^1")
+    cache = ConstructionCache.for_udg(udg, cache)
     pos = udg.positions
     triangles = list(ldel1.triangles)
-    circles = [circumcircle(pos[u], pos[v], pos[w]) for u, v, w in triangles]
+    circles = [cache.circumcircle_of(t) for t in triangles]
     removed = [False] * len(triangles)
+    boxes: list[tuple[float, float, float, float]] = []
+    for u, v, w in triangles:
+        (x1, y1), (x2, y2), (x3, y3) = pos[u], pos[v], pos[w]
+        boxes.append(
+            (min(x1, x2, x3), min(y1, y2, y3), max(x1, x2, x3), max(y1, y2, y3))
+        )
+    edge_data = [_triangle_edges(pos, t) for t in triangles]
 
-    for i, j in _nearby_triangle_pairs(pos, triangles, udg.radius):
-        if not _triangles_intersect(pos, triangles[i], triangles[j]):
+    pairs = _nearby_triangle_pairs(pos, triangles, udg.radius)
+    tested = intersecting = 0
+    for i, j in pairs:
+        bi, bj = boxes[i], boxes[j]
+        if bi[2] < bj[0] or bj[2] < bi[0] or bi[3] < bj[1] or bj[3] < bi[1]:
+            continue  # disjoint bounding boxes cannot intersect
+        tested += 1
+        if not _triangles_intersect(edge_data[i], edge_data[j]):
             continue
+        intersecting += 1
         ci, cj = circles[i], circles[j]
         if ci is not None and any(ci.contains(pos[x]) for x in triangles[j]):
             removed[i] = True
         if cj is not None and any(cj.contains(pos[x]) for x in triangles[i]):
             removed[j] = True
+    cache.count("triangle_pairs_candidate", len(pairs))
+    cache.count("triangle_pairs_tested", tested)
+    cache.count("triangle_pairs_intersecting", intersecting)
 
     survivors = tuple(t for t, gone in zip(triangles, removed) if not gone)
     graph = Graph(udg.positions, ldel1.gabriel_edges, name="PLDel")
@@ -232,6 +422,20 @@ def planarize_ldel1(udg: UnitDiskGraph, ldel1: LDelResult) -> LDelResult:
     )
 
 
-def planar_local_delaunay_graph(udg: UnitDiskGraph) -> LDelResult:
-    """Convenience: LDel^1 followed by Algorithm 3 planarization."""
-    return planarize_ldel1(udg, local_delaunay_graph(udg, k=1))
+def planar_local_delaunay_graph(
+    udg: UnitDiskGraph,
+    *,
+    cache: Optional[ConstructionCache] = None,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+) -> LDelResult:
+    """Convenience: LDel^1 followed by Algorithm 3 planarization.
+
+    One :class:`ConstructionCache` is shared across both stages so the
+    planarization's circumcircle lookups are all hits.
+    """
+    cache = ConstructionCache.for_udg(udg, cache)
+    ldel1 = local_delaunay_graph(
+        udg, k=1, cache=cache, parallel=parallel, max_workers=max_workers
+    )
+    return planarize_ldel1(udg, ldel1, cache=cache)
