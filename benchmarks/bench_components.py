@@ -7,7 +7,6 @@ simulation, APSP metrics, planarity check) show up individually.
 
 import random
 
-import pytest
 
 from repro.core.metrics import hop_stretch, length_stretch
 from repro.core.spanner import build_backbone

@@ -8,16 +8,26 @@ report with per-stage speedups versus ``baseline_hotpath.json``:
     PYTHONPATH=src python benchmarks/bench_hotpath.py
     PYTHONPATH=src python benchmarks/bench_hotpath.py --sizes 200 --reps 3
     PYTHONPATH=src python benchmarks/bench_hotpath.py --record-baseline
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --sharded
 
 ``--record-baseline`` re-pins the baseline file from the current run
 (do this only on a commit whose timings you want future runs compared
-against); otherwise the report lands in ``BENCH_hotpath.json``.
+against); otherwise the report lands in ``BENCH_hotpath.json``.  A
+missing or stale-schema baseline is a hard error (exit 2) unless you
+are recording one.
+
+``--sharded`` adds the tiled-vs-serial PLDel comparison from
+:mod:`repro.sharding` (sizes via ``--sharded-sizes``, tile count via
+``--shards``), recording the speedup and the bit-identical-edges
+tripwire.  ``--step-summary`` appends a markdown table to the file
+``$GITHUB_STEP_SUMMARY`` points at (no-op when the variable is unset).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -25,12 +35,17 @@ from pathlib import Path
 from repro.experiments.hotpath_bench import (
     DEFAULT_RADIUS,
     DEFAULT_SEED,
+    DEFAULT_SHARDS,
     DEFAULT_SIZES,
+    SHARDED_SIZES,
+    BaselineError,
     baseline_from_report,
     default_baseline_path,
+    format_markdown,
     format_report,
-    load_baseline,
+    load_baseline_strict,
     run_benchmark,
+    run_sharded_benchmark,
 )
 
 
@@ -44,6 +59,15 @@ def _current_commit() -> str:
         return out.stdout.strip() or "unknown"
     except OSError:
         return "unknown"
+
+
+def _write_step_summary(markdown: str) -> None:
+    """Append to the GitHub Actions job summary when available."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a") as fh:
+        fh.write(markdown + "\n")
 
 
 def main(argv=None) -> int:
@@ -70,11 +94,35 @@ def main(argv=None) -> int:
         "--record-baseline", action="store_true",
         help="overwrite the baseline file with this run's timings",
     )
+    parser.add_argument(
+        "--sharded", action="store_true",
+        help="also run the sharded-vs-serial PLDel comparison",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=DEFAULT_SHARDS,
+        help="tile count for the sharded comparison",
+    )
+    parser.add_argument(
+        "--sharded-sizes", type=int, nargs="+", default=list(SHARDED_SIZES),
+        help="deployment sizes for the sharded comparison",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the sharded build (0 = auto)",
+    )
+    parser.add_argument(
+        "--step-summary", action="store_true",
+        help="append a markdown summary to $GITHUB_STEP_SUMMARY",
+    )
     args = parser.parse_args(argv)
 
-    baseline = load_baseline(args.baseline)
-    if baseline is None and not args.record_baseline:
-        print(f"note: no baseline at {args.baseline}; reporting raw timings")
+    baseline = None
+    if not args.record_baseline:
+        try:
+            baseline = load_baseline_strict(args.baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     report = run_benchmark(
         args.sizes,
@@ -84,6 +132,15 @@ def main(argv=None) -> int:
         baseline=baseline,
         baseline_path=str(args.baseline),
     )
+    if args.sharded:
+        report["sharded"] = run_sharded_benchmark(
+            args.sharded_sizes,
+            radius=args.radius,
+            seed=args.seed,
+            shards=args.shards,
+            max_workers=args.workers or None,
+            reps=args.reps,
+        )
 
     if args.record_baseline:
         pinned = baseline_from_report(report, commit=_current_commit())
@@ -93,13 +150,23 @@ def main(argv=None) -> int:
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(format_report(report))
     print(f"\nreport written: {args.output}")
+    if args.step_summary:
+        _write_step_summary(format_markdown(report))
 
-    mismatches = [
-        key for key, entry in report.get("speedup", {}).items()
+    failures = []
+    failures += [
+        f"edge-count mismatch vs baseline at n={key}"
+        for key, entry in report.get("speedup", {}).items()
         if not entry["edges_match"]
     ]
-    if mismatches:
-        print(f"EDGE-COUNT MISMATCH vs baseline at n in {mismatches}", file=sys.stderr)
+    failures += [
+        f"sharded edges differ from serial at n={key}"
+        for key, entry in report.get("sharded", {}).get("results", {}).items()
+        if not entry["edges_match"]
+    ]
+    if failures:
+        for failure in failures:
+            print(f"FAILED: {failure}", file=sys.stderr)
         return 1
     return 0
 

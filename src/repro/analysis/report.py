@@ -15,7 +15,6 @@ from typing import Optional, Union
 from repro.core.interference import interference
 from repro.core.metrics import hop_stretch, length_stretch
 from repro.core.power import power_profile, power_saving_ratio
-from repro.core.spanner import BackboneResult, build_backbone
 from repro.core.verify import verify_spanner
 from repro.experiments.runner import STRETCH_TOPOLOGIES, build_all_topologies
 from repro.graphs.planarity import is_planar_embedding

@@ -33,7 +33,6 @@ from repro.graphs.paths import bfs_hops, dijkstra_lengths
 from repro.graphs.udg import UnitDiskGraph
 
 try:  # pragma: no cover - exercised implicitly everywhere
-    import numpy as _np
     from scipy.sparse import csr_matrix as _csr_matrix
     from scipy.sparse.csgraph import dijkstra as _sp_dijkstra
 

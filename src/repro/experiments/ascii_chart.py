@@ -8,7 +8,7 @@ visible without a plotting stack in an offline environment.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.experiments.runner import SeriesPoint
 

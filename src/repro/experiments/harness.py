@@ -17,7 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.experiments.runner import (
     ExperimentConfig,

@@ -32,8 +32,11 @@ from repro.workloads.generators import connected_udg_instance
 
 #: Deployment sizes the regression harness tracks.
 DEFAULT_SIZES = (200, 500, 1000, 2000)
+#: Sizes the sharded-vs-serial comparison runs at (ISSUE 3).
+SHARDED_SIZES = (1000, 2000, 5000)
 DEFAULT_RADIUS = 25.0
 DEFAULT_SEED = 2002
+DEFAULT_SHARDS = 4
 
 #: Stage keys in reporting order.
 STAGES = ("udg", "gabriel", "ldel1", "planarize", "pldel", "backbone")
@@ -177,15 +180,44 @@ def compare_to_baseline(results: dict, baseline: dict) -> dict:
     return out
 
 
+class BaselineError(RuntimeError):
+    """The baseline file is missing, unreadable, or the wrong schema.
+
+    Raised by :func:`load_baseline_strict` so CI entry points can turn
+    a broken baseline into a one-line diagnosis instead of a traceback
+    (or, worse, a silent run with no regression comparison at all).
+    """
+
+
 def load_baseline(path: str | Path) -> Optional[dict]:
     """Parse a baseline file; ``None`` when absent or unreadable."""
     try:
+        return load_baseline_strict(path)
+    except BaselineError:
+        return None
+
+
+def load_baseline_strict(path: str | Path) -> dict:
+    """Parse a baseline file or raise :class:`BaselineError` saying why."""
+    try:
         with open(path) as fh:
             data = json.load(fh)
-    except (OSError, ValueError):
-        return None
-    if data.get("schema") != BASELINE_SCHEMA:
-        return None
+    except FileNotFoundError:
+        raise BaselineError(
+            f"baseline file not found: {path} — run with --record-baseline "
+            "on a known-good commit to create it"
+        ) from None
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from None
+    except ValueError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from None
+    schema = data.get("schema") if isinstance(data, dict) else None
+    if schema != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {path} has schema {schema!r}, expected "
+            f"{BASELINE_SCHEMA!r} — stale baseline; re-pin it with "
+            "--record-baseline"
+        )
     return data
 
 
@@ -199,6 +231,92 @@ def baseline_from_report(report: dict, commit: str = "unknown") -> dict:
         "results": {
             key: {"seconds": value["seconds"], "edges": value["edges"]}
             for key, value in report["results"].items()
+        },
+    }
+
+
+def measure_sharded(
+    n: int,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    shards: int = DEFAULT_SHARDS,
+    max_workers: Optional[int] = None,
+    reps: int = 1,
+) -> dict:
+    """Serial vs sharded PLDel at one size: timings and bit-identity.
+
+    ``serial`` is the single-process pipeline
+    (:func:`~repro.topology.ldel.planar_local_delaunay_graph` with
+    ``parallel=False``); ``sharded`` is the tiled build from
+    :mod:`repro.sharding` on the same deployment.  ``edges_match`` is
+    the tripwire: the stitch must reproduce the serial edge set
+    bit-for-bit, or the speedup is meaningless.
+    """
+    from repro.sharding.build import sharded_pldel
+    from repro.topology.ldel import planar_local_delaunay_graph
+
+    side = 10.0 * math.sqrt(n)
+    dep = connected_udg_instance(n, side, radius, random.Random(seed))
+    points = list(dep.points)
+
+    serial_s = sharded_s = math.inf
+    serial_result = sharded_result = None
+    stats = None
+    for _ in range(max(1, reps)):
+        udg = UnitDiskGraph(points, dep.radius)
+        t0 = time.perf_counter()
+        serial_result = planar_local_delaunay_graph(udg, parallel=False)
+        serial_s = min(serial_s, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        sharded_result, stats = sharded_pldel(
+            points, dep.radius, shards=shards, max_workers=max_workers
+        )
+        sharded_s = min(sharded_s, time.perf_counter() - t0)
+
+    assert serial_result is not None and sharded_result is not None
+    assert stats is not None
+    edges_match = (
+        sharded_result.graph.edge_set() == serial_result.graph.edge_set()
+        and sharded_result.triangles == serial_result.triangles
+    )
+    return {
+        "seconds": {
+            "serial_pldel": round(serial_s, 6),
+            "sharded_pldel": round(sharded_s, 6),
+        },
+        "speedup": round(serial_s / sharded_s, 3) if sharded_s else None,
+        "edges": sharded_result.graph.edge_count,
+        "edges_match": edges_match,
+        "shards": shards,
+        "tiles": stats.tiles,
+        "grid": list(stats.grid),
+        "mode": stats.mode,
+        "workers": stats.workers,
+        "straddle_contests": stats.counters.get("straddle_contests", 0),
+    }
+
+
+def run_sharded_benchmark(
+    sizes: Sequence[int] = SHARDED_SIZES,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    shards: int = DEFAULT_SHARDS,
+    max_workers: Optional[int] = None,
+    reps: int = 1,
+) -> dict:
+    """The sharded-vs-serial section of the benchmark report."""
+    return {
+        "shards": shards,
+        "sizes": list(sizes),
+        "results": {
+            str(n): measure_sharded(
+                n, radius=radius, seed=seed, shards=shards,
+                max_workers=max_workers, reps=reps,
+            )
+            for n in sizes
         },
     }
 
@@ -226,4 +344,65 @@ def format_report(report: dict) -> str:
         if key in speedups:
             match = "yes" if speedups[key]["edges_match"] else "NO (REGRESSION)"
             lines.append(f"{'':>6} edges identical to baseline: {match}")
+    sharded = report.get("sharded")
+    if sharded:
+        lines.append("")
+        lines.append(
+            f"{'n':>6} {'serial s':>10} {'sharded s':>10} {'speedup':>9} "
+            f"{'workers':>8} {'identical':>10}"
+        )
+        for n in sharded["sizes"]:
+            entry = sharded["results"][str(n)]
+            match = "yes" if entry["edges_match"] else "NO (BUG)"
+            lines.append(
+                f"{n:>6} {entry['seconds']['serial_pldel']:>10.4f} "
+                f"{entry['seconds']['sharded_pldel']:>10.4f} "
+                f"{entry['speedup']:>8.2f}x {entry['workers']:>8} {match:>10}"
+            )
+    return "\n".join(lines)
+
+
+def format_markdown(report: dict) -> str:
+    """GitHub-flavored markdown summary (for ``$GITHUB_STEP_SUMMARY``)."""
+    lines = ["## Hot-path benchmark", ""]
+    speedups = report.get("speedup", {})
+    if speedups:
+        lines += [
+            "| n | " + " | ".join(STAGES) + " | edges identical |",
+            "|---|" + "---|" * (len(STAGES) + 1),
+        ]
+        for n in report["sizes"]:
+            key = str(n)
+            entry = speedups.get(key)
+            if entry is None:
+                continue
+            cells = [
+                f"{entry['speedup'][s]:.2f}x" if s in entry["speedup"] else "-"
+                for s in STAGES
+            ]
+            tripwire = "yes" if entry["edges_match"] else "**NO — REGRESSION**"
+            lines.append(f"| {n} | " + " | ".join(cells) + f" | {tripwire} |")
+        lines.append("")
+        lines.append("Speedup vs recorded baseline (`>1` = faster).")
+    else:
+        lines.append("_No baseline comparison (baseline missing or freshly pinned)._")
+    sharded = report.get("sharded")
+    if sharded:
+        lines += [
+            "",
+            f"### Sharded vs serial PLDel (shards={sharded['shards']})",
+            "",
+            "| n | serial s | sharded s | speedup | mode | workers | bit-identical |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for n in sharded["sizes"]:
+            entry = sharded["results"][str(n)]
+            tripwire = "yes" if entry["edges_match"] else "**NO — BUG**"
+            lines.append(
+                f"| {n} | {entry['seconds']['serial_pldel']:.4f} "
+                f"| {entry['seconds']['sharded_pldel']:.4f} "
+                f"| {entry['speedup']:.2f}x | {entry['mode']} "
+                f"| {entry['workers']} | {tripwire} |"
+            )
+    lines.append("")
     return "\n".join(lines)

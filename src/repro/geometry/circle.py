@@ -38,11 +38,38 @@ class Circle:
         return dist_sq(self.center, p) < r * r
 
 
+def _circumcenter_exact(a: Point, b: Point, c: Point) -> Optional[Point]:
+    """Circumcenter in exact rational arithmetic (sliver rescue path).
+
+    Floats convert to :class:`~fractions.Fraction` losslessly, so the
+    only rounding is the final conversion back — the center is correct
+    to within one ulp even for triangles whose float circumcenter is
+    hopelessly ill-conditioned.
+    """
+    from fractions import Fraction
+
+    ax, ay = Fraction(a[0]), Fraction(a[1])
+    bx, by = Fraction(b[0]) - ax, Fraction(b[1]) - ay
+    cx, cy = Fraction(c[0]) - ax, Fraction(c[1]) - ay
+    d = 2 * (bx * cy - by * cx)
+    if d == 0:
+        return None  # exactly collinear despite the float gate
+    b2 = bx * bx + by * by
+    c2 = cx * cx + cy * cy
+    ux = (cy * b2 - by * c2) / d
+    uy = (bx * c2 - cx * b2) / d
+    return Point(float(ux + ax), float(uy + ay))
+
+
 def circumcircle(a: Point, b: Point, c: Point) -> Optional[Circle]:
     """Circumcircle of triangle ``abc``, or ``None`` when degenerate.
 
     Degenerate means the three points are (numerically) collinear, in
-    which case no finite circumcircle exists.
+    which case no finite circumcircle exists.  The float center is
+    self-checked for equidistance; sliver triangles whose cancellation
+    error exceeds the tolerance are recomputed in exact rational
+    arithmetic, so the returned circle is trustworthy even when the
+    triangle is barely non-collinear.
     """
     d = 2.0 * orientation_value(a, b, c)
     scale = max(abs(a[0]), abs(a[1]), abs(b[0]), abs(b[1]), abs(c[0]), abs(c[1]), 1.0)
@@ -54,6 +81,19 @@ def circumcircle(a: Point, b: Point, c: Point) -> Optional[Circle]:
     ux = (a2 * (b[1] - c[1]) + b2 * (c[1] - a[1]) + c2 * (a[1] - b[1])) / d
     uy = (a2 * (c[0] - b[0]) + b2 * (a[0] - c[0]) + c2 * (b[0] - a[0])) / d
     center = Point(ux, uy)
+    # Self-check: all three vertices must be equidistant from the
+    # center.  Squared-distance spread beyond the tolerance means the
+    # division above cancelled catastrophically (sliver triangle).
+    ra = dist_sq(center, a)
+    tol = 1e-7 * (ra + 1.0)
+    if (
+        abs(dist_sq(center, b) - ra) > tol
+        or abs(dist_sq(center, c) - ra) > tol
+    ):
+        exact = _circumcenter_exact(a, b, c)
+        if exact is None:
+            return None
+        center = exact
     return Circle(center, math.sqrt(dist_sq(center, a)))
 
 

@@ -43,7 +43,6 @@ from typing import Sequence
 
 from repro.core.spanner import BackboneResult, build_backbone
 from repro.geometry.primitives import Point
-from repro.graphs.paths import is_connected
 from repro.graphs.planarity import is_planar_embedding
 from repro.graphs.udg import UnitDiskGraph
 

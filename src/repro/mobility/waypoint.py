@@ -9,7 +9,6 @@ experiments feed into :class:`~repro.mobility.maintenance.BackboneMaintainer`.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
 from typing import Sequence

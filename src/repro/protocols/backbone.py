@@ -74,7 +74,6 @@ def run_backbone_pipeline(
     stats_cds.merge(family.connector_outcome.stats)
 
     backbone = sorted(family.backbone_nodes)
-    remap = {orig: idx for idx, orig in enumerate(backbone)}
     sub_udg = UnitDiskGraph(
         [udg.positions[orig] for orig in backbone], udg.radius, name="ICDS-sub"
     )

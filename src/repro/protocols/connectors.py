@@ -36,7 +36,7 @@ but deterministic pick that skips the ID-collection wait).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional
+from typing import Mapping, Optional
 
 from repro.graphs.udg import UnitDiskGraph
 from repro.protocols.clustering import ClusteringOutcome

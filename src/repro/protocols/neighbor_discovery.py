@@ -17,7 +17,7 @@ the same thing omnisciently; the tests assert they agree).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.geometry.primitives import Point

@@ -20,7 +20,7 @@ reaches all UDG neighbors):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable
 
 from repro.graphs.graph import Graph
 from repro.graphs.udg import UnitDiskGraph

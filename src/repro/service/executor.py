@@ -23,7 +23,7 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from repro.service.metrics import MetricsRegistry

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Optional, Sequence
+from typing import Any, Callable, Mapping, Optional
 
 from repro.core.spanner import BackboneResult, build_backbone
 from repro.graphs.graph import Graph
@@ -28,6 +28,13 @@ from repro.topology.gabriel import gabriel_graph
 from repro.topology.greedy_spanner import greedy_spanner
 from repro.topology.knn import knn_graph
 from repro.topology.ldel import local_delaunay_graph, planar_local_delaunay_graph
+from repro.sharding.build import (
+    sharded_backbone,
+    sharded_gabriel,
+    sharded_ldel,
+    sharded_pldel,
+    sharded_udg,
+)
 from repro.topology.mst import euclidean_mst
 from repro.topology.rdg import restricted_delaunay_graph
 from repro.topology.rng import relative_neighborhood_graph
@@ -185,6 +192,56 @@ def _backbone_builder(attr: str) -> Callable[[Deployment, dict], BuildProduct]:
 
 _ELECTION_PARAM = ParamSpec("election", str, "smallest-id", choices=ELECTIONS)
 
+#: Parameters shared by every ``sharded:*`` pipeline.  ``workers=0``
+#: means "auto" (the executor's default worker count).
+_SHARD_PARAMS = (
+    ParamSpec("shards", int, 4, minimum=1),
+    ParamSpec("workers", int, 0, minimum=0),
+)
+
+
+def _sharded_builder(
+    name: str, construct: Callable[..., tuple]
+) -> Callable[[Deployment, dict], BuildProduct]:
+    """Builder for a tiled construction from :mod:`repro.sharding`.
+
+    ``construct`` returns ``(product, ShardingStats)``; the stats ride
+    in ``extras["sharding"]`` so ``POST /build`` responses surface the
+    per-tile timings and the serving layer folds the stitch counters
+    into ``GET /metrics`` under the ``sharding.`` prefix.
+    """
+
+    def builder(deployment: Deployment, params: dict) -> BuildProduct:
+        kwargs = {k: v for k, v in params.items() if k not in ("shards", "workers")}
+        result, stats = construct(
+            list(deployment.points),
+            deployment.radius,
+            shards=params["shards"],
+            max_workers=params["workers"] or None,
+            **kwargs,
+        )
+        graph = result if isinstance(result, Graph) else result.graph
+        return BuildProduct(name, graph, extras={"sharding": stats.as_dict()})
+
+    return builder
+
+
+def _sharded_backbone_builder(deployment: Deployment, params: dict) -> BuildProduct:
+    result, stats = sharded_backbone(
+        list(deployment.points),
+        deployment.radius,
+        shards=params["shards"],
+        max_workers=params["workers"] or None,
+        election=params["election"],
+    )
+    extras = {
+        "sharding": stats.as_dict(),
+        "dominators": len(result.dominators),
+        "connectors": len(result.connectors),
+        "backbone_nodes": len(result.backbone_nodes),
+    }
+    return BuildProduct("sharded:backbone", result.ldel_icds, extras=extras)
+
 
 def _specs() -> tuple[PipelineSpec, ...]:
     backbone_members = (
@@ -238,6 +295,26 @@ def _specs() -> tuple[PipelineSpec, ...]:
         PipelineSpec("backbone", "alias of ldel_icds: the routable planar backbone",
                      (_ELECTION_PARAM,), _backbone_builder("ldel_icds"),
                      routable=True)
+    )
+    # Tiled sharded constructions: bit-identical to their serial
+    # counterparts, built per-tile in parallel workers and stitched
+    # (see repro.sharding and docs/scaling.md).
+    specs.extend(
+        [
+            PipelineSpec("sharded:udg", "unit disk graph, tiled sharded build",
+                         _SHARD_PARAMS, _sharded_builder("sharded:udg", sharded_udg)),
+            PipelineSpec("sharded:gg", "Gabriel graph, tiled sharded build",
+                         _SHARD_PARAMS, _sharded_builder("sharded:gg", sharded_gabriel)),
+            PipelineSpec("sharded:ldel1", "raw LDel^k, tiled sharded build",
+                         _SHARD_PARAMS + (ParamSpec("k", int, 1, minimum=1),),
+                         _sharded_builder("sharded:ldel1", sharded_ldel)),
+            PipelineSpec("sharded:ldel", "planarized LDel (PLDel), tiled sharded build",
+                         _SHARD_PARAMS, _sharded_builder("sharded:ldel", sharded_pldel)),
+            PipelineSpec("sharded:backbone",
+                         "paper backbone with the PLDel stage tiled sharded",
+                         _SHARD_PARAMS + (_ELECTION_PARAM,),
+                         _sharded_backbone_builder),
+        ]
     )
     return tuple(specs)
 

@@ -138,6 +138,32 @@ class SpannerService:
         counters = product.extras.get("construction_cache")
         if isinstance(counters, Mapping):
             self.metrics.merge_counters(dict(counters), prefix="construction.")
+        sharding = product.extras.get("sharding")
+        if isinstance(sharding, Mapping):
+            self._record_sharding_metrics(sharding)
+
+    def _record_sharding_metrics(self, sharding: Mapping[str, Any]) -> None:
+        """Fold a sharded build's stats into ``sharding.*`` metrics.
+
+        Stitch counters (accepted/surviving triangles, contests,
+        ``straddle_contests`` — the cross-tile reconciliation work)
+        become running counters; per-tile and per-phase wall times feed
+        latency histograms so ``GET /metrics`` shows tile balance.
+        """
+        counters = sharding.get("counters")
+        if isinstance(counters, Mapping):
+            self.metrics.merge_counters(dict(counters), prefix="sharding.")
+        self.metrics.inc("sharding.builds")
+        self.metrics.inc("sharding.tiles", int(sharding.get("tiles", 0)))
+        for entry in sharding.get("tile_seconds", ()):
+            seconds = entry.get("seconds", {}) if isinstance(entry, Mapping) else {}
+            total = sum(v for v in seconds.values() if isinstance(v, (int, float)))
+            self.metrics.observe("sharding.tile_seconds", total)
+        phases = sharding.get("phase_seconds")
+        if isinstance(phases, Mapping):
+            for phase, seconds in phases.items():
+                if isinstance(seconds, (int, float)):
+                    self.metrics.observe(f"sharding.phase.{phase}", float(seconds))
 
     # -- batching --------------------------------------------------------
 

@@ -1,0 +1,87 @@
+"""Blocking service smoke check: ``python -m repro.service.smoke``.
+
+Boots the HTTP service in-process (:class:`BackgroundServer`), drives
+it through :class:`~repro.service.client.ServiceClient` — the same
+code path real consumers use, unlike a curl retry loop — and asserts
+the serving contract end to end:
+
+* ``GET /healthz`` reports ``ok`` and ``GET /pipelines`` lists both
+  the serial and the ``sharded:*`` families;
+* ``POST /build`` constructs a backbone and answers the repeat request
+  from cache;
+* a ``sharded:*`` build returns the same edge count as its serial
+  counterpart (the halo-exact stitch, exercised over HTTP);
+* ``POST /route`` routes on the cached backbone;
+* ``GET /metrics`` shows the build counters and ``sharding.*`` stats.
+
+Exit status 0 on success, 1 with a one-line diagnosis on the first
+failed check — CI runs this as a blocking job.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.service.client import ServiceClient
+from repro.service.server import BackgroundServer
+
+#: Deterministic scenario small enough for CI but big enough to tile.
+SCENARIO = {"nodes": 120, "side": 110.0, "radius": 25.0, "seed": 2002}
+
+
+def _check(name: str, ok: bool, detail: str = "") -> None:
+    if not ok:
+        raise AssertionError(f"{name}: {detail}" if detail else name)
+    print(f"ok  {name}" + (f" ({detail})" if detail else ""))
+
+
+def run_smoke() -> int:
+    """Run every check against a fresh in-process server; 0 on success."""
+    with BackgroundServer() as server:
+        client = ServiceClient(server.url, timeout=120.0)
+
+        health = client.healthz()
+        _check("healthz", health.get("status") == "ok", str(health))
+
+        names = {p["name"] for p in client.pipelines()["pipelines"]}
+        for required in ("udg", "ldel", "backbone", "sharded:ldel", "sharded:backbone"):
+            _check(f"pipeline listed: {required}", required in names)
+
+        built = client.build("backbone", SCENARIO)
+        _check("build backbone", built["cache"] == "miss", f"edges={built['edges']}")
+        again = client.build("backbone", SCENARIO)
+        _check("build cache hit", again["cache"] == "hit")
+        _check("build deterministic", again["edges"] == built["edges"])
+
+        serial = client.build("ldel", SCENARIO)
+        sharded = client.build("sharded:ldel", SCENARIO, params={"shards": 4})
+        _check(
+            "sharded stitch matches serial",
+            sharded["edges"] == serial["edges"],
+            f"edges={sharded['edges']} tiles={sharded['sharding']['tiles']}",
+        )
+
+        routed = client.route(0, built["nodes"] - 1, key=built["key"])
+        _check("route on cached backbone", routed.get("delivered") is True,
+               f"hops={routed.get('hops')}")
+
+        metrics = client.metrics()
+        counters = metrics.get("counters", {})
+        _check("metrics: build counters", counters.get("build.requests", 0) >= 4)
+        sharding_counters = [k for k in counters if k.startswith("sharding.")]
+        _check("metrics: sharding.* counters", bool(sharding_counters),
+               ", ".join(sorted(sharding_counters)[:4]))
+    print("service smoke: all checks passed")
+    return 0
+
+
+def main() -> int:
+    try:
+        return run_smoke()
+    except AssertionError as exc:
+        print(f"service smoke FAILED — {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Tiled sharded spanner construction with halo-exact stitching.
+
+See :mod:`repro.sharding.tiles` for the r-aligned tile grid and the
+per-stage halo widths, and :mod:`repro.sharding.build` for the
+parallel per-tile construction and the stitch.  ``docs/scaling.md``
+derives the halo widths from the paper's locality arguments.
+"""
+
+from repro.sharding.build import (
+    ShardedBackboneResult,
+    ShardingError,
+    ShardingStats,
+    sharded_backbone,
+    sharded_gabriel,
+    sharded_ldel,
+    sharded_pldel,
+    sharded_udg,
+)
+from repro.sharding.tiles import STAGE_HALO, Tile, TileGrid, stage_halo
+
+__all__ = [
+    "STAGE_HALO",
+    "ShardedBackboneResult",
+    "ShardingError",
+    "ShardingStats",
+    "Tile",
+    "TileGrid",
+    "sharded_backbone",
+    "sharded_gabriel",
+    "sharded_ldel",
+    "sharded_pldel",
+    "sharded_udg",
+    "stage_halo",
+]

@@ -1,0 +1,205 @@
+"""r-aligned tile grids: the spatial partition behind sharded builds.
+
+A :class:`TileGrid` cuts the deployment's bounding box into an axis-
+aligned grid of tiles whose boundaries sit on integer multiples of the
+transmission radius ``r`` (hence *r-aligned*: every halo width the
+construction stages need is a whole number of grid steps).  Tile cores
+are half-open boxes ``[x0, x1) x [y0, y1)``, so every point — including
+points exactly on a tile line — belongs to exactly one core, and the
+assignment is a deterministic function of the coordinates.
+
+Each construction stage extends a tile's core by a *halo* of borrowed
+context whose width is a stage-specific multiple of ``r``
+(:func:`stage_halo`).  The per-stage widths come from the locality
+lemma the paper's constructions rest on (see ``docs/scaling.md`` for
+the derivations):
+
+* ``udg`` / ``gabriel`` — 1·r: a UDG edge reaches at most ``r`` from
+  its anchor endpoint, and every Gabriel witness lies inside the
+  diameter disk, hence within ``r`` of the anchor.
+* ``ldel`` (LDel^k acceptance) — (k+1)·r: a triangle anchored in the
+  core has all vertices within ``r``; its proposers' 1-hop Delaunay
+  neighborhoods and the k-localized filter's ``N_k`` witnesses reach
+  another ``k·r``.
+* ``pldel`` (planarization contest) — 3·r *given the accepted
+  triangle set*: an intersecting triangle's crossing edge ends within
+  ``2r`` of the anchor and its third vertex within ``3r``.
+* ``backbone`` connectors — 2–3·r in the protocol's message pattern;
+  the clusterhead election itself chains through ids and is therefore
+  *not* halo-local, which is why the sharded backbone runs the
+  election globally (see :mod:`repro.sharding.build`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.geometry.primitives import Point
+
+#: Halo width, in multiples of the radius, each stage needs for its
+#: interior decisions to be provably exact.  ``ldel`` is the k=1 value;
+#: use :func:`stage_halo` for general k.
+STAGE_HALO = {
+    "udg": 1,
+    "gabriel": 1,
+    "ldel": 2,
+    "pldel": 3,
+    "backbone": 3,
+}
+
+
+def stage_halo(stage: str, k: int = 1) -> int:
+    """Halo width (in multiples of ``r``) for ``stage``.
+
+    ``ldel`` scales with the neighborhood order: LDel^k acceptance
+    needs ``(k+1)·r`` of borrowed context.
+    """
+    if stage == "ldel":
+        return k + 1
+    try:
+        return STAGE_HALO[stage]
+    except KeyError:
+        known = ", ".join(sorted(STAGE_HALO))
+        raise ValueError(f"unknown stage {stage!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile: grid coordinates plus its half-open core box."""
+
+    ix: int
+    iy: int
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.ix, self.iy)
+
+    def box_distance(self, p: Point) -> float:
+        """Euclidean distance from ``p`` to the core box (0 inside)."""
+        dx = max(self.x0 - p[0], 0.0, p[0] - self.x1)
+        dy = max(self.y0 - p[1], 0.0, p[1] - self.y1)
+        return math.hypot(dx, dy)
+
+
+class TileGrid:
+    """An r-aligned tile grid over a point set.
+
+    ``shards`` is a *target* tile count: the grid picks the factor pair
+    ``nx * ny`` closest to the deployment's aspect ratio, then rounds
+    tile sides up to whole multiples of the radius.  The actual tile
+    count (``len(grid.tiles)``) never exceeds ``shards``.
+    """
+
+    def __init__(self, points: Sequence[Point], radius: float, shards: int) -> None:
+        if radius <= 0.0:
+            raise ValueError("radius must be positive")
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if not points:
+            raise ValueError("cannot tile an empty point set")
+        self.radius = radius
+        min_x = min(p[0] for p in points)
+        max_x = max(p[0] for p in points)
+        min_y = min(p[1] for p in points)
+        max_y = max(p[1] for p in points)
+        # Align the origin down to a multiple of r so every tile
+        # boundary lands on the integer-r lattice.
+        self.origin_x = math.floor(min_x / radius) * radius
+        self.origin_y = math.floor(min_y / radius) * radius
+        # Whole r-cells needed to cover the bounding box (at least
+        # one).  A point exactly on the far boundary would index one
+        # past the last tile; the clamp in tile_of folds it back in.
+        cells_x = max(1, math.ceil((max_x - self.origin_x) / radius))
+        cells_y = max(1, math.ceil((max_y - self.origin_y) / radius))
+        nx, ny = _best_grid_shape(shards, cells_x, cells_y)
+        # Tile sides in whole r-cells, rounded up so nx*ny tiles cover
+        # the box; shrink the counts back if the rounding overshot.
+        self.tile_cells_x = math.ceil(cells_x / nx)
+        self.tile_cells_y = math.ceil(cells_y / ny)
+        self.nx = math.ceil(cells_x / self.tile_cells_x)
+        self.ny = math.ceil(cells_y / self.tile_cells_y)
+        self.tile_w = self.tile_cells_x * radius
+        self.tile_h = self.tile_cells_y * radius
+        self.tiles: list[Tile] = [
+            Tile(
+                ix,
+                iy,
+                self.origin_x + ix * self.tile_w,
+                self.origin_y + iy * self.tile_h,
+                self.origin_x + (ix + 1) * self.tile_w,
+                self.origin_y + (iy + 1) * self.tile_h,
+            )
+            for iy in range(self.ny)
+            for ix in range(self.nx)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.tiles)
+
+    def tile_of(self, p: Point) -> tuple[int, int]:
+        """Grid coordinates of the tile whose core owns ``p``.
+
+        Cores are half-open, so a point exactly on an interior tile
+        line belongs to the tile on its right/top; points on the outer
+        boundary clamp into the last tile.  Deterministic in the
+        coordinates alone.
+        """
+        ix = min(self.nx - 1, max(0, math.floor((p[0] - self.origin_x) / self.tile_w)))
+        iy = min(self.ny - 1, max(0, math.floor((p[1] - self.origin_y) / self.tile_h)))
+        return (ix, iy)
+
+    def assign(self, points: Sequence[Point]) -> dict[tuple[int, int], list[int]]:
+        """Owner tile -> sorted point indices (a partition of the ids)."""
+        owned: dict[tuple[int, int], list[int]] = {t.key: [] for t in self.tiles}
+        for i, p in enumerate(points):
+            owned[self.tile_of(p)].append(i)
+        return owned
+
+    def halo_members(
+        self, tile: Tile, points: Sequence[Point], halo_r: float
+    ) -> list[int]:
+        """Sorted indices of points within ``halo_r`` of the tile core.
+
+        A superset of the core (core points are at box-distance 0).
+        Correctness only needs *at least* everything within the halo;
+        the box distance delivers exactly that.
+        """
+        return [
+            i for i, p in enumerate(points) if tile.box_distance(p) <= halo_r
+        ]
+
+
+def _best_grid_shape(shards: int, cells_x: int, cells_y: int) -> tuple[int, int]:
+    """Factor pair ``(nx, ny)`` of ``shards`` best matching the aspect.
+
+    Considers every factorization ``nx * ny == shards`` and picks the
+    one whose tile aspect ratio is closest to square, never splitting a
+    dimension finer than its cell count (a tile must span >= 1 cell).
+    """
+    best: tuple[float, int, int] | None = None
+    for nx in range(1, shards + 1):
+        if shards % nx:
+            continue
+        ny = shards // nx
+        if nx > cells_x or ny > cells_y:
+            continue
+        # Per-tile aspect: cells per tile along each axis.
+        tx = cells_x / nx
+        ty = cells_y / ny
+        skew = max(tx, ty) / max(min(tx, ty), 1e-9)
+        key = (skew, nx, ny)
+        if best is None or key < best:
+            best = key
+    if best is None:
+        # Deployment too small for any exact factorization (more
+        # shards than cells): fall back to one tile per cell, capped.
+        nx = min(shards, cells_x)
+        ny = min(max(1, shards // nx), cells_y)
+        return nx, ny
+    return best[1], best[2]

@@ -17,7 +17,6 @@ dropping 20-30% of receptions and show it completing correctly with
 from __future__ import annotations
 
 import itertools
-from typing import Callable
 
 from repro.sim.messages import Message
 from repro.sim.network import ProcessFactory, SyncNetwork

@@ -345,8 +345,18 @@ def resolve_degenerate_crossings(graph: Graph) -> Graph:
     one of them.  The previous implementation re-scanned the whole
     graph after each sweep; the incremental argument makes that second
     scan provably empty, so it is gone.
+
+    Pairs are processed in sorted order so the outcome is a function of
+    the edge *set* alone, not of set-iteration order.  When crossings
+    chain (edge B crosses both A and C), which edges survive depends on
+    processing order; sorting pins it down, which is what lets the
+    sharded construction stitch tiles into a graph bit-identical to the
+    serial pipeline's.
     """
-    for e1, e2 in crossing_pairs(graph):
+    pairs = sorted(
+        (e1, e2) if e1 <= e2 else (e2, e1) for e1, e2 in crossing_pairs(graph)
+    )
+    for e1, e2 in pairs:
         if not (graph.has_edge(*e1) and graph.has_edge(*e2)):
             continue  # already resolved via an earlier pair
         loser = max((e1, e2), key=lambda e: (graph.edge_length(*e), e))

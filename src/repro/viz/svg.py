@@ -8,7 +8,7 @@ Figure 3) and straight-line edges.  Viewable in any browser.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Mapping, Optional
 
 from repro.core.spanner import BackboneResult
 from repro.graphs.graph import Graph

@@ -13,7 +13,6 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.geometry.primitives import Point
 from repro.graphs.paths import is_connected

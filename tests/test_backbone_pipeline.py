@@ -5,7 +5,6 @@ hops and length; (4) localized construction; (5) constant per-node
 communication.  Each property gets a direct check on random instances.
 """
 
-import pytest
 
 from repro.core.metrics import hop_stretch, length_stretch
 from repro.core.spanner import build_backbone

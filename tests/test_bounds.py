@@ -1,6 +1,5 @@
 """Tests pitting the paper's theoretical bounds against measurements."""
 
-import math
 
 import pytest
 

@@ -1,8 +1,6 @@
 """Tests for network-wide broadcasting strategies."""
 
-import pytest
 
-from repro.core.spanner import build_backbone
 from repro.geometry.primitives import Point
 from repro.graphs.udg import UnitDiskGraph
 from repro.routing.broadcast import (

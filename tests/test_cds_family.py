@@ -1,6 +1,5 @@
 """Tests for the CDS family builder and the paper's structural claims."""
 
-import pytest
 
 from repro.geometry.primitives import Point
 from repro.graphs.graph import Graph

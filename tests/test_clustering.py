@@ -1,8 +1,6 @@
 """Tests for the distributed clustering (MIS election) protocol."""
 
-import random
 
-import pytest
 
 from repro.geometry.primitives import Point
 from repro.graphs.udg import UnitDiskGraph

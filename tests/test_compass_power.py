@@ -12,7 +12,6 @@ from repro.core.power import (
 )
 from repro.geometry.primitives import Point
 from repro.graphs.graph import Graph
-from repro.graphs.udg import UnitDiskGraph
 from repro.routing.compass import compass_route
 from repro.topology.delaunay_udg import delaunay_graph
 

@@ -1,6 +1,5 @@
 """Tests for articulation points, bridges and failure robustness."""
 
-import random
 
 import pytest
 
@@ -12,7 +11,7 @@ from repro.graphs.connectivity import (
     survives_failures,
 )
 from repro.graphs.graph import Graph
-from repro.graphs.paths import connected_components, is_connected
+from repro.graphs.paths import connected_components
 
 
 def path_graph(n):

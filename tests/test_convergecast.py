@@ -1,15 +1,12 @@
 """Tests for the convergecast (data aggregation) protocol."""
 
-import random
 
 import pytest
 
-from repro.core.spanner import build_backbone
 from repro.geometry.primitives import Point
 from repro.graphs.graph import Graph
 from repro.graphs.udg import UnitDiskGraph
 from repro.protocols.convergecast import REPORT, TREE_BUILD, run_convergecast
-from repro.workloads.generators import connected_udg_instance
 
 
 def line_world(n):

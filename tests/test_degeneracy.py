@@ -5,7 +5,6 @@ tests feed the library exactly the inputs that assumption excludes and
 check the documented guarantees still hold.
 """
 
-import pytest
 
 from repro.geometry.primitives import Point
 from repro.geometry.triangulation import (

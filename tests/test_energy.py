@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.spanner import build_backbone
 from repro.geometry.primitives import Point
 from repro.graphs.udg import UnitDiskGraph
 from repro.sim.energy import protocol_energy

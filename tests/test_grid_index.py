@@ -1,6 +1,5 @@
 """Edge-case tests for the uniform bucket grid in repro.graphs.udg."""
 
-import math
 
 import pytest
 from hypothesis import given

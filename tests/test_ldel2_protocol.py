@@ -1,6 +1,5 @@
 """Tests for the distributed LDel^2 protocol."""
 
-import pytest
 
 from repro.graphs.paths import is_connected
 from repro.graphs.planarity import is_planar_embedding

@@ -1,6 +1,5 @@
 """Tests for the distributed LDel protocol (Algorithms 2 + 3)."""
 
-import pytest
 
 from repro.geometry.primitives import Point
 from repro.graphs.paths import is_connected

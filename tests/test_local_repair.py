@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.spanner import build_backbone
 from repro.geometry.primitives import Point
-from repro.graphs.paths import is_connected
 from repro.graphs.planarity import is_planar_embedding
 from repro.graphs.udg import UnitDiskGraph
 from repro.mobility.local_repair import (

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.core.spanner import build_backbone
 from repro.geometry.primitives import Point, dist
 from repro.mobility.maintenance import BackboneMaintainer
 from repro.mobility.waypoint import RandomWaypointModel

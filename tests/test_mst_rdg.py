@@ -1,6 +1,5 @@
 """Tests for the Euclidean MST and the RDG baseline."""
 
-import pytest
 
 from repro.geometry.primitives import Point
 from repro.graphs.paths import connected_components, is_connected
@@ -50,7 +49,6 @@ class TestEuclideanMst:
         udg = dep.udg()
         mst = euclidean_mst(udg)
         # BFS tree as comparison spanning tree.
-        from repro.graphs.paths import breadth_first_path
 
         bfs_total = 0.0
         seen = {0}

@@ -7,8 +7,6 @@ import pytest
 from repro.geometry.primitives import Point
 from repro.graphs.udg import UnitDiskGraph
 from repro.protocols.neighbor_discovery import BEACON, detect_changes
-from repro.sim.radio import BroadcastRadio
-from repro.workloads.generators import connected_udg_instance
 
 
 def tables_of(udg):

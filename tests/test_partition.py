@@ -6,7 +6,6 @@ valid per component, routing fails *cleanly* across the cut and
 recovers after the heal, and maintenance notices both transitions.
 """
 
-import pytest
 
 from repro.core.spanner import build_backbone
 from repro.geometry.primitives import Point

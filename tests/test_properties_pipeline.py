@@ -6,13 +6,12 @@ the suite, so example counts are kept moderate; the seeds that matter
 get cached in hypothesis's example database.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.spanner import build_backbone
 from repro.geometry.primitives import Point
-from repro.graphs.paths import bfs_hops, connected_components, is_connected
+from repro.graphs.paths import bfs_hops, connected_components
 from repro.graphs.planarity import is_planar_embedding
 from repro.graphs.udg import UnitDiskGraph
 from repro.protocols.clustering import centralized_mis, run_clustering

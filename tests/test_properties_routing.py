@@ -6,7 +6,6 @@ are genuine walks, greedy strictly shrinks the distance each hop, and
 perimeter mode honours its resume contract.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

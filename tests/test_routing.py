@@ -4,15 +4,13 @@ import math
 
 import pytest
 
-from repro.core.spanner import build_backbone
 from repro.geometry.primitives import Point
 from repro.graphs.graph import Graph
 from repro.graphs.paths import breadth_first_path
-from repro.graphs.udg import UnitDiskGraph
 from repro.routing.backbone_routing import backbone_route
 from repro.routing.face import face_route
 from repro.routing.gpsr import gpsr_route
-from repro.routing.greedy import RouteResult, greedy_route
+from repro.routing.greedy import greedy_route
 
 
 def void_graph():

@@ -1,6 +1,5 @@
 """Unit tests for the service subsystem: registry, cache, executor, metrics."""
 
-import random
 
 import pytest
 
@@ -15,7 +14,6 @@ from repro.service.registry import (
     resolve_scenario,
 )
 from repro.topology.gabriel import gabriel_graph
-from repro.workloads.generators import connected_udg_instance
 
 SCENARIO = {"nodes": 25, "side": 150.0, "radius": 55.0, "seed": 3}
 

@@ -5,7 +5,6 @@ all planar — the textbook hierarchy both the paper and its baselines
 rely on.
 """
 
-import pytest
 
 from repro.geometry.primitives import Point
 from repro.graphs.paths import is_connected

@@ -6,7 +6,7 @@ import pytest
 
 from repro.geometry.primitives import Point
 from repro.graphs.udg import UnitDiskGraph
-from repro.mobility.session import SessionResult, SessionStep, run_mobility_session
+from repro.mobility.session import SessionStep, run_mobility_session
 from repro.protocols.clustering import ClusteringProcess, lowest_id_priority
 from repro.sim.messages import HELLO, IAM_DOMINATOR, Message
 from repro.sim.network import SyncNetwork

@@ -5,7 +5,6 @@ directly; scipy.spatial.Delaunay provides an independent
 implementation to cross-validate the edge set against.
 """
 
-import math
 import random
 
 import pytest

@@ -12,7 +12,6 @@ from repro.workloads.io import (
     deployment_from_dict,
     deployment_to_dict,
     graph_from_dict,
-    graph_to_dict,
     load_deployment,
     load_graph,
     save_deployment,

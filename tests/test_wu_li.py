@@ -1,6 +1,5 @@
 """Tests for the Wu & Li marking-process CDS."""
 
-import pytest
 
 from repro.geometry.primitives import Point
 from repro.graphs.paths import is_connected
