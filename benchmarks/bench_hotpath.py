@@ -7,19 +7,28 @@ report with per-stage speedups versus ``baseline_hotpath.json``:
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py
     PYTHONPATH=src python benchmarks/bench_hotpath.py --sizes 200 --reps 3
-    PYTHONPATH=src python benchmarks/bench_hotpath.py --record-baseline
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --write-baseline
     PYTHONPATH=src python benchmarks/bench_hotpath.py --sharded
 
-``--record-baseline`` re-pins the baseline file from the current run
-(do this only on a commit whose timings you want future runs compared
-against); otherwise the report lands in ``BENCH_hotpath.json``.  A
-missing or stale-schema baseline is a hard error (exit 2) unless you
-are recording one.
+``--write-baseline`` (alias ``--record-baseline``) re-pins the
+baseline file from the current run, stamped with the current commit
+and schema (do this only on a commit whose timings you want future
+runs compared against); otherwise the report lands in
+``BENCH_hotpath.json``.  A missing or stale-schema baseline is a hard
+error (exit 2) unless you are recording one.
 
 ``--sharded`` adds the tiled-vs-serial PLDel comparison from
 :mod:`repro.sharding` (sizes via ``--sharded-sizes``, tile count via
 ``--shards``), recording the speedup and the bit-identical-edges
-tripwire.  ``--step-summary`` appends a markdown table to the file
+tripwire.
+
+The backbone-fast stage runs by default (``--backbone-sizes`` to
+change the sizes, ``--skip-backbone`` to drop it): it times the
+message-passing protocol path against the direct-computation fast
+path and the sharded build, with a bit-identical tripwire on the
+dominator/connector/edge sets.  Any tripwire failure exits 1.
+
+``--step-summary`` appends a markdown table to the file
 ``$GITHUB_STEP_SUMMARY`` points at (no-op when the variable is unset).
 """
 
@@ -33,6 +42,7 @@ import sys
 from pathlib import Path
 
 from repro.experiments.hotpath_bench import (
+    BACKBONE_FAST_SIZES,
     DEFAULT_RADIUS,
     DEFAULT_SEED,
     DEFAULT_SHARDS,
@@ -44,6 +54,7 @@ from repro.experiments.hotpath_bench import (
     format_markdown,
     format_report,
     load_baseline_strict,
+    run_backbone_fast_benchmark,
     run_benchmark,
     run_sharded_benchmark,
 )
@@ -91,8 +102,10 @@ def main(argv=None) -> int:
         help="where to write the JSON report",
     )
     parser.add_argument(
-        "--record-baseline", action="store_true",
-        help="overwrite the baseline file with this run's timings",
+        "--write-baseline", "--record-baseline", action="store_true",
+        dest="write_baseline",
+        help="overwrite the baseline file with this run's timings, "
+        "stamped with the current commit and schema",
     )
     parser.add_argument(
         "--sharded", action="store_true",
@@ -111,13 +124,22 @@ def main(argv=None) -> int:
         help="worker processes for the sharded build (0 = auto)",
     )
     parser.add_argument(
+        "--backbone-sizes", type=int, nargs="+",
+        default=list(BACKBONE_FAST_SIZES),
+        help="deployment sizes for the fast-vs-protocol backbone stage",
+    )
+    parser.add_argument(
+        "--skip-backbone", action="store_true",
+        help="skip the fast-vs-protocol backbone stage",
+    )
+    parser.add_argument(
         "--step-summary", action="store_true",
         help="append a markdown summary to $GITHUB_STEP_SUMMARY",
     )
     args = parser.parse_args(argv)
 
     baseline = None
-    if not args.record_baseline:
+    if not args.write_baseline:
         try:
             baseline = load_baseline_strict(args.baseline)
         except BaselineError as exc:
@@ -141,8 +163,17 @@ def main(argv=None) -> int:
             max_workers=args.workers or None,
             reps=args.reps,
         )
+    if not args.skip_backbone:
+        report["backbone_fast"] = run_backbone_fast_benchmark(
+            args.backbone_sizes,
+            radius=args.radius,
+            seed=args.seed,
+            shards=args.shards,
+            max_workers=args.workers or None,
+            reps=args.reps,
+        )
 
-    if args.record_baseline:
+    if args.write_baseline:
         pinned = baseline_from_report(report, commit=_current_commit())
         args.baseline.write_text(json.dumps(pinned, indent=2, sort_keys=True) + "\n")
         print(f"baseline re-pinned: {args.baseline}")
@@ -164,6 +195,11 @@ def main(argv=None) -> int:
         for key, entry in report.get("sharded", {}).get("results", {}).items()
         if not entry["edges_match"]
     ]
+    for key, entry in report.get("backbone_fast", {}).get("results", {}).items():
+        if not entry["identical"]:
+            failures.append(f"fast backbone differs from protocol at n={key}")
+        if not entry["sharded_identical"]:
+            failures.append(f"sharded backbone differs from protocol at n={key}")
     if failures:
         for failure in failures:
             print(f"FAILED: {failure}", file=sys.stderr)

@@ -67,20 +67,25 @@ def build_backbone(
     *,
     priority: Optional[PriorityFn] = None,
     election: str = "smallest-id",
+    mode: str = "protocol",
 ) -> BackboneResult:
     """Build the planar spanner backbone of the paper over ``points``.
 
     ``points`` are node positions (any (x, y) pairs); ``radius`` is the
     common transmission range.  Optional knobs select the clusterhead
     ``priority`` (default lowest ID) and the connector ``election``
-    rule (default smallest ID) for the ablation studies.
+    rule (default smallest ID) for the ablation studies, and ``mode``
+    picks the protocol replay (default, the reference) or the
+    bit-identical direct computation (``"fast"``).
 
     The UDG need not be connected; the structures are then built per
     component (the spanner guarantees apply within components).
     """
     pts = [Point(float(p[0]), float(p[1])) for p in points]
     udg = UnitDiskGraph(pts, radius)
-    pipeline = run_backbone_pipeline(udg, priority=priority, election=election)
+    pipeline = run_backbone_pipeline(
+        udg, priority=priority, election=election, mode=mode
+    )
     family = pipeline.family
     return BackboneResult(
         udg=udg,

@@ -7,6 +7,11 @@ the deployment recipe the paper's experiments use (uniform points in a
 ``10 sqrt(n)`` square, radius 25), and compares against a recorded
 baseline so regressions show up as a number, not a feeling.
 
+The ``backbone_fast`` section times the message-passing backbone
+protocol against the direct-computation fast path and the sharded
+build, with a bit-identical tripwire on the dominator/connector/edge
+sets (any divergence is a hard failure, not a statistic).
+
 Shared by ``benchmarks/bench_hotpath.py`` (standalone CLI), the
 ``hotpath`` mode of :mod:`repro.experiments.harness`, and the CI
 bench-smoke job.  Output is machine-readable JSON
@@ -34,6 +39,8 @@ from repro.workloads.generators import connected_udg_instance
 DEFAULT_SIZES = (200, 500, 1000, 2000)
 #: Sizes the sharded-vs-serial comparison runs at (ISSUE 3).
 SHARDED_SIZES = (1000, 2000, 5000)
+#: Sizes the fast-vs-protocol backbone comparison runs at (ISSUE 4).
+BACKBONE_FAST_SIZES = (1000, 2000, 5000)
 DEFAULT_RADIUS = 25.0
 DEFAULT_SEED = 2002
 DEFAULT_SHARDS = 4
@@ -204,7 +211,7 @@ def load_baseline_strict(path: str | Path) -> dict:
             data = json.load(fh)
     except FileNotFoundError:
         raise BaselineError(
-            f"baseline file not found: {path} — run with --record-baseline "
+            f"baseline file not found: {path} — run with --write-baseline "
             "on a known-good commit to create it"
         ) from None
     except OSError as exc:
@@ -216,7 +223,7 @@ def load_baseline_strict(path: str | Path) -> dict:
         raise BaselineError(
             f"baseline {path} has schema {schema!r}, expected "
             f"{BASELINE_SCHEMA!r} — stale baseline; re-pin it with "
-            "--record-baseline"
+            "--write-baseline"
         )
     return data
 
@@ -321,6 +328,100 @@ def run_sharded_benchmark(
     }
 
 
+def _same_backbone(result, reference) -> bool:
+    """Bit-identity of the structures two backbone builds produced."""
+    return (
+        result.dominators == reference.dominators
+        and result.connectors == reference.connectors
+        and result.cds.edge_set() == reference.cds.edge_set()
+        and result.icds.edge_set() == reference.icds.edge_set()
+        and result.ldel_icds.edge_set() == reference.ldel_icds.edge_set()
+        and result.ldel_icds_prime.edge_set() == reference.ldel_icds_prime.edge_set()
+    )
+
+
+def measure_backbone_fast(
+    n: int,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    shards: int = DEFAULT_SHARDS,
+    max_workers: Optional[int] = None,
+    reps: int = 1,
+) -> dict:
+    """Protocol vs fast vs sharded-fast backbone at one size.
+
+    The message-passing protocol path is timed once (it is the slow
+    reference being replaced); the direct-computation path and the
+    sharded build take the min over ``reps``.  ``identical`` and
+    ``sharded_identical`` are the tripwires: dominator set, connector
+    set, and all four certified edge sets must match the protocol path
+    bit-for-bit, or the speedup is a bug.
+    """
+    from repro.sharding.build import sharded_backbone
+
+    side = 10.0 * math.sqrt(n)
+    dep = connected_udg_instance(n, side, radius, random.Random(seed))
+    points = list(dep.points)
+
+    t0 = time.perf_counter()
+    protocol = build_backbone(points, dep.radius, mode="protocol")
+    protocol_s = time.perf_counter() - t0
+
+    fast_s = sharded_s = math.inf
+    fast = sharded = stats = None
+    for _ in range(max(1, reps)):
+        t0 = time.perf_counter()
+        fast = build_backbone(points, dep.radius, mode="fast")
+        fast_s = min(fast_s, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        sharded, stats = sharded_backbone(
+            points, dep.radius, shards=shards, max_workers=max_workers
+        )
+        sharded_s = min(sharded_s, time.perf_counter() - t0)
+
+    assert fast is not None and sharded is not None and stats is not None
+    return {
+        "seconds": {
+            "protocol": round(protocol_s, 6),
+            "fast": round(fast_s, 6),
+            "sharded_fast": round(sharded_s, 6),
+        },
+        "speedup": round(protocol_s / fast_s, 3) if fast_s else None,
+        "sharded_speedup": round(protocol_s / sharded_s, 3) if sharded_s else None,
+        "identical": _same_backbone(fast, protocol),
+        "sharded_identical": _same_backbone(sharded, protocol),
+        "edges": fast.ldel_icds.edge_count,
+        "shards": shards,
+        "election_certified": stats.counters.get("election_certified", 0),
+        "election_unresolved": stats.counters.get("election_unresolved", 0),
+    }
+
+
+def run_backbone_fast_benchmark(
+    sizes: Sequence[int] = BACKBONE_FAST_SIZES,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    shards: int = DEFAULT_SHARDS,
+    max_workers: Optional[int] = None,
+    reps: int = 1,
+) -> dict:
+    """The fast-vs-protocol backbone section of the benchmark report."""
+    return {
+        "shards": shards,
+        "sizes": list(sizes),
+        "results": {
+            str(n): measure_backbone_fast(
+                n, radius=radius, seed=seed, shards=shards,
+                max_workers=max_workers, reps=reps,
+            )
+            for n in sizes
+        },
+    }
+
+
 def format_report(report: dict) -> str:
     """Human-readable table of the per-size stage timings and speedups."""
     lines = [
@@ -358,6 +459,23 @@ def format_report(report: dict) -> str:
                 f"{n:>6} {entry['seconds']['serial_pldel']:>10.4f} "
                 f"{entry['seconds']['sharded_pldel']:>10.4f} "
                 f"{entry['speedup']:>8.2f}x {entry['workers']:>8} {match:>10}"
+            )
+    backbone = report.get("backbone_fast")
+    if backbone:
+        lines.append("")
+        lines.append(
+            f"{'n':>6} {'protocol s':>11} {'fast s':>9} {'speedup':>9} "
+            f"{'sharded s':>10} {'speedup':>9} {'identical':>10}"
+        )
+        for n in backbone["sizes"]:
+            entry = backbone["results"][str(n)]
+            ok = entry["identical"] and entry["sharded_identical"]
+            match = "yes" if ok else "NO (BUG)"
+            lines.append(
+                f"{n:>6} {entry['seconds']['protocol']:>11.4f} "
+                f"{entry['seconds']['fast']:>9.4f} {entry['speedup']:>8.2f}x "
+                f"{entry['seconds']['sharded_fast']:>10.4f} "
+                f"{entry['sharded_speedup']:>8.2f}x {match:>10}"
             )
     return "\n".join(lines)
 
@@ -403,6 +521,27 @@ def format_markdown(report: dict) -> str:
                 f"| {entry['seconds']['sharded_pldel']:.4f} "
                 f"| {entry['speedup']:.2f}x | {entry['mode']} "
                 f"| {entry['workers']} | {tripwire} |"
+            )
+    backbone = report.get("backbone_fast")
+    if backbone:
+        lines += [
+            "",
+            f"### Backbone fast path vs protocol (shards={backbone['shards']})",
+            "",
+            "| n | protocol s | fast s | speedup | sharded s | sharded speedup "
+            "| unresolved | bit-identical |",
+            "|---|---|---|---|---|---|---|---|",
+        ]
+        for n in backbone["sizes"]:
+            entry = backbone["results"][str(n)]
+            ok = entry["identical"] and entry["sharded_identical"]
+            tripwire = "yes" if ok else "**NO — BUG**"
+            lines.append(
+                f"| {n} | {entry['seconds']['protocol']:.4f} "
+                f"| {entry['seconds']['fast']:.4f} | {entry['speedup']:.2f}x "
+                f"| {entry['seconds']['sharded_fast']:.4f} "
+                f"| {entry['sharded_speedup']:.2f}x "
+                f"| {entry['election_unresolved']} | {tripwire} |"
             )
     lines.append("")
     return "\n".join(lines)

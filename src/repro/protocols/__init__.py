@@ -8,6 +8,9 @@
   CDS / CDS' / ICDS / ICDS' family.
 * :mod:`~repro.protocols.ldel_protocol` — Algorithms 2 and 3, the
   distributed localized Delaunay construction and planarization.
+* :mod:`~repro.protocols.cds_fast` / :mod:`~repro.protocols.ldel_fast`
+  — direct fixed-point computation of the same protocols (oracle
+  mode), bit-identical and an order of magnitude faster.
 * :mod:`~repro.protocols.backbone` — the full pipeline producing
   LDel(ICDS) and LDel(ICDS').
 """
@@ -18,7 +21,9 @@ from repro.protocols.async_clustering import (
     run_async_clustering,
 )
 from repro.protocols.connectors import ConnectorOutcome, run_connectors
-from repro.protocols.cds import CDSFamily, build_cds_family
+from repro.protocols.cds import MODES, CDSFamily, build_cds_family
+from repro.protocols.cds_fast import fast_clustering, fast_connectors
+from repro.protocols.ldel_fast import fast_ldel_protocol
 from repro.protocols.ldel_protocol import LDelProtocolOutcome, run_ldel_protocol
 from repro.protocols.ldel2_protocol import LDel2Outcome, run_ldel2_protocol
 from repro.protocols.backbone import BackbonePipelineResult, run_backbone_pipeline
@@ -40,7 +45,11 @@ __all__ = [
     "ConnectorOutcome",
     "run_connectors",
     "CDSFamily",
+    "MODES",
     "build_cds_family",
+    "fast_clustering",
+    "fast_connectors",
+    "fast_ldel_protocol",
     "LDelProtocolOutcome",
     "run_ldel_protocol",
     "LDel2Outcome",

@@ -11,13 +11,15 @@ paper's accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
 
 from repro.graphs.graph import Graph
 from repro.graphs.udg import UnitDiskGraph
-from repro.protocols.cds import CDSFamily, build_cds_family
+from repro.protocols.cds import MODES, CDSFamily, build_cds_family
 from repro.protocols.clustering import PriorityFn
+from repro.protocols.ldel_fast import fast_ldel_protocol
 from repro.protocols.ldel_protocol import LDelProtocolOutcome, run_ldel_protocol
 from repro.sim.stats import MessageStats
 
@@ -42,6 +44,12 @@ class BackbonePipelineResult:
     stats_cds: MessageStats
     stats_icds: MessageStats
     stats_ldel: MessageStats
+    #: Which construction path produced this result (``protocol`` or
+    #: ``fast``); the outputs are bit-identical either way.
+    mode: str = "protocol"
+    #: Wall-clock seconds per phase: ``cds`` (clustering + connectors +
+    #: family graphs) and ``ldel`` (backbone planarization).
+    timings: Mapping[str, float] = field(default_factory=dict)
 
     @property
     def udg(self) -> UnitDiskGraph:
@@ -54,16 +62,23 @@ def run_backbone_pipeline(
     priority: Optional[PriorityFn] = None,
     election: str = "smallest-id",
     clustering=None,
+    mode: str = "protocol",
 ) -> BackbonePipelineResult:
     """Build the planar spanner backbone over ``udg``.
 
     ``clustering`` injects a precomputed (e.g. locally repaired)
-    clustering outcome instead of running the election.
+    clustering outcome instead of running the election.  ``mode="fast"``
+    swaps every protocol replay (election, connectors, LDel) for the
+    direct fixed-point computation — bit-identical results, an order of
+    magnitude faster at benchmark sizes.
     """
     if election not in ELECTIONS:
         raise ValueError(f"unknown election {election!r}; known: {ELECTIONS}")
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
+    cds_started = time.perf_counter()
     family = build_cds_family(
-        udg, priority=priority, election=election, clustering=clustering
+        udg, priority=priority, election=election, clustering=clustering, mode=mode
     )
 
     # Ledger boundaries: the Status broadcast belongs to the ICDS
@@ -73,11 +88,18 @@ def run_backbone_pipeline(
     stats_cds.merge(family.clustering.stats)
     stats_cds.merge(family.connector_outcome.stats)
 
+    cds_seconds = time.perf_counter() - cds_started
+
     backbone = sorted(family.backbone_nodes)
     sub_udg = UnitDiskGraph(
         [udg.positions[orig] for orig in backbone], udg.radius, name="ICDS-sub"
     )
-    ldel_outcome = run_ldel_protocol(sub_udg)
+    ldel_started = time.perf_counter()
+    if mode == "fast":
+        ldel_outcome = fast_ldel_protocol(sub_udg)
+    else:
+        ldel_outcome = run_ldel_protocol(sub_udg)
+    ldel_seconds = time.perf_counter() - ldel_started
 
     # Map the protocol output back to original node ids.
     ldel_icds = Graph(udg.positions, name="LDel(ICDS)")
@@ -100,4 +122,6 @@ def run_backbone_pipeline(
         stats_cds=stats_cds,
         stats_icds=stats_icds,
         stats_ldel=stats_ldel,
+        mode=mode,
+        timings={"cds": cds_seconds, "ldel": ldel_seconds},
     )

@@ -29,9 +29,16 @@ from repro.protocols.clustering import (
     PriorityFn,
     run_clustering,
 )
+from repro.protocols.cds_fast import fast_clustering, fast_connectors
 from repro.protocols.connectors import ConnectorOutcome, run_connectors
 from repro.sim.messages import STATUS
 from repro.sim.stats import MessageStats
+
+#: Construction modes: ``protocol`` replays the message-passing
+#: reference implementation round by round; ``fast`` computes the same
+#: fixed point directly (see :mod:`repro.protocols.cds_fast`) with
+#: bit-identical output.
+MODES = ("protocol", "fast")
 
 
 @dataclass(frozen=True)
@@ -86,18 +93,29 @@ def build_cds_family(
     priority: Optional[PriorityFn] = None,
     election: str = "smallest-id",
     clustering: Optional[ClusteringOutcome] = None,
+    mode: str = "protocol",
 ) -> CDSFamily:
     """Run clustering + Algorithm 1 and materialize the CDS family.
 
     Pass a precomputed ``clustering`` outcome to reuse it (the ablation
     benchmarks sweep the connector rule against a fixed clustering).
+    ``mode="fast"`` computes the protocols' fixed point directly with
+    bit-identical output (same sets, rounds, and message ledgers).
     """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
     stats = MessageStats()
     if clustering is None:
-        clustering = run_clustering(udg, priority=priority)
+        if mode == "fast":
+            clustering = fast_clustering(udg, priority=priority)
+        else:
+            clustering = run_clustering(udg, priority=priority)
     stats.merge(clustering.stats)
 
-    connector_outcome = run_connectors(udg, clustering, election=election)
+    if mode == "fast":
+        connector_outcome = fast_connectors(udg, clustering, election=election)
+    else:
+        connector_outcome = run_connectors(udg, clustering, election=election)
     stats.merge(connector_outcome.stats)
 
     # One Status broadcast per node announces its final role so that

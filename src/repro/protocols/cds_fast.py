@@ -1,0 +1,316 @@
+"""Direct-computation fast path for the CDS stage (oracle mode).
+
+The message-passing protocols in :mod:`repro.protocols.clustering` and
+:mod:`repro.protocols.connectors` are deterministic: on a lossless
+synchronous radio their outcome is a pure function of the UDG and the
+priority/election rules.  This module computes that fixed point
+directly — no :class:`~repro.sim.network.SyncNetwork`, no per-round
+replay — and reproduces the protocol results *bit-identically*: the
+same dominator and connector sets, the same certified CDS edges, the
+same round counts, and the same per-node/per-kind message ledgers the
+communication-cost figures are drawn from.
+
+Why this is sound (and what the equivalence suite pins down):
+
+* **Clustering** converges to the greedy maximal independent set in
+  priority order: a node elects itself exactly when every neighbor of
+  smaller-or-equal priority has left the white set, so processing
+  nodes as an event cascade (election → domination → unblock)
+  reproduces both the membership and the round each event lands in.
+  The protocol's timeline is ``elect at T → IamDominator delivered at
+  T+1 → first IamDominatee delivered at T+2``, which is the recurrence
+  :func:`fast_clustering` replays.
+* **Connectors** (Algorithm 1) resolve each ``(u, v, slot)`` arena one
+  full round after proposing; under ``smallest-id`` the winners are
+  exactly the local minima of the proposer conflict graph, and under
+  ``first-response`` every proposer wins.  Slot-2 proposals are
+  triggered by slot-1 claims, all of which are broadcast in the same
+  round — so the ``first`` connector a slot-2 winner pairs with is the
+  smallest adjacent slot-1 winner.
+
+The protocol path stays authoritative: it is the executable model of
+the paper (message traces, loss/async variants).  This path is the
+serving-layer implementation, held bit-identical to it by
+``tests/test_cds_fast.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.clustering import (
+    ClusteringOutcome,
+    PriorityFn,
+    lowest_id_priority,
+)
+from repro.protocols.connectors import (
+    SLOT_COMMON,
+    SLOT_FIRST,
+    ConnectorOutcome,
+    _edge,
+)
+from repro.sim.messages import (
+    HELLO,
+    IAM_CONNECTOR,
+    IAM_DOMINATEE,
+    IAM_DOMINATOR,
+    TRY_CONNECTOR,
+)
+from repro.sim.stats import MessageStats
+
+__all__ = ["fast_clustering", "fast_connectors"]
+
+_WHITE, _DOMINATOR, _DOMINATEE = 0, 1, 2
+
+
+def fast_clustering(
+    udg: UnitDiskGraph,
+    *,
+    priority: Optional[PriorityFn] = None,
+    stats: Optional[MessageStats] = None,
+) -> ClusteringOutcome:
+    """Compute the clustering protocol's fixed point directly.
+
+    Bit-identical to :func:`~repro.protocols.clustering.run_clustering`
+    on every field: dominators, ``dominators_of``, round count, and
+    message ledger.  Raises :class:`RuntimeError` when the protocol
+    would stall (adjacent priority ties that never get dominated).
+    """
+    chosen = priority or lowest_id_priority
+    ledger = stats if stats is not None else MessageStats()
+    n = udg.node_count
+    if n == 0:
+        return ClusteringOutcome(frozenset(), {}, 0, ledger)
+
+    neighbors = [sorted(udg.neighbors(x)) for x in range(n)]
+    pri = [chosen(x, len(neighbors[x])) for x in range(n)]
+    for x in range(n):
+        ledger.record(x, HELLO)
+
+    # A neighbor w blocks x while white iff not (pri[x] < pri[w]); x
+    # elects at the finish of the first round with no live blockers.
+    blockers = [
+        sum(1 for w in nbrs if not (pri[x] < pri[w]))
+        for x, nbrs in enumerate(neighbors)
+    ]
+    status = [_WHITE] * n
+    white_count = n
+    dominators: list[int] = []
+    elected_round: dict[int, int] = {}
+    doms_of: dict[int, set[int]] = {}
+    #: round -> nodes whose IamDominator arrives that round.
+    deliver_dominator: dict[int, list[int]] = {}
+    #: round -> dominatees whose first IamDominatee arrives that round.
+    deliver_dominatee: dict[int, list[int]] = {}
+
+    def unblock(w: int, newly: list[int]) -> None:
+        for y in neighbors[w]:
+            if not (pri[y] < pri[w]):
+                blockers[y] -= 1
+                if status[y] == _WHITE and blockers[y] == 0:
+                    newly.append(y)
+
+    round_index = 0
+    candidates = [x for x in range(n) if blockers[x] == 0]
+    while white_count:
+        round_index += 1
+        newly: list[int] = candidates
+        candidates = []
+        # Deliveries first (receive before finish_round): a node hearing
+        # IamDominator this round becomes a dominatee and cannot elect.
+        for x in deliver_dominator.pop(round_index, ()):
+            for w in neighbors[x]:
+                if status[w] == _DOMINATOR:
+                    continue
+                doms_of.setdefault(w, set()).add(x)
+                ledger.record(w, IAM_DOMINATEE)
+                if status[w] == _WHITE:
+                    status[w] = _DOMINATEE
+                    white_count -= 1
+                    deliver_dominatee.setdefault(round_index + 1, []).append(w)
+            unblock(x, newly)
+        for w in deliver_dominatee.pop(round_index, ()):
+            unblock(w, newly)
+        # finish_round: unblocked nodes still white elect now.
+        elected = [x for x in newly if status[x] == _WHITE and blockers[x] == 0]
+        for x in elected:
+            status[x] = _DOMINATOR
+            white_count -= 1
+            elected_round[x] = round_index
+            dominators.append(x)
+            ledger.record(x, IAM_DOMINATOR)
+            deliver_dominator.setdefault(round_index + 1, []).append(x)
+        if white_count and not deliver_dominator and not deliver_dominatee:
+            white = [x for x in range(n) if status[x] == _WHITE]
+            raise RuntimeError(
+                f"clustering stalled; white nodes remain: {white[:5]}"
+            )
+
+    # The last elections' IamDominator broadcasts are still in flight
+    # when the white set empties; their dominations (and the dominatees'
+    # acknowledging broadcasts) land before quiescence.
+    for batch in deliver_dominator.values():
+        for x in batch:
+            for w in neighbors[x]:
+                if status[w] == _DOMINATOR:
+                    continue
+                doms_of.setdefault(w, set()).add(x)
+                ledger.record(w, IAM_DOMINATEE)
+
+    # Quiescence: the network idles one round after the last in-flight
+    # message — IamDominator at T+1, the dominatees' reactions at T+2.
+    rounds = max(
+        elected_round[d] + 1 + (1 if neighbors[d] else 0) for d in dominators
+    )
+    return ClusteringOutcome(
+        dominators=frozenset(dominators),
+        dominators_of={w: frozenset(ds) for w, ds in doms_of.items()},
+        rounds=rounds,
+        stats=ledger,
+    )
+
+
+def fast_connectors(
+    udg: UnitDiskGraph,
+    clustering: ClusteringOutcome,
+    *,
+    rebroadcast_dominatees: bool = False,
+    election: str = "smallest-id",
+    stats: Optional[MessageStats] = None,
+) -> ConnectorOutcome:
+    """Compute Algorithm 1's fixed point directly.
+
+    Bit-identical to :func:`~repro.protocols.connectors.run_connectors`
+    on every field: connector set, certified CDS edges, round count,
+    and message ledger, for both election rules and with or without
+    the standalone ``IamDominatee`` re-broadcast accounting.
+    """
+    if election not in ("smallest-id", "first-response"):
+        raise ValueError(f"unknown election rule {election!r}")
+    ledger = stats if stats is not None else MessageStats()
+    n = udg.node_count
+    adjacency = [udg.neighbors(x) for x in range(n)]
+    is_dominator = clustering.dominators
+    doms_of = clustering.dominators_of
+
+    def my_dominators(x: int) -> frozenset[int]:
+        if x in is_dominator:
+            return frozenset()
+        return doms_of.get(x, frozenset())
+
+    any_message = False
+    #: (u, v, slot) -> proposer node ids, in proposal order.
+    arenas: dict[tuple[int, int, int], list[int]] = {}
+
+    def propose(x: int, u: int, v: int, slot: int) -> None:
+        arenas.setdefault((u, v, slot), []).append(x)
+        ledger.record(x, TRY_CONNECTOR)
+
+    # start(): dominatees re-announce (optionally) and propose for
+    # slot 0 (common dominatee of u, v) and slot 1 (first node toward a
+    # 2-hop dominator).
+    for x in range(n):
+        if x in is_dominator:
+            continue
+        doms = sorted(my_dominators(x))
+        if rebroadcast_dominatees:
+            for dom in doms:
+                ledger.record(x, IAM_DOMINATEE)
+                any_message = True
+        two_hop: set[int] = set()
+        adjacent = adjacency[x]
+        for w in adjacent:
+            for d in doms_of.get(w, ()):
+                if d != x and d not in adjacent:
+                    two_hop.add(d)
+        for i, u in enumerate(doms):
+            for v in doms[i + 1 :]:
+                propose(x, u, v, SLOT_COMMON)
+        dom_set = my_dominators(x)
+        for u in doms:
+            for v in sorted(two_hop):
+                if v != u and v not in dom_set:
+                    propose(x, u, v, SLOT_FIRST)
+
+    def winners(key: tuple[int, int, int]) -> list[int]:
+        proposers = arenas[key]
+        if election != "smallest-id":
+            return proposers
+        # Smallest-id: a proposer wins unless an adjacent rival
+        # proposed the same key with a smaller id (local minima of the
+        # proposer conflict graph — at least one per arena).
+        return [
+            x
+            for x in proposers
+            if not any(q < x and q in adjacency[x] for q in proposers)
+        ]
+
+    connectors: set[int] = set()
+    edges: set[tuple[int, int]] = set()
+    slot1_winners: dict[tuple[int, int], list[int]] = {}
+    for key in arenas:
+        u, v, slot = key
+        for x in winners(key):
+            connectors.add(x)
+            ledger.record(x, IAM_CONNECTOR)
+            if slot == SLOT_COMMON:
+                edges.add(_edge(u, x))
+                edges.add(_edge(x, v))
+            else:
+                edges.add(_edge(u, x))
+                slot1_winners.setdefault((u, v), []).append(x)
+
+    # Slot 2: dominatees of v hearing an adjacent slot-1 claim for
+    # (u, v) propose as the second node; every slot-1 claim is
+    # broadcast in the same round, so ``first`` is the smallest
+    # adjacent slot-1 winner.
+    second_arenas: dict[tuple[int, int], list[int]] = {}
+    first_of: dict[tuple[int, int, int], int] = {}
+    for (u, v), firsts in slot1_winners.items():
+        candidates: set[int] = set()
+        for w in firsts:
+            candidates |= adjacency[w]
+        for x in sorted(candidates):
+            if x in is_dominator:
+                continue
+            dom_set = my_dominators(x)
+            if v not in dom_set or u in dom_set:
+                continue
+            second_arenas.setdefault((u, v), []).append(x)
+            ledger.record(x, TRY_CONNECTOR)
+            first_of[(u, v, x)] = min(w for w in firsts if w in adjacency[x])
+    for (u, v), proposers in second_arenas.items():
+        if election == "smallest-id":
+            won = [
+                x
+                for x in proposers
+                if not any(q < x and q in adjacency[x] for q in proposers)
+            ]
+        else:
+            won = proposers
+        for x in won:
+            connectors.add(x)
+            ledger.record(x, IAM_CONNECTOR)
+            first = first_of[(u, v, x)]
+            edges.add(_edge(first, x))
+            edges.add(_edge(x, v))
+
+    # Round count, replaying the network timeline: proposals resolve
+    # two rounds after start, claims land one round later (3); a slot-2
+    # cascade adds the propose/resolve pair (5); re-broadcasts alone
+    # quiesce after their delivery round (1); silence is 0 rounds.
+    if second_arenas:
+        rounds = 5
+    elif arenas:
+        rounds = 3
+    elif any_message:
+        rounds = 1
+    else:
+        rounds = 0
+    return ConnectorOutcome(
+        connectors=frozenset(connectors),
+        cds_edges=frozenset(edges),
+        rounds=rounds,
+        stats=ledger,
+    )

@@ -94,6 +94,10 @@ class ConnectorProcess(NodeProcess):
         self._rivals: dict[ProposalKey, set[int]] = {}
         #: keys this node itself proposed, with the round they were sent.
         self._my_proposals: dict[ProposalKey, int] = {}
+        #: the not-yet-resolved subset of ``_my_proposals``, in proposal
+        #: order — so each finish_round touches only live elections
+        #: instead of rescanning every proposal ever made.
+        self._unresolved: dict[ProposalKey, int] = {}
         #: slot-2 context: (u, v) -> first connector heard (smallest id).
         self._first_connector: dict[tuple[int, int], int] = {}
         self.claims: list[tuple[int, int, int, int]] = []  # (u, v, slot, first)
@@ -107,6 +111,7 @@ class ConnectorProcess(NodeProcess):
         if key in self._my_proposals:
             return
         self._my_proposals[key] = 0
+        self._unresolved[key] = 0
         self.broadcast(TRY_CONNECTOR, u=u, v=v, slot=slot)
 
     def _won(self, key: ProposalKey) -> bool:
@@ -126,17 +131,18 @@ class ConnectorProcess(NodeProcess):
         know = self.knowledge
         if know.role != "dominatee":
             return
-        if self._rebroadcast:
-            for dom in sorted(know.my_dominators):
-                self.broadcast(IAM_DOMINATEE, dominator=dom)
         doms = sorted(know.my_dominators)
+        if self._rebroadcast:
+            for dom in doms:
+                self.broadcast(IAM_DOMINATEE, dominator=dom)
         # Slot 0: I am a common dominatee of u and v.
         for i, u in enumerate(doms):
             for v in doms[i + 1 :]:
                 self._propose(u, v, SLOT_COMMON)
         # Slot 1: my dominator u, a 2-hop dominator v.
+        two_hop = sorted(know.two_hop_dominators)
         for u in doms:
-            for v in sorted(know.two_hop_dominators):
+            for v in two_hop:
                 if v != u and v not in know.my_dominators:
                     self._propose(u, v, SLOT_FIRST)
 
@@ -172,13 +178,14 @@ class ConnectorProcess(NodeProcess):
         # Resolve elections one full round after proposing (all rival
         # proposals for a key are sent in the same round we sent ours,
         # so they have all arrived by now).
-        for key, sent_round in list(self._my_proposals.items()):
-            if sent_round == -1:
-                continue  # already resolved
+        resolved: list[ProposalKey] = []
+        for key, sent_round in self._unresolved.items():
             if sent_round == 0:
                 # Record the actual send round on first visit.
+                self._unresolved[key] = round_index
                 self._my_proposals[key] = round_index
                 continue
+            resolved.append(key)
             u, v, slot = key
             self._my_proposals[key] = -1
             if not self._won(key):
@@ -194,12 +201,12 @@ class ConnectorProcess(NodeProcess):
             else:
                 self.cds_edges.add(_edge(first, self.node_id))
                 self.cds_edges.add(_edge(self.node_id, v))
+        for key in resolved:
+            del self._unresolved[key]
 
     @property
     def idle(self) -> bool:
-        return not self._pending_second and all(
-            r == -1 for r in self._my_proposals.values()
-        )
+        return not self._pending_second and not self._unresolved
 
 
 def _edge(a: int, b: int) -> tuple[int, int]:
@@ -216,22 +223,26 @@ def derive_local_knowledge(
     via ``IamDominatee`` — which is how ``2HopDominators`` gets filled.
     """
     knowledge: list[_LocalKnowledge] = []
+    dominators = clustering.dominators
+    doms_of = clustering.dominators_of
+    empty: frozenset[int] = frozenset()
     for x in udg.nodes():
-        if x in clustering.dominators:
-            role = "dominator"
-            my_doms: frozenset[int] = frozenset()
-        else:
-            role = "dominatee"
-            my_doms = clustering.dominators_of.get(x, frozenset())
+        if x in dominators:
+            # Dominators sit out the election: start() returns before
+            # proposing and first-connector claims are ignored, so
+            # their 2-hop map is never read — skip computing it.
+            knowledge.append(_LocalKnowledge(role="dominator"))
+            continue
+        my_doms = doms_of.get(x, empty)
         two_hop: dict[int, set[int]] = {}
         adjacent = udg.neighbors(x)
         for w in adjacent:
-            for d in clustering.dominators_of.get(w, frozenset()):
+            for d in doms_of.get(w, empty):
                 if d != x and d not in adjacent:
                     two_hop.setdefault(d, set()).add(w)
         knowledge.append(
             _LocalKnowledge(
-                role=role,
+                role="dominatee",
                 my_dominators=my_doms,
                 two_hop_dominators={d: frozenset(v) for d, v in two_hop.items()},
             )

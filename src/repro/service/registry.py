@@ -21,6 +21,7 @@ from typing import Any, Callable, Mapping, Optional
 from repro.core.spanner import BackboneResult, build_backbone
 from repro.graphs.graph import Graph
 from repro.protocols.backbone import ELECTIONS
+from repro.protocols.cds import MODES
 from repro.topology.beta_skeleton import beta_skeleton
 from repro.topology.construction_cache import ConstructionCache
 from repro.topology.delaunay_udg import unit_delaunay_graph
@@ -177,13 +178,25 @@ def _udg_builder(deployment: Deployment, params: dict) -> BuildProduct:
 def _backbone_builder(attr: str) -> Callable[[Deployment, dict], BuildProduct]:
     def builder(deployment: Deployment, params: dict) -> BuildProduct:
         result = build_backbone(
-            deployment.points, deployment.radius, election=params["election"]
+            deployment.points,
+            deployment.radius,
+            election=params["election"],
+            mode=params["mode"],
         )
+        pipeline = result.pipeline
         extras = {
             "messages_per_node_max": result.stats_ldel.max_per_node(),
             "messages_per_node_avg": round(
                 result.stats_ldel.avg_per_node(result.udg.node_count), 3
             ),
+            # Folded into backbone.* on GET /metrics by the server.
+            "backbone": {
+                "mode": pipeline.mode,
+                "phase_seconds": {
+                    name: round(s, 6) for name, s in pipeline.timings.items()
+                },
+                "counters": {"messages_total": result.stats_ldel.total},
+            },
         }
         return BuildProduct(attr, getattr(result, attr), backbone=result, extras=extras)
 
@@ -191,6 +204,12 @@ def _backbone_builder(attr: str) -> Callable[[Deployment, dict], BuildProduct]:
 
 
 _ELECTION_PARAM = ParamSpec("election", str, "smallest-id", choices=ELECTIONS)
+
+#: Construction path for backbone-family pipelines.  The serving
+#: default is the direct fixed-point computation — bit-identical to
+#: the protocol replay (``mode="protocol"``), which stays available
+#: for message-trace studies.
+_MODE_PARAM = ParamSpec("mode", str, "fast", choices=MODES)
 
 #: Parameters shared by every ``sharded:*`` pipeline.  ``workers=0``
 #: means "auto" (the executor's default worker count).
@@ -287,13 +306,13 @@ def _specs() -> tuple[PipelineSpec, ...]:
     ]
     for attr, description in backbone_members:
         specs.append(
-            PipelineSpec(attr, description, (_ELECTION_PARAM,),
+            PipelineSpec(attr, description, (_ELECTION_PARAM, _MODE_PARAM),
                          _backbone_builder(attr), routable=True)
         )
     # `backbone` is the serving alias for the paper's routable structure.
     specs.append(
         PipelineSpec("backbone", "alias of ldel_icds: the routable planar backbone",
-                     (_ELECTION_PARAM,), _backbone_builder("ldel_icds"),
+                     (_ELECTION_PARAM, _MODE_PARAM), _backbone_builder("ldel_icds"),
                      routable=True)
     )
     # Tiled sharded constructions: bit-identical to their serial

@@ -141,6 +141,32 @@ class SpannerService:
         sharding = product.extras.get("sharding")
         if isinstance(sharding, Mapping):
             self._record_sharding_metrics(sharding)
+        backbone = product.extras.get("backbone")
+        if isinstance(backbone, Mapping):
+            self._record_backbone_metrics(backbone)
+
+    def _record_backbone_metrics(self, backbone: Mapping[str, Any]) -> None:
+        """Fold a backbone build's stats into ``backbone.*`` metrics.
+
+        Builds are counted overall and per construction mode
+        (``backbone.mode.fast`` / ``backbone.mode.protocol``), the
+        per-phase wall times (CDS election + connectors, LDel
+        planarization) feed latency histograms, and the build's message
+        ledger total becomes a running counter — so ``GET /metrics``
+        shows directly how much the fast path saves per phase.
+        """
+        self.metrics.inc("backbone.builds")
+        mode = backbone.get("mode")
+        if isinstance(mode, str) and mode:
+            self.metrics.inc(f"backbone.mode.{mode}")
+        phases = backbone.get("phase_seconds")
+        if isinstance(phases, Mapping):
+            for name, seconds in phases.items():
+                if isinstance(seconds, (int, float)):
+                    self.metrics.observe(f"backbone.phase.{name}", float(seconds))
+        counters = backbone.get("counters")
+        if isinstance(counters, Mapping):
+            self.metrics.merge_counters(dict(counters), prefix="backbone.")
 
     def _record_sharding_metrics(self, sharding: Mapping[str, Any]) -> None:
         """Fold a sharded build's stats into ``sharding.*`` metrics.

@@ -22,11 +22,20 @@ Ownership and exactness:
   bit-identical to the serial pipeline's output.  The stitch asserts
   the ownership partition (no triangle claimed twice, none dropped).
 
-The one stage that is *not* halo-local is the clusterhead election
-(smallest-id MIS decisions chain through ids across the whole graph),
-so :func:`sharded_backbone` runs clustering and connector election
-globally and shards the expensive planarized-LDel stage on the backbone
-subgraph.
+The clusterhead election is *almost* halo-local: the smallest-id MIS
+fixed point of a node is determined by the descending-id chain of
+white-neighbor dependencies reaching it, which in practice dies out
+within a few hops but is not distance-bounded in the worst case
+(adversarial id layouts chain decisions across the whole plane).
+:func:`sharded_backbone` therefore runs a *certified* per-tile
+election: each tile resolves every core node whose dependency chain
+stays inside a ``3r`` halo and flags the rest ``unknown``; the
+coordinator reconciles the unknowns exactly with one ascending-id
+pass over the global UDG.  Both populations are counted
+(``election_certified`` / ``election_unresolved``), the connector
+fixed point is then computed directly
+(:mod:`repro.protocols.cds_fast`), and the expensive planarized-LDel
+stage on the backbone subgraph is tiled as before.
 
 Planarization runs in two parallel phases: phase A computes the
 accepted LDel^1 triangle set per tile (halo ``2r``), phase B replays
@@ -53,7 +62,9 @@ from repro.geometry.primitives import Point
 from repro.graphs.graph import Graph
 from repro.graphs.udg import UnitDiskGraph
 from repro.protocols.cds import build_cds_family
+from repro.protocols.clustering import ClusteringOutcome
 from repro.sharding.tiles import TileGrid, stage_halo
+from repro.sim.stats import MessageStats
 from repro.topology.construction_cache import ConstructionCache
 from repro.topology.gabriel import gabriel_graph
 from repro.topology.ldel import (
@@ -202,6 +213,46 @@ def _phase_a(payload: tuple) -> dict:
     out["seconds"] = {name: round(v, 6) for name, v in seconds.items()}
     out["cache"] = cache.snapshot()
     return out
+
+
+def _election_worker(payload: tuple) -> dict:
+    """Certified per-tile smallest-id MIS over core + 3r halo.
+
+    One ascending-id pass over the local point set (local ids preserve
+    global-id order).  A node is certified ``out`` when a smaller
+    certified-``in`` neighbor dominates it — sound even near the halo
+    edge, since a certified ``in`` is exact by induction.  It is
+    certified ``in`` only when its whole 1-hop neighborhood is inside
+    the halo (*complete*) and every smaller neighbor is certified
+    ``out``.  Anything else — an incomplete node not yet dominated, or
+    a chain through an ``unknown`` — stays ``unknown`` for the
+    coordinator's exact reconciliation pass.
+    """
+    tile_key, box, gids, coords, core_gids, radius, _k, _stages = payload
+    t0 = time.perf_counter()
+    pos = [Point(x, y) for x, y in coords]
+    udg = UnitDiskGraph(pos, radius, name=f"tile{tile_key}")
+    halo_r = stage_halo("election") * radius
+    complete = [_box_distance(box, p) <= halo_r - radius for p in pos]
+    unknown_mark, out_mark, in_mark = -1, 0, 1
+    state = [unknown_mark] * len(gids)
+    for u in range(len(gids)):
+        smaller = [w for w in udg.neighbors(u) if w < u]
+        if any(state[w] == in_mark for w in smaller):
+            state[u] = out_mark
+        elif complete[u] and all(state[w] == out_mark for w in smaller):
+            state[u] = in_mark
+    core = set(core_gids)
+    names = {in_mark: "in", out_mark: "out", unknown_mark: "unknown"}
+    verdicts: dict[str, list[int]] = {"in": [], "out": [], "unknown": []}
+    for u, gid in enumerate(gids):
+        if gid in core:
+            verdicts[names[state[u]]].append(gid)
+    return {
+        "tile": tile_key,
+        "seconds": round(time.perf_counter() - t0, 6),
+        **verdicts,
+    }
 
 
 def _contest_worker(payload: tuple) -> dict:
@@ -390,6 +441,56 @@ def _sharded_phase_a(
     return grid, stats, udg_edges, gabriel, accepted
 
 
+def _sharded_election(
+    udg: UnitDiskGraph,
+    *,
+    shards: int,
+    max_workers: Optional[int],
+    executor_mode: str,
+) -> tuple[frozenset[int], int, int, float]:
+    """Tiled smallest-id MIS: certified per tile, reconciled exactly.
+
+    Returns the dominator set (bit-identical to the global election),
+    the certified / unresolved node counts, and the phase wall-clock.
+    """
+    pts = udg.positions
+    grid = TileGrid(pts, udg.radius, shards)
+    stats = ShardingStats(
+        shards=shards, tiles=len(grid), grid=(grid.nx, grid.ny),
+        mode="serial", workers=1,
+    )
+    payloads = _phase_a_payloads(
+        grid, pts, udg.radius, 1, (), stage_halo("election")
+    )
+    results = _run_tiles(
+        payloads, _election_worker,
+        executor_mode=executor_mode, max_workers=max_workers,
+        stats=stats, phase="election",
+    )
+    status: dict[int, bool] = {}
+    unresolved: list[int] = []
+    for res in results:
+        for gid in res["in"]:
+            status[gid] = True
+        for gid in res["out"]:
+            status[gid] = False
+        unresolved.extend(res["unknown"])
+    certified = len(status)
+    # Exact fallback for chains that escaped the halo: one ascending-id
+    # pass over the global UDG.  Every smaller node is already decided
+    # (certified, or reconciled earlier in this loop), so this replays
+    # the greedy MIS rule verbatim.
+    for u in sorted(unresolved):
+        status[u] = not any(status[w] for w in udg.neighbors(u) if w < u)
+    dominators = frozenset(gid for gid, is_in in status.items() if is_in)
+    return (
+        dominators,
+        certified,
+        len(unresolved),
+        stats.phase_seconds.get("election", 0.0),
+    )
+
+
 # -- public constructions -----------------------------------------------------
 
 
@@ -542,19 +643,42 @@ def sharded_backbone(
     max_workers: Optional[int] = None,
     executor_mode: str = "process",
 ) -> tuple[ShardedBackboneResult, ShardingStats]:
-    """The paper's backbone with the planarized-LDel stage sharded.
+    """The paper's backbone, sharded end to end.
 
-    Clusterhead election and connector selection run globally: the
-    smallest-id election chains through node ids, so its outcome is not
-    a halo-local function and sharding it would not be exact.  The
-    expensive stage — planarizing the localized Delaunay graph over the
-    backbone subgraph — is tiled, and the result maps back to original
-    node ids, bit-identical to :func:`repro.core.spanner.build_backbone`.
+    The clusterhead election is tiled with per-tile certification and
+    an exact coordinator reconciliation of the halo-escaping chains
+    (``election_certified`` / ``election_unresolved`` count the two
+    populations); connectors and the CDS family come from the direct
+    fixed-point computation (:mod:`repro.protocols.cds_fast`); the
+    planarized LDel stage over the backbone subgraph is tiled as
+    before.  The result maps back to original node ids, bit-identical
+    to :func:`repro.core.spanner.build_backbone`.
     """
     pts = [Point(float(p[0]), float(p[1])) for p in points]
     udg = UnitDiskGraph(pts, radius)
     t0 = time.perf_counter()
-    family = build_cds_family(udg, election=election)
+    if udg.node_count:
+        dominators, certified, unresolved, election_s = _sharded_election(
+            udg, shards=shards, max_workers=max_workers,
+            executor_mode=executor_mode,
+        )
+    else:
+        dominators, certified, unresolved, election_s = frozenset(), 0, 0, 0.0
+    # The certified election pins the same fixed point the protocol
+    # reaches; fabricate its outcome (no messages were simulated) and
+    # let the direct-computation path derive connectors and the family.
+    dominators_of = {
+        w: frozenset(udg.neighbors(w) & dominators)
+        for w in udg.nodes()
+        if w not in dominators
+    }
+    clustering = ClusteringOutcome(
+        dominators=dominators, dominators_of=dominators_of,
+        rounds=0, stats=MessageStats(),
+    )
+    family = build_cds_family(
+        udg, election=election, clustering=clustering, mode="fast"
+    )
     cluster_s = time.perf_counter() - t0
 
     backbone = sorted(family.backbone_nodes)
@@ -564,6 +688,9 @@ def sharded_backbone(
         max_workers=max_workers, executor_mode=executor_mode,
     )
     stats.phase_seconds["clustering"] = cluster_s
+    stats.phase_seconds["election"] = election_s
+    stats.count("election_certified", certified)
+    stats.count("election_unresolved", unresolved)
 
     ldel_icds = Graph(udg.positions, name="LDel(ICDS)")
     for u, v in sub_result.graph.edges():

@@ -24,10 +24,12 @@ the derivations):
 * ``pldel`` (planarization contest) — 3·r *given the accepted
   triangle set*: an intersecting triangle's crossing edge ends within
   ``2r`` of the anchor and its third vertex within ``3r``.
-* ``backbone`` connectors — 2–3·r in the protocol's message pattern;
-  the clusterhead election itself chains through ids and is therefore
-  *not* halo-local, which is why the sharded backbone runs the
-  election globally (see :mod:`repro.sharding.build`).
+* ``backbone`` connectors — 2–3·r in the protocol's message pattern.
+* ``election`` (clusterhead MIS) — the smallest-id fixed point chains
+  through ids, so a tile can only *certify* decisions whose id-chain
+  stays inside the halo (3·r covers the overwhelming majority);
+  escaped chains are flagged unresolved and reconciled exactly by the
+  coordinator (see :mod:`repro.sharding.build`).
 """
 
 from __future__ import annotations
@@ -47,6 +49,7 @@ STAGE_HALO = {
     "ldel": 2,
     "pldel": 3,
     "backbone": 3,
+    "election": 3,
 }
 
 
