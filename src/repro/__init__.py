@@ -27,7 +27,9 @@ from repro.core.metrics import (
     length_stretch,
     measure_topology,
     power_stretch,
+    summarize_family,
 )
+from repro.core.oracle import DistanceOracle
 from repro.graphs.udg import UnitDiskGraph, unit_disk_graph
 from repro.workloads.generators import (
     clustered_points,
@@ -45,10 +47,12 @@ __all__ = [
     "StretchStats",
     "TopologyMetrics",
     "degree_stats",
+    "DistanceOracle",
     "hop_stretch",
     "length_stretch",
     "measure_topology",
     "power_stretch",
+    "summarize_family",
     "UnitDiskGraph",
     "unit_disk_graph",
     "clustered_points",

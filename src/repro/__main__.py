@@ -105,9 +105,12 @@ def cmd_build(args: argparse.Namespace) -> int:
 
 
 def cmd_measure(args: argparse.Namespace) -> int:
+    from repro.core.oracle import DistanceOracle
+
     deployment = _get_deployment(args)
     udg = deployment.udg()
     graphs, _ = build_all_topologies(udg)
+    oracle = DistanceOracle(udg)  # shares the UDG matrices across rows
     print(f"{'topology':<12}{'edges':>7}{'deg_avg':>9}{'deg_max':>9}{'len_avg':>9}{'hop_avg':>9}")
     for name, graph in graphs.items():
         stretch = name in STRETCH_TOPOLOGIES
@@ -116,6 +119,7 @@ def cmd_measure(args: argparse.Namespace) -> int:
             udg,
             stretch=stretch,
             skip_udg_adjacent=STRETCH_TOPOLOGIES.get(name, False),
+            oracle=oracle,
         )
         len_avg = f"{metrics.length.avg:.3f}" if metrics.length else "-"
         hop_avg = f"{metrics.hops.avg:.3f}" if metrics.hops else "-"

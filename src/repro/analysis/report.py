@@ -14,6 +14,7 @@ from typing import Optional, Union
 
 from repro.core.interference import interference
 from repro.core.metrics import hop_stretch, length_stretch
+from repro.core.oracle import DistanceOracle
 from repro.core.power import power_profile, power_saving_ratio
 from repro.core.verify import verify_spanner
 from repro.experiments.runner import STRETCH_TOPOLOGIES, build_all_topologies
@@ -37,6 +38,7 @@ def generate_report(
     """
     udg = deployment.udg()
     graphs, backbone = build_all_topologies(udg)
+    oracle = DistanceOracle(udg)  # UDG all-pairs matrices built once
     lines: list[str] = [f"# {title}", ""]
 
     # -- deployment ----------------------------------------------------
@@ -76,8 +78,10 @@ def generate_report(
     for name, graph in graphs.items():
         if name in STRETCH_TOPOLOGIES:
             skip = STRETCH_TOPOLOGIES[name]
-            length = length_stretch(graph, udg, skip_udg_adjacent=skip)
-            hops = hop_stretch(graph, udg, skip_udg_adjacent=skip)
+            length = length_stretch(
+                graph, udg, skip_udg_adjacent=skip, oracle=oracle
+            )
+            hops = hop_stretch(graph, udg, skip_udg_adjacent=skip, oracle=oracle)
             stretch_l = f"{length.avg:.2f} / {length.max:.2f}"
             stretch_h = f"{hops.avg:.2f} / {hops.max:.2f}"
         else:
@@ -103,7 +107,7 @@ def generate_report(
 
     # -- spanner verification ------------------------------------------------
     length = length_stretch(
-        backbone.ldel_icds_prime, udg, skip_udg_adjacent=True
+        backbone.ldel_icds_prime, udg, skip_udg_adjacent=True, oracle=oracle
     )
     verdict = verify_spanner(
         backbone.ldel_icds_prime,

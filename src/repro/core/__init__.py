@@ -8,7 +8,10 @@ from repro.core.metrics import (
     length_stretch,
     measure_topology,
     power_stretch,
+    stretch_reference,
+    summarize_family,
 )
+from repro.core.oracle import DistanceOracle, GraphSnapshot
 from repro.core.spanner import BackboneResult, build_backbone
 from repro.core.interference import InterferenceStats, interference, link_interference
 from repro.core.power import PowerProfile, power_profile, power_saving_ratio
@@ -27,10 +30,14 @@ __all__ = [
     "StretchStats",
     "TopologyMetrics",
     "degree_stats",
+    "DistanceOracle",
+    "GraphSnapshot",
     "hop_stretch",
     "length_stretch",
     "measure_topology",
     "power_stretch",
+    "stretch_reference",
+    "summarize_family",
     "BackboneResult",
     "build_backbone",
 ]

@@ -17,20 +17,37 @@ exactly 1 under the routing rule and are excluded rather than folded
 in).  Power stretch (sum of ``length^alpha`` along the path) is also
 provided — the paper defines it alongside the other two.
 
-All-pairs distances use :mod:`scipy.sparse.csgraph` when available
-(C-speed Dijkstra) and fall back to the pure-Python routines in
-:mod:`repro.graphs.paths`.
+Pairs that the UDG itself cannot connect are out of scope for stretch.
+Pairs the UDG connects but the measured graph does not are *excluded*
+from ``avg``/``max`` and counted in ``StretchStats.unreachable_pairs``
+(folding their ``inf`` ratio into a running average would poison it);
+``StretchStats.disconnected`` flags the condition and
+``StretchStats.max_or_inf`` restores the "∞ when disconnected" view
+for callers that want it.
+
+The heavy lifting — memoized all-pairs matrices shared across stretch
+kinds and topology rows, plus the vectorized pair reduction — lives in
+:class:`repro.core.oracle.DistanceOracle`; the public stretch functions
+here accept an ``oracle=`` and build a throwaway one otherwise.
+:func:`stretch_reference` keeps the straightforward per-call
+implementation as the parity reference the benchmark tripwires compare
+against.  All-pairs distances use :mod:`scipy.sparse.csgraph` when
+available (C-speed Dijkstra) and fall back to the pure-Python routines
+in :mod:`repro.graphs.paths`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Mapping, Optional
 
 from repro.graphs.graph import Graph
 from repro.graphs.paths import bfs_hops, dijkstra_lengths
 from repro.graphs.udg import UnitDiskGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.oracle import DistanceOracle
 
 try:  # pragma: no cover - exercised implicitly everywhere
     from scipy.sparse import csr_matrix as _csr_matrix
@@ -43,15 +60,32 @@ except ImportError:  # pragma: no cover
 
 @dataclass(frozen=True)
 class StretchStats:
-    """Average and maximum stretch over the measured node pairs."""
+    """Average and maximum stretch over the measured node pairs.
+
+    ``avg``/``max`` cover only pairs actually connected in the measured
+    graph; pairs reachable in the UDG but not in the measured graph are
+    tallied in ``unreachable_pairs`` instead of contributing ``inf``.
+    """
 
     avg: float
     max: float
     pairs: int
+    unreachable_pairs: int = 0
+
+    @property
+    def disconnected(self) -> bool:
+        """True when some UDG-connected pair is cut in the measured graph."""
+        return self.unreachable_pairs > 0
+
+    @property
+    def max_or_inf(self) -> float:
+        """``max`` over measured pairs, or ``inf`` if any pair was cut."""
+        return math.inf if self.disconnected else self.max
 
     @staticmethod
     def empty() -> "StretchStats":
-        return StretchStats(avg=0.0, max=0.0, pairs=0)
+        """The stats of zero measured pairs."""
+        return StretchStats(avg=0.0, max=0.0, pairs=0, unreachable_pairs=0)
 
 
 @dataclass(frozen=True)
@@ -76,13 +110,19 @@ def degree_stats(graph: Graph) -> tuple[float, int]:
     return sum(degrees) / len(degrees), max(degrees)
 
 
-# -- all-pairs distance matrices ------------------------------------------
+# -- the reference implementation -----------------------------------------
 
 
-def _apsp(graph: Graph, weight: Optional[Callable[[int, int], float]]) -> "list[list[float]]":
+def _apsp(
+    graph: Graph,
+    weight: Optional[Callable[[int, int], float]],
+    *,
+    use_scipy: Optional[bool] = None,
+) -> "list[list[float]]":
     """All-pairs shortest distances; ``weight=None`` means hop counts."""
     n = graph.node_count
-    if _HAVE_SCIPY and n > 0:
+    scipy_ok = _HAVE_SCIPY if use_scipy is None else (use_scipy and _HAVE_SCIPY)
+    if scipy_ok and n > 0:
         rows: list[int] = []
         cols: list[int] = []
         data: list[float] = []
@@ -102,22 +142,32 @@ def _apsp(graph: Graph, weight: Optional[Callable[[int, int], float]]) -> "list[
     return [dijkstra_lengths(graph, s, weight) for s in range(n)]
 
 
-def _stretch(
+def stretch_reference(
     graph: Graph,
     udg: UnitDiskGraph,
     weight: Optional[Callable[[int, int], float]],
     *,
     skip_udg_adjacent: bool,
+    use_scipy: Optional[bool] = None,
 ) -> StretchStats:
-    """Stretch of ``graph`` against ``udg`` under a common weight."""
+    """Stretch of ``graph`` against ``udg``, the straightforward way.
+
+    Fresh all-pairs matrices on every call, then a pure-Python pair
+    reduction.  This is the semantic reference the oracle's vectorized
+    kernel is verified against (see ``PARITY_RTOL`` in
+    :mod:`repro.core.oracle`): the pure-Python oracle fallback matches
+    it exactly, the numpy kernel to within the documented tolerance.
+    ``use_scipy=False`` forces the pure-Python all-pairs routines.
+    """
     if graph.node_count != udg.node_count:
         raise ValueError("graph and UDG must share the node set")
     n = graph.node_count
-    d_graph = _apsp(graph, weight)
-    d_udg = _apsp(udg, weight)
+    d_graph = _apsp(graph, weight, use_scipy=use_scipy)
+    d_udg = _apsp(udg, weight, use_scipy=use_scipy)
     total = 0.0
     worst = 0.0
     pairs = 0
+    unreachable = 0
     for u in range(n):
         row_g = d_graph[u]
         row_u = d_udg[u]
@@ -127,30 +177,67 @@ def _stretch(
                 continue  # same node or UDG-disconnected pair
             if skip_udg_adjacent and udg.has_edge(u, v):
                 continue
-            ratio = row_g[v] / base
+            value = row_g[v]
+            if value == math.inf:
+                unreachable += 1
+                continue
+            ratio = value / base
             total += ratio
             if ratio > worst:
                 worst = ratio
             pairs += 1
     if pairs == 0:
-        return StretchStats.empty()
-    return StretchStats(avg=total / pairs, max=worst, pairs=pairs)
+        return StretchStats(0.0, 0.0, 0, unreachable_pairs=unreachable)
+    return StretchStats(
+        avg=float(total / pairs), max=float(worst), pairs=pairs,
+        unreachable_pairs=unreachable,
+    )
+
+
+# -- the oracle-backed public API -----------------------------------------
+
+
+def _resolve_oracle(
+    udg: UnitDiskGraph, oracle: "Optional[DistanceOracle]"
+) -> "DistanceOracle":
+    """Validate a caller-supplied oracle or build a throwaway one."""
+    from repro.core.oracle import DistanceOracle
+
+    if oracle is None:
+        return DistanceOracle(udg, use_scipy=_HAVE_SCIPY)
+    if not oracle.matches(udg):
+        raise ValueError("oracle was built for a different baseline graph")
+    return oracle
 
 
 def length_stretch(
-    graph: Graph, udg: UnitDiskGraph, *, skip_udg_adjacent: bool = False
+    graph: Graph,
+    udg: UnitDiskGraph,
+    *,
+    skip_udg_adjacent: bool = False,
+    oracle: "Optional[DistanceOracle]" = None,
 ) -> StretchStats:
-    """Length stretch factor of ``graph`` relative to ``udg``."""
-    return _stretch(
-        graph, udg, graph.edge_length, skip_udg_adjacent=skip_udg_adjacent
+    """Length stretch factor of ``graph`` relative to ``udg``.
+
+    Pass ``oracle`` (a :class:`repro.core.oracle.DistanceOracle` built
+    on ``udg``) to share the UDG all-pairs matrices across calls.
+    """
+    return _resolve_oracle(udg, oracle).stretch(
+        graph, "length", skip_udg_adjacent=skip_udg_adjacent
     )
 
 
 def hop_stretch(
-    graph: Graph, udg: UnitDiskGraph, *, skip_udg_adjacent: bool = False
+    graph: Graph,
+    udg: UnitDiskGraph,
+    *,
+    skip_udg_adjacent: bool = False,
+    oracle: "Optional[DistanceOracle]" = None,
 ) -> StretchStats:
     """Hop stretch factor of ``graph`` relative to ``udg``."""
-    return _stretch(graph, udg, None, skip_udg_adjacent=skip_udg_adjacent)
+    return _resolve_oracle(udg, oracle).stretch(
+        graph, "hops", skip_udg_adjacent=skip_udg_adjacent
+    )
 
 
 def power_stretch(
@@ -159,6 +246,7 @@ def power_stretch(
     *,
     alpha: float = 2.0,
     skip_udg_adjacent: bool = False,
+    oracle: "Optional[DistanceOracle]" = None,
 ) -> StretchStats:
     """Power stretch factor: path cost is the sum of ``length**alpha``.
 
@@ -167,11 +255,9 @@ def power_stretch(
     """
     if alpha < 1.0:
         raise ValueError("alpha below 1 is not a power-attenuation model")
-
-    def power_weight(u: int, v: int) -> float:
-        return graph.edge_length(u, v) ** alpha
-
-    return _stretch(graph, udg, power_weight, skip_udg_adjacent=skip_udg_adjacent)
+    return _resolve_oracle(udg, oracle).stretch(
+        graph, "power", skip_udg_adjacent=skip_udg_adjacent, alpha=alpha
+    )
 
 
 def measure_topology(
@@ -181,20 +267,29 @@ def measure_topology(
     stretch: bool = True,
     skip_udg_adjacent: bool = False,
     power_alpha: Optional[float] = None,
+    oracle: "Optional[DistanceOracle]" = None,
 ) -> TopologyMetrics:
     """Measure one topology the way the paper's Table I does.
 
     Set ``stretch=False`` for non-spanning graphs like the bare CDS
-    (the paper's table leaves those cells empty).
+    (the paper's table leaves those cells empty).  One ``oracle``
+    shared across calls makes the UDG matrices a one-time cost per
+    deployment.
     """
     avg_deg, max_deg = degree_stats(graph)
     length = hops = power = None
     if stretch:
-        length = length_stretch(graph, udg, skip_udg_adjacent=skip_udg_adjacent)
-        hops = hop_stretch(graph, udg, skip_udg_adjacent=skip_udg_adjacent)
+        shared = _resolve_oracle(udg, oracle)
+        length = length_stretch(
+            graph, udg, skip_udg_adjacent=skip_udg_adjacent, oracle=shared
+        )
+        hops = hop_stretch(
+            graph, udg, skip_udg_adjacent=skip_udg_adjacent, oracle=shared
+        )
         if power_alpha is not None:
             power = power_stretch(
-                graph, udg, alpha=power_alpha, skip_udg_adjacent=skip_udg_adjacent
+                graph, udg, alpha=power_alpha,
+                skip_udg_adjacent=skip_udg_adjacent, oracle=shared,
             )
     return TopologyMetrics(
         name=graph.name,
@@ -206,3 +301,34 @@ def measure_topology(
         hops=hops,
         power=power,
     )
+
+
+def summarize_family(
+    udg: UnitDiskGraph,
+    graphs: Mapping[str, Graph],
+    *,
+    stretch_policy: Optional[Mapping[str, bool]] = None,
+    power_alpha: Optional[float] = None,
+    oracle: "Optional[DistanceOracle]" = None,
+) -> "dict[str, TopologyMetrics]":
+    """Measure a whole topology family against one UDG with one oracle.
+
+    ``graphs`` maps row name → graph.  ``stretch_policy`` maps the row
+    names that get stretch columns to their ``skip_udg_adjacent`` flag
+    (the paper uses ``True`` for the backbone rows); rows absent from
+    the policy are measured for degrees/edges only, like the bare CDS
+    in Table I.  The UDG all-pairs matrices are built exactly once and
+    shared across every row and stretch kind.
+    """
+    shared = _resolve_oracle(udg, oracle)
+    policy = dict(stretch_policy or {})
+    out: dict[str, TopologyMetrics] = {}
+    for name, graph in graphs.items():
+        if name in policy:
+            out[name] = measure_topology(
+                graph, udg, stretch=True, skip_udg_adjacent=policy[name],
+                power_alpha=power_alpha, oracle=shared,
+            )
+        else:
+            out[name] = measure_topology(graph, udg, stretch=False, oracle=shared)
+    return out

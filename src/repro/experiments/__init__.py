@@ -8,6 +8,8 @@ benchmark files under ``benchmarks/`` and the CLI
 from repro.experiments.runner import (
     DEFAULT_SIDE,
     ExperimentConfig,
+    SweepCache,
+    SweepInstance,
     TopologyRow,
     build_all_topologies,
     fig8_degree_vs_density,
@@ -23,6 +25,8 @@ from repro.experiments.runner import (
 __all__ = [
     "DEFAULT_SIDE",
     "ExperimentConfig",
+    "SweepCache",
+    "SweepInstance",
     "TopologyRow",
     "build_all_topologies",
     "fig8_degree_vs_density",

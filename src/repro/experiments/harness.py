@@ -96,10 +96,12 @@ def _run_one(name: str, config: ExperimentConfig, quick: bool, chart: bool = Fal
 
         from repro.experiments.hotpath_bench import (
             DEFAULT_SIZES,
+            METRICS_SIZES,
             default_baseline_path,
             format_report,
             load_baseline,
             run_benchmark,
+            run_metrics_benchmark,
         )
 
         baseline_path = default_baseline_path()
@@ -108,6 +110,9 @@ def _run_one(name: str, config: ExperimentConfig, quick: bool, chart: bool = Fal
             seed=config.seed,
             baseline=load_baseline(baseline_path),
             baseline_path=str(baseline_path),
+        )
+        report["metrics"] = run_metrics_benchmark(
+            (200,) if quick else METRICS_SIZES, seed=config.seed
         )
         out = "BENCH_hotpath.json"
         with open(out, "w") as fh:

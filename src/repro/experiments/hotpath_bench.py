@@ -12,6 +12,17 @@ protocol against the direct-computation fast path and the sharded
 build, with a bit-identical tripwire on the dominator/connector/edge
 sets (any divergence is a hard failure, not a statistic).
 
+The ``metrics`` section times the *measurement* side: summarizing the
+full Table I topology family (all three stretch kinds, the paper's
+pair filters) through the reference implementation — fresh all-pairs
+matrices per call plus the pure-Python pair reduction, the pre-oracle
+code path — against a per-deployment
+:class:`~repro.core.oracle.DistanceOracle` (memoized matrices +
+vectorized kernels), cold and warm.  Tripwires: every oracle result
+must match the reference within ``PARITY_RTOL`` (bit-exactly for
+``max``/``pairs``/``unreachable_pairs``), and the no-numpy/no-scipy
+fallback must match the pure-Python reference *exactly*.
+
 Shared by ``benchmarks/bench_hotpath.py`` (standalone CLI), the
 ``hotpath`` mode of :mod:`repro.experiments.harness`, and the CI
 bench-smoke job.  Output is machine-readable JSON
@@ -41,6 +52,16 @@ DEFAULT_SIZES = (200, 500, 1000, 2000)
 SHARDED_SIZES = (1000, 2000, 5000)
 #: Sizes the fast-vs-protocol backbone comparison runs at (ISSUE 4).
 BACKBONE_FAST_SIZES = (1000, 2000, 5000)
+#: Sizes the metrics-engine comparison runs at (ISSUE 5).
+METRICS_SIZES = (200, 1000)
+#: Summarize passes per deployment in the metrics stage — the sweep
+#: protocol's per-point repetition count (``bench_table1`` runs three
+#: rounds; the fig sweeps replay points under pytest-benchmark
+#: calibration the same way).
+METRICS_REPS = 3
+#: Size of the pure-Python fallback exactness tripwire (kept small:
+#: the fallback APSP is the slow path being replaced).
+METRICS_FALLBACK_SIZE = 120
 DEFAULT_RADIUS = 25.0
 DEFAULT_SEED = 2002
 DEFAULT_SHARDS = 4
@@ -229,8 +250,14 @@ def load_baseline_strict(path: str | Path) -> dict:
 
 
 def baseline_from_report(report: dict, commit: str = "unknown") -> dict:
-    """Re-pin a baseline file from a fresh benchmark report."""
-    return {
+    """Re-pin a baseline file from a fresh benchmark report.
+
+    The ``metrics`` section is optional in both directions: it is only
+    recorded when the report ran the metrics stage, and baselines
+    pinned before the stage existed stay valid (the comparison just
+    skips the missing section).
+    """
+    baseline = {
         "schema": BASELINE_SCHEMA,
         "commit": commit,
         "params": report["params"],
@@ -240,6 +267,16 @@ def baseline_from_report(report: dict, commit: str = "unknown") -> dict:
             for key, value in report["results"].items()
         },
     }
+    metrics = report.get("metrics")
+    if metrics:
+        baseline["metrics"] = {
+            "sizes": metrics["sizes"],
+            "results": {
+                key: {"seconds": value["seconds"]}
+                for key, value in metrics["results"].items()
+            },
+        }
+    return baseline
 
 
 def measure_sharded(
@@ -422,6 +459,257 @@ def run_backbone_fast_benchmark(
     }
 
 
+def _metrics_family(n: int, radius: float, seed: int):
+    """The Table I topology family on the bench deployment recipe."""
+    from repro.experiments.runner import build_all_topologies
+
+    side = 10.0 * math.sqrt(n)
+    dep = connected_udg_instance(n, side, radius, random.Random(seed))
+    udg = UnitDiskGraph(list(dep.points), dep.radius)
+    # The fast backbone path is bit-identical to the protocol run and
+    # this stage measures *metrics*, not construction.
+    backbone = build_backbone(dep.points, dep.radius, mode="fast")
+    graphs, _ = build_all_topologies(udg, backbone=backbone)
+    return udg, graphs
+
+
+def _reference_family_pass(
+    udg, graphs: dict, *, power_alpha: float, use_scipy: Optional[bool] = None
+) -> dict:
+    """Full-family stretch via the reference path (the pre-oracle code).
+
+    Every call builds fresh all-pairs matrices for both the topology
+    and the UDG and reduces the n² pairs in pure Python — exactly what
+    ``core.metrics`` did before the oracle existed.
+    """
+    from repro.core.metrics import stretch_reference
+    from repro.experiments.runner import STRETCH_TOPOLOGIES
+
+    out = {}
+    for name, skip in STRETCH_TOPOLOGIES.items():
+        graph = graphs[name]
+
+        def power_weight(u: int, v: int, g=graph) -> float:
+            return g.edge_length(u, v) ** power_alpha
+
+        out[name] = {
+            "length": stretch_reference(
+                graph, udg, graph.edge_length, skip_udg_adjacent=skip,
+                use_scipy=use_scipy,
+            ),
+            "hops": stretch_reference(
+                graph, udg, None, skip_udg_adjacent=skip, use_scipy=use_scipy
+            ),
+            "power": stretch_reference(
+                graph, udg, power_weight, skip_udg_adjacent=skip,
+                use_scipy=use_scipy,
+            ),
+        }
+    return out
+
+
+def _oracle_family_pass(udg, graphs: dict, oracle, *, power_alpha: float) -> dict:
+    """Full-family summarize through one shared distance oracle."""
+    from repro.core.metrics import summarize_family
+    from repro.experiments.runner import STRETCH_TOPOLOGIES
+
+    summary = summarize_family(
+        udg, graphs, stretch_policy=STRETCH_TOPOLOGIES,
+        power_alpha=power_alpha, oracle=oracle,
+    )
+    return {
+        name: {
+            "length": summary[name].length,
+            "hops": summary[name].hops,
+            "power": summary[name].power,
+        }
+        for name in STRETCH_TOPOLOGIES
+    }
+
+
+def _family_parity(got: dict, ref: dict, rtol: float) -> dict:
+    """Worst-case disagreement between two family passes."""
+    worst_avg = worst_max = 0.0
+    exact_fields = True
+    for name, kinds in ref.items():
+        for kind, ref_stats in kinds.items():
+            got_stats = got[name][kind]
+            if (
+                got_stats.pairs != ref_stats.pairs
+                or got_stats.unreachable_pairs != ref_stats.unreachable_pairs
+            ):
+                exact_fields = False
+            if ref_stats.avg:
+                worst_avg = max(
+                    worst_avg, abs(got_stats.avg - ref_stats.avg) / ref_stats.avg
+                )
+            if ref_stats.max:
+                worst_max = max(
+                    worst_max, abs(got_stats.max - ref_stats.max) / ref_stats.max
+                )
+    ok = exact_fields and worst_avg <= rtol and worst_max <= rtol
+    return {
+        "ok": ok,
+        "pair_counts_exact": exact_fields,
+        "avg_rel_err": worst_avg,
+        "max_rel_err": worst_max,
+        "rtol": rtol,
+    }
+
+
+def measure_metrics(
+    n: int,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    reps: int = METRICS_REPS,
+    power_alpha: float = 2.0,
+) -> dict:
+    """Reference vs oracle full-family summarize at one size.
+
+    ``reference`` is the pre-oracle path timed once — it rebuilds every
+    all-pairs matrix from scratch on each call, so it is stateless and
+    a sweep of ``reps`` passes costs exactly ``reps`` times the
+    measured pass.  ``oracle_cold`` is a fresh oracle's first
+    full-family pass (what a pipeline pays once per deployment);
+    ``oracle_warm`` takes the min over the ``reps - 1`` replay passes
+    on the same oracle (what benchmark rounds and repeated sweep
+    points pay once the oracle is shared).  The headline ``speedup``
+    compares the two at the sweep level — ``reps`` reference passes
+    against one cold pass plus ``reps - 1`` warm replays, the unit the
+    Table I / fig8–12 benchmarks actually repeat — with the per-pass
+    ``cold_speedup``/``warm_speedup`` alongside.  ``parity`` is the
+    tripwire: any disagreement beyond the documented tolerance fails
+    the run.
+    """
+    from repro.core.oracle import PARITY_RTOL, DistanceOracle
+
+    reps = max(2, reps)
+    udg, graphs = _metrics_family(n, radius, seed)
+
+    t0 = time.perf_counter()
+    reference = _reference_family_pass(udg, graphs, power_alpha=power_alpha)
+    reference_s = time.perf_counter() - t0
+
+    # max_entries sized so warm passes replay entirely from cache (the
+    # family holds 6 stretch rows x 3 kinds of non-baseline matrices).
+    oracle = DistanceOracle(udg, max_entries=64)
+    t0 = time.perf_counter()
+    vectorized = _oracle_family_pass(udg, graphs, oracle, power_alpha=power_alpha)
+    cold_s = time.perf_counter() - t0
+
+    warm_s = math.inf
+    for _ in range(reps - 1):
+        t0 = time.perf_counter()
+        vectorized = _oracle_family_pass(
+            udg, graphs, oracle, power_alpha=power_alpha
+        )
+        warm_s = min(warm_s, time.perf_counter() - t0)
+
+    sweep_reference_s = reps * reference_s
+    sweep_oracle_s = cold_s + (reps - 1) * warm_s
+    parity = _family_parity(vectorized, reference, PARITY_RTOL)
+    pairs = sum(
+        kinds["length"].pairs + kinds["length"].unreachable_pairs
+        for kinds in reference.values()
+    )
+    return {
+        "reps": reps,
+        "seconds": {
+            "reference": round(reference_s, 6),
+            "oracle_cold": round(cold_s, 6),
+            "oracle_warm": round(warm_s, 6),
+            "sweep_reference": round(sweep_reference_s, 6),
+            "sweep_oracle": round(sweep_oracle_s, 6),
+        },
+        "speedup": (
+            round(sweep_reference_s / sweep_oracle_s, 3) if sweep_oracle_s else None
+        ),
+        "cold_speedup": round(reference_s / cold_s, 3) if cold_s else None,
+        "warm_speedup": round(reference_s / warm_s, 3) if warm_s else None,
+        "rows": len(vectorized),
+        "pairs": pairs,
+        "parity": parity,
+        "oracle": oracle.snapshot(),
+    }
+
+
+def measure_metrics_fallback(
+    n: int = METRICS_FALLBACK_SIZE,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    power_alpha: float = 2.0,
+) -> dict:
+    """Exactness tripwire for the no-numpy/no-scipy oracle fallback.
+
+    Both sides are forced onto the pure-Python all-pairs routines; the
+    oracle's fallback kernel must then reproduce the reference loop
+    **bit-for-bit** on every field — equality, not tolerance.
+    """
+    from repro.core.oracle import DistanceOracle
+    from repro.experiments.runner import STRETCH_TOPOLOGIES
+
+    udg, graphs = _metrics_family(n, radius, seed)
+    reference = _reference_family_pass(
+        udg, graphs, power_alpha=power_alpha, use_scipy=False
+    )
+    oracle = DistanceOracle(
+        udg, max_entries=64, use_scipy=False, use_numpy=False
+    )
+    fallback = _oracle_family_pass(udg, graphs, oracle, power_alpha=power_alpha)
+    exact = all(
+        fallback[name][kind] == reference[name][kind]
+        for name in STRETCH_TOPOLOGIES
+        for kind in ("length", "hops", "power")
+    )
+    return {"n": n, "exact": exact, "rows": len(reference)}
+
+
+def run_metrics_benchmark(
+    sizes: Sequence[int] = METRICS_SIZES,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    reps: int = METRICS_REPS,
+    fallback_size: int = METRICS_FALLBACK_SIZE,
+) -> dict:
+    """The metrics-engine section of the benchmark report."""
+    return {
+        "sizes": list(sizes),
+        "results": {
+            str(n): measure_metrics(n, radius=radius, seed=seed, reps=reps)
+            for n in sizes
+        },
+        "fallback": measure_metrics_fallback(
+            fallback_size, radius=radius, seed=seed
+        ),
+    }
+
+
+def compare_metrics_to_baseline(metrics: dict, baseline: dict) -> dict:
+    """Per-size wall-time factors vs a recorded metrics baseline.
+
+    Baselines recorded before the metrics stage existed simply have no
+    ``metrics`` section; the comparison then reports nothing rather
+    than failing, so old baselines stay valid.
+    """
+    base_results = baseline.get("metrics", {}).get("results", {})
+    out: dict = {}
+    for key, current in metrics.get("results", {}).items():
+        base = base_results.get(key)
+        if not base:
+            continue
+        factors = {}
+        for stage in ("reference", "oracle_cold", "oracle_warm", "sweep_oracle"):
+            now = current["seconds"].get(stage)
+            then = base.get("seconds", {}).get(stage)
+            if now and then:
+                factors[stage] = round(then / now, 3)
+        out[key] = factors
+    return out
+
+
 def format_report(report: dict) -> str:
     """Human-readable table of the per-size stage timings and speedups."""
     lines = [
@@ -476,6 +764,30 @@ def format_report(report: dict) -> str:
                 f"{entry['seconds']['fast']:>9.4f} {entry['speedup']:>8.2f}x "
                 f"{entry['seconds']['sharded_fast']:>10.4f} "
                 f"{entry['sharded_speedup']:>8.2f}x {match:>10}"
+            )
+    metrics = report.get("metrics")
+    if metrics:
+        lines.append("")
+        lines.append(
+            f"{'n':>6} {'reference s':>12} {'cold s':>9} {'warm s':>9} "
+            f"{'sweep':>9} {'cold':>8} {'warm':>9} {'parity':>8}"
+        )
+        for n in metrics["sizes"]:
+            entry = metrics["results"][str(n)]
+            match = "yes" if entry["parity"]["ok"] else "NO (BUG)"
+            lines.append(
+                f"{n:>6} {entry['seconds']['reference']:>12.4f} "
+                f"{entry['seconds']['oracle_cold']:>9.4f} "
+                f"{entry['seconds']['oracle_warm']:>9.4f} "
+                f"{entry['speedup']:>8.2f}x "
+                f"{entry['cold_speedup']:>7.2f}x "
+                f"{entry['warm_speedup']:>8.2f}x {match:>8}"
+            )
+        fallback = metrics.get("fallback")
+        if fallback:
+            word = "exact" if fallback["exact"] else "NO (BUG)"
+            lines.append(
+                f"{'':>6} pure-Python fallback at n={fallback['n']}: {word}"
             )
     return "\n".join(lines)
 
@@ -542,6 +854,38 @@ def format_markdown(report: dict) -> str:
                 f"| {entry['seconds']['sharded_fast']:.4f} "
                 f"| {entry['sharded_speedup']:.2f}x "
                 f"| {entry['election_unresolved']} | {tripwire} |"
+            )
+    metrics = report.get("metrics")
+    if metrics:
+        lines += [
+            "",
+            "### Metrics engine: oracle vs reference (full Table I family)",
+            "",
+            "| n | reference s | cold s | warm s | sweep speedup "
+            "| cold speedup | warm speedup | pairs | parity |",
+            "|---|---|---|---|---|---|---|---|---|",
+        ]
+        for n in metrics["sizes"]:
+            entry = metrics["results"][str(n)]
+            tripwire = "yes" if entry["parity"]["ok"] else "**NO — BUG**"
+            lines.append(
+                f"| {n} | {entry['seconds']['reference']:.4f} "
+                f"| {entry['seconds']['oracle_cold']:.4f} "
+                f"| {entry['seconds']['oracle_warm']:.4f} "
+                f"| {entry['speedup']:.2f}x "
+                f"| {entry['cold_speedup']:.2f}x "
+                f"| {entry['warm_speedup']:.2f}x "
+                f"| {entry['pairs']} | {tripwire} |"
+            )
+        fallback = metrics.get("fallback")
+        if fallback:
+            word = "exact" if fallback["exact"] else "**NO — BUG**"
+            lines.append("")
+            lines.append(
+                f"Sweep speedup: {metrics['results'][str(metrics['sizes'][0])]['reps']} "
+                "summarize passes per deployment (the benchmark-round protocol), "
+                "reference re-paid per pass vs oracle cold-then-cached. "
+                f"Pure-Python fallback parity at n={fallback['n']}: {word}."
             )
     lines.append("")
     return "\n".join(lines)

@@ -12,6 +12,15 @@ Stretch-factor accounting: CDS', ICDS' and LDel(ICDS') are measured
 over UDG-non-adjacent pairs (the routing rule sends directly within
 range and Lemma 6 restricts to ``|uv| > 1``); the flat graphs (RNG,
 GG, LDel) are measured over all pairs.
+
+Every sweep accepts a :class:`SweepCache`: instances at the same
+(n, radius, config) point are materialized once and each carries a
+lazily-built backbone and a per-deployment
+:class:`~repro.core.oracle.DistanceOracle`, so the UDG all-pairs
+matrices are computed exactly once per deployment no matter how many
+topology rows and stretch kinds are measured against it — and repeated
+sweeps over the same point (benchmark reps, fig12's two passes) reuse
+both the deployments and their backbones.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from __future__ import annotations
 import functools
 import math
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
@@ -28,6 +38,7 @@ from repro.core.metrics import (
     hop_stretch,
     length_stretch,
 )
+from repro.core.oracle import DistanceOracle
 from repro.core.spanner import BackboneResult, build_backbone
 from repro.graphs.graph import Graph
 from repro.graphs.udg import UnitDiskGraph
@@ -145,9 +156,16 @@ class TopologyRow:
 
 def build_all_topologies(
     udg: UnitDiskGraph,
+    *,
+    backbone: Optional[BackboneResult] = None,
 ) -> tuple[dict[str, Graph], BackboneResult]:
-    """Every Table I topology for one UDG instance."""
-    backbone = build_backbone(udg.positions, udg.radius)
+    """Every Table I topology for one UDG instance.
+
+    Pass ``backbone`` (a previously built :class:`BackboneResult` for
+    this UDG) to skip rebuilding the CDS family.
+    """
+    if backbone is None:
+        backbone = build_backbone(udg.positions, udg.radius)
     graphs: dict[str, Graph] = {
         "UDG": udg,
         "RNG": relative_neighborhood_graph(udg),
@@ -163,15 +181,94 @@ def build_all_topologies(
     return graphs, backbone
 
 
+class SweepInstance:
+    """One deployment of a sweep point, with lazy derived artifacts.
+
+    The UDG is materialized eagerly; the backbone (the expensive
+    protocol run) and the per-deployment distance oracle are built on
+    first access and then reused by every measurement that touches
+    this instance.
+    """
+
+    def __init__(self, udg: UnitDiskGraph) -> None:
+        self.udg = udg
+        self._backbone: Optional[BackboneResult] = None
+        self._oracle: Optional[DistanceOracle] = None
+
+    @property
+    def backbone(self) -> BackboneResult:
+        """The CDS-family pipeline result (built once, lazily)."""
+        if self._backbone is None:
+            self._backbone = build_backbone(self.udg.positions, self.udg.radius)
+        return self._backbone
+
+    @property
+    def oracle(self) -> DistanceOracle:
+        """The deployment's distance oracle (built once, lazily)."""
+        if self._oracle is None:
+            self._oracle = DistanceOracle(self.udg)
+        return self._oracle
+
+
+class SweepCache:
+    """LRU of materialized sweep points keyed by (n, radius, config).
+
+    Benchmark reps and multi-pass figures (fig12 measures both
+    communication and degree at every radius) regenerate identical
+    instance streams; caching the :class:`SweepInstance` lists lets
+    them share deployments, backbones, and oracles.  ``max_points``
+    bounds memory: a point at n=500 holds full APSP matrices, so only
+    the most recent points are kept.
+    """
+
+    def __init__(self, max_points: int = 2) -> None:
+        self.max_points = max_points
+        self._points: "OrderedDict[tuple, list[SweepInstance]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def instances(
+        self, n: int, radius: float, config: ExperimentConfig
+    ) -> "list[SweepInstance]":
+        """The materialized instance list for one sweep point."""
+        key = (
+            n, float(radius), config.side, config.instances, config.seed,
+            config.generator,
+        )
+        cached = self._points.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._points.move_to_end(key)
+            return cached
+        self.misses += 1
+        rng = random.Random(config.seed)
+        instances = []
+        for _ in range(config.instances):
+            deployment = connected_udg_instance(
+                n, config.side, radius, rng, generator=config.generator
+            )
+            instances.append(SweepInstance(deployment.udg()))
+        self._points[key] = instances
+        while len(self._points) > self.max_points:
+            self._points.popitem(last=False)
+        return instances
+
+
+def _instances(
+    n: int, radius: float, config: ExperimentConfig, cache: Optional[SweepCache]
+) -> "list[SweepInstance]":
+    """Sweep-point instances, through ``cache`` when one is supplied."""
+    if cache is not None:
+        return cache.instances(n, radius, config)
+    return SweepCache(max_points=1).instances(n, radius, config)
+
+
 def _instance_stream(
     n: int, radius: float, config: ExperimentConfig
 ) -> Iterable[UnitDiskGraph]:
-    rng = random.Random(config.seed)
-    for _ in range(config.instances):
-        deployment = connected_udg_instance(
-            n, config.side, radius, rng, generator=config.generator
-        )
-        yield deployment.udg()
+    """Back-compat UDG stream (prefer :func:`_instances` internally)."""
+    for entry in _instances(n, radius, config, None):
+        yield entry.udg
 
 
 def table1(
@@ -179,17 +276,24 @@ def table1(
     n: int = 100,
     radius: float = 60.0,
     config: ExperimentConfig = ExperimentConfig(),
+    cache: Optional[SweepCache] = None,
 ) -> list[TopologyRow]:
     """Reproduce Table I: topology quality measurements."""
     rows = {name: TopologyRow(name) for name in TABLE1_ORDER}
-    for udg in _instance_stream(n, radius, config):
-        graphs, _backbone = build_all_topologies(udg)
+    for entry in _instances(n, radius, config, cache):
+        udg = entry.udg
+        oracle = entry.oracle
+        graphs, _backbone = build_all_topologies(udg, backbone=entry.backbone)
         for name in TABLE1_ORDER:
             graph = graphs[name]
             if name in STRETCH_TOPOLOGIES:
                 skip = STRETCH_TOPOLOGIES[name]
-                length = length_stretch(graph, udg, skip_udg_adjacent=skip)
-                hops = hop_stretch(graph, udg, skip_udg_adjacent=skip)
+                length = length_stretch(
+                    graph, udg, skip_udg_adjacent=skip, oracle=oracle
+                )
+                hops = hop_stretch(
+                    graph, udg, skip_udg_adjacent=skip, oracle=oracle
+                )
             else:
                 length = hops = None
             rows[name].absorb(graph, length, hops)
@@ -215,14 +319,17 @@ def _sweep(
 
 
 def _degree_point(
-    n: int, radius: float, config: ExperimentConfig
+    n: int,
+    radius: float,
+    config: ExperimentConfig,
+    cache: Optional[SweepCache] = None,
 ) -> Mapping[str, float]:
     """Max and avg degree of the six backbone graphs (Fig. 8)."""
     names = ("CDS", "CDS'", "ICDS", "ICDS'", "LDel(ICDS)", "LDel(ICDS')")
     acc = {f"{name} deg {kind}": 0.0 for name in names for kind in ("max", "avg")}
     count = 0
-    for udg in _instance_stream(n, radius, config):
-        backbone = build_backbone(udg.positions, udg.radius)
+    for entry in _instances(n, radius, config, cache):
+        backbone = entry.backbone
         graphs = {
             "CDS": backbone.cds,
             "CDS'": backbone.cds_prime,
@@ -242,7 +349,10 @@ def _degree_point(
 
 
 def _stretch_point(
-    n: int, radius: float, config: ExperimentConfig
+    n: int,
+    radius: float,
+    config: ExperimentConfig,
+    cache: Optional[SweepCache] = None,
 ) -> Mapping[str, float]:
     """Max and avg spanning ratios of the primed graphs (Figs. 9, 11)."""
     names = ("CDS'", "ICDS'", "LDel(ICDS')")
@@ -252,16 +362,22 @@ def _stretch_point(
             acc[f"{name} {metric} max"] = 0.0
             acc[f"{name} {metric} avg"] = 0.0
     count = 0
-    for udg in _instance_stream(n, radius, config):
-        backbone = build_backbone(udg.positions, udg.radius)
+    for entry in _instances(n, radius, config, cache):
+        udg = entry.udg
+        oracle = entry.oracle
+        backbone = entry.backbone
         graphs = {
             "CDS'": backbone.cds_prime,
             "ICDS'": backbone.icds_prime,
             "LDel(ICDS')": backbone.ldel_icds_prime,
         }
         for name, graph in graphs.items():
-            length = length_stretch(graph, udg, skip_udg_adjacent=True)
-            hops = hop_stretch(graph, udg, skip_udg_adjacent=True)
+            length = length_stretch(
+                graph, udg, skip_udg_adjacent=True, oracle=oracle
+            )
+            hops = hop_stretch(
+                graph, udg, skip_udg_adjacent=True, oracle=oracle
+            )
             acc[f"{name} length max"] = max(acc[f"{name} length max"], length.max)
             acc[f"{name} length avg"] += length.avg
             acc[f"{name} hop max"] = max(acc[f"{name} hop max"], hops.max)
@@ -274,7 +390,10 @@ def _stretch_point(
 
 
 def _comm_point(
-    n: int, radius: float, config: ExperimentConfig
+    n: int,
+    radius: float,
+    config: ExperimentConfig,
+    cache: Optional[SweepCache] = None,
 ) -> Mapping[str, float]:
     """Per-node communication cost of CDS / ICDS / LDel(ICDS) (Figs. 10, 12)."""
     acc = {
@@ -283,8 +402,9 @@ def _comm_point(
         for kind in ("max", "avg")
     }
     count = 0
-    for udg in _instance_stream(n, radius, config):
-        backbone = build_backbone(udg.positions, udg.radius)
+    for entry in _instances(n, radius, config, cache):
+        udg = entry.udg
+        backbone = entry.backbone
         ledgers: Mapping[str, MessageStats] = {
             "CDS": backbone.stats_cds,
             "ICDS": backbone.stats_icds,
@@ -306,9 +426,10 @@ def fig8_degree_vs_density(
     ns: Sequence[int] = (20, 30, 40, 50, 60, 70, 80, 90, 100),
     radius: float = 60.0,
     config: ExperimentConfig = ExperimentConfig(),
+    cache: Optional[SweepCache] = None,
 ) -> list[SeriesPoint]:
     """Figure 8: node degree vs number of nodes at R = 60."""
-    return _sweep(ns, lambda n: _degree_point(int(n), radius, config))
+    return _sweep(ns, lambda n: _degree_point(int(n), radius, config, cache))
 
 
 def fig9_stretch_vs_density(
@@ -316,9 +437,10 @@ def fig9_stretch_vs_density(
     ns: Sequence[int] = (20, 30, 40, 50, 60, 70, 80, 90, 100),
     radius: float = 60.0,
     config: ExperimentConfig = ExperimentConfig(),
+    cache: Optional[SweepCache] = None,
 ) -> list[SeriesPoint]:
     """Figure 9: spanning ratios vs number of nodes at R = 60."""
-    return _sweep(ns, lambda n: _stretch_point(int(n), radius, config))
+    return _sweep(ns, lambda n: _stretch_point(int(n), radius, config, cache))
 
 
 def fig10_comm_vs_density(
@@ -326,9 +448,10 @@ def fig10_comm_vs_density(
     ns: Sequence[int] = (20, 30, 40, 50, 60, 70, 80, 90, 100),
     radius: float = 60.0,
     config: ExperimentConfig = ExperimentConfig(),
+    cache: Optional[SweepCache] = None,
 ) -> list[SeriesPoint]:
     """Figure 10: per-node communication cost vs number of nodes."""
-    return _sweep(ns, lambda n: _comm_point(int(n), radius, config))
+    return _sweep(ns, lambda n: _comm_point(int(n), radius, config, cache))
 
 
 def fig11_stretch_vs_radius(
@@ -336,9 +459,10 @@ def fig11_stretch_vs_radius(
     radii: Sequence[float] = (20, 25, 30, 35, 40, 45, 50, 55, 60),
     n: int = 500,
     config: ExperimentConfig = ExperimentConfig(instances=3),
+    cache: Optional[SweepCache] = None,
 ) -> list[SeriesPoint]:
     """Figure 11: spanning ratios vs transmission radius at N = 500."""
-    return _sweep(radii, lambda r: _stretch_point(n, float(r), config))
+    return _sweep(radii, lambda r: _stretch_point(n, float(r), config, cache))
 
 
 def fig12_comm_vs_radius(
@@ -346,12 +470,18 @@ def fig12_comm_vs_radius(
     radii: Sequence[float] = (20, 25, 30, 35, 40, 45, 50, 55, 60),
     n: int = 500,
     config: ExperimentConfig = ExperimentConfig(instances=3),
+    cache: Optional[SweepCache] = None,
 ) -> list[SeriesPoint]:
-    """Figure 12: communication cost and degree vs transmission radius."""
+    """Figure 12: communication cost and degree vs transmission radius.
+
+    The communication and degree passes at each radius share one cache
+    point, so deployments and backbones are built once, not twice.
+    """
+    shared = cache if cache is not None else SweepCache()
 
     def point(r: float) -> Mapping[str, float]:
-        values = dict(_comm_point(n, float(r), config))
-        degree = _degree_point(n, float(r), config)
+        values = dict(_comm_point(n, float(r), config, shared))
+        degree = _degree_point(n, float(r), config, shared)
         for key in ("CDS", "ICDS", "LDel(ICDS)"):
             values[f"{key} deg max"] = degree[f"{key} deg max"]
             values[f"{key} deg avg"] = degree[f"{key} deg avg"]
@@ -390,11 +520,14 @@ def deployment_sensitivity(
             )
             udg = deployment.udg()
             backbone = build_backbone(udg.positions, udg.radius)
+            oracle = DistanceOracle(udg)
             length = length_stretch(
-                backbone.ldel_icds_prime, udg, skip_udg_adjacent=True
+                backbone.ldel_icds_prime, udg, skip_udg_adjacent=True,
+                oracle=oracle,
             )
             hops = hop_stretch(
-                backbone.ldel_icds_prime, udg, skip_udg_adjacent=True
+                backbone.ldel_icds_prime, udg, skip_udg_adjacent=True,
+                oracle=oracle,
             )
             deg_max = max(
                 deg_max, float(max(backbone.ldel_icds.degrees(), default=0))
@@ -419,6 +552,7 @@ def message_breakdown(
     n: int = 100,
     radius: float = 60.0,
     config: ExperimentConfig = ExperimentConfig(),
+    cache: Optional[SweepCache] = None,
 ) -> dict[str, float]:
     """Where the per-node constant goes: mean sends per message kind.
 
@@ -429,10 +563,10 @@ def message_breakdown(
     """
     totals: dict[str, float] = {}
     count = 0
-    for udg in _instance_stream(n, radius, config):
-        backbone = build_backbone(udg.positions, udg.radius)
+    for entry in _instances(n, radius, config, cache):
+        backbone = entry.backbone
         for kind, sent in backbone.stats_ldel.by_kind().items():
-            totals[kind] = totals.get(kind, 0.0) + sent / udg.node_count
+            totals[kind] = totals.get(kind, 0.0) + sent / entry.udg.node_count
         count += 1
     return {kind: value / max(count, 1) for kind, value in sorted(totals.items())}
 
@@ -482,6 +616,7 @@ def routing_quality(
     mode: str = "gpsr",
     config: ExperimentConfig = ExperimentConfig(instances=3),
     executor: str = "thread",
+    cache: Optional[SweepCache] = None,
 ) -> dict[str, float]:
     """Delivery rate and mean hop count of the paper's routing procedure.
 
@@ -492,8 +627,9 @@ def routing_quality(
     delivered = 0
     total = 0
     hop_sum = 0.0
-    for udg in _instance_stream(n, radius, config):
-        result = build_backbone(udg.positions, udg.radius)
+    for entry in _instances(n, radius, config, cache):
+        udg = entry.udg
+        result = entry.backbone
         sampled = [
             (rng.randrange(udg.node_count), rng.randrange(udg.node_count))
             for _ in range(pairs)

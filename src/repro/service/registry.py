@@ -18,8 +18,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
+from repro.core.metrics import StretchStats, measure_topology
+from repro.core.oracle import DistanceOracle
 from repro.core.spanner import BackboneResult, build_backbone
 from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
 from repro.protocols.backbone import ELECTIONS
 from repro.protocols.cds import MODES
 from repro.topology.beta_skeleton import beta_skeleton
@@ -141,9 +144,53 @@ class PipelineSpec:
 # -- builders ----------------------------------------------------------------
 
 
+def _stats_dict(stats: Optional[StretchStats]) -> Optional[dict]:
+    """JSON-ready rendering of one :class:`StretchStats` (or ``None``)."""
+    if stats is None:
+        return None
+    return {
+        "avg": round(stats.avg, 6),
+        "max": round(stats.max, 6),
+        "pairs": stats.pairs,
+        "unreachable_pairs": stats.unreachable_pairs,
+    }
+
+
+def _measured_extras(
+    graph: Graph, udg: UnitDiskGraph, *, skip_udg_adjacent: bool = False
+) -> dict:
+    """Quality metrics + oracle accounting for ``measure=true`` builds.
+
+    One :class:`~repro.core.oracle.DistanceOracle` serves all three
+    stretch kinds; its counters/seconds ride in ``extras["oracle"]``,
+    which the serving layer folds into ``GET /metrics`` under the
+    ``oracle.*`` prefix.
+    """
+    oracle = DistanceOracle(udg)
+    metrics = measure_topology(
+        graph, udg, skip_udg_adjacent=skip_udg_adjacent, power_alpha=2.0,
+        oracle=oracle,
+    )
+    return {
+        "metrics": {
+            "degree_avg": round(metrics.degree_avg, 3),
+            "degree_max": metrics.degree_max,
+            "length_stretch": _stats_dict(metrics.length),
+            "hop_stretch": _stats_dict(metrics.hops),
+            "power_stretch": _stats_dict(metrics.power),
+        },
+        "oracle": oracle.snapshot(),
+    }
+
+
 def _flat(name: str, make: Callable[..., Graph]) -> Callable[[Deployment, dict], BuildProduct]:
     def builder(deployment: Deployment, params: dict) -> BuildProduct:
-        return BuildProduct(name, make(deployment.udg(), **params))
+        params = dict(params)
+        measure = params.pop("measure", False)
+        udg = deployment.udg()
+        graph = make(udg, **params)
+        extras = _measured_extras(graph, udg) if measure else {}
+        return BuildProduct(name, graph, extras=extras)
 
     return builder
 
@@ -161,18 +208,26 @@ def _ldel_builder(deployment: Deployment, params: dict) -> BuildProduct:
     udg = deployment.udg()
     cache = ConstructionCache(udg)
     result = planar_local_delaunay_graph(udg, cache=cache)
-    return BuildProduct("ldel", result.graph, extras=_construction_extras(cache))
+    extras = _construction_extras(cache)
+    if params.get("measure"):
+        extras.update(_measured_extras(result.graph, udg))
+    return BuildProduct("ldel", result.graph, extras=extras)
 
 
 def _ldel1_builder(deployment: Deployment, params: dict) -> BuildProduct:
     udg = deployment.udg()
     cache = ConstructionCache(udg)
     result = local_delaunay_graph(udg, k=params["k"], cache=cache)
-    return BuildProduct("ldel1", result.graph, extras=_construction_extras(cache))
+    extras = _construction_extras(cache)
+    if params.get("measure"):
+        extras.update(_measured_extras(result.graph, udg))
+    return BuildProduct("ldel1", result.graph, extras=extras)
 
 
 def _udg_builder(deployment: Deployment, params: dict) -> BuildProduct:
-    return BuildProduct("udg", deployment.udg())
+    udg = deployment.udg()
+    extras = _measured_extras(udg, udg) if params.get("measure") else {}
+    return BuildProduct("udg", udg, extras=extras)
 
 
 def _backbone_builder(attr: str) -> Callable[[Deployment, dict], BuildProduct]:
@@ -198,12 +253,26 @@ def _backbone_builder(attr: str) -> Callable[[Deployment, dict], BuildProduct]:
                 "counters": {"messages_total": result.stats_ldel.total},
             },
         }
+        if params.get("measure"):
+            # Backbone rows are measured over UDG-non-adjacent pairs
+            # (Lemma 6 / the routing rule), as in the paper's Table I.
+            extras.update(
+                _measured_extras(
+                    getattr(result, attr), result.udg, skip_udg_adjacent=True
+                )
+            )
         return BuildProduct(attr, getattr(result, attr), backbone=result, extras=extras)
 
     return builder
 
 
 _ELECTION_PARAM = ParamSpec("election", str, "smallest-id", choices=ELECTIONS)
+
+#: Opt-in quality measurement: when true, the build product's extras
+#: carry the paper's Table I metrics for the built graph (degrees +
+#: length/hop/power stretch vs the UDG, through one DistanceOracle)
+#: plus the oracle's cache counters and stage seconds.
+_MEASURE_PARAM = ParamSpec("measure", bool, False)
 
 #: Construction path for backbone-family pipelines.  The serving
 #: default is the direct fixed-point computation — bit-identical to
@@ -272,48 +341,53 @@ def _specs() -> tuple[PipelineSpec, ...]:
         ("ldel_icds_prime", "LDel(ICDS') — planar backbone plus dominatee edges"),
     )
     specs = [
-        PipelineSpec("udg", "the unit disk graph itself", (), _udg_builder),
-        PipelineSpec("rng", "relative neighborhood graph", (),
+        PipelineSpec("udg", "the unit disk graph itself",
+                     (_MEASURE_PARAM,), _udg_builder),
+        PipelineSpec("rng", "relative neighborhood graph", (_MEASURE_PARAM,),
                      _flat("rng", relative_neighborhood_graph)),
-        PipelineSpec("gg", "Gabriel graph", (), _flat("gg", gabriel_graph)),
+        PipelineSpec("gg", "Gabriel graph", (_MEASURE_PARAM,),
+                     _flat("gg", gabriel_graph)),
         PipelineSpec("ldel", "planarized localized Delaunay graph PLDel",
-                     (), _ldel_builder),
+                     (_MEASURE_PARAM,), _ldel_builder),
         PipelineSpec("ldel1", "raw k-localized Delaunay graph LDel^k",
-                     (ParamSpec("k", int, 1, minimum=1),), _ldel1_builder),
-        PipelineSpec("rdg", "restricted Delaunay graph", (),
+                     (ParamSpec("k", int, 1, minimum=1), _MEASURE_PARAM),
+                     _ldel1_builder),
+        PipelineSpec("rdg", "restricted Delaunay graph", (_MEASURE_PARAM,),
                      _flat("rdg", restricted_delaunay_graph)),
         PipelineSpec("delaunay", "Delaunay triangulation capped at unit edges",
-                     (), _flat("delaunay", unit_delaunay_graph)),
-        PipelineSpec("mst", "Euclidean minimum spanning tree", (),
+                     (_MEASURE_PARAM,), _flat("delaunay", unit_delaunay_graph)),
+        PipelineSpec("mst", "Euclidean minimum spanning tree", (_MEASURE_PARAM,),
                      _flat("mst", euclidean_mst)),
-        PipelineSpec("yao", "Yao graph", (ParamSpec("k", int, 6, minimum=3),),
+        PipelineSpec("yao", "Yao graph",
+                     (ParamSpec("k", int, 6, minimum=3), _MEASURE_PARAM),
                      _flat("yao", yao_graph)),
         PipelineSpec("yao_yao", "Yao-Yao (degree-bounded Yao) graph",
-                     (ParamSpec("k", int, 6, minimum=3),),
+                     (ParamSpec("k", int, 6, minimum=3), _MEASURE_PARAM),
                      _flat("yao_yao", yao_yao_graph)),
         PipelineSpec("yao_sink", "Yao sink-structure graph",
-                     (ParamSpec("k", int, 6, minimum=3),),
+                     (ParamSpec("k", int, 6, minimum=3), _MEASURE_PARAM),
                      _flat("yao_sink", yao_sink_graph)),
         PipelineSpec("beta_skeleton", "beta-skeleton (beta in [1, 2])",
-                     (ParamSpec("beta", float, 1.0, minimum=0.0),),
+                     (ParamSpec("beta", float, 1.0, minimum=0.0), _MEASURE_PARAM),
                      _flat("beta_skeleton", beta_skeleton)),
         PipelineSpec("greedy_spanner", "greedy t-spanner of the UDG",
-                     (ParamSpec("t", float, 1.5, minimum=1.0),),
+                     (ParamSpec("t", float, 1.5, minimum=1.0), _MEASURE_PARAM),
                      _flat("greedy_spanner", greedy_spanner)),
         PipelineSpec("knn", "k-nearest-neighbors graph",
-                     (ParamSpec("k", int, 6, minimum=1),),
+                     (ParamSpec("k", int, 6, minimum=1), _MEASURE_PARAM),
                      _flat("knn", knn_graph)),
     ]
     for attr, description in backbone_members:
         specs.append(
-            PipelineSpec(attr, description, (_ELECTION_PARAM, _MODE_PARAM),
+            PipelineSpec(attr, description,
+                         (_ELECTION_PARAM, _MODE_PARAM, _MEASURE_PARAM),
                          _backbone_builder(attr), routable=True)
         )
     # `backbone` is the serving alias for the paper's routable structure.
     specs.append(
         PipelineSpec("backbone", "alias of ldel_icds: the routable planar backbone",
-                     (_ELECTION_PARAM, _MODE_PARAM), _backbone_builder("ldel_icds"),
-                     routable=True)
+                     (_ELECTION_PARAM, _MODE_PARAM, _MEASURE_PARAM),
+                     _backbone_builder("ldel_icds"), routable=True)
     )
     # Tiled sharded constructions: bit-identical to their serial
     # counterparts, built per-tile in parallel workers and stitched

@@ -144,6 +144,30 @@ class SpannerService:
         backbone = product.extras.get("backbone")
         if isinstance(backbone, Mapping):
             self._record_backbone_metrics(backbone)
+        oracle = product.extras.get("oracle")
+        if isinstance(oracle, Mapping):
+            self._record_oracle_metrics(oracle)
+
+    def _record_oracle_metrics(self, oracle: Mapping[str, Any]) -> None:
+        """Fold a measured build's distance-oracle stats into ``oracle.*``.
+
+        ``measure=true`` builds ship the oracle's snapshot in their
+        extras: APSP/snapshot cache hit-miss counters become running
+        totals (``oracle.apsp_hits``, ...), the per-stage wall times
+        (snapshot / apsp / kernel) feed latency histograms under
+        ``oracle.stage.*``, and ``oracle.measurements`` counts measured
+        builds — so ``GET /metrics`` shows how much the memoized
+        matrices and the vectorized kernel save.
+        """
+        self.metrics.inc("oracle.measurements")
+        counters = oracle.get("counters")
+        if isinstance(counters, Mapping):
+            self.metrics.merge_counters(dict(counters), prefix="oracle.")
+        seconds = oracle.get("seconds")
+        if isinstance(seconds, Mapping):
+            for name, value in seconds.items():
+                if isinstance(value, (int, float)):
+                    self.metrics.observe(f"oracle.stage.{name}", float(value))
 
     def _record_backbone_metrics(self, backbone: Mapping[str, Any]) -> None:
         """Fold a backbone build's stats into ``backbone.*`` metrics.

@@ -58,11 +58,25 @@ class TestLengthStretch:
         assert stats.pairs == 0
         assert stats == StretchStats.empty()
 
-    def test_disconnected_measured_graph_is_infinite(self):
+    def test_disconnected_measured_graph_counts_unreachable(self):
+        # Pairs cut in the measured graph no longer poison avg with
+        # inf: they are excluded and tallied in unreachable_pairs, and
+        # the "infinite stretch" view survives via max_or_inf.
         udg = square_udg()
         broken = Graph(udg.positions, [(0, 1)])
         stats = length_stretch(broken, udg)
-        assert stats.max == math.inf
+        assert stats.pairs == 1  # only (0, 1) is still connected
+        assert stats.unreachable_pairs == 5
+        assert stats.disconnected
+        assert math.isfinite(stats.avg) and math.isfinite(stats.max)
+        assert stats.max_or_inf == math.inf
+
+    def test_connected_graph_has_no_unreachable_pairs(self):
+        udg = square_udg()
+        stats = length_stretch(udg, udg)
+        assert stats.unreachable_pairs == 0
+        assert not stats.disconnected
+        assert stats.max_or_inf == stats.max
 
     def test_mismatched_node_sets_rejected(self):
         udg = square_udg()

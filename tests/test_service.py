@@ -29,8 +29,23 @@ class TestRegistry:
 
     def test_param_defaults_canonicalize(self):
         spec = get_pipeline("yao")
-        assert spec.canonicalize(None) == {"k": 6}
-        assert spec.canonicalize({"k": 8}) == {"k": 8}
+        assert spec.canonicalize(None) == {"k": 6, "measure": False}
+        assert spec.canonicalize({"k": 8}) == {"k": 8, "measure": False}
+
+    def test_measured_build_ships_metrics_and_oracle_extras(self):
+        product = build_scenario("gg", SCENARIO, {"measure": True})
+        metrics = product.extras["metrics"]
+        assert metrics["length_stretch"]["avg"] >= 1.0
+        assert metrics["hop_stretch"]["pairs"] > 0
+        assert metrics["power_stretch"] is not None
+        oracle = product.extras["oracle"]
+        # One UDG baseline + one measured graph, three weight kinds
+        # each: 6 misses, and the baseline matrices are reused.
+        assert oracle["counters"]["apsp_misses"] == 6
+        assert oracle["counters"]["stretch_calls"] == 3
+        assert set(oracle["seconds"]) == {"snapshot", "apsp", "kernel"}
+        bare = build_scenario("gg", SCENARIO)
+        assert "metrics" not in bare.extras and "oracle" not in bare.extras
 
     def test_unknown_param_rejected(self):
         with pytest.raises(RegistryError, match="no parameter"):

@@ -152,6 +152,18 @@ class TestBatchAndMetrics:
         assert after["latency"]["build.request"]["count"] >= 2
         assert after["latency"]["build.request"]["p95_ms"] >= 0.0
 
+    def test_measured_build_surfaces_oracle_metrics(self, client):
+        body = client.build("gg", SCENARIO, params={"measure": True})
+        assert body["metrics"]["length_stretch"]["avg"] >= 1.0
+        assert body["oracle"]["counters"]["apsp_misses"] == 6
+        after = client.metrics()
+        counters = after["counters"]
+        assert counters["oracle.measurements"] >= 1
+        assert counters["oracle.apsp_misses"] >= 6
+        assert counters["oracle.stretch_calls"] >= 3
+        assert after["latency"]["oracle.stage.apsp"]["count"] >= 1
+        assert after["latency"]["oracle.stage.kernel"]["count"] >= 1
+
     def test_direct_service_error_shape(self):
         service = SpannerService(executor_mode="serial")
         with pytest.raises(ServiceError) as excinfo:
