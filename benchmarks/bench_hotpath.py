@@ -28,6 +28,13 @@ message-passing protocol path against the direct-computation fast
 path and the sharded build, with a bit-identical tripwire on the
 dominator/connector/edge sets.  Any tripwire failure exits 1.
 
+The incremental stage also runs by default (``--incremental-sizes`` /
+``--skip-incremental``): it times per-step incremental maintenance
+against the from-scratch rebuild under single-node waypoint moves,
+with the rebuild-equivalence tripwire after the trace, and runs the
+long-trace acceptance check (``--incremental-trace-size`` /
+``--incremental-trace-steps``, bit-identity after every batch).
+
 The metrics stage also runs by default (``--metrics-sizes`` /
 ``--skip-metrics``): it summarizes the full Table I topology family
 through the reference stretch implementation and through the
@@ -54,6 +61,10 @@ from repro.experiments.hotpath_bench import (
     DEFAULT_SEED,
     DEFAULT_SHARDS,
     DEFAULT_SIZES,
+    INCREMENTAL_SIZES,
+    INCREMENTAL_STEPS,
+    INCREMENTAL_TRACE_SIZE,
+    INCREMENTAL_TRACE_STEPS,
     METRICS_REPS,
     METRICS_SIZES,
     SHARDED_SIZES,
@@ -66,6 +77,7 @@ from repro.experiments.hotpath_bench import (
     load_baseline_strict,
     run_backbone_fast_benchmark,
     run_benchmark,
+    run_incremental_benchmark,
     run_metrics_benchmark,
     run_sharded_benchmark,
 )
@@ -157,6 +169,32 @@ def main(argv=None) -> int:
         "(the sweep-round protocol; min 2)",
     )
     parser.add_argument(
+        "--incremental-sizes", type=int, nargs="+",
+        default=list(INCREMENTAL_SIZES),
+        help="deployment sizes for the incremental-vs-rebuild stage",
+    )
+    parser.add_argument(
+        "--incremental-steps", type=int, default=INCREMENTAL_STEPS,
+        help="timed single-move maintenance steps per size",
+    )
+    parser.add_argument(
+        "--skip-incremental", action="store_true",
+        help="skip the incremental-vs-rebuild maintenance stage",
+    )
+    parser.add_argument(
+        "--incremental-trace-size", type=int, default=INCREMENTAL_TRACE_SIZE,
+        help="deployment size for the long-trace acceptance run",
+    )
+    parser.add_argument(
+        "--incremental-trace-steps", type=int,
+        default=INCREMENTAL_TRACE_STEPS,
+        help="move batches in the long-trace acceptance run (0 skips it)",
+    )
+    parser.add_argument(
+        "--incremental-verify-every", type=int, default=1,
+        help="assert rebuild equivalence every k trace batches",
+    )
+    parser.add_argument(
         "--step-summary", action="store_true",
         help="append a markdown summary to $GITHUB_STEP_SUMMARY",
     )
@@ -207,6 +245,17 @@ def main(argv=None) -> int:
             report["metrics"]["vs_baseline"] = compare_metrics_to_baseline(
                 report["metrics"], baseline
             )
+    if not args.skip_incremental:
+        report["incremental"] = run_incremental_benchmark(
+            args.incremental_sizes,
+            radius=args.radius,
+            seed=args.seed,
+            steps=args.incremental_steps,
+            reps=args.reps,
+            trace_size=args.incremental_trace_size,
+            trace_steps=args.incremental_trace_steps,
+            trace_verify_every=args.incremental_verify_every,
+        )
 
     if args.write_baseline:
         pinned = baseline_from_report(report, commit=_current_commit())
@@ -250,6 +299,20 @@ def main(argv=None) -> int:
         failures.append(
             f"pure-Python oracle fallback differs from reference at "
             f"n={fallback['n']}"
+        )
+    incremental = report.get("incremental", {})
+    for key, entry in incremental.get("results", {}).items():
+        if not entry["identical"]:
+            failures.append(
+                f"incremental maintenance diverged from rebuild at n={key} "
+                f"(mismatches: {entry['mismatches']})"
+            )
+    trace = incremental.get("trace")
+    if trace and not trace["all_verified"]:
+        failures.append(
+            f"incremental trace lost rebuild equivalence "
+            f"({trace['verification_failures']} of {trace['verified_steps']} "
+            "checks failed)"
         )
     if failures:
         for failure in failures:

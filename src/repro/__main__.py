@@ -9,6 +9,10 @@ Commands:
 * ``route`` — route a packet between two nodes over the backbone.
 * ``serve`` — run the long-lived spanner construction service (the
   cached, parallel HTTP serving layer in :mod:`repro.service`).
+* ``mobility`` — drive a seeded random-waypoint trace through a
+  maintenance policy: the paper's break-triggered full rebuild, the
+  localized-repair extension, or the incremental maintenance engine
+  (:mod:`repro.incremental`, with the rebuild-equivalence tripwire).
 * ``experiments`` — regenerate the paper's tables/figures (delegates
   to :mod:`repro.experiments.harness`).
 """
@@ -160,6 +164,77 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_mobility(args: argparse.Namespace) -> int:
+    deployment = _get_deployment(args)
+    trace_seed = args.trace_seed if args.trace_seed is not None else args.seed
+    if args.policy == "incremental":
+        from repro.incremental.session import run_incremental_session
+
+        result = run_incremental_session(
+            deployment,
+            steps=args.steps,
+            dt=args.dt,
+            speed=args.speed,
+            pause=args.pause,
+            move_fraction=args.move_fraction,
+            seed=trace_seed,
+            verify_every=args.verify_every,
+            tile_cells=args.tile_cells,
+        )
+        counters = result.counters
+        print(
+            f"incremental session: n={result.node_count}, "
+            f"{counters['steps']} steps, {counters['events']} events"
+        )
+        print(
+            f"links: +{counters['appeared_links']} -{counters['vanished_links']}, "
+            f"role changes: {counters['role_changes']}, repairs: "
+            f"{counters['repairs_certified']} certified / "
+            f"{counters['repairs_fallback']} fallback"
+        )
+        print(
+            f"dirty: {counters['dirty_tiles']} tiles, "
+            f"{counters['dirty_nodes']} nodes "
+            f"(mean fraction {result.mean_dirty_fraction:.4f})"
+        )
+        if args.verify_every > 0:
+            word = "all identical" if result.all_verified else "MISMATCH"
+            print(
+                f"rebuild equivalence: {counters['verifications']} checks, {word}"
+            )
+        ok = result.all_verified
+        if args.max_dirty_fraction is not None:
+            if result.mean_dirty_fraction > args.max_dirty_fraction:
+                print(
+                    f"FAILED: mean dirty fraction {result.mean_dirty_fraction:.4f} "
+                    f"exceeds --max-dirty-fraction {args.max_dirty_fraction}",
+                    file=sys.stderr,
+                )
+                ok = False
+        return 0 if ok else 1
+
+    from repro.mobility.session import run_mobility_session
+
+    result = run_mobility_session(
+        deployment,
+        steps=args.steps,
+        dt=args.dt,
+        speed=args.speed,
+        pause=args.pause,
+        seed=trace_seed,
+        policy=args.policy,
+    )
+    print(
+        f"{args.policy} session: {len(result.steps)} steps, "
+        f"{result.rebuild_count} rebuilds (rate {result.rebuild_rate:.2f})"
+    )
+    print(
+        f"mean retention on rebuild: {result.mean_retention_on_rebuild:.3f}, "
+        f"routing availability: {result.availability:.3f}"
+    )
+    return 0
+
+
 def cmd_corpus(args: argparse.Namespace) -> int:
     from repro.workloads.corpus import CORPUS
 
@@ -210,6 +285,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_report.add_argument("--output", type=Path, default=Path("report.md"))
     p_report.add_argument("--svg-dir", type=Path, default=None)
     p_report.set_defaults(func=cmd_report)
+
+    p_mob = sub.add_parser(
+        "mobility", help="run a random-waypoint maintenance session"
+    )
+    _add_deployment_args(p_mob)
+    p_mob.add_argument("--steps", type=int, default=50)
+    p_mob.add_argument("--dt", type=float, default=1.0)
+    p_mob.add_argument("--speed", type=float, default=2.0)
+    p_mob.add_argument("--pause", type=float, default=1.0)
+    p_mob.add_argument(
+        "--move-fraction", type=float, default=0.05,
+        help="share of nodes moved per step (incremental policy)",
+    )
+    p_mob.add_argument(
+        "--trace-seed", type=int, default=None,
+        help="mobility RNG seed (defaults to --seed)",
+    )
+    p_mob.add_argument(
+        "--policy", choices=("full", "local", "incremental"), default="full",
+        help="maintenance strategy driven by the trace",
+    )
+    p_mob.add_argument(
+        "--verify-every", type=int, default=0,
+        help="assert rebuild equivalence every k steps (incremental; 0=off)",
+    )
+    p_mob.add_argument(
+        "--tile-cells", type=int, default=2,
+        help="tile size (in radius cells) of the incremental grid",
+    )
+    p_mob.add_argument(
+        "--max-dirty-fraction", type=float, default=None,
+        help="fail when the mean dirty-node fraction exceeds this "
+        "(incremental; the sublinearity tripwire in CI)",
+    )
+    p_mob.set_defaults(func=cmd_mobility)
 
     p_serve = sub.add_parser(
         "serve", help="run the spanner construction service (HTTP JSON API)"

@@ -23,6 +23,12 @@ must match the reference within ``PARITY_RTOL`` (bit-exactly for
 ``max``/``pairs``/``unreachable_pairs``), and the no-numpy/no-scipy
 fallback must match the pure-Python reference *exactly*.
 
+The ``incremental`` section times the maintenance side: per-step cost
+of the :mod:`repro.incremental` engine under single-node waypoint
+moves against the from-scratch fast rebuild it replaces, with the
+rebuild-equivalence tripwire after the trace, plus the long-trace
+acceptance run (bit-identity asserted after every batch).
+
 Shared by ``benchmarks/bench_hotpath.py`` (standalone CLI), the
 ``hotpath`` mode of :mod:`repro.experiments.harness`, and the CI
 bench-smoke job.  Output is machine-readable JSON
@@ -54,6 +60,13 @@ SHARDED_SIZES = (1000, 2000, 5000)
 BACKBONE_FAST_SIZES = (1000, 2000, 5000)
 #: Sizes the metrics-engine comparison runs at (ISSUE 5).
 METRICS_SIZES = (200, 1000)
+#: Sizes the incremental-vs-rebuild maintenance comparison runs at.
+INCREMENTAL_SIZES = (1000, 2000)
+#: Timed single-move maintenance steps per size in the incremental stage.
+INCREMENTAL_STEPS = 30
+#: The long-trace acceptance run: deployment size and batch count.
+INCREMENTAL_TRACE_SIZE = 1000
+INCREMENTAL_TRACE_STEPS = 200
 #: Summarize passes per deployment in the metrics stage — the sweep
 #: protocol's per-point repetition count (``bench_table1`` runs three
 #: rounds; the fig sweeps replay points under pytest-benchmark
@@ -459,6 +472,159 @@ def run_backbone_fast_benchmark(
     }
 
 
+def measure_incremental(
+    n: int,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    steps: int = INCREMENTAL_STEPS,
+    reps: int = 1,
+) -> dict:
+    """Per-step incremental maintenance vs from-scratch rebuild at one size.
+
+    ``rebuild`` is the fast-path ``build_backbone`` (min over
+    ``reps``) — what a maintenance step would cost without the
+    incremental engine.  ``incremental_step`` is the mean wall time of
+    ``steps`` single-node-move maintenance steps on a seeded waypoint
+    trace.  ``identical`` is the tripwire: after the whole trace the
+    maintained structures must still match a from-scratch rebuild
+    bit-for-bit, or the speedup is a bug.
+    """
+    from repro.incremental.engine import IncrementalMaintainer
+    from repro.incremental.events import Event
+    from repro.mobility.waypoint import RandomWaypointModel
+
+    side = 10.0 * math.sqrt(n)
+    dep = connected_udg_instance(n, side, radius, random.Random(seed))
+
+    rebuild_s = math.inf
+    for _ in range(max(1, reps)):
+        t0 = time.perf_counter()
+        build_backbone(dep.points, dep.radius, mode="fast")
+        rebuild_s = min(rebuild_s, time.perf_counter() - t0)
+
+    maintainer = IncrementalMaintainer(list(dep.points), dep.radius)
+    model = RandomWaypointModel(
+        list(dep.points), dep.side, seed,
+        speed_range=(1.0, 3.0), pause_range=(0.0, 0.0),
+    )
+    picker = random.Random(seed + 1)
+    phase_totals: dict[str, float] = {}
+    total_s = 0.0
+    dirty_fractions: list[float] = []
+    for _ in range(steps):
+        mover = picker.randrange(n)
+        positions = model.step(1.0, nodes=[mover])
+        event = Event(
+            "move", node=mover, x=positions[mover][0], y=positions[mover][1]
+        )
+        t0 = time.perf_counter()
+        report = maintainer.apply([event])
+        total_s += time.perf_counter() - t0
+        dirty_fractions.append(report.dirty_fraction)
+        for key, value in report.phase_seconds.items():
+            phase_totals[key] = phase_totals.get(key, 0.0) + value
+    step_s = total_s / steps if steps else 0.0
+    outcome = maintainer.verify()
+    return {
+        "steps": steps,
+        "seconds": {
+            "rebuild": round(rebuild_s, 6),
+            "incremental_step": round(step_s, 6),
+        },
+        "phase_seconds": {
+            key: round(value / steps, 6) for key, value in phase_totals.items()
+        },
+        "speedup": round(rebuild_s / step_s, 3) if step_s else None,
+        "mean_dirty_fraction": (
+            round(sum(dirty_fractions) / len(dirty_fractions), 6)
+            if dirty_fractions
+            else 0.0
+        ),
+        "identical": outcome["identical"],
+        "mismatches": outcome["mismatches"],
+    }
+
+
+def measure_incremental_trace(
+    n: int = INCREMENTAL_TRACE_SIZE,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    steps: int = INCREMENTAL_TRACE_STEPS,
+    move_fraction: float = 0.02,
+    verify_every: int = 1,
+) -> dict:
+    """The long-trace acceptance run: bit-identity after every batch.
+
+    Drives a ``steps``-batch waypoint trace through
+    :func:`~repro.incremental.session.run_incremental_session` with
+    the rebuild-equivalence tripwire asserted every ``verify_every``
+    batches (1 = after every batch, the acceptance setting; the
+    verification rebuilds dominate the wall time, which is the point —
+    the trace certifies correctness, the per-step stage above measures
+    speed).
+    """
+    from repro.incremental.session import run_incremental_session
+
+    side = 10.0 * math.sqrt(n)
+    dep = connected_udg_instance(n, side, radius, random.Random(seed))
+    t0 = time.perf_counter()
+    result = run_incremental_session(
+        dep,
+        steps=steps,
+        move_fraction=move_fraction,
+        seed=seed,
+        verify_every=verify_every,
+    )
+    total_s = time.perf_counter() - t0
+    counters = result.counters
+    return {
+        "n": n,
+        "steps": steps,
+        "move_fraction": move_fraction,
+        "verify_every": verify_every,
+        "seconds": {"total": round(total_s, 6)},
+        "events": counters["events"],
+        "verified_steps": counters["verifications"],
+        "verification_failures": counters["verification_failures"],
+        "all_verified": result.all_verified,
+        "mean_dirty_fraction": round(result.mean_dirty_fraction, 6),
+    }
+
+
+def run_incremental_benchmark(
+    sizes: Sequence[int] = INCREMENTAL_SIZES,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    steps: int = INCREMENTAL_STEPS,
+    reps: int = 1,
+    trace_size: int = INCREMENTAL_TRACE_SIZE,
+    trace_steps: int = INCREMENTAL_TRACE_STEPS,
+    trace_verify_every: int = 1,
+) -> dict:
+    """The incremental-maintenance section of the benchmark report."""
+    report: dict = {
+        "sizes": list(sizes),
+        "results": {
+            str(n): measure_incremental(
+                n, radius=radius, seed=seed, steps=steps, reps=reps
+            )
+            for n in sizes
+        },
+    }
+    if trace_steps > 0:
+        report["trace"] = measure_incremental_trace(
+            trace_size,
+            radius=radius,
+            seed=seed,
+            steps=trace_steps,
+            verify_every=trace_verify_every,
+        )
+    return report
+
+
 def _metrics_family(n: int, radius: float, seed: int):
     """The Table I topology family on the bench deployment recipe."""
     from repro.experiments.runner import build_all_topologies
@@ -789,6 +955,34 @@ def format_report(report: dict) -> str:
             lines.append(
                 f"{'':>6} pure-Python fallback at n={fallback['n']}: {word}"
             )
+    incremental = report.get("incremental")
+    if incremental:
+        lines.append("")
+        lines.append(
+            f"{'n':>6} {'rebuild s':>10} {'step s':>10} {'speedup':>9} "
+            f"{'dirty frac':>11} {'identical':>10}"
+        )
+        for n in incremental["sizes"]:
+            entry = incremental["results"][str(n)]
+            match = "yes" if entry["identical"] else "NO (BUG)"
+            lines.append(
+                f"{n:>6} {entry['seconds']['rebuild']:>10.4f} "
+                f"{entry['seconds']['incremental_step']:>10.4f} "
+                f"{entry['speedup']:>8.2f}x "
+                f"{entry['mean_dirty_fraction']:>11.4f} {match:>10}"
+            )
+        trace = incremental.get("trace")
+        if trace:
+            word = (
+                "all identical"
+                if trace["all_verified"]
+                else f"{trace['verification_failures']} MISMATCHES"
+            )
+            lines.append(
+                f"{'':>6} trace n={trace['n']}, {trace['steps']} batches, "
+                f"verified every {trace['verify_every']}: {word} "
+                f"(mean dirty fraction {trace['mean_dirty_fraction']:.4f})"
+            )
     return "\n".join(lines)
 
 
@@ -886,6 +1080,38 @@ def format_markdown(report: dict) -> str:
                 "summarize passes per deployment (the benchmark-round protocol), "
                 "reference re-paid per pass vs oracle cold-then-cached. "
                 f"Pure-Python fallback parity at n={fallback['n']}: {word}."
+            )
+    incremental = report.get("incremental")
+    if incremental:
+        lines += [
+            "",
+            "### Incremental maintenance vs from-scratch rebuild",
+            "",
+            "| n | rebuild s | step s | speedup | mean dirty fraction "
+            "| bit-identical |",
+            "|---|---|---|---|---|---|",
+        ]
+        for n in incremental["sizes"]:
+            entry = incremental["results"][str(n)]
+            tripwire = "yes" if entry["identical"] else "**NO — BUG**"
+            lines.append(
+                f"| {n} | {entry['seconds']['rebuild']:.4f} "
+                f"| {entry['seconds']['incremental_step']:.4f} "
+                f"| {entry['speedup']:.2f}x "
+                f"| {entry['mean_dirty_fraction']:.4f} | {tripwire} |"
+            )
+        trace = incremental.get("trace")
+        if trace:
+            word = (
+                "all identical"
+                if trace["all_verified"]
+                else f"**{trace['verification_failures']} MISMATCHES**"
+            )
+            lines.append("")
+            lines.append(
+                f"Trace: n={trace['n']}, {trace['steps']} move batches, "
+                f"rebuild-equivalence checked every {trace['verify_every']} "
+                f"batch(es): {word}."
             )
     lines.append("")
     return "\n".join(lines)

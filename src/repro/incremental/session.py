@@ -1,0 +1,144 @@
+"""Long-lived incremental sessions: a mobility trace as an event stream.
+
+Bridges :class:`~repro.mobility.waypoint.RandomWaypointModel` and
+:class:`~repro.incremental.engine.IncrementalMaintainer`: each step
+moves a (seeded, reproducible) subset of nodes, converts the new
+positions into ``move`` events, applies them incrementally, and
+optionally asserts the rebuild-equivalence tripwire.  The same loop
+backs the CLI runner (``python -m repro mobility --policy
+incremental``), the benchmark trace stage, and the CI smoke job; the
+HTTP session endpoints (:mod:`repro.service.server`) drive the
+session object directly with client-supplied event batches instead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.incremental.engine import IncrementalMaintainer, StepReport
+from repro.incremental.events import Event
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.workloads.generators import Deployment
+
+
+@dataclass
+class IncrementalSession:
+    """One live maintained deployment plus its cumulative counters."""
+
+    maintainer: IncrementalMaintainer
+    reports: list[StepReport] = field(default_factory=list)
+    verifications: int = 0
+    verification_failures: list[dict] = field(default_factory=list)
+
+    def step(self, events: Sequence[Event], *, verify: bool = False) -> StepReport:
+        """Apply one event batch; optionally assert rebuild equivalence."""
+        report = self.maintainer.apply(events)
+        self.reports.append(report)
+        if verify:
+            self.verifications += 1
+            outcome = self.maintainer.verify()
+            if not outcome["identical"]:
+                self.verification_failures.append(
+                    {"step": len(self.reports), **outcome}
+                )
+        return report
+
+    def counters(self) -> dict:
+        """Cumulative ``incremental.*`` counters over the session."""
+        totals = {
+            "steps": len(self.reports),
+            "events": sum(r.events for r in self.reports),
+            "appeared_links": sum(r.appeared_links for r in self.reports),
+            "vanished_links": sum(r.vanished_links for r in self.reports),
+            "role_changes": sum(r.role_changes for r in self.reports),
+            "repairs_certified": sum(r.repairs_certified for r in self.reports),
+            "repairs_fallback": sum(r.repairs_fallback for r in self.reports),
+            "dirty_tiles": sum(r.dirty_tiles for r in self.reports),
+            "dirty_nodes": sum(r.dirty_nodes for r in self.reports),
+            "verifications": self.verifications,
+            "verification_failures": len(self.verification_failures),
+        }
+        if self.reports:
+            totals["mean_dirty_fraction"] = sum(
+                r.dirty_fraction for r in self.reports
+            ) / len(self.reports)
+        return totals
+
+
+@dataclass(frozen=True)
+class IncrementalSessionResult:
+    """Outcome of a scripted waypoint-driven incremental session."""
+
+    reports: tuple[StepReport, ...]
+    counters: dict
+    node_count: int
+
+    @property
+    def all_verified(self) -> bool:
+        return self.counters.get("verification_failures", 0) == 0
+
+    @property
+    def mean_dirty_fraction(self) -> float:
+        return float(self.counters.get("mean_dirty_fraction", 0.0))
+
+
+def run_incremental_session(
+    deployment: Deployment,
+    *,
+    steps: int,
+    dt: float = 1.0,
+    speed: float = 2.0,
+    pause: float = 1.0,
+    move_fraction: float = 0.05,
+    seed: int = 0,
+    verify_every: int = 0,
+    tile_cells: int = 2,
+    probe_pairs: Optional[Sequence[tuple[int, int]]] = None,
+) -> IncrementalSessionResult:
+    """Drive a seeded waypoint trace through the incremental maintainer.
+
+    Per step, a ``move_fraction`` share of the nodes (at least one,
+    chosen by the seeded RNG) advances by ``dt`` and the resulting
+    relocations are applied as one ``move``-event batch.
+    ``verify_every=k`` asserts the from-scratch-rebuild tripwire every
+    ``k``-th step (0 disables; 1 checks every step, as the CI smoke
+    job does).  The trace is a pure function of the arguments.
+    """
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    if not 0.0 < move_fraction <= 1.0:
+        raise ValueError("move_fraction must be in (0, 1]")
+    del probe_pairs  # accepted for signature parity with run_mobility_session
+    n = len(deployment.points)
+    model = RandomWaypointModel(
+        list(deployment.points),
+        deployment.side,
+        seed,
+        speed_range=(0.5 * speed, 1.5 * speed),
+        pause_range=(0.0, max(pause, 0.0)),
+    )
+    session = IncrementalSession(
+        IncrementalMaintainer(
+            list(deployment.points), deployment.radius, tile_cells=tile_cells
+        )
+    )
+    movers_per_step = max(1, round(move_fraction * n))
+    # A separate stream picks the movers so the waypoint trajectories
+    # stay a function of the seed alone, whatever the fraction.
+    picker = random.Random(seed + 1)
+    for index in range(steps):
+        movers = sorted(picker.sample(range(n), movers_per_step))
+        positions = model.step(dt, nodes=movers)
+        events = [
+            Event("move", node=u, x=positions[u][0], y=positions[u][1])
+            for u in movers
+        ]
+        verify = verify_every > 0 and (index + 1) % verify_every == 0
+        session.step(events, verify=verify)
+    return IncrementalSessionResult(
+        reports=tuple(session.reports),
+        counters=session.counters(),
+        node_count=n,
+    )

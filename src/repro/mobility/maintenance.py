@@ -4,11 +4,17 @@ The paper's observation: while nodes move, the *logical* backbone
 stays valid as long as none of its links stretches beyond the
 transmission radius — the physical drawing may momentarily be
 non-planar, but routing state need not change.  The maintainer
-implements exactly that policy: it watches the structural links,
-leaves the backbone untouched while they all hold, and rebuilds when
-one breaks, reporting how much of the structure actually changed
-(edge churn, role churn) — the quantities the mobility example and
-the maintenance tests examine.
+implements that policy with one correction: besides breakage it also
+watches the appearing UDG links that *invalidate* what is being
+maintained — a new link between two backbone nodes changes the
+induced subgraph the planarized LDel was computed over (stale spanner
+membership), and a new link crossing a structural link breaks the
+planarity of the maintained embedding.  Either triggers a rebuild;
+benign gains (a fresh dominatee link with no crossing) still do not,
+unless ``watch_gains=True`` opts into the healing policy.  Reports
+carry how much of the structure actually changed (edge churn, role
+churn) — the quantities the mobility example and the maintenance
+tests examine.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.spanner import BackboneResult, build_backbone
+from repro.geometry.predicates import segments_cross
 from repro.geometry.primitives import Point, dist
 
 
@@ -35,6 +42,10 @@ class MaintenanceReport:
     role_changes: tuple[int, ...]
     #: The current (possibly new) backbone.
     result: BackboneResult
+    #: Appearing UDG links that invalidated the maintained structure
+    #: (backbone-backbone adjacency, or a crossing with a structural
+    #: link) and therefore forced the rebuild.
+    invalidating_links: tuple[tuple[int, int], ...] = ()
 
 
 class BackboneMaintainer:
@@ -72,25 +83,75 @@ class BackboneMaintainer:
         gained = sorted(new_udg.edge_set() - self.result.udg.edge_set())
         return tuple(gained)
 
+    def invalidating_links(
+        self, positions: Sequence[Point]
+    ) -> tuple[tuple[int, int], ...]:
+        """Appearing UDG links that invalidate the maintained structure."""
+        return self._filter_invalidating(self.new_links(positions), positions)
+
+    def _filter_invalidating(
+        self,
+        gained: Sequence[tuple[int, int]],
+        positions: Sequence[Point],
+    ) -> tuple[tuple[int, int], ...]:
+        """The subset of ``gained`` links the break-only policy must not ignore.
+
+        A link that newly comes into range can invalidate the
+        maintained structure even while every structural link still
+        holds:
+
+        * both endpoints are backbone nodes — the induced subgraph
+          PLDel/ICDS were computed over gained an edge, so the cached
+          planarization and spanner membership are stale;
+        * the link's segment properly crosses a structural link — the
+          maintained embedding is no longer planar at these positions.
+        """
+        if not gained:
+            return ()
+        backbone_nodes = self.result.dominators | self.result.connectors
+        structural = sorted(self.structural_links())
+        invalidating: list[tuple[int, int]] = []
+        for u, v in gained:
+            if u in backbone_nodes and v in backbone_nodes:
+                invalidating.append((u, v))
+                continue
+            pu, pv = positions[u], positions[v]
+            if any(
+                a not in (u, v)
+                and b not in (u, v)
+                and segments_cross(pu, pv, positions[a], positions[b])
+                for a, b in structural
+            ):
+                invalidating.append((u, v))
+        return tuple(invalidating)
+
     def update(
         self, positions: Sequence[Point], *, watch_gains: bool = False
     ) -> MaintenanceReport:
-        """Apply a position update; rebuild only when a link broke.
+        """Apply a position update; rebuild when the structure is invalid.
 
         The paper's policy watches only *breakage*: as long as every
         structural link holds, the logical backbone stays valid and
-        nothing happens.  The blind spot — demonstrated by the
-        partition tests — is **healing**: links that newly come into
-        range (e.g. two partitions drifting back together) are never
-        exploited.  ``watch_gains=True`` closes it by also rebuilding
-        when the radio graph gained any link.
+        nothing happens.  Two classes of *appearing* link are watched
+        on top of that, because ignoring them leaves the maintained
+        structure wrong rather than merely suboptimal: new
+        backbone-backbone adjacency (stale PLDel/ICDS membership) and
+        new links crossing a structural link (broken planarity) — see
+        :meth:`invalidating_links`.  The remaining blind spot —
+        demonstrated by the partition tests — is **healing**: benign
+        links that newly come into range (e.g. two partitions drifting
+        back together) are never exploited.  ``watch_gains=True``
+        closes it by also rebuilding when the radio graph gained any
+        link at all.
         """
         if len(positions) != self.result.udg.node_count:
             raise ValueError("position update must cover every node")
         self.update_count += 1
         broken = self.check(positions)
-        gains_trigger = watch_gains and bool(self.new_links(positions))
-        if not broken and not gains_trigger:
+        gained = self.new_links(positions)
+        invalidating = self._filter_invalidating(gained, positions)
+        gains_trigger = watch_gains and bool(gained)
+        if not broken and not invalidating and not gains_trigger:
             return MaintenanceReport(
                 broken_links=(),
                 rebuilt=False,
@@ -120,4 +181,5 @@ class BackboneMaintainer:
             edge_retention=retention,
             role_changes=role_changes,
             result=new,
+            invalidating_links=invalidating,
         )

@@ -72,6 +72,7 @@ def run_mobility_session(
     steps: int,
     dt: float = 1.0,
     speed: float = 2.0,
+    pause: float = 2.0,
     probe_pairs: Optional[Sequence[tuple[int, int]]] = None,
     seed: int = 0,
     policy: str = "full",
@@ -83,7 +84,8 @@ def run_mobility_session(
     deterministic long-range pairs.  ``policy`` selects the
     maintenance strategy: ``"full"`` (the paper's break-triggered full
     rebuild) or ``"local"`` (the localized-repair extension, which
-    also reports smaller effective churn).
+    also reports smaller effective churn).  ``pause`` caps the
+    per-trip waypoint pause time.
     """
     if steps < 0:
         raise ValueError("steps must be non-negative")
@@ -102,6 +104,7 @@ def run_mobility_session(
         deployment.side,
         rng,
         speed_range=(0.5 * speed, 1.5 * speed),
+        pause_range=(0.0, max(pause, 0.0)),
     )
 
     records: list[SessionStep] = []

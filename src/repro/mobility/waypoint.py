@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence, Union
 
 from repro.geometry.primitives import Point, dist
 
@@ -25,13 +25,20 @@ class _NodeMotion:
 
 
 class RandomWaypointModel:
-    """Random-waypoint motion for a set of nodes in a square region."""
+    """Random-waypoint motion for a set of nodes in a square region.
+
+    ``rng`` accepts either a :class:`random.Random` instance or a bare
+    integer seed; passing the same seed (and issuing the same sequence
+    of :meth:`step` calls) reproduces the trace bit-for-bit, which is
+    what makes the incremental benchmarks and CI smoke jobs
+    deterministic.
+    """
 
     def __init__(
         self,
         initial: Sequence[Point],
         side: float,
-        rng: random.Random,
+        rng: Union[random.Random, int],
         *,
         speed_range: tuple[float, float] = (1.0, 5.0),
         pause_range: tuple[float, float] = (0.0, 2.0),
@@ -41,7 +48,7 @@ class RandomWaypointModel:
         if pause_range[0] < 0.0 or pause_range[0] > pause_range[1]:
             raise ValueError("pause_range must be non-negative and ordered")
         self.side = side
-        self._rng = rng
+        self._rng = random.Random(rng) if isinstance(rng, int) else rng
         self._speed_range = speed_range
         self._pause_range = pause_range
         self._nodes = [
@@ -66,11 +73,17 @@ class RandomWaypointModel:
     def positions(self) -> list[Point]:
         return [n.position for n in self._nodes]
 
-    def step(self, dt: float) -> list[Point]:
-        """Advance all nodes by ``dt`` time units; returns new positions."""
+    def step(self, dt: float, nodes: Optional[Sequence[int]] = None) -> list[Point]:
+        """Advance nodes by ``dt`` time units; returns all new positions.
+
+        ``nodes`` restricts motion to a subset of node indices (the
+        event-stream experiments move a few nodes per step and keep the
+        rest parked); the default advances everyone.
+        """
         if dt < 0.0:
             raise ValueError("dt must be non-negative")
-        for node in self._nodes:
+        moving = self._nodes if nodes is None else [self._nodes[i] for i in nodes]
+        for node in moving:
             remaining = dt
             while remaining > 1e-12:
                 if node.pause_left > 0.0:

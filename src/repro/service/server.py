@@ -12,8 +12,14 @@ Endpoints:
 * ``POST /build``  — build one topology (through the cache);
 * ``POST /batch``  — fan many build requests across the executor;
 * ``POST /route``  — greedy/GPSR routing on a cached backbone build;
+* ``POST /session`` — open a live incremental maintenance session;
+* ``POST /session/{id}/step`` — apply one event batch, stream the
+  topology delta (edges added/removed) back;
+* ``GET /session/{id}`` — session summary and cumulative counters;
+* ``DELETE /session/{id}`` — close a session;
 * ``GET /pipelines`` — the registry listing with parameter schemas;
-* ``GET /metrics`` — counters, latency percentiles, cache accounting;
+* ``GET /metrics`` — counters, latency percentiles, cache accounting,
+  and the ``incremental.*`` maintenance totals;
 * ``GET /healthz`` — liveness.
 
 Run it with ``python -m repro serve``.
@@ -26,6 +32,9 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping, Optional
 
+from repro.incremental.engine import IncrementalMaintainer, StepReport
+from repro.incremental.events import parse_events
+from repro.incremental.session import IncrementalSession
 from repro.routing.backbone_routing import backbone_route
 from repro.service.cache import ResultCache, scenario_key
 from repro.service.executor import MODES, run_batch
@@ -71,6 +80,10 @@ class SpannerService:
         self.executor_mode = executor_mode
         self.max_workers = max_workers
         self.task_timeout = task_timeout
+        #: Live incremental maintenance sessions by id.
+        self._sessions: dict[str, IncrementalSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._session_seq = 0
 
     # -- building --------------------------------------------------------
 
@@ -354,6 +367,148 @@ class SpannerService:
             **result.as_dict(product.backbone.udg),
         }
 
+    # -- incremental sessions --------------------------------------------
+
+    def session_create(self, payload: Mapping[str, Any]) -> dict:
+        """``POST /session`` — open a live incremental maintenance session.
+
+        The scenario resolves exactly like a build request's; the
+        session then owns an
+        :class:`~repro.incremental.engine.IncrementalMaintainer` whose
+        maintained structures stay bit-identical to a from-scratch
+        rebuild as event batches stream in through
+        ``POST /session/{id}/step``.
+        """
+        if not isinstance(payload, Mapping):
+            raise ServiceError(400, "request body must be a JSON object")
+        scenario = payload.get("scenario")
+        if scenario is None:
+            raise ServiceError(400, "missing required field 'scenario'")
+        tile_cells = payload.get("tile_cells", 2)
+        if isinstance(tile_cells, bool) or not isinstance(tile_cells, int) or tile_cells < 1:
+            raise ServiceError(400, "'tile_cells' must be a positive integer")
+        try:
+            deployment = resolve_scenario(scenario)
+        except RegistryError as exc:
+            raise ServiceError(400, str(exc)) from None
+        self.metrics.inc("incremental.sessions")
+        with self.metrics.timer("incremental.open"):
+            maintainer = IncrementalMaintainer(
+                list(deployment.points), deployment.radius, tile_cells=tile_cells
+            )
+        session = IncrementalSession(maintainer)
+        with self._sessions_lock:
+            self._session_seq += 1
+            session_id = f"s{self._session_seq}"
+            self._sessions[session_id] = session
+        snap = maintainer.snapshot()
+        return {
+            "session": session_id,
+            "nodes": maintainer.udg.node_count,
+            "radius": deployment.radius,
+            "udg_edges": len(snap.udg_edges),
+            "dominators": len(snap.dominators),
+            "connectors": len(snap.connectors),
+            "ldel_icds_edges": len(snap.ldel_icds_edges),
+        }
+
+    def _session(self, session_id: str) -> IncrementalSession:
+        with self._sessions_lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise ServiceError(
+                404, f"no session {session_id!r}; POST /session first"
+            )
+        return session
+
+    def session_step(self, session_id: str, payload: Mapping[str, Any]) -> dict:
+        """``POST /session/{id}/step`` — one event batch in, one delta out.
+
+        The response is the step's :class:`StepReport`: invalidation
+        accounting (dirty tiles/nodes, certified vs fallback repairs)
+        plus the streamed topology delta — the LDel(ICDS') edges this
+        batch added and removed.  ``verify=true`` additionally runs the
+        rebuild-equivalence tripwire and reports the outcome.
+        """
+        if not isinstance(payload, Mapping):
+            raise ServiceError(400, "request body must be a JSON object")
+        session = self._session(session_id)
+        specs = payload.get("events")
+        if not isinstance(specs, list):
+            raise ServiceError(400, "'events' must be a list of event objects")
+        try:
+            events = parse_events(specs)
+        except ValueError as exc:
+            raise ServiceError(400, str(exc)) from None
+        verify = bool(payload.get("verify", False))
+        with self.metrics.timer("incremental.step"):
+            report = session.step(events, verify=verify)
+        self._record_incremental_metrics(report)
+        response = {
+            "session": session_id,
+            "step": len(session.reports),
+            **report.as_dict(),
+        }
+        if verify:
+            self.metrics.inc("incremental.verifications")
+            failures = session.verification_failures
+            verified = not failures or failures[-1]["step"] != len(session.reports)
+            if not verified:
+                self.metrics.inc("incremental.verification_failures")
+            response["verified"] = verified
+        return response
+
+    def session_get(self, session_id: str) -> dict:
+        """``GET /session/{id}`` — summary plus cumulative counters."""
+        session = self._session(session_id)
+        snap = session.maintainer.snapshot()
+        return {
+            "session": session_id,
+            "nodes": session.maintainer.udg.node_count,
+            "steps": len(session.reports),
+            "udg_edges": len(snap.udg_edges),
+            "backbone_nodes": len(snap.backbone_nodes),
+            "ldel_icds_edges": len(snap.ldel_icds_edges),
+            "counters": session.counters(),
+        }
+
+    def session_delete(self, session_id: str) -> dict:
+        """``DELETE /session/{id}`` — close and drop a session."""
+        with self._sessions_lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise ServiceError(404, f"no session {session_id!r}")
+        self.metrics.inc("incremental.sessions_closed")
+        return {
+            "session": session_id,
+            "closed": True,
+            "steps": len(session.reports),
+        }
+
+    def _record_incremental_metrics(self, report: StepReport) -> None:
+        """Fold one maintenance step into the ``incremental.*`` metrics.
+
+        Event/link/repair counts become running counters, the per-phase
+        wall times feed latency histograms under
+        ``incremental.phase.*``, and the step's dirty-node fraction
+        feeds a (unitless) histogram — so ``GET /metrics`` shows how
+        local the maintenance actually stayed.
+        """
+        self.metrics.inc("incremental.steps")
+        self.metrics.inc("incremental.events", report.events)
+        self.metrics.inc("incremental.appeared_links", report.appeared_links)
+        self.metrics.inc("incremental.vanished_links", report.vanished_links)
+        self.metrics.inc("incremental.role_changes", report.role_changes)
+        self.metrics.inc("incremental.repairs_certified", report.repairs_certified)
+        self.metrics.inc("incremental.repairs_fallback", report.repairs_fallback)
+        self.metrics.inc("incremental.dirty_tiles", report.dirty_tiles)
+        self.metrics.inc("incremental.dirty_nodes", report.dirty_nodes)
+        self.metrics.inc("incremental.edges_added", len(report.edges_added))
+        self.metrics.inc("incremental.edges_removed", len(report.edges_removed))
+        self.metrics.observe("incremental.dirty_fraction", report.dirty_fraction)
+        for name, seconds in report.phase_seconds.items():
+            self.metrics.observe(f"incremental.phase.{name}", float(seconds))
+
     # -- introspection ---------------------------------------------------
 
     def pipelines(self) -> dict:
@@ -361,6 +516,7 @@ class SpannerService:
 
     def metrics_snapshot(self) -> dict:
         snapshot = self.metrics.snapshot()
+        snapshot["sessions"] = {"active": len(self._sessions)}
         snapshot["cache"] = {
             "entries": len(self.cache),
             "max_entries": self.cache.max_entries,
@@ -396,12 +552,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        parts = path.strip("/").split("/")
         if path == "/healthz":
             self._respond(200, self.service.healthz())
         elif path == "/metrics":
             self._respond(200, self.service.metrics_snapshot())
         elif path == "/pipelines":
             self._respond(200, self.service.pipelines())
+        elif len(parts) == 2 and parts[0] == "session":
+            self._dispatch(lambda: self.service.session_get(parts[1]))
         else:
             self._respond(404, {"error": f"unknown path {path!r}"})
 
@@ -411,14 +570,32 @@ class ServiceHandler(BaseHTTPRequestHandler):
             "/build": self.service.build,
             "/batch": self.service.batch,
             "/route": self.service.route,
+            "/session": self.service.session_create,
         }
         handler = handlers.get(path)
-        if handler is None:
-            self._respond(404, {"error": f"unknown path {path!r}"})
+        if handler is not None:
+            self._dispatch(lambda: handler(self._read_json()))
             return
+        parts = path.strip("/").split("/")
+        if len(parts) == 3 and parts[0] == "session" and parts[2] == "step":
+            self._dispatch(
+                lambda: self.service.session_step(parts[1], self._read_json())
+            )
+            return
+        self._respond(404, {"error": f"unknown path {path!r}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0].rstrip("/")
+        parts = path.strip("/").split("/")
+        if len(parts) == 2 and parts[0] == "session":
+            self._dispatch(lambda: self.service.session_delete(parts[1]))
+        else:
+            self._respond(404, {"error": f"unknown path {path!r}"})
+
+    def _dispatch(self, call) -> None:
+        """Run one service call, mapping failures to JSON responses."""
         try:
-            payload = self._read_json()
-            self._respond(200, handler(payload))
+            self._respond(200, call())
         except ServiceError as exc:
             self._respond(exc.status, {"error": exc.message})
         except Exception as exc:  # a bug, not a bad request

@@ -178,6 +178,99 @@ class TileGrid:
         ]
 
 
+class DynamicTileGrid:
+    """An unbounded, lazy r-aligned tile grid for incremental maintenance.
+
+    :class:`TileGrid` is sized to a fixed point set and clamps out-of-
+    range coordinates into the boundary tiles — exactly wrong for a
+    mobility stream, where nodes drift past the initial bounding box.
+    This grid has no bounds: tile keys are plain ``floor`` coordinates
+    over an infinite lattice of ``tile_cells * r`` squares anchored at
+    ``origin``, so the key of a point is a deterministic function of
+    its coordinates alone, stable under arbitrary motion.  Tiles are
+    never materialized; callers keep their own ``key -> state`` maps
+    and use the geometric queries here to find which keys a changed
+    point can influence.
+    """
+
+    def __init__(
+        self,
+        radius: float,
+        *,
+        tile_cells: int = 2,
+        origin: tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        if radius <= 0.0:
+            raise ValueError("radius must be positive")
+        if tile_cells < 1:
+            raise ValueError("tile_cells must be at least 1")
+        self.radius = radius
+        self.tile_cells = tile_cells
+        self.tile_side = tile_cells * radius
+        self.origin_x, self.origin_y = origin
+
+    def key_of(self, p: Point) -> tuple[int, int]:
+        """Grid coordinates of the tile whose half-open core owns ``p``."""
+        return (
+            math.floor((p[0] - self.origin_x) / self.tile_side),
+            math.floor((p[1] - self.origin_y) / self.tile_side),
+        )
+
+    def box(self, key: tuple[int, int]) -> tuple[float, float, float, float]:
+        """Core box ``(x0, y0, x1, y1)`` of the tile at ``key``."""
+        ix, iy = key
+        x0 = self.origin_x + ix * self.tile_side
+        y0 = self.origin_y + iy * self.tile_side
+        return (x0, y0, x0 + self.tile_side, y0 + self.tile_side)
+
+    def box_distance(self, key: tuple[int, int], p: Point) -> float:
+        """Euclidean distance from ``p`` to the tile's core box (0 inside)."""
+        x0, y0, x1, y1 = self.box(key)
+        dx = max(x0 - p[0], 0.0, p[0] - x1)
+        dy = max(y0 - p[1], 0.0, p[1] - y1)
+        return math.hypot(dx, dy)
+
+    def keys_within(self, p: Point, halo_r: float) -> list[tuple[int, int]]:
+        """All tile keys whose core box is within ``halo_r`` of ``p``.
+
+        The influence footprint of a changed point: every tile whose
+        halo of width ``halo_r`` contains ``p``.  Enumerates the
+        covering key window arithmetically, then filters by exact box
+        distance, so the result is independent of which tiles happen to
+        be populated.
+        """
+        side = self.tile_side
+        ix0 = math.floor((p[0] - halo_r - self.origin_x) / side)
+        ix1 = math.floor((p[0] + halo_r - self.origin_x) / side)
+        iy0 = math.floor((p[1] - halo_r - self.origin_y) / side)
+        iy1 = math.floor((p[1] + halo_r - self.origin_y) / side)
+        return [
+            (ix, iy)
+            for ix in range(ix0, ix1 + 1)
+            for iy in range(iy0, iy1 + 1)
+            if self.box_distance((ix, iy), p) <= halo_r
+        ]
+
+    def keys_near_key(self, key: tuple[int, int], halo_r: float) -> list[tuple[int, int]]:
+        """All tile keys whose core box is within ``halo_r`` of ``key``'s box.
+
+        Box-to-box distance: along each axis, tiles ``d`` apart leave a
+        gap of ``(d - 1)`` tile sides (adjacent tiles touch).  Used to
+        dilate a phase-A dirty set into the contest-stage footprint.
+        """
+        side = self.tile_side
+        reach = math.floor(halo_r / side) + 1
+        ix, iy = key
+        out: list[tuple[int, int]] = []
+        for dx in range(-reach, reach + 1):
+            gap_x = max(abs(dx) - 1, 0) * side
+            for dy in range(-reach, reach + 1):
+                gap_y = max(abs(dy) - 1, 0) * side
+                if math.hypot(gap_x, gap_y) <= halo_r:
+                    out.append((ix + dx, iy + dy))
+        return out
+
+
 def _best_grid_shape(shards: int, cells_x: int, cells_y: int) -> tuple[int, int]:
     """Factor pair ``(nx, ny)`` of ``shards`` best matching the aspect.
 

@@ -1,0 +1,265 @@
+"""Tests for the incremental spanner maintenance engine.
+
+Every test here leans on the non-negotiable tripwire: after any event
+batch, the maintained UDG, roles, and backbone graphs must be
+**bit-identical** to a from-scratch rebuild at the current positions
+(`IncrementalMaintainer.verify`).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.incremental.connectors import IncrementalConnectors
+from repro.incremental.engine import IncrementalMaintainer
+from repro.incremental.events import Event, parse_event, parse_events
+from repro.incremental.session import IncrementalSession, run_incremental_session
+from repro.workloads.generators import connected_udg_instance
+
+
+def make_deployment(n=90, seed=5, radius=25.0):
+    """The bench deployment recipe at test scale (constant density)."""
+    side = 10.0 * math.sqrt(n)
+    return connected_udg_instance(n, side, radius, random.Random(seed))
+
+
+def make_maintainer(n=90, seed=5):
+    dep = make_deployment(n, seed)
+    return dep, IncrementalMaintainer(list(dep.points), dep.radius)
+
+
+def assert_identical(maintainer):
+    outcome = maintainer.verify()
+    assert outcome["identical"], f"mismatches: {outcome['mismatches']}"
+
+
+class TestEvents:
+    def test_move_needs_node_and_point(self):
+        with pytest.raises(ValueError):
+            Event("move", x=1.0, y=2.0)
+        with pytest.raises(ValueError):
+            Event("move", node=1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Event("teleport", node=0, x=1.0, y=2.0)
+
+    def test_parse_round_trip(self):
+        specs = [
+            {"kind": "move", "node": 3, "x": 1.5, "y": 2.5},
+            {"kind": "join", "x": 0.0, "y": 0.0},
+            {"kind": "leave", "node": 7},
+        ]
+        events = parse_events(specs)
+        assert [e.as_dict() for e in events] == specs
+
+    def test_parse_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            parse_event({"kind": 7})
+        with pytest.raises(ValueError):
+            parse_event({"kind": "move", "node": "three", "x": 1, "y": 2})
+        with pytest.raises(ValueError):
+            parse_event({"kind": "move", "node": 3, "x": "east", "y": 2})
+
+
+class TestMaintainerEquivalence:
+    def test_initial_state_matches_rebuild(self):
+        _, maintainer = make_maintainer()
+        assert_identical(maintainer)
+
+    def test_single_moves_stay_bit_identical(self):
+        dep, maintainer = make_maintainer(n=120, seed=9)
+        n = len(dep.points)
+        rng = random.Random(17)
+        for step in range(20):
+            mover = rng.randrange(n)
+            p = maintainer.udg.positions[mover]
+            q = Point(
+                min(max(p.x + rng.uniform(-12, 12), 0.0), dep.side),
+                min(max(p.y + rng.uniform(-12, 12), 0.0), dep.side),
+            )
+            report = maintainer.apply([Event("move", node=mover, x=q.x, y=q.y)])
+            assert report.events == 1
+            if step % 4 == 3:
+                assert_identical(maintainer)
+        assert_identical(maintainer)
+
+    def test_move_batches_stay_bit_identical(self):
+        dep, maintainer = make_maintainer(n=120, seed=3)
+        n = len(dep.points)
+        rng = random.Random(23)
+        for step in range(8):
+            movers = rng.sample(range(n), 5)
+            events = []
+            for mover in movers:
+                p = maintainer.udg.positions[mover]
+                events.append(
+                    Event(
+                        "move",
+                        node=mover,
+                        x=min(max(p.x + rng.uniform(-15, 15), 0.0), dep.side),
+                        y=min(max(p.y + rng.uniform(-15, 15), 0.0), dep.side),
+                    )
+                )
+            maintainer.apply(events)
+            assert_identical(maintainer)
+
+    def test_joins_and_leaves_stay_bit_identical(self):
+        dep, maintainer = make_maintainer(n=80, seed=11)
+        rng = random.Random(31)
+        for _ in range(10):
+            n = maintainer.udg.node_count
+            roll = rng.random()
+            if roll < 0.4:
+                anchor = maintainer.udg.positions[rng.randrange(n)]
+                events = [
+                    Event(
+                        "join",
+                        x=min(max(anchor.x + rng.uniform(-10, 10), 0.0), dep.side),
+                        y=min(max(anchor.y + rng.uniform(-10, 10), 0.0), dep.side),
+                    )
+                ]
+            elif roll < 0.8:
+                events = [Event("leave", node=rng.randrange(n))]
+            else:
+                mover = rng.randrange(n)
+                p = maintainer.udg.positions[mover]
+                events = [
+                    Event(
+                        "move",
+                        node=mover,
+                        x=min(max(p.x + rng.uniform(-12, 12), 0.0), dep.side),
+                        y=min(max(p.y + rng.uniform(-12, 12), 0.0), dep.side),
+                    )
+                ]
+            maintainer.apply(events)
+            assert_identical(maintainer)
+
+    def test_leave_of_last_id_stays_bit_identical(self):
+        _, maintainer = make_maintainer(n=60, seed=2)
+        last = maintainer.udg.node_count - 1
+        maintainer.apply([Event("leave", node=last)])
+        assert maintainer.udg.node_count == last
+        assert_identical(maintainer)
+
+    def test_mixed_batch_with_rename_chain(self):
+        # A batch whose later events refer to ids recycled earlier in
+        # the same batch (the swap-remove convention).
+        _, maintainer = make_maintainer(n=60, seed=8)
+        n = maintainer.udg.node_count
+        p = maintainer.udg.positions[0]
+        events = [
+            Event("leave", node=0),        # renames n-1 -> 0
+            Event("move", node=0, x=p.x + 5.0, y=p.y),  # moves old n-1
+            Event("join", x=p.x, y=p.y),   # new node takes id n-1
+        ]
+        maintainer.apply(events)
+        assert maintainer.udg.node_count == n
+        assert_identical(maintainer)
+
+    def test_quiet_step_skips_planarizer_work(self):
+        _, maintainer = make_maintainer(n=90, seed=5)
+        backbone = maintainer.snapshot().backbone_nodes
+        free = next(
+            u for u in range(maintainer.udg.node_count) if u not in backbone
+        )
+        p = maintainer.udg.positions[free]
+        report = maintainer.apply(
+            [Event("move", node=free, x=p.x + 1e-6, y=p.y)]
+        )
+        # No adjacency, role, or membership change: the planarizer sees
+        # no dirt and the connector election is skipped outright.
+        assert report.dirty_nodes == 0
+        assert report.role_changes == 0
+        assert report.edges_added == ()
+        assert report.edges_removed == ()
+        assert_identical(maintainer)
+
+    def test_report_shape(self):
+        dep, maintainer = make_maintainer(n=60, seed=4)
+        p = maintainer.udg.positions[10]
+        report = maintainer.apply(
+            [Event("move", node=10, x=p.x + 20.0, y=p.y)]
+        )
+        data = report.as_dict()
+        for key in (
+            "events", "node_count", "appeared_links", "vanished_links",
+            "role_changes", "repairs_certified", "repairs_fallback",
+            "dirty_tiles", "contest_tiles", "dirty_nodes", "dirty_fraction",
+            "edges_added", "edges_removed", "phase_seconds",
+        ):
+            assert key in data
+        assert data["events"] == 1
+        assert 0.0 <= data["dirty_fraction"] <= 1.0
+
+
+class TestIncrementalConnectors:
+    def test_update_matches_fresh_rebuild(self):
+        dep, maintainer = make_maintainer(n=120, seed=6)
+        n = len(dep.points)
+        rng = random.Random(77)
+        for _ in range(12):
+            mover = rng.randrange(n)
+            p = maintainer.udg.positions[mover]
+            maintainer.apply(
+                [
+                    Event(
+                        "move",
+                        node=mover,
+                        x=min(max(p.x + rng.uniform(-15, 15), 0.0), dep.side),
+                        y=min(max(p.y + rng.uniform(-15, 15), 0.0), dep.side),
+                    )
+                ]
+            )
+        fresh = IncrementalConnectors(maintainer.udg)
+        fresh.rebuild(maintainer._status, maintainer._doms_of)
+        assert fresh.connectors == maintainer._iconn.connectors
+        assert fresh.cds_edges == maintainer._iconn.cds_edges
+
+
+class TestIncrementalSession:
+    def test_waypoint_session_all_verified(self):
+        dep = make_deployment(n=100, seed=14)
+        result = run_incremental_session(
+            dep, steps=12, move_fraction=0.05, seed=1, verify_every=3
+        )
+        assert result.all_verified
+        assert result.node_count == 100
+        counters = result.counters
+        assert counters["steps"] == 12
+        assert counters["verifications"] == 4
+        assert counters["verification_failures"] == 0
+        assert counters["events"] == 12 * max(1, round(0.05 * 100))
+        assert 0.0 <= result.mean_dirty_fraction <= 1.0
+
+    def test_session_is_reproducible(self):
+        dep = make_deployment(n=80, seed=21)
+        a = run_incremental_session(dep, steps=8, seed=5)
+        b = run_incremental_session(dep, steps=8, seed=5)
+        assert [r.as_dict()["edges_added"] for r in a.reports] == [
+            r.as_dict()["edges_added"] for r in b.reports
+        ]
+        assert a.counters == b.counters
+
+    def test_session_records_verification_failures(self):
+        # A session whose maintainer is silently corrupted must report
+        # the tripwire failure instead of hiding it.
+        dep = make_deployment(n=60, seed=2)
+        session = IncrementalSession(
+            IncrementalMaintainer(list(dep.points), dep.radius)
+        )
+        session.maintainer._icds_edges = frozenset({(0, 1)})
+        p = session.maintainer.udg.positions[3]
+        session.step(
+            [Event("move", node=3, x=p.x + 1e-7, y=p.y)], verify=True
+        )
+        assert session.counters()["verification_failures"] == 1
+
+    def test_bad_arguments_rejected(self):
+        dep = make_deployment(n=60, seed=2)
+        with pytest.raises(ValueError):
+            run_incremental_session(dep, steps=-1)
+        with pytest.raises(ValueError):
+            run_incremental_session(dep, steps=1, move_fraction=0.0)

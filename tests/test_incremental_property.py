@@ -1,0 +1,134 @@
+"""Property test: a single-node move is *local*.
+
+The incremental engine's whole premise is that one move invalidates
+only a bounded neighborhood.  For a random single-node move, every
+node outside the dilated event halo must keep bit-identical UDG
+adjacency, role, and incident LDel(ICDS) edges — and the full
+maintained state must stay bit-identical to a from-scratch rebuild.
+
+The halo radii asserted are derived from the stage halos, in
+contrapositive form (every changed node must sit close to an event
+point):
+
+* adjacency — within ``1r`` of the mover's old/new position (a UDG
+  edge only changes when an endpoint moves);
+* dominator status — within the ``3r`` election halo, asserted when
+  the engine itself certified every repair (``repairs_fallback == 0``;
+  an escaped cascade is exactly the case the engine reports as a
+  fallback);
+* connector roles and incident LDel edges — within ``10r``: a
+  certified dominator flip (3r) moves dominator sets one hop out (4r),
+  proposals one more (5r), arena winners span an arena's 2-hop extent
+  (7r), slot-2 cascades one arena further (~9r), and PLDel membership
+  changes dilate by the planarizer's own reach inside that envelope.
+"""
+
+import math
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import Point, dist
+from repro.incremental.engine import IncrementalMaintainer
+from repro.incremental.events import Event
+from repro.workloads.generators import connected_udg_instance
+
+N = 300
+RADIUS = 18.0
+SIDE = 10.0 * math.sqrt(N)
+#: One fixed deployment; each example builds a fresh maintainer so
+#: examples stay independent (and shrinking reproducible).
+DEPLOYMENT = connected_udg_instance(N, SIDE, RADIUS, random.Random(42))
+
+
+def _incident(edges, n):
+    """Per-node frozensets of incident edges."""
+    out = [set() for _ in range(n)]
+    for u, v in edges:
+        out[u].add((u, v))
+        out[v].add((u, v))
+    return [frozenset(s) for s in out]
+
+
+def _roles(snap, n):
+    return [
+        "dominator"
+        if u in snap.dominators
+        else "connector"
+        if u in snap.connectors
+        else "dominatee"
+        for u in range(n)
+    ]
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    mover=st.integers(min_value=0, max_value=N - 1),
+    dx=st.floats(-12.0, 12.0, allow_nan=False, allow_infinity=False),
+    dy=st.floats(-12.0, 12.0, allow_nan=False, allow_infinity=False),
+)
+def test_single_move_is_local_and_exact(mover, dx, dy):
+    maintainer = IncrementalMaintainer(list(DEPLOYMENT.points), RADIUS)
+    before = maintainer.snapshot()
+    old = maintainer.udg.positions[mover]
+    new = Point(
+        min(max(old.x + dx, 0.0), SIDE), min(max(old.y + dy, 0.0), SIDE)
+    )
+    report = maintainer.apply([Event("move", node=mover, x=new.x, y=new.y)])
+    after = maintainer.snapshot()
+
+    # The tripwire: bit-identity with a from-scratch rebuild.
+    outcome = maintainer.verify()
+    assert outcome["identical"], f"mismatches: {outcome['mismatches']}"
+
+    event_points = (old, new)
+
+    def halo_dist(u):
+        p = after.positions[u]
+        return min(dist(p, q) for q in event_points)
+
+    # Adjacency: only edges touching the mover can change.
+    adj_before = _incident(before.udg_edges, N)
+    adj_after = _incident(after.udg_edges, N)
+    for u in range(N):
+        if u == mover or adj_before[u] == adj_after[u]:
+            continue
+        assert halo_dist(u) <= RADIUS + 1e-9, (
+            f"adjacency of node {u} changed at distance {halo_dist(u):.2f}"
+        )
+
+    roles_before = _roles(before, N)
+    roles_after = _roles(after, N)
+    if report.repairs_fallback == 0:
+        # Dominator status: within the certified election halo.
+        for u in range(N):
+            dom_changed = (roles_before[u] == "dominator") != (
+                roles_after[u] == "dominator"
+            )
+            if dom_changed:
+                assert halo_dist(u) <= 3 * RADIUS + 1e-9, (
+                    f"dominator flip at node {u}, "
+                    f"distance {halo_dist(u):.2f}"
+                )
+        # Any role change and any incident-LDel change: within the
+        # dilated halo.
+        ldel_before = _incident(before.ldel_icds_edges, N)
+        ldel_after = _incident(after.ldel_icds_edges, N)
+        dilated = 10 * RADIUS + 1e-9
+        for u in range(N):
+            if u == mover:
+                continue
+            if roles_before[u] != roles_after[u]:
+                assert halo_dist(u) <= dilated, (
+                    f"role of node {u} changed at distance {halo_dist(u):.2f}"
+                )
+            if ldel_before[u] != ldel_after[u]:
+                assert halo_dist(u) <= dilated, (
+                    f"LDel edges of node {u} changed at "
+                    f"distance {halo_dist(u):.2f}"
+                )

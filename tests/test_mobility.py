@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.core.spanner import build_backbone
 from repro.geometry.primitives import Point, dist
 from repro.mobility.maintenance import BackboneMaintainer
 from repro.mobility.waypoint import RandomWaypointModel
@@ -121,6 +122,58 @@ class TestBackboneMaintainer:
         if report.rebuilt:
             assert report.result is maintainer.result
             assert report.result is not backbone
+
+    def test_rebuild_when_new_link_crosses_structural_edge(self):
+        # Node 0 dominates everyone; the prime backbone carries the
+        # dominatee links (0,1), (0,2), (0,3).  Nodes 2 and 3 face each
+        # other across the (0,0)-(8,0) segment, just out of range.
+        points = [
+            Point(0.0, 0.0),
+            Point(8.0, 0.0),
+            Point(4.0, 5.2),
+            Point(4.0, -5.2),
+        ]
+        maintainer = BackboneMaintainer(build_backbone(points, 10.0))
+        moved = list(points)
+        moved[2] = Point(4.0, 4.8)  # 2-3 comes into range, crossing 0-1
+        # No structural link broke — the old policy would do nothing —
+        # but the new 2-3 link physically crosses a structural link.
+        assert maintainer.check(moved) == ()
+        assert (2, 3) in maintainer.new_links(moved)
+        assert (2, 3) in maintainer.invalidating_links(moved)
+        report = maintainer.update(moved)
+        assert report.rebuilt
+        assert report.broken_links == ()
+        assert (2, 3) in report.invalidating_links
+        assert maintainer.rebuild_count == 1
+
+    def test_rebuild_when_backbone_nodes_gain_a_link(self):
+        # Two isolated dominators drift into range: the induced
+        # backbone subgraph gains an edge, so the cached PLDel/ICDS
+        # membership is stale even though nothing broke.
+        points = [Point(0.0, 0.0), Point(10.5, 0.0)]
+        maintainer = BackboneMaintainer(build_backbone(points, 10.0))
+        moved = [points[0], Point(9.5, 0.0)]
+        assert maintainer.check(moved) == ()
+        assert maintainer.invalidating_links(moved) == ((0, 1),)
+        report = maintainer.update(moved)
+        assert report.rebuilt
+        assert report.invalidating_links == ((0, 1),)
+
+    def test_benign_gain_still_ignored_without_watch_gains(self):
+        # A fresh dominatee-dominatee link with no crossing does not
+        # invalidate the maintained structure: the break-only policy
+        # stands unless watch_gains opts into healing.
+        points = [Point(0.0, 0.0), Point(6.0, 5.2), Point(6.0, -5.2)]
+        maintainer = BackboneMaintainer(build_backbone(points, 10.0))
+        moved = [points[0], Point(6.0, 4.7), points[2]]
+        assert (1, 2) in maintainer.new_links(moved)
+        assert maintainer.invalidating_links(moved) == ()
+        report = maintainer.update(moved)
+        assert not report.rebuilt
+        assert report.invalidating_links == ()
+        report = maintainer.update(moved, watch_gains=True)
+        assert report.rebuilt
 
     def test_waypoint_driven_session(self, deployment, backbone):
         # Integration: run mobility + maintenance together; the

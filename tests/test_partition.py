@@ -57,18 +57,23 @@ class TestSplitNetwork:
 
 
 class TestHeal:
-    def test_break_only_policy_misses_the_heal(self):
-        # Translation preserves every intra-island link, so the
-        # paper's break-triggered policy sees nothing to do — and the
-        # new bridge links go unused.  This is the policy's documented
-        # blind spot, not a bug.
+    def test_backbone_bridge_heal_detected_by_default(self):
+        # Translation preserves every intra-island link, so nothing
+        # breaks — but the new bridge links join two backbone nodes,
+        # which invalidates the cached per-component structures.  The
+        # maintainer detects the heal even under the break-only
+        # default (benign gains between dominatees still cost
+        # nothing; see test_mobility.py).
         points = two_islands(gap=10.0)
         result = build_backbone(points, 1.5)
         maintainer = BackboneMaintainer(result)
         healed = two_islands(gap=2.0)
+        assert maintainer.check(healed) == ()
+        assert maintainer.invalidating_links(healed)
         report = maintainer.update(healed)
-        assert not report.rebuilt
-        assert not backbone_route(maintainer.result, 0, 9).delivered
+        assert report.rebuilt
+        assert report.invalidating_links
+        assert backbone_route(maintainer.result, 0, 9).delivered
 
     def test_watch_gains_reconnects_routing(self):
         points = two_islands(gap=10.0)
