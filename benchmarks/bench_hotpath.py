@@ -22,6 +22,13 @@ error (exit 2) unless you are recording one.
 ``--shards``), recording the speedup and the bit-identical-edges
 tripwire.
 
+``--soa-sizes`` adds the construction-core stage: the array-native
+(SoA) pipeline against the pure-Python reference path (numpy masked
+out at runtime), with a bit-identical tripwire on every stage's edge
+set and both triangle lists.  ``--soa-scale N`` appends one large-n
+SoA construction with no reference pass — the "n = 10^5 on one box"
+probe.
+
 The backbone-fast stage runs by default (``--backbone-sizes`` to
 change the sizes, ``--skip-backbone`` to drop it): it times the
 message-passing protocol path against the direct-computation fast
@@ -68,6 +75,7 @@ from repro.experiments.hotpath_bench import (
     METRICS_REPS,
     METRICS_SIZES,
     SHARDED_SIZES,
+    SOA_SIZES,
     BaselineError,
     baseline_from_report,
     compare_metrics_to_baseline,
@@ -80,6 +88,7 @@ from repro.experiments.hotpath_bench import (
     run_incremental_benchmark,
     run_metrics_benchmark,
     run_sharded_benchmark,
+    run_soa_benchmark,
 )
 
 
@@ -145,6 +154,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--workers", type=int, default=0,
         help="worker processes for the sharded build (0 = auto)",
+    )
+    parser.add_argument(
+        "--soa-sizes", type=int, nargs="*", default=None,
+        help="run the SoA-vs-reference construction-core stage at these "
+        f"sizes (no argument = {list(SOA_SIZES)}; omit the flag to skip)",
+    )
+    parser.add_argument(
+        "--soa-scale", type=int, default=0,
+        help="also run one large-n SoA construction (no reference pass); "
+        "0 skips the scale probe",
     )
     parser.add_argument(
         "--backbone-sizes", type=int, nargs="+",
@@ -225,6 +244,20 @@ def main(argv=None) -> int:
             max_workers=args.workers or None,
             reps=args.reps,
         )
+    if args.soa_sizes is not None or args.soa_scale:
+        if args.soa_sizes:  # explicit sizes
+            soa_sizes = args.soa_sizes
+        elif args.soa_sizes is not None:  # bare --soa-sizes
+            soa_sizes = list(SOA_SIZES)
+        else:  # --soa-scale alone: scale probe only
+            soa_sizes = []
+        report["soa"] = run_soa_benchmark(
+            soa_sizes,
+            radius=args.radius,
+            seed=args.seed,
+            reps=max(2, args.reps),
+            scale=args.soa_scale or None,
+        )
     if not args.skip_backbone:
         report["backbone_fast"] = run_backbone_fast_benchmark(
             args.backbone_sizes,
@@ -278,6 +311,11 @@ def main(argv=None) -> int:
         f"sharded edges differ from serial at n={key}"
         for key, entry in report.get("sharded", {}).get("results", {}).items()
         if not entry["edges_match"]
+    ]
+    failures += [
+        f"SoA construction differs from the pure-Python reference at n={key}"
+        for key, entry in report.get("soa", {}).get("results", {}).items()
+        if not entry["identical"]
     ]
     for key, entry in report.get("backbone_fast", {}).get("results", {}).items():
         if not entry["identical"]:

@@ -1,0 +1,92 @@
+"""Single import site for the optional acceleration dependencies.
+
+Every module that can use :mod:`numpy` or :mod:`scipy` gets them from
+here instead of re-implementing the ``try: import`` dance (which had
+drifted into three slightly different variants across the oracle, the
+metrics engine and the benchmark driver).  The guard is also the one
+switch the test suite and the benchmark need to *mask numpy out*: the
+no-numpy fallback paths promise to reuse the pure-Python reference
+code exactly, and that promise is only testable when numpy can be
+turned off at runtime on a machine that has it installed.
+
+Usage::
+
+    from repro.core.compat import get_numpy
+
+    np = get_numpy()
+    if np is None:
+        ...  # pure-Python reference path
+    else:
+        ...  # vectorized path
+
+``get_numpy`` consults, in order: the programmatic override installed
+by :func:`set_numpy_enabled` / :func:`numpy_disabled`, the
+``REPRO_NO_NUMPY`` environment variable (any value other than empty or
+``0`` disables), and finally whether the import succeeded at all.
+Scipy has no override — its consumers (the APSP engines) already take
+explicit ``use_scipy`` flags — but its guard lives here for the same
+single-site reason.
+
+Layering note: this module imports nothing from :mod:`repro`, so any
+layer (geometry, graphs, topology) may import it lazily inside a
+function without creating a cycle through ``repro.core.__init__``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+try:  # pragma: no cover - exercised implicitly everywhere
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+try:  # pragma: no cover - exercised implicitly everywhere
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import dijkstra as scipy_dijkstra
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    csr_matrix = None  # type: ignore[assignment]
+    scipy_dijkstra = None  # type: ignore[assignment]
+    HAVE_SCIPY = False
+
+#: Programmatic override: ``None`` defers to the environment variable.
+_numpy_override: Optional[bool] = None
+
+
+def numpy_active() -> bool:
+    """Whether the vectorized paths should run right now."""
+    if not HAVE_NUMPY:
+        return False
+    if _numpy_override is not None:
+        return _numpy_override
+    return os.environ.get("REPRO_NO_NUMPY", "") in ("", "0")
+
+
+def get_numpy() -> Any:
+    """The numpy module, or ``None`` when absent or masked out."""
+    return np if numpy_active() else None
+
+
+def set_numpy_enabled(enabled: Optional[bool]) -> None:
+    """Install (or with ``None`` clear) the programmatic numpy switch."""
+    global _numpy_override
+    _numpy_override = enabled
+
+
+@contextmanager
+def numpy_disabled() -> Iterator[None]:
+    """Context manager masking numpy out, restoring the prior override."""
+    global _numpy_override
+    previous = _numpy_override
+    _numpy_override = False
+    try:
+        yield
+    finally:
+        _numpy_override = previous

@@ -49,13 +49,12 @@ from repro.graphs.udg import UnitDiskGraph
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.core.oracle import DistanceOracle
 
-try:  # pragma: no cover - exercised implicitly everywhere
-    from scipy.sparse import csr_matrix as _csr_matrix
-    from scipy.sparse.csgraph import dijkstra as _sp_dijkstra
-
-    _HAVE_SCIPY = True
-except ImportError:  # pragma: no cover
-    _HAVE_SCIPY = False
+# Optional-dependency guards live in repro.core.compat; the module
+# attributes below stay because tests patch them (see
+# tests/test_metrics.py) to force the pure-Python fallbacks.
+from repro.core.compat import HAVE_SCIPY as _HAVE_SCIPY
+from repro.core.compat import csr_matrix as _csr_matrix
+from repro.core.compat import scipy_dijkstra as _sp_dijkstra
 
 
 @dataclass(frozen=True)

@@ -46,21 +46,14 @@ from repro.geometry.primitives import dist
 from repro.graphs.graph import Graph
 from repro.graphs.paths import bfs_hops, dijkstra_lengths
 
-try:  # pragma: no cover - exercised implicitly everywhere
-    import numpy as _np
-
-    _HAVE_NUMPY = True
-except ImportError:  # pragma: no cover
-    _np = None  # type: ignore[assignment]
-    _HAVE_NUMPY = False
-
-try:  # pragma: no cover - exercised implicitly everywhere
-    from scipy.sparse import csr_matrix as _csr_matrix
-    from scipy.sparse.csgraph import dijkstra as _sp_dijkstra
-
-    _HAVE_SCIPY = True
-except ImportError:  # pragma: no cover
-    _HAVE_SCIPY = False
+# Optional-dependency guards live in repro.core.compat; the module
+# attributes below stay because tests (and downstream users) patch
+# them to force the pure-Python paths.
+from repro.core.compat import HAVE_NUMPY as _HAVE_NUMPY
+from repro.core.compat import HAVE_SCIPY as _HAVE_SCIPY
+from repro.core.compat import csr_matrix as _csr_matrix
+from repro.core.compat import np as _np
+from repro.core.compat import scipy_dijkstra as _sp_dijkstra
 
 #: The weight kinds the oracle understands (power is parameterized by
 #: the path-loss exponent alpha).
@@ -111,18 +104,36 @@ class GraphSnapshot:
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "GraphSnapshot":
-        """Snapshot ``graph`` (O(V + E log E), done once per graph)."""
+        """Snapshot ``graph`` (O(V + E log E), done once per graph).
+
+        When the graph carries a shared SoA snapshot (see
+        :mod:`repro.core.soa`) its CSR arrays are adopted directly;
+        edge lengths still go through scalar :func:`dist` either way,
+        so weights agree bit-for-bit with the reference path.
+        """
+        from repro.core.soa import snapshot_for
+
         n = graph.node_count
-        indptr = [0]
-        indices: List[int] = []
-        lengths: List[float] = []
         positions = graph.positions
-        for u in range(n):
-            pu = positions[u]
-            for v in sorted(graph.neighbors(u)):
-                indices.append(v)
-                lengths.append(dist(pu, positions[v]))
-            indptr.append(len(indices))
+        soa = snapshot_for(graph)
+        if soa is not None:
+            indptr = soa.indptr.tolist()
+            indices = soa.indices.tolist()
+            lengths = [
+                dist(positions[u], positions[v])
+                for u in range(n)
+                for v in indices[indptr[u] : indptr[u + 1]]
+            ]
+        else:
+            indptr = [0]
+            indices = []
+            lengths = []
+            for u in range(n):
+                pu = positions[u]
+                for v in sorted(graph.neighbors(u)):
+                    indices.append(v)
+                    lengths.append(dist(pu, positions[v]))
+                indptr.append(len(indices))
         return cls(
             node_count=n,
             edge_count=graph.edge_count,

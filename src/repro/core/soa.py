@@ -1,0 +1,340 @@
+"""Structure-of-arrays snapshot shared across the whole pipeline.
+
+The object layer (:class:`~repro.graphs.graph.Graph` and friends) is
+the semantic reference, but before this module every consumer that
+wanted flat data built its own conversion: the UDG construction walked
+grid buckets point by point, the oracle re-sorted every adjacency list
+into CSR, and the sharded/incremental paths re-derived grid cells per
+tile.  :class:`SoaSnapshot` is the one conversion all of them share —
+positions, CSR adjacency, bulk edge arrays and per-node grid cells,
+produced once per deployment and cached on the graph.
+
+Snapshot format contract (see ``docs/performance.md``):
+
+* ``xs`` / ``ys`` — ``(n,)`` float64 node coordinates, index = node id;
+* ``indptr`` / ``indices`` — CSR adjacency over **sorted** neighbor
+  lists (``indices[indptr[u]:indptr[u+1]]`` ascending), int64;
+* ``edge_u`` / ``edge_v`` — the undirected edge list with
+  ``edge_u < edge_v``, lexicographically sorted, int64;
+* ``cell_x`` / ``cell_y`` — the node's uniform-grid cell at cell size
+  ``radius`` (``floor(x / radius)``), matching
+  :meth:`repro.graphs.udg.GridIndex._cell_of` bit for bit; ``None``
+  when the snapshot has no radius (plain graphs).
+
+Everything here degrades to ``None`` without numpy — callers keep the
+pure-Python reference path; :func:`repro.core.compat.get_numpy` is the
+single switch.
+
+The ragged-array helpers (:func:`gather_csr_rows`,
+:func:`segment_any`) are shared by the vectorized Gabriel / LDel /
+planarization kernels in :mod:`repro.topology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from repro.core.compat import get_numpy
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only dependency
+    from repro.graphs.graph import Graph
+
+
+# -- ragged helpers -----------------------------------------------------------
+
+
+def gather_csr_rows(np: Any, indptr: Any, indices: Any, rows: Any) -> tuple[Any, Any]:
+    """Concatenate the CSR rows ``rows``; returns ``(owner, values)``.
+
+    ``owner[i]`` is the position *within ``rows``* that ``values[i]``
+    came from, so per-row reductions are one ``bincount`` away.
+    """
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    owner = np.repeat(np.arange(rows.shape[0]), counts)
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    return owner, indices[starts[owner] + offsets]
+
+
+def segment_any(np: Any, owner: Any, flags: Any, segments: int) -> Any:
+    """Per-segment logical OR of ``flags`` grouped by ``owner``."""
+    return np.bincount(owner[flags], minlength=segments) > 0
+
+
+def sorted_unique(np: Any, keys: Any) -> Any:
+    """Sorted distinct values of an integer key array.
+
+    Equivalent to ``np.unique(keys)`` but pinned to the sort-and-diff
+    strategy — numpy's hash-based unique kernel costs noticeably more
+    than an int64 sort on the key volumes the construction core emits.
+    """
+    if keys.shape[0] == 0:
+        return keys
+    k = np.sort(keys)
+    keep = np.empty(k.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(k[1:], k[:-1], out=keep[1:])
+    return k[keep]
+
+
+def _cross_join(
+    np: Any, a_start: Any, a_count: Any, b_start: Any, b_count: Any
+) -> tuple[Any, Any]:
+    """All (a, b) index pairs of matched ragged segments.
+
+    For each matched segment pair k, emits ``a_count[k] * b_count[k]``
+    rows ``(a_start[k] + i, b_start[k] + j)``.
+    """
+    pair_counts = a_count * b_count
+    total = int(pair_counts.sum())
+    seg = np.repeat(np.arange(pair_counts.shape[0]), pair_counts)
+    local = np.arange(total) - np.repeat(
+        np.cumsum(pair_counts) - pair_counts, pair_counts
+    )
+    bc = b_count[seg]
+    ai = local // bc
+    bi = local - ai * bc
+    return a_start[seg] + ai, b_start[seg] + bi
+
+
+def bbox_grid_pairs(
+    np: Any, x0: Any, y0: Any, x1: Any, y1: Any, cell: float
+) -> tuple[Any, Any]:
+    """Unique index pairs ``(i, j)``, ``i < j``, of boxes sharing a grid cell.
+
+    The array analogue of the bounding-box bucket grids in
+    :mod:`repro.graphs.planarity` and the triangle-pair prefilter of
+    Algorithm 3: each box ``[x0, x1] x [y0, y1]`` covers the integer
+    cell range ``floor(lo/cell)..floor(hi/cell)``; two boxes pair up
+    when any cell coincides.  Like the scalar grids, this is a
+    *superset* filter — the cell size affects only how many pairs come
+    out, never which pairs survive the exact tests downstream.
+    """
+    count = x0.shape[0]
+    empty = np.zeros(0, dtype=np.int64)
+    if count < 2:
+        return empty, empty
+    cx_lo = np.floor(x0 / cell).astype(np.int64)
+    cx_hi = np.floor(x1 / cell).astype(np.int64)
+    cy_lo = np.floor(y0 / cell).astype(np.int64)
+    cy_hi = np.floor(y1 / cell).astype(np.int64)
+    sx = cx_hi - cx_lo + 1
+    sy = cy_hi - cy_lo + 1
+    cnt = sx * sy
+    total = int(cnt.sum())
+    seg = np.repeat(np.arange(count), cnt)
+    local = np.arange(total) - np.repeat(np.cumsum(cnt) - cnt, cnt)
+    sy_seg = sy[seg]
+    lx = local // sy_seg
+    ly = local - lx * sy_seg
+    cxs = cx_lo[seg] + lx
+    cys = cy_lo[seg] + ly
+    ky = cys - cys.min()
+    key = (cxs - cxs.min()) * (int(ky.max()) + 1) + ky
+    order = np.argsort(key, kind="stable")
+    skey = key[order]
+    sid = seg[order]
+    run_start = np.empty(total, dtype=bool)
+    run_start[0] = True
+    np.not_equal(skey[1:], skey[:-1], out=run_start[1:])
+    starts = np.nonzero(run_start)[0]
+    counts = np.diff(np.append(starts, total))
+    left, right = _cross_join(np, starts, counts, starts, counts)
+    keep = left < right
+    a = sid[left[keep]]
+    b = sid[right[keep]]
+    pk = sorted_unique(np, np.minimum(a, b) * count + np.maximum(a, b))
+    return pk // count, pk % count
+
+
+def udg_edge_arrays(np: Any, xs: Any, ys: Any, radius: float) -> tuple[Any, Any]:
+    """Bulk UDG edge enumeration: all pairs within ``radius``.
+
+    The array analogue of :meth:`repro.graphs.udg.GridIndex.pairs_within`
+    — same cell size, same inclusive ``dist_sq <= r**2`` test (the
+    elementwise float arithmetic is IEEE-identical to the scalar
+    reference, so the edge *set* is bit-identical).  Returns the
+    lexicographically sorted ``(edge_u, edge_v)`` arrays, ``u < v``.
+    """
+    n = xs.shape[0]
+    empty = np.zeros(0, dtype=np.int64)
+    if n < 2:
+        return empty, empty
+    cell_x = np.floor(xs / radius).astype(np.int64)
+    cell_y = np.floor(ys / radius).astype(np.int64)
+    # Pack (cx, cy) into one collision-free key; the +1 shift keeps the
+    # dy = -1 neighbor offsets inside the padded row range.
+    sx = cell_x - cell_x.min() + 1
+    sy = cell_y - cell_y.min() + 1
+    span_y = int(sy.max()) + 2
+    key = sx * span_y + sy
+    order = np.argsort(key, kind="stable")
+    sorted_keys = key[order]
+    run_start = np.empty(n, dtype=bool)
+    run_start[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=run_start[1:])
+    starts = np.nonzero(run_start)[0]
+    uniq = sorted_keys[starts]
+    counts = np.diff(np.append(starts, n))
+
+    # Forward half-window over cells, mirroring pairs_within: the cell
+    # with itself, then the four lexicographically positive offsets.
+    left_parts = []
+    right_parts = []
+    for dx, dy in ((0, 0), (0, 1), (1, -1), (1, 0), (1, 1)):
+        target = uniq + dx * span_y + dy
+        pos = np.searchsorted(uniq, target)
+        pos_safe = np.minimum(pos, uniq.shape[0] - 1)
+        valid = uniq[pos_safe] == target
+        a_idx = np.nonzero(valid)[0]
+        if a_idx.shape[0] == 0:
+            continue
+        b_idx = pos_safe[a_idx]
+        left, right = _cross_join(
+            np, starts[a_idx], counts[a_idx], starts[b_idx], counts[b_idx]
+        )
+        if dx == 0 and dy == 0:
+            keep = left < right
+            left, right = left[keep], right[keep]
+        left_parts.append(left)
+        right_parts.append(right)
+    if not left_parts:
+        return empty, empty
+    i = order[np.concatenate(left_parts)]
+    j = order[np.concatenate(right_parts)]
+    dxs = xs[i] - xs[j]
+    dys = ys[i] - ys[j]
+    close = dxs * dxs + dys * dys <= radius * radius
+    i, j = i[close], j[close]
+    edge_u = np.minimum(i, j)
+    edge_v = np.maximum(i, j)
+    final = np.lexsort((edge_v, edge_u))
+    return edge_u[final], edge_v[final]
+
+
+def _csr_from_edges(np: Any, n: int, edge_u: Any, edge_v: Any) -> tuple[Any, Any]:
+    """Sorted CSR adjacency from an undirected edge list."""
+    sym_u = np.concatenate([edge_u, edge_v])
+    sym_v = np.concatenate([edge_v, edge_u])
+    degrees = np.bincount(sym_u, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    order = np.lexsort((sym_v, sym_u))
+    return indptr, sym_v[order].astype(np.int64, copy=False)
+
+
+# -- the snapshot -------------------------------------------------------------
+
+
+@dataclass
+class SoaSnapshot:
+    """Flat arrays for one embedded graph (see module docstring)."""
+
+    n: int
+    radius: Optional[float]
+    xs: Any
+    ys: Any
+    indptr: Any
+    indices: Any
+    edge_u: Any
+    edge_v: Any
+    cell_x: Any = None
+    cell_y: Any = None
+
+    @property
+    def edge_count(self) -> int:
+        return int(self.edge_u.shape[0])
+
+    def neighbors_of(self, u: int) -> Any:
+        """The sorted neighbor ids of ``u`` (array view)."""
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def degrees(self) -> Any:
+        return self.indptr[1:] - self.indptr[:-1]
+
+    @classmethod
+    def from_points(
+        cls, positions: Sequence, radius: float
+    ) -> Optional["SoaSnapshot"]:
+        """Build a snapshot (including the UDG edge set) from raw points.
+
+        Returns ``None`` when numpy is unavailable or masked out.
+        """
+        np = get_numpy()
+        if np is None:
+            return None
+        n = len(positions)
+        xs = np.fromiter((p[0] for p in positions), dtype=np.float64, count=n)
+        ys = np.fromiter((p[1] for p in positions), dtype=np.float64, count=n)
+        edge_u, edge_v = udg_edge_arrays(np, xs, ys, radius)
+        indptr, indices = _csr_from_edges(np, n, edge_u, edge_v)
+        return cls(
+            n=n,
+            radius=radius,
+            xs=xs,
+            ys=ys,
+            indptr=indptr,
+            indices=indices,
+            edge_u=edge_u,
+            edge_v=edge_v,
+            cell_x=np.floor(xs / radius).astype(np.int64) if radius else None,
+            cell_y=np.floor(ys / radius).astype(np.int64) if radius else None,
+        )
+
+    @classmethod
+    def from_graph(cls, graph: "Graph", radius: Optional[float] = None) -> Optional["SoaSnapshot"]:
+        """Snapshot an already-built graph (adopts its edge set)."""
+        np = get_numpy()
+        if np is None:
+            return None
+        n = graph.node_count
+        positions = graph.positions
+        xs = np.fromiter((p[0] for p in positions), dtype=np.float64, count=n)
+        ys = np.fromiter((p[1] for p in positions), dtype=np.float64, count=n)
+        edges = graph.edge_set()
+        if edges:
+            pairs = np.array(sorted(edges), dtype=np.int64)
+            edge_u, edge_v = pairs[:, 0], pairs[:, 1]
+        else:
+            edge_u = edge_v = np.zeros(0, dtype=np.int64)
+        indptr, indices = _csr_from_edges(np, n, edge_u, edge_v)
+        has_r = radius is not None and radius > 0.0
+        return cls(
+            n=n,
+            radius=radius,
+            xs=xs,
+            ys=ys,
+            indptr=indptr,
+            indices=indices,
+            edge_u=edge_u,
+            edge_v=edge_v,
+            cell_x=np.floor(xs / radius).astype(np.int64) if has_r else None,
+            cell_y=np.floor(ys / radius).astype(np.int64) if has_r else None,
+        )
+
+
+def snapshot_for(graph: "Graph") -> Optional[SoaSnapshot]:
+    """The graph's cached :class:`SoaSnapshot`, built on first use.
+
+    The cache rides on the instance (``graph._soa_snapshot``) so every
+    consumer — construction kernels, sharded tiles, the distance
+    oracle, routing experiments — shares one conversion.  Mutating a
+    graph invalidates nothing automatically; mutation sites
+    (:mod:`repro.incremental`) drop the attribute explicitly.
+    """
+    if not numpy_ready():
+        return None
+    snap = getattr(graph, "_soa_snapshot", None)
+    if snap is not None and snap.n == graph.node_count and snap.edge_count == graph.edge_count:
+        return snap
+    snap = SoaSnapshot.from_graph(graph, radius=getattr(graph, "radius", None))
+    if snap is not None:
+        graph._soa_snapshot = snap
+    return snap
+
+
+def numpy_ready() -> bool:
+    """Shorthand for :func:`repro.core.compat.numpy_active`."""
+    return get_numpy() is not None

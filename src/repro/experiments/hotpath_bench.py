@@ -56,6 +56,8 @@ from repro.workloads.generators import connected_udg_instance
 DEFAULT_SIZES = (200, 500, 1000, 2000)
 #: Sizes the sharded-vs-serial comparison runs at (ISSUE 3).
 SHARDED_SIZES = (1000, 2000, 5000)
+#: Sizes the SoA-vs-reference construction-core comparison runs at.
+SOA_SIZES = (1000, 2000, 5000)
 #: Sizes the fast-vs-protocol backbone comparison runs at (ISSUE 4).
 BACKBONE_FAST_SIZES = (1000, 2000, 5000)
 #: Sizes the metrics-engine comparison runs at (ISSUE 5).
@@ -376,6 +378,156 @@ def run_sharded_benchmark(
             for n in sizes
         },
     }
+
+
+def measure_soa(
+    n: int,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    reps: int = 2,
+) -> dict:
+    """Array-native pipeline vs pure-Python reference at one size.
+
+    Runs the full construction pipeline (UDG build, Gabriel, LDel^1,
+    planarization) twice: with the SoA kernels active and with numpy
+    masked out via :func:`repro.core.compat.numpy_disabled` (the exact
+    reference path the kernels promise bit-identity to).  An untimed
+    warmup pass precedes the SoA measurements — the very first batch
+    kernel invocation pays one-time allocator costs (first-touch page
+    faults on the large temporaries) that would otherwise charge
+    construction for a process-lifetime event.  ``identical`` is the
+    tripwire: every stage's edge set (and both triangle lists) must
+    match the reference bit for bit, or any speedup is meaningless.
+    """
+    from repro.core import compat
+
+    side = 10.0 * math.sqrt(n)
+    dep = connected_udg_instance(n, side, radius, random.Random(seed))
+    points = list(dep.points)
+
+    def pipeline():
+        seconds: dict[str, float] = {}
+        t0 = time.perf_counter()
+        udg = UnitDiskGraph(points, dep.radius)
+        seconds["udg"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        gg = gabriel_graph(udg)
+        seconds["gabriel"] = time.perf_counter() - t0
+        cache = ConstructionCache(udg)
+        t0 = time.perf_counter()
+        ldel1 = local_delaunay_graph(udg, k=1, cache=cache)
+        seconds["ldel1"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pldel = planarize_ldel1(udg, ldel1, cache=cache)
+        seconds["planarize"] = time.perf_counter() - t0
+        seconds["pldel"] = seconds["ldel1"] + seconds["planarize"]
+        seconds["end_to_end"] = seconds["udg"] + seconds["pldel"]
+        return seconds, udg, gg, ldel1, pldel
+
+    numpy_active = compat.numpy_active()
+    if numpy_active:
+        pipeline()  # warmup (see docstring)
+    soa_seconds: dict[str, float] = {}
+    artifacts = None
+    for _ in range(max(1, reps)):
+        rep_seconds, *artifacts = pipeline()
+        for key, value in rep_seconds.items():
+            soa_seconds[key] = min(soa_seconds.get(key, value), value)
+    assert artifacts is not None
+    with compat.numpy_disabled():
+        ref_seconds, *reference = pipeline()
+
+    s_udg, s_gg, s_ldel1, s_pldel = artifacts
+    r_udg, r_gg, r_ldel1, r_pldel = reference
+    identical = (
+        s_udg.edge_set() == r_udg.edge_set()
+        and s_gg.edge_set() == r_gg.edge_set()
+        and s_ldel1.graph.edge_set() == r_ldel1.graph.edge_set()
+        and s_ldel1.triangles == r_ldel1.triangles
+        and s_pldel.graph.edge_set() == r_pldel.graph.edge_set()
+        and s_pldel.triangles == r_pldel.triangles
+    )
+    return {
+        "seconds": {k: round(v, 6) for k, v in soa_seconds.items()},
+        "reference_seconds": {k: round(v, 6) for k, v in ref_seconds.items()},
+        "speedup": {
+            k: round(ref_seconds[k] / v, 3)
+            for k, v in soa_seconds.items()
+            if v > 0.0
+        },
+        "edges": {
+            "udg": s_udg.edge_count,
+            "gabriel": s_gg.edge_count,
+            "ldel1": s_ldel1.graph.edge_count,
+            "pldel": s_pldel.graph.edge_count,
+        },
+        "numpy_active": numpy_active,
+        "identical": identical,
+    }
+
+
+def measure_soa_scale(
+    n: int,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+) -> dict:
+    """One large-``n`` SoA construction; no reference pass.
+
+    The scale probe behind the "n = 10^5 on one box" target: times the
+    pipeline once with the kernels active and records sizes, without
+    the (hours-long at this scale) pure-Python comparison run.
+    """
+    side = 10.0 * math.sqrt(n)
+    dep = connected_udg_instance(n, side, radius, random.Random(seed))
+    points = list(dep.points)
+    t0 = time.perf_counter()
+    udg = UnitDiskGraph(points, dep.radius)
+    t_udg = time.perf_counter() - t0
+    cache = ConstructionCache(udg)
+    t0 = time.perf_counter()
+    ldel1 = local_delaunay_graph(udg, k=1, cache=cache)
+    t_ldel1 = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    pldel = planarize_ldel1(udg, ldel1, cache=cache)
+    t_plan = time.perf_counter() - t0
+    return {
+        "n": n,
+        "seconds": {
+            "udg": round(t_udg, 6),
+            "ldel1": round(t_ldel1, 6),
+            "planarize": round(t_plan, 6),
+            "end_to_end": round(t_udg + t_ldel1 + t_plan, 6),
+        },
+        "edges": {
+            "udg": udg.edge_count,
+            "ldel1": ldel1.graph.edge_count,
+            "pldel": pldel.graph.edge_count,
+        },
+        "triangles": len(pldel.triangles),
+    }
+
+
+def run_soa_benchmark(
+    sizes: Sequence[int] = SOA_SIZES,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    reps: int = 2,
+    scale: Optional[int] = None,
+) -> dict:
+    """The SoA-vs-reference section of the benchmark report."""
+    section: dict = {
+        "sizes": list(sizes),
+        "results": {
+            str(n): measure_soa(n, radius=radius, seed=seed, reps=reps)
+            for n in sizes
+        },
+    }
+    if scale:
+        section["scale"] = measure_soa_scale(scale, radius=radius, seed=seed)
+    return section
 
 
 def _same_backbone(result, reference) -> bool:
@@ -914,6 +1066,29 @@ def format_report(report: dict) -> str:
                 f"{entry['seconds']['sharded_pldel']:>10.4f} "
                 f"{entry['speedup']:>8.2f}x {entry['workers']:>8} {match:>10}"
             )
+    soa = report.get("soa")
+    if soa:
+        lines.append("")
+        lines.append(
+            f"{'n':>6} {'ref s':>10} {'soa s':>10} {'end-to-end':>11} "
+            f"{'pldel':>8} {'identical':>10}"
+        )
+        for n in soa["sizes"]:
+            entry = soa["results"][str(n)]
+            match = "yes" if entry["identical"] else "NO (BUG)"
+            lines.append(
+                f"{n:>6} {entry['reference_seconds']['end_to_end']:>10.4f} "
+                f"{entry['seconds']['end_to_end']:>10.4f} "
+                f"{entry['speedup'].get('end_to_end', 0.0):>10.2f}x "
+                f"{entry['speedup'].get('pldel', 0.0):>7.2f}x {match:>10}"
+            )
+        scale = soa.get("scale")
+        if scale:
+            lines.append(
+                f"{'':>6} scale probe n={scale['n']}: "
+                f"{scale['seconds']['end_to_end']:.2f}s end-to-end "
+                f"({scale['edges']['pldel']} PLDel edges)"
+            )
     backbone = report.get("backbone_fast")
     if backbone:
         lines.append("")
@@ -1027,6 +1202,37 @@ def format_markdown(report: dict) -> str:
                 f"| {entry['seconds']['sharded_pldel']:.4f} "
                 f"| {entry['speedup']:.2f}x | {entry['mode']} "
                 f"| {entry['workers']} | {tripwire} |"
+            )
+    soa = report.get("soa")
+    if soa:
+        lines += [
+            "",
+            "### Construction core: SoA kernels vs pure-Python reference",
+            "",
+            "| n | reference s | soa s | end-to-end | udg | pldel "
+            "| bit-identical |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for n in soa["sizes"]:
+            entry = soa["results"][str(n)]
+            tripwire = "yes" if entry["identical"] else "**NO — BUG**"
+            lines.append(
+                f"| {n} | {entry['reference_seconds']['end_to_end']:.4f} "
+                f"| {entry['seconds']['end_to_end']:.4f} "
+                f"| {entry['speedup'].get('end_to_end', 0.0):.2f}x "
+                f"| {entry['speedup'].get('udg', 0.0):.2f}x "
+                f"| {entry['speedup'].get('pldel', 0.0):.2f}x "
+                f"| {tripwire} |"
+            )
+        scale = soa.get("scale")
+        if scale:
+            lines.append("")
+            lines.append(
+                f"Scale probe: n={scale['n']} built end-to-end in "
+                f"{scale['seconds']['end_to_end']:.2f}s "
+                f"({scale['edges']['udg']} UDG edges, "
+                f"{scale['edges']['pldel']} PLDel edges, "
+                f"{scale['triangles']} triangles)."
             )
     backbone = report.get("backbone_fast")
     if backbone:

@@ -97,6 +97,58 @@ def circumcircle(a: Point, b: Point, c: Point) -> Optional[Circle]:
     return Circle(center, math.sqrt(dist_sq(center, a)))
 
 
+def circumcircles_batch(ax, ay, bx, by, cx, cy):
+    """Elementwise :func:`circumcircle` over coordinate arrays.
+
+    Returns ``(valid, ux, uy, radius)``.  The float center and the
+    degeneracy gate replicate the scalar expressions exactly; rows that
+    fail the equidistance self-check are recomputed through the scalar
+    function (which applies the exact rational rescue), so every valid
+    row carries the identical circle the scalar path would produce.
+    """
+    from repro.core.compat import np
+
+    d = 2.0 * ((bx - ax) * (cy - ay) - (by - ay) * (cx - ax))
+    scale = np.maximum(
+        np.maximum(np.maximum(abs(ax), abs(ay)), np.maximum(abs(bx), abs(by))),
+        np.maximum(np.maximum(abs(cx), abs(cy)), 1.0),
+    )
+    valid = abs(d) > 1e-12 * scale * scale
+    d_safe = np.where(valid, d, 1.0)
+    a2 = ax * ax + ay * ay
+    b2 = bx * bx + by * by
+    c2 = cx * cx + cy * cy
+    ux = (a2 * (by - cy) + b2 * (cy - ay) + c2 * (ay - by)) / d_safe
+    uy = (a2 * (cx - bx) + b2 * (ax - cx) + c2 * (bx - ax)) / d_safe
+    ra = (ux - ax) ** 2 + (uy - ay) ** 2
+    tol = 1e-7 * (ra + 1.0)
+    spread = np.maximum(
+        abs((ux - bx) ** 2 + (uy - by) ** 2 - ra),
+        abs((ux - cx) ** 2 + (uy - cy) ** 2 - ra),
+    )
+    radius = np.sqrt(ra)
+    for row in np.nonzero(valid & (spread > tol))[0]:
+        circle = circumcircle(
+            Point(float(ax[row]), float(ay[row])),
+            Point(float(bx[row]), float(by[row])),
+            Point(float(cx[row]), float(cy[row])),
+        )
+        if circle is None:
+            valid[row] = False
+            continue
+        ux[row], uy[row] = circle.center
+        radius[row] = circle.radius
+    return valid, ux, uy, radius
+
+
+def contains_batch(ux, uy, radius, px, py, *, tol: float = 1e-9):
+    """Elementwise :meth:`Circle.contains` over arrays."""
+    r = radius - tol
+    dx = ux - px
+    dy = uy - py
+    return (r > 0.0) & (dx * dx + dy * dy < r * r)
+
+
 def point_in_circumcircle(a: Point, b: Point, c: Point, d: Point) -> bool:
     """Whether ``d`` lies strictly inside the circumcircle of ``abc``.
 

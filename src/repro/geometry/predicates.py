@@ -151,6 +151,165 @@ def _strictly_inside(p: Point, q: Point, r: Point) -> bool:
     return on_segment(p, q, r) and r != p and r != q
 
 
+# -- batched predicates (SoA kernels) -----------------------------------------
+#
+# The vectorized construction core evaluates predicates on whole arrays
+# of rows at once.  Two regimes, mirroring the scalar code exactly:
+#
+# * orientation() snaps tiny determinants to COLLINEAR — that snap *is*
+#   the semantics, so orientation_codes_batch just replicates the float
+#   arithmetic elementwise (IEEE-identical, no fallback needed);
+# * the triangulator's _orient_sign / _in_circumcircle are adaptively
+#   exact — the batch versions reuse the same float determinant and the
+#   same error band, and route only the ambiguous rows to the existing
+#   Fraction-exact predicates.  The error-band filter can only *defer*
+#   to exact arithmetic, never contradict it, which the hypothesis
+#   property suite asserts row by row.
+
+
+def _exact_orient_row(ax, ay, bx, by, cx, cy) -> int:
+    from fractions import Fraction
+
+    det = (Fraction(bx) - Fraction(ax)) * (Fraction(cy) - Fraction(ay)) - (
+        Fraction(by) - Fraction(ay)
+    ) * (Fraction(cx) - Fraction(ax))
+    return (det > 0) - (det < 0)
+
+
+def _exact_incircle_row(ax, ay, bx, by, cx, cy, dx, dy) -> int:
+    from fractions import Fraction
+
+    adx = Fraction(ax) - Fraction(dx)
+    ady = Fraction(ay) - Fraction(dy)
+    bdx = Fraction(bx) - Fraction(dx)
+    bdy = Fraction(by) - Fraction(dy)
+    cdx = Fraction(cx) - Fraction(dx)
+    cdy = Fraction(cy) - Fraction(dy)
+    ad2 = adx * adx + ady * ady
+    bd2 = bdx * bdx + bdy * bdy
+    cd2 = cdx * cdx + cdy * cdy
+    det = (
+        adx * (bdy * cd2 - cdy * bd2)
+        - ady * (bdx * cd2 - cdx * bd2)
+        + ad2 * (bdx * cdy - cdx * bdy)
+    )
+    return (det > 0) - (det < 0)
+
+
+def orientation_codes_batch(ax, ay, bx, by, cx, cy):
+    """Elementwise :func:`orientation` over coordinate arrays.
+
+    Returns an int8 array of :class:`Orientation` values.  Pure float
+    replication — numpy's elementwise arithmetic is IEEE-identical to
+    the scalar expressions, so this *is* ``orientation`` per row.
+    """
+    from repro.core.compat import np
+
+    det = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    scale = abs(bx - ax) + abs(by - ay) + abs(cx - ax) + abs(cy - ay)
+    eps = _REL_EPS * scale * scale
+    return (det > eps).astype(np.int8) - (det < -eps).astype(np.int8)
+
+
+def orient_signs_batch(ax, ay, bx, by, cx, cy):
+    """Adaptively exact orientation signs over coordinate arrays.
+
+    The batch analogue of the triangulator's ``_orient_sign``: the
+    float determinant decides when it clears the relative error band,
+    and only ambiguous rows pay for exact (Fraction) arithmetic.
+    Returns ``(signs, ambiguous)`` so callers (and the property suite)
+    can see exactly which rows deferred.
+    """
+    from repro.core.compat import np
+
+    rbx, rby = bx - ax, by - ay
+    rcx, rcy = cx - ax, cy - ay
+    det = rbx * rcy - rby * rcx
+    scale = np.maximum(
+        np.maximum(abs(rbx), abs(rby)), np.maximum(abs(rcx), abs(rcy))
+    )
+    scale = np.maximum(scale, 1e-300)
+    ambiguous = ~(abs(det) > 1e-12 * scale * scale)
+    signs = np.sign(det).astype(np.int8)
+    for row in np.nonzero(ambiguous)[0]:
+        signs[row] = _exact_orient_row(
+            ax[row], ay[row], bx[row], by[row], cx[row], cy[row]
+        )
+    return signs, ambiguous
+
+
+def incircle_signs_batch(ax, ay, bx, by, cx, cy, dx, dy):
+    """Adaptively exact in-circle determinant signs over arrays.
+
+    Replicates the float determinant and forward-error bound of the
+    triangulator's cavity test elementwise; rows whose determinant
+    falls inside the bound are recomputed exactly.  Returns
+    ``(signs, ambiguous)``; the sign convention matches
+    :func:`in_circle` (positive = inside for counter-clockwise abc).
+    """
+    from repro.core.compat import np
+
+    adx, ady = ax - dx, ay - dy
+    bdx, bdy = bx - dx, by - dy
+    cdx, cdy = cx - dx, cy - dy
+    ad2 = adx * adx + ady * ady
+    bd2 = bdx * bdx + bdy * bdy
+    cd2 = cdx * cdx + cdy * cdy
+    det = (
+        adx * (bdy * cd2 - cdy * bd2)
+        - ady * (bdx * cd2 - cdx * bd2)
+        + ad2 * (bdx * cdy - cdx * bdy)
+    )
+    magnitude = (
+        abs(adx) * (abs(bdy) * cd2 + abs(cdy) * bd2)
+        + abs(ady) * (abs(bdx) * cd2 + abs(cdx) * bd2)
+        + ad2 * (abs(bdx) * abs(cdy) + abs(cdx) * abs(bdy))
+    )
+    ambiguous = ~(abs(det) > 1e-13 * magnitude)
+    signs = np.sign(det).astype(np.int8)
+    for row in np.nonzero(ambiguous)[0]:
+        signs[row] = _exact_incircle_row(
+            ax[row], ay[row], bx[row], by[row],
+            cx[row], cy[row], dx[row], dy[row],
+        )
+    return signs, ambiguous
+
+
+def segments_cross_batch(px1, py1, qx1, qy1, px2, py2, qx2, qy2, mask=None):
+    """Elementwise :func:`segments_cross` over coordinate arrays.
+
+    The general-position fast path (endpoint-distinct, no collinear
+    orientation) is decided fully vectorized; rows with any collinear
+    orientation code fall back to the scalar function, whose
+    touch/overlap branch is the semantics.  ``mask`` (optional)
+    restricts which rows are evaluated; unevaluated rows return False.
+    """
+    from repro.core.compat import np
+
+    if mask is None:
+        mask = np.ones(px1.shape[0], dtype=bool)
+    same = (
+        ((px1 == px2) & (py1 == py2))
+        | ((px1 == qx2) & (py1 == qy2))
+        | ((qx1 == px2) & (qy1 == py2))
+        | ((qx1 == qx2) & (qy1 == qy2))
+    )
+    o1 = orientation_codes_batch(px1, py1, qx1, qy1, px2, py2)
+    o2 = orientation_codes_batch(px1, py1, qx1, qy1, qx2, qy2)
+    o3 = orientation_codes_batch(px2, py2, qx2, qy2, px1, py1)
+    o4 = orientation_codes_batch(px2, py2, qx2, qy2, qx1, qy1)
+    anycol = (o1 == 0) | (o2 == 0) | (o3 == 0) | (o4 == 0)
+    res = mask & ~same & ~anycol & (o1 != o2) & (o3 != o4)
+    for row in np.nonzero(mask & ~same & anycol)[0]:
+        res[row] = segments_cross(
+            Point(float(px1[row]), float(py1[row])),
+            Point(float(qx1[row]), float(qy1[row])),
+            Point(float(px2[row]), float(py2[row])),
+            Point(float(qx2[row]), float(qy2[row])),
+        )
+    return res
+
+
 def point_in_polygon(point: Point, polygon: Sequence[Point]) -> bool:
     """Even–odd test for ``point`` inside a simple ``polygon``.
 

@@ -243,6 +243,315 @@ def _triangle_record(
     return (tri, orient, a[0] + ux, a[1] + uy, r_sq - band, r_sq + band)
 
 
+# -- batched lockstep Bowyer–Watson (SoA construction core) -------------------
+#
+# The localized Delaunay candidate generation runs one small Bowyer–
+# Watson per node.  The batch below runs *all* of them in lockstep: a
+# flat pool of triangle records tagged by owning query, one vectorized
+# cavity scan per insertion step t (every query inserts its t-th local
+# point simultaneously), vectorized boundary-edge extraction, and
+# vectorized creation of the replacement records.
+#
+# Bit-identity with :func:`delaunay` holds by construction:
+#
+# * insertion order is the caller's member order (ascending global id,
+#   exactly the order ``_node_candidates`` passes to ``delaunay``);
+# * every per-record quantity (_triangle_record's orientation sign,
+#   circumcenter, near/far bands) is computed with the same float
+#   expressions elementwise — numpy float64 arithmetic is IEEE-
+#   identical to the scalar code — and ambiguous rows go to the same
+#   Fraction-exact predicates;
+# * the cavity classification, boundary counting and replacement rule
+#   are pure combinatorics on identical predicate outcomes.
+#
+# Queries the lockstep cannot mirror exactly are *routed to the scalar
+# path* instead of approximated: point sets with duplicate coordinates
+# (the scalar code deduplicates and remaps indices) and the
+# never-expected empty-cavity anomaly.  All-collinear queries produce
+# no triangles on either path and are simply skipped.
+
+
+@dataclass
+class StarBatchResult:
+    """Output of :func:`delaunay_stars_batch`.
+
+    ``owner[i]`` is the query index of row ``i`` of ``tris``; triangle
+    vertices are ascending *local* indices into the query's member
+    list.  ``fallback`` lists query indices the caller must run through
+    the scalar :func:`delaunay` path.
+    """
+
+    owner: object
+    tris: object
+    fallback: object
+
+
+def _records_batch(np, ax, ay, bx, by, cx, cy):
+    """Elementwise :func:`_triangle_record` over coordinate arrays.
+
+    Returns ``(orient, ccx, ccy, near, far)`` with exactly the scalar
+    encoding: degenerate rows ``(near, far) = (-1, inf)``, slivers
+    ``(-1, -1)``, well-conditioned rows carry the banded circumcenter.
+    Ambiguous orientation rows use the exact Fraction predicate.
+    """
+    from repro.geometry.predicates import _exact_orient_row
+
+    rbx, rby = bx - ax, by - ay
+    rcx, rcy = cx - ax, cy - ay
+    det = rbx * rcy - rby * rcx
+    abs_det = np.abs(det)
+    lb = np.maximum(np.abs(rbx), np.abs(rby))
+    lc = np.maximum(np.abs(rcx), np.abs(rcy))
+    scale = np.maximum(np.maximum(lb, lc), 1e-300)
+    orient = np.where(det > 0.0, 1, -1).astype(np.int8)
+    for row in np.nonzero(~(abs_det > 1e-12 * scale * scale))[0]:
+        orient[row] = _exact_orient_row(
+            ax[row], ay[row], bx[row], by[row], cx[row], cy[row]
+        )
+    degen = orient == 0
+    ok = ~degen & (abs_det > _PREFILTER_COND * lb * lc)
+    d_safe = np.where(ok, 2.0 * det, 1.0)
+    b2 = rbx * rbx + rby * rby
+    c2 = rcx * rcx + rcy * rcy
+    ux = (rcy * b2 - rby * c2) / d_safe
+    uy = (rbx * c2 - rcx * b2) / d_safe
+    r_sq = ux * ux + uy * uy
+    abs_det_safe = np.where(ok, abs_det, 1.0)
+    center_err = _EPS * lb * lc * (lb + lc) / (2.0 * abs_det_safe)
+    band = _PREFILTER_SAFETY * (
+        2.0 * np.sqrt(r_sq) * center_err + 4.0 * _EPS * r_sq
+    )
+    ccx = np.where(ok, ax + ux, 0.0)
+    ccy = np.where(ok, ay + uy, 0.0)
+    near = np.where(ok, r_sq - band, -1.0)
+    far = np.where(ok, r_sq + band, np.where(degen, np.inf, -1.0))
+    return orient, ccx, ccy, near, far
+
+
+def delaunay_stars_batch(xs, ys, members_indptr, members_flat):
+    """Lockstep Bowyer–Watson over many small point sets at once.
+
+    ``xs``/``ys`` are global coordinate arrays; query ``q``'s member
+    list (ascending global ids, at least 3 entries) is
+    ``members_flat[members_indptr[q]:members_indptr[q+1]]``.
+    Returns a :class:`StarBatchResult` (triangles as local index
+    triples, bit-identical to per-query :func:`delaunay` calls), or
+    ``None`` when numpy is masked out.
+    """
+    from repro.core.compat import get_numpy
+    from repro.geometry.predicates import (
+        incircle_signs_batch,
+        orientation_codes_batch,
+    )
+
+    np = get_numpy()
+    if np is None:
+        return None
+    base = members_indptr[:-1]
+    m = (members_indptr[1:] - base).astype(np.int64)
+    B = int(m.shape[0])
+    empty = np.zeros(0, dtype=np.int64)
+    if B == 0:
+        return StarBatchResult(empty, empty.reshape(0, 3), empty)
+    total = int(members_indptr[-1])
+    flat_x = xs[members_flat]
+    flat_y = ys[members_flat]
+    owner_flat = np.repeat(np.arange(B), m)
+
+    # Queries containing duplicate coordinates go to the scalar path:
+    # the scalar triangulator deduplicates and remaps indices, which
+    # the lockstep deliberately does not mirror.
+    order = np.lexsort((flat_y, flat_x, owner_flat))
+    so, sx, sy = owner_flat[order], flat_x[order], flat_y[order]
+    same = (so[1:] == so[:-1]) & (sx[1:] == sx[:-1]) & (sy[1:] == sy[:-1])
+    dup_q = np.zeros(B, dtype=bool)
+    dup_q[so[1:][same]] = True
+
+    # All-collinear queries (per the eps-snapped orientation, exactly
+    # as the scalar early-out) yield no triangles; skip them outright.
+    pos_in_seg = np.arange(total) - base[owner_flat]
+    tail = pos_in_seg >= 2
+    t_owner = owner_flat[tail]
+    codes = orientation_codes_batch(
+        flat_x[base][t_owner], flat_y[base][t_owner],
+        flat_x[base + 1][t_owner], flat_y[base + 1][t_owner],
+        flat_x[tail], flat_y[tail],
+    )
+    noncollinear = np.zeros(B, dtype=bool)
+    noncollinear[t_owner[codes != 0]] = True
+
+    eligible = noncollinear & ~dup_q
+    failed = np.zeros(B, dtype=bool)
+    q_ids = np.nonzero(eligible)[0]
+    if q_ids.shape[0] == 0:
+        return StarBatchResult(
+            empty, empty.reshape(0, 3), np.nonzero(dup_q)[0].astype(np.int64)
+        )
+
+    # Super-triangle vertices, per query (same formulas as delaunay()).
+    min_x = np.minimum.reduceat(flat_x, base)
+    max_x = np.maximum.reduceat(flat_x, base)
+    min_y = np.minimum.reduceat(flat_y, base)
+    max_y = np.maximum.reduceat(flat_y, base)
+    span = np.maximum(np.maximum(max_x - min_x, max_y - min_y), 1.0)
+    scx = (min_x + max_x) / 2.0
+    scy = (min_y + max_y) / 2.0
+    margin = 1e9 * span
+    sup_x = np.stack([scx - margin, scx + margin, scx])
+    sup_y = np.stack([scy - margin / 2.0, scy - margin / 2.0, scy + margin])
+
+    # Extended per-query vertex table: local slots ``0..m-1`` hold the
+    # member coordinates, ``m..m+2`` the super-triangle vertices (the
+    # same layout the scalar triangulator uses, so triple sorting
+    # behaves identically).  Contiguous layout makes every local-index
+    # lookup a single fancy index instead of a branchy where().
+    ext_base = base + 3 * np.arange(B)
+    ext_x = np.empty(total + 3 * B)
+    ext_y = np.empty(total + 3 * B)
+    pos_ext = ext_base[owner_flat] + pos_in_seg
+    ext_x[pos_ext] = flat_x
+    ext_y[pos_ext] = flat_y
+    sup_pos = ext_base + m
+    for s in range(3):
+        ext_x[sup_pos + s] = sup_x[s]
+        ext_y[sup_pos + s] = sup_y[s]
+
+    def vert(q, i):
+        p = ext_base[q] + i
+        return ext_x[p], ext_y[p]
+
+    # The flat record pool, seeded with each query's super triangle.
+    rec_node = q_ids.astype(np.int64)
+    tri_a, tri_b, tri_c = m[q_ids], m[q_ids] + 1, m[q_ids] + 2
+    orient, ccx, ccy, near, far = _records_batch(
+        np, sup_x[0, q_ids], sup_y[0, q_ids],
+        sup_x[1, q_ids], sup_y[1, q_ids],
+        sup_x[2, q_ids], sup_y[2, q_ids],
+    )
+
+    alive_q = eligible.copy()
+    max_m = int(m[q_ids].max())
+    S = max_m + 3  # collision-free stride for (query, a, b) edge keys
+    out_owner: list = []
+    out_abc: list = []
+
+    def extract(fin_mask):
+        rows = fin_mask[rec_node]
+        if not rows.any():
+            return
+        real = rows & (tri_c < m[rec_node])
+        if real.any():
+            out_owner.append(rec_node[real].copy())
+            out_abc.append(
+                np.stack([tri_a[real], tri_b[real], tri_c[real]], axis=1)
+            )
+
+    for t in range(max_m):
+        fin = alive_q & (m == t)
+        if fin.any():
+            extract(fin)
+            alive_q &= ~fin
+        act = alive_q & (m > t)
+        keep = act[rec_node]
+        if not keep.all():
+            rec_node = rec_node[keep]
+            tri_a, tri_b, tri_c = tri_a[keep], tri_b[keep], tri_c[keep]
+            orient = orient[keep]
+            ccx, ccy, near, far = ccx[keep], ccy[keep], near[keep], far[keep]
+        if rec_node.shape[0] == 0:
+            break
+
+        # Active records satisfy m > t, so slot t is a real member.
+        p_t = ext_base[rec_node] + t
+        px_r, py_r = ext_x[p_t], ext_y[p_t]
+
+        # Cavity classification: the same three-regime scan as the
+        # scalar loop (prefilter bands / degenerate / full test).
+        dx = px_r - ccx
+        dy = py_r - ccy
+        d_sq = dx * dx + dy * dy
+        has_band = near >= 0.0
+        sure_out = has_band & (d_sq > far)
+        sure_in = has_band & (d_sq < near)
+        degen = ~has_band & (far > 0.0)
+        needs = ~(sure_out | sure_in | degen)
+        bad = sure_in
+        if needs.any():
+            rows = np.nonzero(needs)[0]
+            q_r = rec_node[rows]
+            avx, avy = vert(q_r, tri_a[rows])
+            bvx, bvy = vert(q_r, tri_b[rows])
+            cvx, cvy = vert(q_r, tri_c[rows])
+            signs, _ = incircle_signs_batch(
+                avx, avy, bvx, bvy, cvx, cvy, px_r[rows], py_r[rows]
+            )
+            inside = (signs == 0) | (signs == orient[rows])
+            bad = bad.copy()
+            bad[rows[inside]] = True
+
+        # Empty cavity: exact predicates place every point inside the
+        # super triangle, so this only fires on corrupt input — route
+        # the query to the scalar path, which raises coherently.
+        bad_counts = np.bincount(rec_node[bad], minlength=B)
+        act_ids = np.nonzero(act)[0]
+        broken = act_ids[bad_counts[act_ids] == 0]
+        if broken.shape[0]:
+            failed[broken] = True
+            alive_q[broken] = False
+            bad = bad & alive_q[rec_node]
+
+        # Cavity boundary: edges appearing in exactly one bad triangle.
+        bn = rec_node[bad]
+        ba, bb, bc = tri_a[bad], tri_b[bad], tri_c[bad]
+        e1 = np.concatenate([ba, bb, ba])
+        e2 = np.concatenate([bb, bc, bc])
+        en = np.concatenate([bn, bn, bn])
+        keys = (en * S + e1) * S + e2
+        keys.sort()
+        single = np.ones(keys.shape[0], dtype=bool)
+        single[1:] &= keys[1:] != keys[:-1]
+        single[:-1] &= keys[:-1] != keys[1:]
+        bkeys = keys[single]
+        bq = bkeys // (S * S)
+        rem = bkeys - bq * (S * S)
+        ea = rem // S
+        eb = rem - ea * S
+
+        # Replacement triangles (vi=t, a, b) as sorted triples.
+        t_arr = np.full(bq.shape, t, dtype=np.int64)
+        first = np.where(t_arr < ea, t_arr, ea)
+        second = np.where(t_arr < ea, ea, np.where(t_arr < eb, t_arr, eb))
+        third = np.where(t_arr < eb, eb, t_arr)
+        nax, nay = vert(bq, first)
+        nbx, nby = vert(bq, second)
+        ncx, ncy = vert(bq, third)
+        n_orient, n_ccx, n_ccy, n_near, n_far = _records_batch(
+            np, nax, nay, nbx, nby, ncx, ncy
+        )
+        ok_new = n_orient != 0  # vp collinear with the edge: no triangle
+
+        keep = ~bad
+        rec_node = np.concatenate([rec_node[keep], bq[ok_new]])
+        tri_a = np.concatenate([tri_a[keep], first[ok_new]])
+        tri_b = np.concatenate([tri_b[keep], second[ok_new]])
+        tri_c = np.concatenate([tri_c[keep], third[ok_new]])
+        orient = np.concatenate([orient[keep], n_orient[ok_new]])
+        ccx = np.concatenate([ccx[keep], n_ccx[ok_new]])
+        ccy = np.concatenate([ccy[keep], n_ccy[ok_new]])
+        near = np.concatenate([near[keep], n_near[ok_new]])
+        far = np.concatenate([far[keep], n_far[ok_new]])
+
+    extract(alive_q)
+
+    fallback = np.nonzero(dup_q | failed)[0].astype(np.int64)
+    if out_owner:
+        owner = np.concatenate(out_owner)
+        tris = np.concatenate(out_abc, axis=0)
+    else:
+        owner, tris = empty, empty.reshape(0, 3)
+    return StarBatchResult(owner, tris, fallback)
+
+
 def _collinear_path(points: Sequence[Point], index_of: dict[Point, int]) -> Triangulation:
     """Degenerate triangulation for collinear input: a sorted path."""
     tri = Triangulation(points=list(points))

@@ -29,8 +29,7 @@ class Graph:
         self.name = name
         self._adj: list[set[int]] = [set() for _ in self.positions]
         self._edges: set[tuple[int, int]] = set()
-        for u, v in edges:
-            self.add_edge(u, v)
+        self.add_edges_bulk(edges)
 
     # -- construction -------------------------------------------------
 
@@ -46,6 +45,29 @@ class Graph:
         self._edges.add(key)
         self._adj[u].add(v)
         self._adj[v].add(u)
+
+    def add_edges_bulk(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Add many edges at once; same validation as :meth:`add_edge`.
+
+        Normalizes, deduplicates against the existing edge set, then
+        updates adjacency in a single pass — the per-edge method-call
+        and membership-test overhead of repeated :meth:`add_edge` calls
+        dominates bulk construction of large topologies.
+        """
+        fresh = {(u, v) if u < v else (v, u) for u, v in edges}
+        fresh -= self._edges
+        if not fresh:
+            return
+        n = len(self.positions)
+        adj = self._adj
+        for u, v in fresh:
+            if u == v:
+                raise ValueError(f"self-loop at node {u}")
+            if not (0 <= u and v < n):
+                raise IndexError(f"edge ({u}, {v}) references a missing node")
+            adj[u].add(v)
+            adj[v].add(u)
+        self._edges |= fresh
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove undirected edge ``uv`` if present."""

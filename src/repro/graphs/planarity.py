@@ -47,8 +47,65 @@ def _candidate_pairs(graph: Graph) -> Iterator[tuple[tuple[int, int], tuple[int,
                 yield edges[i], edges[j]
 
 
+def _vector_crossing_pairs(
+    graph: Graph,
+) -> "list[tuple[tuple[int, int], tuple[int, int]]] | None":
+    """Vectorized crossing enumeration; ``None`` when numpy is masked.
+
+    The grid cell size only controls how many candidate pairs the
+    exact test sees, never which pairs cross (two crossing edges share
+    the cell containing their intersection point at any cell size), so
+    this path is free to bin with array arithmetic while the scalar
+    path keeps its incremental average — the crossing *set* is
+    identical either way, which is all the deterministic resolution
+    sweep consumes.
+    """
+    from repro.core.compat import get_numpy
+    from repro.core.soa import bbox_grid_pairs
+    from repro.geometry.predicates import segments_cross_batch
+
+    np = get_numpy()
+    if np is None:
+        return None
+    edges = sorted(graph.edge_set())
+    if len(edges) < 2:
+        return []
+    pos = graph.positions
+    n = len(pos)
+    xs = np.fromiter((p[0] for p in pos), dtype=np.float64, count=n)
+    ys = np.fromiter((p[1] for p in pos), dtype=np.float64, count=n)
+    arr = np.array(edges, dtype=np.int64)
+    eu, ev = arr[:, 0], arr[:, 1]
+    ux, uy, vx, vy = xs[eu], ys[eu], xs[ev], ys[ev]
+    lengths = np.hypot(ux - vx, uy - vy)
+    cell = max(float(lengths.sum()) / len(edges), 1e-9)
+    pi, pj = bbox_grid_pairs(
+        np,
+        np.minimum(ux, vx), np.minimum(uy, vy),
+        np.maximum(ux, vx), np.maximum(uy, vy),
+        cell,
+    )
+    share = (
+        (eu[pi] == eu[pj])
+        | (eu[pi] == ev[pj])
+        | (ev[pi] == eu[pj])
+        | (ev[pi] == ev[pj])
+    )
+    pi, pj = pi[~share], pj[~share]
+    cross = segments_cross_batch(
+        ux[pi], uy[pi], vx[pi], vy[pi], ux[pj], uy[pj], vx[pj], vy[pj]
+    )
+    return [
+        (edges[i], edges[j])
+        for i, j in zip(pi[cross].tolist(), pj[cross].tolist())
+    ]
+
+
 def crossing_pairs(graph: Graph) -> list[tuple[tuple[int, int], tuple[int, int]]]:
     """All pairs of edges that properly cross in the embedding."""
+    fast = _vector_crossing_pairs(graph)
+    if fast is not None:
+        return fast
     crossings: list[tuple[tuple[int, int], tuple[int, int]]] = []
     pos = graph.positions
     for (u1, v1), (u2, v2) in _candidate_pairs(graph):
@@ -61,6 +118,9 @@ def crossing_pairs(graph: Graph) -> list[tuple[tuple[int, int], tuple[int, int]]
 
 def is_planar_embedding(graph: Graph) -> bool:
     """Whether the straight-line embedding of ``graph`` is crossing-free."""
+    fast = _vector_crossing_pairs(graph)
+    if fast is not None:
+        return not fast
     pos = graph.positions
     for (u1, v1), (u2, v2) in _candidate_pairs(graph):
         if len({u1, v1, u2, v2}) < 4:

@@ -86,7 +86,16 @@ class GridIndex:
         each cell is paired with itself and with the half of its
         neighbor window that sorts after it, so every candidate pair is
         distance-tested exactly once instead of twice.
+
+        Pairs are yielded in sorted order.  The underlying cell walk
+        follows dict insertion order, which ties to point order in a
+        way callers must not depend on — the SoA bulk enumeration
+        (:func:`repro.core.soa.udg_edge_arrays`) and this path must
+        list UDG edges identically for the bit-identical tripwires.
         """
+        yield from sorted(self._iter_pairs_within(radius))
+
+    def _iter_pairs_within(self, radius: float) -> Iterator[tuple[int, int]]:
         r_sq = radius * radius
         points = self.points
         n = len(points)
@@ -143,11 +152,34 @@ class UnitDiskGraph(Graph):
         self._build()
 
     def _build(self) -> None:
-        # pairs_within yields each qualifying pair exactly once, which
-        # halves the duplicate distance tests of the old per-node scan.
-        index = GridIndex(self.positions, self.radius)
-        for u, v in index.pairs_within(self.radius):
-            self.add_edge(u, v)
+        # Array path: one vectorized grid join enumerates every edge
+        # and doubles as the deployment's shared SoA snapshot.  The
+        # edge set is bit-identical to pairs_within (same cells, same
+        # inclusive distance test, IEEE-identical arithmetic), which
+        # the equivalence suite and the bench tripwires assert.
+        from repro.core.soa import SoaSnapshot
+
+        snap = SoaSnapshot.from_points(self.positions, self.radius)
+        if snap is None:
+            # pairs_within yields each qualifying pair exactly once,
+            # halving the duplicate distance tests of a per-node scan.
+            index = GridIndex(self.positions, self.radius)
+            for u, v in index.pairs_within(self.radius):
+                self.add_edge(u, v)
+            return
+        self._soa_snapshot = snap
+        adj = self._adj
+        pairs = list(zip(snap.edge_u.tolist(), snap.edge_v.tolist()))
+        self._edges.update(pairs)
+        for u, v in pairs:
+            adj[u].add(v)
+            adj[v].add(u)
+
+    def soa_snapshot(self):
+        """The shared :class:`~repro.core.soa.SoaSnapshot` (or ``None``)."""
+        from repro.core.soa import snapshot_for
+
+        return snapshot_for(self)
 
     def k_hop_neighborhood(self, u: int, k: int) -> set[int]:
         """Nodes within ``k`` hops of ``u`` (paper's N_k(u)), including ``u``."""

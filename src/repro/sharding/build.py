@@ -72,6 +72,8 @@ from repro.topology.ldel import (
     Triangle,
     _nearby_triangle_pairs,
     _node_candidates,
+    _soa_candidate_arrays,
+    _soa_filter_k1,
     _triangle_edges,
     _triangles_intersect,
     is_k_localized_delaunay,
@@ -145,6 +147,36 @@ def _box_distance(box: tuple[float, float, float, float], p: Point) -> float:
     return math.hypot(dx, dy)
 
 
+def _soa_phase_a_candidates(udg, cache, box, radius):
+    """Vectorized per-tile candidate generation; ``None`` defers to scalar.
+
+    Proposer selection replicates the scalar loop exactly: the axis
+    gaps come out of array arithmetic (``max`` is an exact operation),
+    but the final ``hypot`` comparison runs through ``math.hypot`` per
+    node so borderline proposers match :func:`_box_distance` bit for
+    bit.  The candidate union is then one call into the shared SoA
+    kernel restricted to those proposers.
+    """
+    from repro.core.compat import get_numpy
+    from repro.core.soa import snapshot_for
+
+    np = get_numpy()
+    if np is None:
+        return None
+    snap = snapshot_for(udg)
+    if snap is None:
+        return None
+    x0, y0, x1, y1 = box
+    gx = np.maximum(np.maximum(x0 - snap.xs, 0.0), snap.xs - x1)
+    gy = np.maximum(np.maximum(y0 - snap.ys, 0.0), snap.ys - y1)
+    proposers = [
+        u
+        for u, (dx, dy) in enumerate(zip(gx.tolist(), gy.tolist()))
+        if math.hypot(dx, dy) <= radius
+    ]
+    return _soa_candidate_arrays(udg, cache, node_ids=proposers)
+
+
 def _phase_a(payload: tuple) -> dict:
     """Per-tile construction: UDG / Gabriel / LDel^k acceptance.
 
@@ -188,27 +220,54 @@ def _phase_a(payload: tuple) -> dict:
     if "ldel" in stages:
         r_sq = radius * radius
         t0 = time.perf_counter()
-        candidates: set[Triangle] = set()
-        for u in range(len(gids)):
-            # Only nodes within r of the core can be a vertex of an
-            # owned triangle, hence the only useful proposers.
-            if _box_distance(box, pos[u]) > radius:
-                continue
-            local_hood = sorted(cache.k_hop(u, 1))
-            candidates.update(_node_candidates(pos, r_sq, u, local_hood))
-        seconds["candidates"] = time.perf_counter() - t0
+        cand_arr = _soa_phase_a_candidates(udg, cache, box, radius)
+        if cand_arr is not None:
+            from repro.core.compat import get_numpy
 
-        t0 = time.perf_counter()
-        accepted = sorted(
-            t
-            for t in candidates
-            if t[0] in core and is_k_localized_delaunay(udg, t, k, cache)
-        )
-        seconds["filter"] = time.perf_counter() - t0
-        out["accepted"] = [
-            (gids[a], gids[b], gids[c]) for a, b, c in accepted
-        ]
-        out["candidates"] = len(candidates)
+            np = get_numpy()
+            seconds["candidates"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            core_mask = np.zeros(len(gids), dtype=bool)
+            if core:
+                core_mask[np.fromiter(core, dtype=np.int64, count=len(core))] = True
+            # Anchor-owned rows; unique-key order keeps them sorted.
+            owned = cand_arr[core_mask[cand_arr[:, 0]]]
+            fmask = _soa_filter_k1(udg, owned) if k == 1 else None
+            if fmask is not None:
+                accepted = [tuple(t) for t in owned[fmask].tolist()]
+            else:
+                accepted = sorted(
+                    t
+                    for t in map(tuple, owned.tolist())
+                    if is_k_localized_delaunay(udg, t, k, cache)
+                )
+            seconds["filter"] = time.perf_counter() - t0
+            out["accepted"] = [
+                (gids[a], gids[b], gids[c]) for a, b, c in accepted
+            ]
+            out["candidates"] = int(cand_arr.shape[0])
+        else:
+            candidates: set[Triangle] = set()
+            for u in range(len(gids)):
+                # Only nodes within r of the core can be a vertex of an
+                # owned triangle, hence the only useful proposers.
+                if _box_distance(box, pos[u]) > radius:
+                    continue
+                local_hood = sorted(cache.k_hop(u, 1))
+                candidates.update(_node_candidates(pos, r_sq, u, local_hood))
+            seconds["candidates"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            accepted = sorted(
+                t
+                for t in candidates
+                if t[0] in core and is_k_localized_delaunay(udg, t, k, cache)
+            )
+            seconds["filter"] = time.perf_counter() - t0
+            out["accepted"] = [
+                (gids[a], gids[b], gids[c]) for a, b, c in accepted
+            ]
+            out["candidates"] = len(candidates)
 
     out["seconds"] = {name: round(v, 6) for name, v in seconds.items()}
     out["cache"] = cache.snapshot()

@@ -56,6 +56,16 @@ PARALLEL_MIN_NODES = 600
 #: Minimum angle at the proposing vertex (Algorithm 2's 60° rule).
 _MIN_ANGLE = math.pi / 3.0 - 1e-12
 
+#: Cosine-space form of the 60° rule for the vectorized path: the
+#: angle test ``angle >= _MIN_ANGLE`` is equivalent to
+#: ``cos(angle) <= cos(_MIN_ANGLE)`` (acos is decreasing).  Rows whose
+#: vector-computed cosine lands within the band of the threshold are
+#: re-decided by the scalar :func:`angle_at`, so hypot/division
+#: rounding (~1e-15 relative, far inside the band) can never flip a
+#: decision against the reference path.
+_COS_MIN_ANGLE = math.cos(_MIN_ANGLE)
+_ANGLE_COS_BAND = 1e-9
+
 
 @dataclass(frozen=True)
 class LDelResult:
@@ -99,6 +109,298 @@ def _node_candidates(
     return out
 
 
+# -- vectorized construction core (SoA kernels) -------------------------------
+#
+# With numpy available, candidate generation, the k=1 filter and the
+# Algorithm 3 planarization all run over the deployment's shared
+# :class:`~repro.core.soa.SoaSnapshot`.  Every kernel replicates its
+# scalar counterpart's float expressions elementwise and routes rows
+# the replication cannot decide (ambiguous predicates, duplicate
+# coordinates, degenerate angle arms) to the scalar code, so the
+# output is bit-identical — the equivalence suite and the benchmark
+# tripwires both assert edge-set equality against the reference path.
+
+#: Queries per lockstep triangulation block; bounds the flat record
+#: pool (~block x avg-degree rows) so n=1e5 deployments stay in memory.
+_SOA_CHUNK = 8192
+
+
+def _soa_candidate_chunk(np, snap, pos, r_sq, qs):
+    """Candidate triples for one block of query nodes; (K, 3) int64."""
+    from repro.core.soa import gather_csr_rows
+    from repro.geometry.triangulation import delaunay_stars_batch
+
+    xs, ys = snap.xs, snap.ys
+    owner_n, vals = gather_csr_rows(np, snap.indptr, snap.indices, qs)
+    nq = qs.shape[0]
+    # Member list of q = sorted({q} | N(q)): merge the CSR rows with
+    # one self entry per query via a single lexsort.
+    owner_all = np.concatenate([owner_n, np.arange(nq)])
+    value_all = np.concatenate([vals, qs])
+    self_flag = np.zeros(owner_all.shape[0], dtype=bool)
+    self_flag[owner_n.shape[0]:] = True
+    order = np.lexsort((value_all, owner_all))
+    members_flat = value_all[order]
+    m = (snap.indptr[qs + 1] - snap.indptr[qs]) + 1
+    indptr_q = np.zeros(nq + 1, dtype=np.int64)
+    np.cumsum(m, out=indptr_q[1:])
+    base = indptr_q[:-1]
+    iu = np.nonzero(self_flag[order])[0] - base  # local index of q
+
+    res = delaunay_stars_batch(xs, ys, indptr_q, members_flat)
+    parts = []
+    if res.owner.shape[0]:
+        own = res.owner
+        la, lb, lc = res.tris[:, 0], res.tris[:, 1], res.tris[:, 2]
+        inc = (la == iu[own]) | (lb == iu[own]) | (lc == iu[own])
+        own, la, lb, lc = own[inc], la[inc], lb[inc], lc[inc]
+        ga = members_flat[base[own] + la]
+        gb = members_flat[base[own] + lb]
+        gc = members_flat[base[own] + lc]
+        d_ab = (xs[ga] - xs[gb]) ** 2 + (ys[ga] - ys[gb]) ** 2
+        d_bc = (xs[gb] - xs[gc]) ** 2 + (ys[gb] - ys[gc]) ** 2
+        d_ac = (xs[ga] - xs[gc]) ** 2 + (ys[ga] - ys[gc]) ** 2
+        keep = ~((d_ab > r_sq) | (d_bc > r_sq) | (d_ac > r_sq))
+
+        # Angle at the proposing vertex, in cosine space with a band;
+        # ambiguous rows re-decided by the scalar angle_at.
+        u_arr = qs[own]
+        o1 = np.where(ga == u_arr, gb, ga)
+        o2 = np.where(gc == u_arr, gb, gc)
+        axv = xs[o1] - xs[u_arr]
+        ayv = ys[o1] - ys[u_arr]
+        bxv = xs[o2] - xs[u_arr]
+        byv = ys[o2] - ys[u_arr]
+        na = np.hypot(axv, ayv)
+        nb = np.hypot(bxv, byv)
+        ok_arm = (na != 0.0) & (nb != 0.0)
+        cosv = np.clip(
+            (axv * bxv + ayv * byv) / np.where(ok_arm, na * nb, 1.0), -1.0, 1.0
+        )
+        accept = ok_arm & (cosv <= _COS_MIN_ANGLE - _ANGLE_COS_BAND)
+        clear_reject = ok_arm & (cosv >= _COS_MIN_ANGLE + _ANGLE_COS_BAND)
+        for row in np.nonzero(keep & ~(accept | clear_reject))[0]:
+            try:
+                angle = angle_at(
+                    pos[int(u_arr[row])], pos[int(o1[row])], pos[int(o2[row])]
+                )
+            except ValueError:
+                continue
+            accept[row] = angle >= _MIN_ANGLE
+        keep &= accept
+        if keep.any():
+            parts.append(np.stack([ga[keep], gb[keep], gc[keep]], axis=1))
+
+    for q in res.fallback.tolist():
+        u = int(qs[q])
+        local = members_flat[base[q]: indptr_q[q + 1]].tolist()
+        tris = _node_candidates(pos, r_sq, u, local)
+        if tris:
+            parts.append(np.array(tris, dtype=np.int64))
+    if not parts:
+        return np.zeros((0, 3), dtype=np.int64)
+    return np.concatenate(parts, axis=0)
+
+
+def _soa_candidate_arrays(
+    udg: UnitDiskGraph,
+    cache: ConstructionCache,
+    node_ids: Optional[Sequence[int]] = None,
+):
+    """All candidate triples as a sorted-unique (K, 3) array, or ``None``.
+
+    ``node_ids`` restricts the proposing nodes (the sharded build
+    passes each tile's proposer set); default is every node.  The
+    triple set equals the union of :func:`_node_candidates` over the
+    same nodes — fallback queries literally run it.
+    """
+    from repro.core.compat import get_numpy
+    from repro.core.soa import snapshot_for
+
+    np = get_numpy()
+    if np is None:
+        return None
+    snap = snapshot_for(udg)
+    if snap is None:
+        return None
+    n = snap.n
+    r_sq = udg.radius * udg.radius
+    pos = udg.positions
+    if node_ids is None:
+        queries = np.arange(n, dtype=np.int64)
+    else:
+        queries = np.asarray(sorted(node_ids), dtype=np.int64)
+    deg = snap.indptr[queries + 1] - snap.indptr[queries]
+    cache.count("local_delaunay_calls", int((deg >= 2).sum()))
+    eligible = queries[deg >= 2]  # m = deg + 1 >= 3
+
+    parts = []
+    for s in range(0, eligible.shape[0], _SOA_CHUNK):
+        part = _soa_candidate_chunk(
+            np, snap, pos, r_sq, eligible[s: s + _SOA_CHUNK]
+        )
+        if part.shape[0]:
+            parts.append(part)
+    if not parts:
+        return np.zeros((0, 3), dtype=np.int64)
+    allt = np.concatenate(parts, axis=0)
+    if n < 2_000_000:  # key packing fits int64 up to n^3
+        from repro.core.soa import sorted_unique
+
+        key = (allt[:, 0] * n + allt[:, 1]) * n + allt[:, 2]
+        ukey = sorted_unique(np, key)
+        return np.stack(
+            [ukey // (n * n), (ukey // n) % n, ukey % n], axis=1
+        )
+    return np.unique(allt, axis=0)
+
+
+def _soa_filter_k1(udg: UnitDiskGraph, tris):
+    """Vectorized 1-localized Delaunay filter; bool mask over ``tris``.
+
+    Replicates :func:`is_k_localized_delaunay` for ``k=1``: the batched
+    circumcircle (exact-rescued rows identical to the scalar cache's),
+    witnesses ``N_1(u) | N_1(v) | N_1(w)`` minus the corners by id, and
+    the same tolerance-shrunk open-disk containment.
+    """
+    from repro.core.compat import get_numpy
+    from repro.core.soa import gather_csr_rows, snapshot_for
+    from repro.geometry.circle import circumcircles_batch
+
+    np = get_numpy()
+    if np is None:
+        return None
+    snap = snapshot_for(udg)
+    if snap is None:
+        return None
+    if tris.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    xs, ys = snap.xs, snap.ys
+    u, v, w = tris[:, 0], tris[:, 1], tris[:, 2]
+    valid, ccx, ccy, rad = circumcircles_batch(
+        xs[u], ys[u], xs[v], ys[v], xs[w], ys[w]
+    )
+    own_parts, wit_parts = [], []
+    for col in (u, v, w):
+        o, vals = gather_csr_rows(np, snap.indptr, snap.indices, col)
+        own_parts.append(o)
+        wit_parts.append(vals)
+    owner = np.concatenate(own_parts)
+    wit = np.concatenate(wit_parts)
+    keep = (wit != u[owner]) & (wit != v[owner]) & (wit != w[owner])
+    owner, wit = owner[keep], wit[keep]
+    r = rad[owner] - 1e-9
+    dxw = ccx[owner] - xs[wit]
+    dyw = ccy[owner] - ys[wit]
+    inside = valid[owner] & (r > 0.0) & (dxw * dxw + dyw * dyw < r * r)
+    blocked = np.bincount(owner[inside], minlength=tris.shape[0]) > 0
+    return valid & ~blocked
+
+
+def _soa_triangles_intersect(np, xs, ys, tris, pi, pj):
+    """Which triangle pairs overlap improperly (vectorized 9-way test)."""
+    from repro.geometry.predicates import segments_cross_batch
+
+    edge_slots = ((0, 1), (1, 2), (0, 2))  # _triangle_edges order
+    inter = np.zeros(pi.shape[0], dtype=bool)
+    for i1, j1 in edge_slots:
+        a, b = tris[pi, i1], tris[pi, j1]
+        ax_, ay_, bx_, by_ = xs[a], ys[a], xs[b], ys[b]
+        ax0 = np.minimum(ax_, bx_) - _EDGE_BBOX_SLACK
+        ay0 = np.minimum(ay_, by_) - _EDGE_BBOX_SLACK
+        ax1 = np.maximum(ax_, bx_) + _EDGE_BBOX_SLACK
+        ay1 = np.maximum(ay_, by_) + _EDGE_BBOX_SLACK
+        for i2, j2 in edge_slots:
+            c, d = tris[pj, i2], tris[pj, j2]
+            share = (a == c) | (a == d) | (b == c) | (b == d)
+            cx_, cy_, dx_, dy_ = xs[c], ys[c], xs[d], ys[d]
+            miss = (
+                (ax1 < np.minimum(cx_, dx_) - _EDGE_BBOX_SLACK)
+                | (np.maximum(cx_, dx_) + _EDGE_BBOX_SLACK < ax0)
+                | (ay1 < np.minimum(cy_, dy_) - _EDGE_BBOX_SLACK)
+                | (np.maximum(cy_, dy_) + _EDGE_BBOX_SLACK < ay0)
+            )
+            cand = ~share & ~miss & ~inter
+            if not cand.any():
+                continue
+            inter |= segments_cross_batch(
+                ax_, ay_, bx_, by_, cx_, cy_, dx_, dy_, mask=cand
+            )
+    return inter
+
+
+def _soa_planarize(
+    udg: UnitDiskGraph, ldel1: "LDelResult", cache: ConstructionCache
+) -> Optional["LDelResult"]:
+    """Vectorized Algorithm 3; ``None`` defers to the scalar path."""
+    from repro.core.compat import get_numpy
+    from repro.core.soa import bbox_grid_pairs, snapshot_for
+    from repro.geometry.circle import circumcircles_batch, contains_batch
+
+    np = get_numpy()
+    if np is None:
+        return None
+    snap = snapshot_for(udg)
+    if snap is None:
+        return None
+    triangles = list(ldel1.triangles)
+    count = len(triangles)
+    removed = np.zeros(count, dtype=bool)
+    if count:
+        xs, ys = snap.xs, snap.ys
+        tris = np.array(triangles, dtype=np.int64)
+        u, v, w = tris[:, 0], tris[:, 1], tris[:, 2]
+        valid, ccx, ccy, rad = circumcircles_batch(
+            xs[u], ys[u], xs[v], ys[v], xs[w], ys[w]
+        )
+        bx0 = np.minimum(np.minimum(xs[u], xs[v]), xs[w])
+        by0 = np.minimum(np.minimum(ys[u], ys[v]), ys[w])
+        bx1 = np.maximum(np.maximum(xs[u], xs[v]), xs[w])
+        by1 = np.maximum(np.maximum(ys[u], ys[v]), ys[w])
+        pi, pj = bbox_grid_pairs(np, bx0, by0, bx1, by1, udg.radius)
+        cache.count("triangle_pairs_candidate", int(pi.shape[0]))
+        overlap = ~(
+            (bx1[pi] < bx0[pj])
+            | (bx1[pj] < bx0[pi])
+            | (by1[pi] < by0[pj])
+            | (by1[pj] < by0[pi])
+        )
+        cache.count("triangle_pairs_tested", int(overlap.sum()))
+        pi, pj = pi[overlap], pj[overlap]
+        inter = _soa_triangles_intersect(np, xs, ys, tris, pi, pj)
+        cache.count("triangle_pairs_intersecting", int(inter.sum()))
+        pi, pj = pi[inter], pj[inter]
+        for mine, other in ((pi, pj), (pj, pi)):
+            hit = np.zeros(pi.shape[0], dtype=bool)
+            for corner in range(3):
+                vid = tris[other, corner]
+                hit |= contains_batch(
+                    ccx[mine], ccy[mine], rad[mine], xs[vid], ys[vid]
+                )
+            removed[mine[hit & valid[mine]]] = True
+    else:
+        cache.count("triangle_pairs_candidate", 0)
+        cache.count("triangle_pairs_tested", 0)
+        cache.count("triangle_pairs_intersecting", 0)
+
+    survivors = tuple(
+        t for t, gone in zip(triangles, removed.tolist()) if not gone
+    )
+    graph = Graph(udg.positions, ldel1.gabriel_edges, name="PLDel")
+    graph.add_edges_bulk(
+        pair
+        for tu, tv, tw in survivors
+        for pair in ((tu, tv), (tv, tw), (tu, tw))
+    )
+    resolve_degenerate_crossings(graph)
+    return LDelResult(
+        graph=graph,
+        triangles=survivors,
+        gabriel_edges=ldel1.gabriel_edges,
+        k=1,
+    )
+
+
 def _candidate_chunk(
     payload: tuple[Sequence[Point], float, list[tuple[int, list[int]]]]
 ) -> list[Triangle]:
@@ -133,15 +435,21 @@ def candidate_triangles(
     protocol also makes tie-breaking identical on exactly-cocircular
     inputs, where "the" local Delaunay triangulation is not unique.
 
-    ``parallel=None`` (auto) fans the per-node triangulations out over
-    the batch executor when the deployment is large enough and more
-    than one worker is available; ``True``/``False`` force the choice.
-    The result is identical either way: each node's candidates depend
-    only on that node's neighborhood, and the union is a set.
+    With numpy available the vectorized SoA kernel handles everything
+    in-process (one lockstep triangulation beats the fan-out), unless
+    ``parallel=True`` explicitly forces the executor path — which, like
+    the serial scalar loop (numpy masked out), remains the
+    bit-identical reference the SoA kernel is tested against.
+    ``parallel=None`` (auto) falls back to the executor for large
+    deployments only when numpy is unavailable.
     """
     cache = ConstructionCache.for_udg(udg, cache)
     r_sq = udg.radius * udg.radius
     pos = udg.positions
+    if parallel is not True:
+        arr = _soa_candidate_arrays(udg, cache)
+        if arr is not None:
+            return set(map(tuple, arr.tolist()))
     nodes = [(u, sorted(cache.k_hop(u, 1))) for u in udg.nodes()]
     cache.count("local_delaunay_calls", sum(1 for _, local in nodes if len(local) >= 3))
 
@@ -229,18 +537,27 @@ def local_delaunay_graph(
     if k < 1:
         raise ValueError("k must be at least 1")
     cache = ConstructionCache.for_udg(udg, cache)
-    candidates = candidate_triangles(
-        udg, cache=cache, parallel=parallel, max_workers=max_workers
-    )
-    accepted = tuple(
-        sorted(t for t in candidates if is_k_localized_delaunay(udg, t, k, cache))
-    )
+    accepted: Optional[tuple[Triangle, ...]] = None
+    if parallel is not True and k == 1:
+        arr = _soa_candidate_arrays(udg, cache)
+        if arr is not None:
+            mask = _soa_filter_k1(udg, arr)
+            if mask is not None:
+                # Unique-key rows come out lexicographically sorted, so
+                # the masked rows are already the sorted accepted list.
+                accepted = tuple(map(tuple, arr[mask].tolist()))
+    if accepted is None:
+        candidates = candidate_triangles(
+            udg, cache=cache, parallel=parallel, max_workers=max_workers
+        )
+        accepted = tuple(
+            sorted(t for t in candidates if is_k_localized_delaunay(udg, t, k, cache))
+        )
     gabriel = gabriel_graph(udg, cache=cache)
     graph = Graph(udg.positions, gabriel.edges(), name=f"LDel{k}")
-    for u, v, w in accepted:
-        graph.add_edge(u, v)
-        graph.add_edge(v, w)
-        graph.add_edge(u, w)
+    graph.add_edges_bulk(
+        pair for u, v, w in accepted for pair in ((u, v), (v, w), (u, w))
+    )
     return LDelResult(
         graph=graph,
         triangles=accepted,
@@ -386,6 +703,9 @@ def planarize_ldel1(
     if ldel1.k != 1:
         raise ValueError("planarization applies to LDel^1")
     cache = ConstructionCache.for_udg(udg, cache)
+    soa = _soa_planarize(udg, ldel1, cache)
+    if soa is not None:
+        return soa
     pos = udg.positions
     triangles = list(ldel1.triangles)
     circles = [cache.circumcircle_of(t) for t in triangles]

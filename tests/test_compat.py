@@ -1,0 +1,113 @@
+"""The single numpy/scipy guard in :mod:`repro.core.compat`.
+
+Three promises: the guard is the one switch that masks numpy out at
+runtime (programmatic override beats the environment variable beats
+the import), every SoA entry point returns ``None``/falls back when
+masked instead of crashing, and the fallback paths reuse the scalar
+reference code — which the equivalence suite then compares against the
+kernels.  Also pins the deterministic iteration order of
+``GridIndex.pairs_within`` that the fallback UDG build relies on.
+"""
+
+import os
+
+import pytest
+
+from repro.core import compat
+from repro.core.soa import SoaSnapshot, snapshot_for
+from repro.geometry.primitives import Point
+from repro.graphs.udg import GridIndex, UnitDiskGraph
+
+
+needs_numpy = pytest.mark.skipif(
+    compat.np is None, reason="requires numpy"
+)
+
+
+def _points():
+    return [
+        Point(0.0, 0.0), Point(1.0, 0.5), Point(2.0, 0.0),
+        Point(0.5, 1.5), Point(1.5, 1.5), Point(3.0, 3.0),
+    ]
+
+
+class TestGuard:
+    def test_numpy_disabled_masks_and_restores(self):
+        before = compat.numpy_active()
+        with compat.numpy_disabled():
+            assert not compat.numpy_active()
+            assert compat.get_numpy() is None
+        assert compat.numpy_active() == before
+
+    def test_nested_disable_restores_outer_override(self):
+        compat.set_numpy_enabled(True)
+        try:
+            with compat.numpy_disabled():
+                assert compat.get_numpy() is None
+            assert compat.numpy_active() == compat.HAVE_NUMPY
+        finally:
+            compat.set_numpy_enabled(None)
+
+    @needs_numpy
+    def test_env_variable_masks(self, monkeypatch):
+        monkeypatch.setitem(os.environ, "REPRO_NO_NUMPY", "1")
+        assert not compat.numpy_active()
+        monkeypatch.setitem(os.environ, "REPRO_NO_NUMPY", "0")
+        assert compat.numpy_active()
+
+    @needs_numpy
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setitem(os.environ, "REPRO_NO_NUMPY", "1")
+        compat.set_numpy_enabled(True)
+        try:
+            assert compat.numpy_active()
+        finally:
+            compat.set_numpy_enabled(None)
+
+
+class TestMaskedFallbacks:
+    def test_snapshot_entry_points_return_none(self):
+        with compat.numpy_disabled():
+            assert SoaSnapshot.from_points(_points(), 1.5) is None
+            udg = UnitDiskGraph(_points(), 1.5)
+            assert snapshot_for(udg) is None
+            assert udg.soa_snapshot() is None
+
+    def test_masked_udg_equals_vectorized_udg(self):
+        if compat.np is None:
+            pytest.skip("requires numpy for the vectorized side")
+        soa = UnitDiskGraph(_points(), 1.5)
+        with compat.numpy_disabled():
+            ref = UnitDiskGraph(_points(), 1.5)
+        assert soa.edge_set() == ref.edge_set()
+        # The vectorized build must have attached the shared snapshot;
+        # the masked build must not.
+        assert getattr(soa, "_soa_snapshot", None) is not None
+        assert getattr(ref, "_soa_snapshot", None) is None
+
+    def test_masked_pipeline_runs_scalar_path(self):
+        from repro.topology.ldel import planar_local_delaunay_graph
+
+        with compat.numpy_disabled():
+            result = planar_local_delaunay_graph(UnitDiskGraph(_points(), 1.5))
+        assert result.graph.node_count == len(_points())
+
+
+class TestPairsWithinOrder:
+    def test_yields_sorted_unique_pairs(self):
+        index = GridIndex(_points(), cell_size=1.5)
+        got = list(index.pairs_within(1.5))
+        assert got == sorted(set(got))
+
+    def test_order_is_deterministic_across_builds(self):
+        # Same points inserted in reverse: the stream must still come
+        # out sorted, and relabeling indices back must reproduce the
+        # forward build's pairs exactly (the old implementation leaked
+        # bucket-dict insertion order into the stream).
+        pts = _points()
+        n = len(pts)
+        a = list(GridIndex(pts, cell_size=1.5).pairs_within(1.5))
+        b = list(GridIndex(list(reversed(pts)), cell_size=1.5).pairs_within(1.5))
+        assert b == sorted(b)
+        remapped = {tuple(sorted((n - 1 - u, n - 1 - v))) for u, v in b}
+        assert remapped == set(a)
