@@ -83,6 +83,7 @@ from repro.experiments.hotpath_bench import (
     format_markdown,
     format_report,
     load_baseline_strict,
+    remediation_command,
     run_backbone_fast_benchmark,
     run_benchmark,
     run_incremental_benchmark,
@@ -224,7 +225,19 @@ def main(argv=None) -> int:
         try:
             baseline = load_baseline_strict(args.baseline)
         except BaselineError as exc:
+            fix = remediation_command(args.baseline)
             print(f"error: {exc}", file=sys.stderr)
+            print(
+                f"to (re)pin the baseline on a known-good commit, run:\n  {fix}",
+                file=sys.stderr,
+            )
+            if args.step_summary:
+                _write_step_summary(
+                    "## Hot-path benchmark: baseline unusable\n\n"
+                    f"{exc}\n\n"
+                    "Re-pin it on a known-good commit:\n\n"
+                    f"```\n{fix}\n```"
+                )
             return 2
 
     report = run_benchmark(

@@ -15,6 +15,9 @@ Commands:
   (:mod:`repro.incremental`, with the rebuild-equivalence tripwire).
 * ``experiments`` — regenerate the paper's tables/figures (delegates
   to :mod:`repro.experiments.harness`).
+* ``validate`` — run the declarative invariant matrix over the
+  scenario corpus (:mod:`repro.validation`); the nightly validation
+  farm and the blocking PR job are this one command.
 """
 
 from __future__ import annotations
@@ -41,10 +44,22 @@ def _add_deployment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--radius", type=float, default=60.0)
     parser.add_argument("--side", type=float, default=200.0)
     parser.add_argument("--seed", type=int, default=0)
+    from repro.workloads.generators import GENERATORS, MODELS
+
     parser.add_argument(
         "--generator",
-        choices=("uniform", "clustered", "grid", "corridor"),
+        choices=tuple(GENERATORS),
         default="uniform",
+    )
+    parser.add_argument(
+        "--model",
+        choices=MODELS,
+        default="udg",
+        help="radio model: sharp disk or quasi-UDG gray zone",
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=0.75,
+        help="quasi-UDG reliable-zone fraction of the radius",
     )
     parser.add_argument(
         "--load", type=Path, default=None, help="load a saved deployment JSON"
@@ -67,7 +82,13 @@ def _get_deployment(args: argparse.Namespace) -> Deployment:
         return get_instance(name, int(index) if index else 0)
     rng = random.Random(args.seed)
     return connected_udg_instance(
-        args.nodes, args.side, args.radius, rng, generator=args.generator
+        args.nodes,
+        args.side,
+        args.radius,
+        rng,
+        generator=args.generator,
+        model=getattr(args, "model", "udg"),
+        epsilon=getattr(args, "epsilon", 0.75),
     )
 
 
@@ -238,13 +259,54 @@ def cmd_mobility(args: argparse.Namespace) -> int:
 def cmd_corpus(args: argparse.Namespace) -> int:
     from repro.workloads.corpus import CORPUS
 
-    print(f"{'name':<16}{'n':>5}{'side':>7}{'radius':>8}{'generator':>11}  description")
-    for entry in CORPUS.values():
+    print(
+        f"{'name':<18}{'n':>5}{'side':>7}{'radius':>8}{'generator':>11}"
+        f"{'model':>7}{'tags':>14}  description"
+    )
+    for name in sorted(CORPUS):
+        entry = CORPUS[name]
+        tags = ",".join(entry.tags) or "-"
         print(
-            f"{entry.name:<16}{entry.n:>5}{entry.side:>7g}{entry.radius:>8g}"
-            f"{entry.generator:>11}  {entry.description}"
+            f"{entry.name:<18}{entry.n:>5}{entry.side:>7g}{entry.radius:>8g}"
+            f"{entry.generator:>11}{entry.model:>7}{tags:>14}  {entry.description}"
         )
     return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.validation.engine import run_validation
+
+    try:
+        matrix = run_validation(
+            corpus=args.corpus or (),
+            pipelines=args.pipeline or (),
+            invariants=args.invariant or (),
+            executor=args.executor,
+            max_workers=args.workers,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.output:
+        args.output.write_text(json.dumps(matrix.to_json_dict(), indent=1))
+        print(f"matrix written to {args.output}", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(matrix.to_json_dict(), indent=1))
+    elif args.format == "markdown":
+        print(matrix.to_markdown())
+    else:
+        print(matrix.to_text(), end="")
+    if args.step_summary:
+        import os
+
+        summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary_path:
+            with open(summary_path, "a") as fh:
+                fh.write(matrix.to_markdown())
+                fh.write("\n")
+    return 0 if matrix.ok else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -343,6 +405,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "corpus", help="list the canonical instance corpus"
     )
     p_corpus.set_defaults(func=cmd_corpus)
+
+    p_val = sub.add_parser(
+        "validate",
+        help="run the declarative invariant matrix over the corpus",
+    )
+    p_val.add_argument(
+        "--corpus",
+        action="append",
+        default=None,
+        metavar="NAME[/INDEX]|TAG",
+        help="corpus entry, entry/index, or tag (repeatable; default: all)",
+    )
+    p_val.add_argument(
+        "--pipeline",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="pipeline filter: udg, gg, ldel, backbone (repeatable)",
+    )
+    p_val.add_argument(
+        "--invariant",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="invariant filter by name (repeatable; default: all)",
+    )
+    p_val.add_argument(
+        "--format", choices=("text", "markdown", "json"), default="text"
+    )
+    p_val.add_argument(
+        "--output", type=Path, default=None,
+        help="also write the JSON matrix document to this path",
+    )
+    p_val.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="serial"
+    )
+    p_val.add_argument("--workers", type=int, default=None)
+    p_val.add_argument(
+        "--step-summary",
+        action="store_true",
+        help="append the markdown matrix to $GITHUB_STEP_SUMMARY when set",
+    )
+    p_val.set_defaults(func=cmd_validate)
 
     p_exp = sub.add_parser(
         "experiments", help="regenerate the paper's tables and figures"

@@ -93,6 +93,18 @@ def default_baseline_path() -> Path:
     return Path(__file__).resolve().parents[3] / "benchmarks" / "baseline_hotpath.json"
 
 
+def remediation_command(path: str | Path) -> str:
+    """The exact command that re-pins the baseline at ``path``.
+
+    Printed whenever a strict baseline load fails, so the fix is a
+    copy-paste (run on a known-good commit) rather than a doc hunt.
+    """
+    return (
+        "PYTHONPATH=src python benchmarks/bench_hotpath.py "
+        f"--write-baseline --baseline {path}"
+    )
+
+
 def measure_size(
     n: int,
     *,

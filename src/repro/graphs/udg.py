@@ -144,6 +144,13 @@ class UnitDiskGraph(Graph):
     localized Delaunay length caps) can normalize distances against it.
     """
 
+    #: Whether adjacency is exactly the "distance <= radius" rule.
+    #: Kernels may exploit its geometric consequences (e.g. "within
+    #: |uv| of both endpoints implies adjacent to both"); radio-model
+    #: subclasses that drop links (quasi-UDG) override this to False
+    #: so those shortcuts fall back to pure adjacency reasoning.
+    adjacency_is_disk_rule = True
+
     def __init__(self, positions: Sequence[Point], radius: float, *, name: str = "UDG") -> None:
         if radius <= 0.0:
             raise ValueError("transmission radius must be positive")

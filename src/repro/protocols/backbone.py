@@ -91,9 +91,12 @@ def run_backbone_pipeline(
     cds_seconds = time.perf_counter() - cds_started
 
     backbone = sorted(family.backbone_nodes)
-    sub_udg = UnitDiskGraph(
-        [udg.positions[orig] for orig in backbone], udg.radius, name="ICDS-sub"
-    )
+    # induced_radio_subgraph == a plain sub-UDG for the standard disk
+    # model (bit-identical); for quasi-UDG deployments it keeps the
+    # dropped gray-zone links dropped instead of resurrecting them.
+    from repro.graphs.quasi import induced_radio_subgraph
+
+    sub_udg = induced_radio_subgraph(udg, backbone, name="ICDS-sub")
     ldel_started = time.perf_counter()
     if mode == "fast":
         ldel_outcome = fast_ldel_protocol(sub_udg)

@@ -18,6 +18,10 @@ Endpoints:
 * ``GET /session/{id}`` — session summary and cumulative counters;
 * ``DELETE /session/{id}`` — close a session;
 * ``GET /pipelines`` — the registry listing with parameter schemas;
+* ``GET /invariants`` — the declarative invariant catalog, the corpus
+  recipes it runs against, and the last in-process validation summary;
+* ``POST /validate`` — run the invariant matrix (corpus / pipeline /
+  invariant filters) and return the pass/fail document;
 * ``GET /metrics`` — counters, latency percentiles, cache accounting,
   and the ``incremental.*`` maintenance totals;
 * ``GET /healthz`` — liveness.
@@ -84,6 +88,9 @@ class SpannerService:
         self._sessions: dict[str, IncrementalSession] = {}
         self._sessions_lock = threading.Lock()
         self._session_seq = 0
+        #: Summary of the most recent ``POST /validate`` run, shown by
+        #: ``GET /invariants`` (None until a validation has run).
+        self._last_validation: Optional[dict] = None
 
     # -- building --------------------------------------------------------
 
@@ -509,6 +516,66 @@ class SpannerService:
         for name, seconds in report.phase_seconds.items():
             self.metrics.observe(f"incremental.phase.{name}", float(seconds))
 
+    # -- validation ------------------------------------------------------
+
+    def invariants_summary(self) -> dict:
+        """``GET /invariants`` — catalog, corpus, last run summary."""
+        from repro.validation.engine import PIPELINES
+        from repro.validation.invariants import invariant_listing
+        from repro.workloads.corpus import corpus_listing
+
+        return {
+            "invariants": invariant_listing(),
+            "pipelines": list(PIPELINES),
+            "corpus": corpus_listing(),
+            "last_validation": self._last_validation,
+        }
+
+    def validate(self, payload: Mapping[str, Any]) -> dict:
+        """``POST /validate`` — run the invariant matrix in-process.
+
+        Accepts ``corpus`` / ``pipelines`` / ``invariants`` filter
+        lists (all optional).  Runs serially inside the request — the
+        farm's fan-out belongs to the CLI; this endpoint exists for
+        on-demand spot checks against a live service.
+        """
+        if payload is None:
+            payload = {}
+        if not isinstance(payload, Mapping):
+            raise ServiceError(400, "request body must be a JSON object")
+        filters = {}
+        for field in ("corpus", "pipelines", "invariants"):
+            value = payload.get(field, [])
+            if not isinstance(value, list) or not all(
+                isinstance(item, str) for item in value
+            ):
+                raise ServiceError(400, f"'{field}' must be a list of strings")
+            filters[field] = value
+        from repro.validation.engine import run_validation
+
+        self.metrics.inc("validation.requests")
+        try:
+            with self.metrics.timer("validation.run"):
+                matrix = run_validation(
+                    corpus=filters["corpus"],
+                    pipelines=filters["pipelines"],
+                    invariants=filters["invariants"],
+                    executor="serial",
+                )
+        except KeyError as exc:
+            raise ServiceError(400, str(exc.args[0])) from None
+        summary = matrix.summary
+        for status, count in summary.items():
+            self.metrics.inc(f"validation.cells_{status}", count)
+        if not matrix.ok:
+            self.metrics.inc("validation.failed_runs")
+        self._last_validation = {
+            "ok": matrix.ok,
+            "summary": summary,
+            "meta": matrix.meta,
+        }
+        return matrix.to_json_dict()
+
     # -- introspection ---------------------------------------------------
 
     def pipelines(self) -> dict:
@@ -559,6 +626,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._respond(200, self.service.metrics_snapshot())
         elif path == "/pipelines":
             self._respond(200, self.service.pipelines())
+        elif path == "/invariants":
+            self._respond(200, self.service.invariants_summary())
         elif len(parts) == 2 and parts[0] == "session":
             self._dispatch(lambda: self.service.session_get(parts[1]))
         else:
@@ -571,10 +640,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
             "/batch": self.service.batch,
             "/route": self.service.route,
             "/session": self.service.session_create,
+            "/validate": self.service.validate,
         }
         handler = handlers.get(path)
         if handler is not None:
-            self._dispatch(lambda: handler(self._read_json()))
+            if path == "/validate":
+                # Filters are all optional, so an empty body is fine.
+                self._dispatch(lambda: handler(self._read_json_optional()))
+            else:
+                self._dispatch(lambda: handler(self._read_json()))
             return
         parts = path.strip("/").split("/")
         if len(parts) == 3 and parts[0] == "session" and parts[2] == "step":
@@ -601,6 +675,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # a bug, not a bad request
             self.service.metrics.inc("server.errors")
             self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _read_json_optional(self) -> Any:
+        """Like :meth:`_read_json` but an absent body means ``{}``."""
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        return self._read_json()
 
     def _read_json(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)

@@ -48,11 +48,18 @@ def _soa_gabriel_pairs(udg: UnitDiskGraph):
     threshold = duv / 4.0 - 1e-9
 
     # A blocker inside the diameter disk of ``uv`` is within ``|uv|``
-    # of *both* endpoints (Thales), and ``|uv| <= radius``, so every
-    # witness the scalar loop can find inside the disk already sits in
-    # N(u).  Scanning only u's CSR rows therefore yields the identical
-    # blocked set at half the memory traffic of scanning N(u) ∪ N(v).
+    # of *both* endpoints (Thales), and ``|uv| <= radius``, so under
+    # the pure disk rule every witness the scalar loop can find inside
+    # the disk already sits in N(u): scanning only u's CSR rows yields
+    # the identical blocked set at half the memory traffic of scanning
+    # N(u) ∪ N(v).  Quasi-style models break that implication (the
+    # blocker's link to u may be a dropped gray-zone link while its
+    # link to v survives), so they scan both endpoints' rows.
     owner, wit = gather_csr_rows(np, snap.indptr, snap.indices, eu)
+    if not udg.adjacency_is_disk_rule:
+        owner_v, wit_v = gather_csr_rows(np, snap.indptr, snap.indices, ev)
+        owner = np.concatenate([owner, owner_v])
+        wit = np.concatenate([wit, wit_v])
     wx, wy = xs[wit], ys[wit]
     ux_o, uy_o = ux[owner], uy[owner]
     vx_o, vy_o = vx[owner], vy[owner]

@@ -1,0 +1,24 @@
+"""Declarative invariant validation over the scenario corpus.
+
+:mod:`repro.validation.invariants` declares WHAT must hold (the
+paper's guarantees plus the implementation's bit-identity contracts),
+:mod:`repro.validation.engine` evaluates invariants against pipeline x
+corpus-entry cells, and :mod:`repro.validation.matrix` renders the
+result as the machine-readable pass/fail matrix the CI farm publishes.
+"""
+
+from repro.validation.engine import PIPELINES, run_validation, validate_entry
+from repro.validation.invariants import INVARIANTS, Check, Invariant, invariant_listing
+from repro.validation.matrix import CellResult, ValidationMatrix
+
+__all__ = [
+    "PIPELINES",
+    "run_validation",
+    "validate_entry",
+    "INVARIANTS",
+    "Check",
+    "Invariant",
+    "invariant_listing",
+    "CellResult",
+    "ValidationMatrix",
+]

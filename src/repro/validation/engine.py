@@ -1,0 +1,243 @@
+"""Evaluate the invariant catalog against pipeline x corpus cells.
+
+One corpus entry is the unit of fan-out: the worker regenerates the
+deployment, builds every requested pipeline once (sharing the radio
+graph and one :class:`DistanceOracle` across them), and evaluates each
+applicable invariant.  Entries run serially, threaded, or across
+processes via the service executor — the worker and its task tuples
+are picklable by construction.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.oracle import DistanceOracle
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+from repro.protocols.backbone import BackbonePipelineResult, run_backbone_pipeline
+from repro.service.executor import run_batch
+from repro.topology.gabriel import gabriel_graph
+from repro.topology.ldel import planar_local_delaunay_graph
+from repro.validation.invariants import INDEX, INVARIANTS, Invariant
+from repro.validation.matrix import CellResult, ValidationMatrix
+from repro.workloads.corpus import CORPUS, CorpusEntry, select_entries
+from repro.workloads.generators import Deployment
+
+#: Pipelines a cell can name: the raw radio graph (model-rule checks),
+#: the two spanners, and the full backbone construction.
+PIPELINES = ("udg", "gg", "ldel", "backbone")
+
+
+@dataclass
+class PipelineBuild:
+    """Everything a metric may inspect for one (entry, pipeline) cell."""
+
+    pipeline: str
+    entry: CorpusEntry
+    index: int
+    deployment: Deployment
+    udg: UnitDiskGraph
+    graph: Graph
+    oracle: DistanceOracle
+    backbone: Optional[BackbonePipelineResult] = None
+
+    @property
+    def model(self) -> str:
+        return self.entry.model
+
+    @property
+    def epsilon(self) -> float:
+        return self.entry.epsilon
+
+
+def _resolve_pipelines(pipelines: Sequence[str]) -> tuple[str, ...]:
+    if not pipelines:
+        return PIPELINES
+    unknown = sorted(set(pipelines) - set(PIPELINES))
+    if unknown:
+        raise KeyError(f"unknown pipelines {unknown}; known: {list(PIPELINES)}")
+    return tuple(p for p in PIPELINES if p in set(pipelines))
+
+
+def _resolve_invariants(invariants: Sequence[str]) -> tuple[Invariant, ...]:
+    if not invariants:
+        return INVARIANTS
+    unknown = sorted(set(invariants) - set(INDEX))
+    if unknown:
+        raise KeyError(f"unknown invariants {unknown}; known: {sorted(INDEX)}")
+    wanted = set(invariants)
+    return tuple(inv for inv in INVARIANTS if inv.name in wanted)
+
+
+def _build_context(
+    pipeline: str,
+    entry: CorpusEntry,
+    index: int,
+    deployment: Deployment,
+    udg: UnitDiskGraph,
+    oracle: DistanceOracle,
+    backbone: Optional[BackbonePipelineResult],
+) -> PipelineBuild:
+    if pipeline == "udg":
+        graph: Graph = udg
+    elif pipeline == "gg":
+        graph = gabriel_graph(udg)
+    elif pipeline == "ldel":
+        graph = planar_local_delaunay_graph(udg).graph
+    elif pipeline == "backbone":
+        assert backbone is not None
+        graph = backbone.ldel_icds
+    else:  # pragma: no cover - guarded by _resolve_pipelines
+        raise KeyError(pipeline)
+    return PipelineBuild(
+        pipeline=pipeline,
+        entry=entry,
+        index=index,
+        deployment=deployment,
+        udg=udg,
+        graph=graph,
+        oracle=oracle,
+        backbone=backbone,
+    )
+
+
+def validate_entry(
+    entry: CorpusEntry,
+    index: int = 0,
+    pipelines: Sequence[str] = (),
+    invariants: Sequence[str] = (),
+) -> list[CellResult]:
+    """Evaluate every applicable invariant for one corpus instance."""
+    pipes = _resolve_pipelines(pipelines)
+    catalog = _resolve_invariants(invariants)
+    deployment = entry.instance(index)
+    udg = deployment.udg()
+    oracle = DistanceOracle(udg)
+    backbone = (
+        run_backbone_pipeline(udg, mode="fast") if "backbone" in pipes else None
+    )
+    cells: list[CellResult] = []
+    for pipeline in pipes:
+        ctx = _build_context(pipeline, entry, index, deployment, udg, oracle, backbone)
+        for inv in catalog:
+            if not inv.applies_to(pipeline):
+                continue
+            started = time.perf_counter()
+            if not inv.covers_model(entry.model):
+                cells.append(
+                    CellResult(
+                        entry=entry.name,
+                        index=index,
+                        pipeline=pipeline,
+                        invariant=inv.name,
+                        status="skip",
+                        detail=f"not covered for model {entry.model!r}",
+                    )
+                )
+                continue
+            try:
+                check = inv.metric(ctx)
+                status = "pass" if check.passed else "fail"
+                cells.append(
+                    CellResult(
+                        entry=entry.name,
+                        index=index,
+                        pipeline=pipeline,
+                        invariant=inv.name,
+                        status=status,
+                        value=check.value,
+                        bound=check.bound,
+                        detail=check.detail,
+                        seconds=time.perf_counter() - started,
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 - farm must report, not die
+                cells.append(
+                    CellResult(
+                        entry=entry.name,
+                        index=index,
+                        pipeline=pipeline,
+                        invariant=inv.name,
+                        status="error",
+                        detail="".join(
+                            traceback.format_exception_only(type(exc), exc)
+                        ).strip(),
+                        seconds=time.perf_counter() - started,
+                    )
+                )
+    return cells
+
+
+def _entry_worker(task: tuple) -> list[dict]:
+    """Picklable per-entry worker for the batch executor."""
+    name, index, pipelines, invariants = task
+    entry = CORPUS[name]
+    return [cell.to_dict() for cell in validate_entry(entry, index, pipelines, invariants)]
+
+
+def run_validation(
+    corpus: Sequence[str] = (),
+    pipelines: Sequence[str] = (),
+    invariants: Sequence[str] = (),
+    *,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
+) -> ValidationMatrix:
+    """Run the invariant matrix over the selected corpus slice.
+
+    ``corpus`` takes entry names, ``name/index`` specs, or tags (the
+    blocking PR job passes ``["smoke"]``); empty selections mean
+    "everything".  ``executor`` picks the batch mode (``serial`` /
+    ``thread`` / ``process``); a worker that dies becomes an ``error``
+    cell rather than sinking the run.
+    """
+    selected = select_entries(corpus)
+    pipes = _resolve_pipelines(pipelines)
+    catalog = _resolve_invariants(invariants)
+    inv_names = tuple(inv.name for inv in catalog)
+
+    started = time.perf_counter()
+    tasks = [(entry.name, index, pipes, inv_names) for entry, index in selected]
+    outcome = run_batch(
+        tasks,
+        _entry_worker,
+        mode=executor,
+        max_workers=max_workers,
+        metric_name="validation.entry",
+    )
+    cells: list[CellResult] = []
+    for task, task_outcome in zip(tasks, outcome.outcomes):
+        if task_outcome.ok:
+            cells.extend(CellResult.from_dict(d) for d in task_outcome.value)
+        else:
+            # The whole entry failed to build (generator error, pickle
+            # trouble, worker crash): one error cell per invariant so
+            # the hole is visible in every column.
+            name, index, _, _ = task
+            detail = str(getattr(task_outcome, "error", "worker failed"))
+            for pipeline in pipes:
+                for inv in catalog:
+                    if inv.applies_to(pipeline):
+                        cells.append(
+                            CellResult(
+                                entry=name,
+                                index=index,
+                                pipeline=pipeline,
+                                invariant=inv.name,
+                                status="error",
+                                detail=detail,
+                            )
+                        )
+    meta = {
+        "corpus": list(corpus),
+        "entries": [f"{entry.name}/{index}" for entry, index in selected],
+        "pipelines": list(pipes),
+        "invariants": list(inv_names),
+        "executor": executor,
+        "elapsed_s": round(time.perf_counter() - started, 3),
+    }
+    return ValidationMatrix(cells=cells, meta=meta)

@@ -1,0 +1,186 @@
+"""The pass/fail matrix: cells plus JSON / markdown / text renderings.
+
+The JSON document (schema ``repro/validation-matrix/v1``) is the
+artifact the nightly farm uploads; the markdown rendering is what
+lands in ``$GITHUB_STEP_SUMMARY``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+SCHEMA = "repro/validation-matrix/v1"
+
+_SYMBOLS = {"pass": "✅", "fail": "❌", "skip": "⏭️", "error": "💥"}
+
+
+@dataclass
+class CellResult:
+    """One (entry, pipeline, invariant) evaluation."""
+
+    entry: str
+    index: int
+    pipeline: str
+    invariant: str
+    status: str  # pass | fail | skip | error
+    value: Optional[float] = None
+    bound: Optional[float] = None
+    detail: str = ""
+    seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "entry": self.entry,
+            "index": self.index,
+            "pipeline": self.pipeline,
+            "invariant": self.invariant,
+            "status": self.status,
+            "value": self.value,
+            "bound": self.bound,
+            "detail": self.detail,
+            "seconds": round(self.seconds, 4),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellResult":
+        return cls(
+            entry=data["entry"],
+            index=data["index"],
+            pipeline=data["pipeline"],
+            invariant=data["invariant"],
+            status=data["status"],
+            value=data.get("value"),
+            bound=data.get("bound"),
+            detail=data.get("detail", ""),
+            seconds=data.get("seconds", 0.0),
+        )
+
+    @property
+    def instance(self) -> str:
+        return f"{self.entry}/{self.index}"
+
+
+@dataclass
+class ValidationMatrix:
+    """Every cell of one validation run plus run metadata."""
+
+    cells: list[CellResult] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def summary(self) -> dict[str, int]:
+        counts = {"pass": 0, "fail": 0, "skip": 0, "error": 0}
+        for cell in self.cells:
+            counts[cell.status] = counts.get(cell.status, 0) + 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        summary = self.summary
+        return summary["fail"] == 0 and summary["error"] == 0
+
+    def problems(self) -> list[CellResult]:
+        return [c for c in self.cells if c.status in ("fail", "error")]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "meta": self.meta,
+            "summary": self.summary,
+            "ok": self.ok,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    # -- renderings ---------------------------------------------------
+
+    def _pipelines(self) -> list[str]:
+        order = self.meta.get("pipelines") or []
+        seen = {cell.pipeline for cell in self.cells}
+        listed = [p for p in order if p in seen]
+        return listed + sorted(seen - set(listed))
+
+    def _columns(self, pipeline: str) -> list[str]:
+        order = self.meta.get("invariants") or []
+        seen = {c.invariant for c in self.cells if c.pipeline == pipeline}
+        listed = [i for i in order if i in seen]
+        return listed + sorted(seen - set(listed))
+
+    def _instances(self) -> list[str]:
+        instances: list[str] = []
+        for cell in self.cells:
+            if cell.instance not in instances:
+                instances.append(cell.instance)
+        return instances
+
+    def to_markdown(self) -> str:
+        summary = self.summary
+        lines = [
+            "## Validation matrix",
+            "",
+            f"**{summary['pass']} pass** · {summary['fail']} fail · "
+            f"{summary['error']} error · {summary['skip']} skipped "
+            f"({self.meta.get('elapsed_s', '?')}s, "
+            f"executor={self.meta.get('executor', '?')})",
+        ]
+        index = {
+            (c.instance, c.pipeline, c.invariant): c for c in self.cells
+        }
+        for pipeline in self._pipelines():
+            columns = self._columns(pipeline)
+            if not columns:
+                continue
+            lines += ["", f"### `{pipeline}`", ""]
+            lines.append("| instance | " + " | ".join(columns) + " |")
+            lines.append("|---" * (len(columns) + 1) + "|")
+            for instance in self._instances():
+                row = [f"`{instance}`"]
+                touched = False
+                for col in columns:
+                    cell = index.get((instance, pipeline, col))
+                    if cell is None:
+                        row.append("—")
+                    else:
+                        touched = True
+                        row.append(_SYMBOLS.get(cell.status, cell.status))
+                if touched:
+                    lines.append("| " + " | ".join(row) + " |")
+        problems = self.problems()
+        if problems:
+            lines += ["", "### Failures", ""]
+            for cell in problems:
+                measured = ""
+                if cell.value is not None:
+                    measured = f" (value {cell.value:.6g}"
+                    if cell.bound is not None:
+                        measured += f", bound {cell.bound:.6g}"
+                    measured += ")"
+                lines.append(
+                    f"- `{cell.instance}` · `{cell.pipeline}` · "
+                    f"**{cell.invariant}**: {cell.status}{measured}"
+                    + (f" — {cell.detail}" if cell.detail else "")
+                )
+        return "\n".join(lines) + "\n"
+
+    def to_text(self) -> str:
+        summary = self.summary
+        lines = [
+            f"validation: {summary['pass']} pass, {summary['fail']} fail, "
+            f"{summary['error']} error, {summary['skip']} skip"
+        ]
+        for cell in self.cells:
+            if cell.status == "pass":
+                continue
+            measured = ""
+            if cell.value is not None:
+                measured = f" value={cell.value:.6g}"
+                if cell.bound is not None:
+                    measured += f" bound={cell.bound:.6g}"
+            lines.append(
+                f"  {cell.status.upper():5s} {cell.instance} {cell.pipeline} "
+                f"{cell.invariant}{measured}"
+                + (f" :: {cell.detail}" if cell.detail else "")
+            )
+        if self.ok:
+            lines.append("  all invariants hold")
+        return "\n".join(lines) + "\n"

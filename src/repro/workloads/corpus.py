@@ -3,13 +3,23 @@
 Named, seeded deployments frozen for cross-version comparability:
 benchmarks and bug reports can say "run on ``paper-table1/0``" and
 everyone regenerates bit-identical coordinates.  The corpus mirrors
-the calibrated experiment regimes from DESIGN.md.
+the calibrated experiment regimes from DESIGN.md, extended with the
+validation-farm scenario families (hotspots, density gradients,
+obstacle corridors, mobility snapshots, quasi-UDG radio models).
+
+Versioning contract: ``version`` is metadata describing the recipe
+revision.  Changing anything that alters the generated coordinates or
+link set (n, side, radius, generator, params, model knobs, base_seed)
+MUST bump ``version`` *and* ``base_seed`` together — the seed formula
+``base_seed * 100_003 + index`` itself is frozen forever, so old
+entries keep regenerating bit-identically.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
 
 from repro.workloads.generators import Deployment, connected_udg_instance
 
@@ -25,6 +35,18 @@ class CorpusEntry:
     generator: str
     base_seed: int
     description: str
+    #: Recipe revision (see module docstring); metadata only.
+    version: int = 1
+    #: Extra keyword arguments for the generator, stored as a sorted
+    #: tuple of pairs so the entry stays hashable/frozen.
+    generator_params: tuple[tuple[str, Any], ...] = ()
+    #: Radio model: ``"udg"`` (paper) or ``"quasi"`` (gray zone).
+    model: str = "udg"
+    #: Quasi-UDG knobs; ignored for ``model="udg"``.
+    epsilon: float = 0.75
+    keep_probability: float = 0.6
+    #: Free-form labels; ``"smoke"`` marks the fast blocking-CI subset.
+    tags: tuple[str, ...] = ()
 
     def instance(self, index: int = 0) -> Deployment:
         """Deterministically regenerate instance ``index`` of the family."""
@@ -32,8 +54,36 @@ class CorpusEntry:
             raise ValueError("index must be non-negative")
         rng = random.Random(self.base_seed * 100_003 + index)
         return connected_udg_instance(
-            self.n, self.side, self.radius, rng, generator=self.generator
+            self.n,
+            self.side,
+            self.radius,
+            rng,
+            generator=self.generator,
+            generator_params=dict(self.generator_params),
+            model=self.model,
+            epsilon=self.epsilon,
+            keep_probability=self.keep_probability,
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready recipe listing (for the CLI and the service)."""
+        return {
+            "name": self.name,
+            "n": self.n,
+            "side": self.side,
+            "radius": self.radius,
+            "generator": self.generator,
+            "generator_params": dict(self.generator_params),
+            "model": self.model,
+            "epsilon": self.epsilon if self.model == "quasi" else None,
+            "keep_probability": (
+                self.keep_probability if self.model == "quasi" else None
+            ),
+            "base_seed": self.base_seed,
+            "version": self.version,
+            "tags": list(self.tags),
+            "description": self.description,
+        }
 
 
 CORPUS: dict[str, CorpusEntry] = {
@@ -56,6 +106,7 @@ CORPUS: dict[str, CorpusEntry] = {
             generator="uniform",
             base_seed=1002,
             description="Figure 8-10 low end: 20 nodes at R=60",
+            tags=("smoke",),
         ),
         CorpusEntry(
             name="paper-dense",
@@ -102,6 +153,71 @@ CORPUS: dict[str, CorpusEntry] = {
             base_seed=1007,
             description="~10-hop diameter field for locality experiments",
         ),
+        CorpusEntry(
+            name="hotspot-mix",
+            n=120,
+            side=200.0,
+            radius=55.0,
+            generator="hotspot",
+            base_seed=1008,
+            description="uniform background + dense Gaussian hotspots",
+            tags=("smoke",),
+        ),
+        CorpusEntry(
+            name="density-gradient",
+            n=130,
+            side=200.0,
+            radius=55.0,
+            generator="gradient",
+            base_seed=1009,
+            description="density ramping as x^2: sparse fringe to dense core",
+        ),
+        CorpusEntry(
+            name="obstacle-cross",
+            n=120,
+            side=200.0,
+            radius=50.0,
+            generator="obstacle",
+            base_seed=1010,
+            description="non-convex cross of corridors between obstacle blocks",
+            tags=("smoke",),
+        ),
+        CorpusEntry(
+            name="mobility-rush",
+            n=110,
+            side=200.0,
+            radius=55.0,
+            generator="mobility",
+            base_seed=1011,
+            description="random-waypoint snapshot after 60s warm-up",
+            tags=("smoke",),
+        ),
+        CorpusEntry(
+            name="quasi-field",
+            n=110,
+            side=200.0,
+            radius=60.0,
+            generator="uniform",
+            base_seed=1012,
+            description="uniform field under the quasi-UDG gray zone (eps=0.75)",
+            model="quasi",
+            epsilon=0.75,
+            keep_probability=0.6,
+            tags=("smoke", "quasi"),
+        ),
+        CorpusEntry(
+            name="quasi-hotspots",
+            n=100,
+            side=200.0,
+            radius=60.0,
+            generator="hotspot",
+            base_seed=1013,
+            description="hotspot mix under the quasi-UDG gray zone (eps=0.8)",
+            model="quasi",
+            epsilon=0.8,
+            keep_probability=0.5,
+            tags=("quasi",),
+        ),
     )
 }
 
@@ -113,3 +229,47 @@ def get_instance(name: str, index: int = 0) -> Deployment:
             f"unknown corpus entry {name!r}; have {sorted(CORPUS)}"
         )
     return CORPUS[name].instance(index)
+
+
+def select_entries(
+    filters: Sequence[str] = (),
+) -> list[tuple[CorpusEntry, int]]:
+    """Resolve corpus filters to concrete ``(entry, index)`` pairs.
+
+    Each filter is an entry name (``"paper-sparse"``), a name with an
+    instance index (``"paper-sparse/2"``), or a tag (``"smoke"``,
+    matching every entry carrying it).  No filters selects index 0 of
+    every entry.  Unknown names raise :class:`KeyError` so a typo
+    fails the run instead of silently validating nothing.
+    """
+    if not filters:
+        return [(CORPUS[name], 0) for name in sorted(CORPUS)]
+    picked: list[tuple[CorpusEntry, int]] = []
+    seen: set[tuple[str, int]] = set()
+    for spec in filters:
+        name, _, index_part = spec.partition("/")
+        index = 0
+        if index_part:
+            index = int(index_part)
+        if name in CORPUS:
+            matches: Iterable[CorpusEntry] = (CORPUS[name],)
+        else:
+            matches = tuple(
+                CORPUS[key] for key in sorted(CORPUS) if name in CORPUS[key].tags
+            )
+            if not matches:
+                raise KeyError(
+                    f"corpus filter {spec!r} matches no entry name or tag; "
+                    f"entries: {sorted(CORPUS)}"
+                )
+        for entry in matches:
+            key = (entry.name, index)
+            if key not in seen:
+                seen.add(key)
+                picked.append((entry, index))
+    return picked
+
+
+def corpus_listing() -> list[dict]:
+    """JSON-ready listing of every corpus recipe (sorted by name)."""
+    return [CORPUS[name].to_dict() for name in sorted(CORPUS)]

@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from typing import Any, Mapping, Optional
 
 from repro.geometry.primitives import Point
 from repro.graphs.paths import is_connected
@@ -30,6 +31,33 @@ class Deployment:
     def udg(self) -> UnitDiskGraph:
         """Unit disk graph of this deployment."""
         return UnitDiskGraph(list(self.points), self.radius)
+
+
+@dataclass(frozen=True)
+class QuasiDeployment(Deployment):
+    """A deployment whose radio model is the quasi-UDG gray zone.
+
+    ``udg()`` yields a :class:`~repro.graphs.quasi.QuasiUnitDiskGraph`:
+    links are guaranteed below ``epsilon * radius``, impossible beyond
+    ``radius``, and hash-decided (by ``link_seed``) in between — the
+    Damian-Pemmaraju model the validation farm checks the paper's
+    invariants under.
+    """
+
+    epsilon: float = 0.75
+    link_seed: int = 0
+    keep_probability: float = 0.6
+
+    def udg(self) -> UnitDiskGraph:
+        from repro.graphs.quasi import QuasiUnitDiskGraph
+
+        return QuasiUnitDiskGraph(
+            list(self.points),
+            self.radius,
+            epsilon=self.epsilon,
+            link_seed=self.link_seed,
+            keep_probability=self.keep_probability,
+        )
 
 
 def uniform_points(n: int, side: float, rng: random.Random) -> list[Point]:
@@ -103,6 +131,153 @@ def corridor_points(
     ]
 
 
+def hotspot_points(
+    n: int,
+    side: float,
+    rng: random.Random,
+    *,
+    hotspots: int = 3,
+    background_fraction: float = 0.35,
+    spread_fraction: float = 0.06,
+) -> list[Point]:
+    """Uniform background traffic plus dense Gaussian hotspots.
+
+    Unlike :func:`clustered_points` (every point in a cluster, round-
+    robin), each point first flips for the uniform background; the rest
+    pick a random hotspot.  Models a city: sparse coverage everywhere,
+    sharp density spikes around gathering points.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if hotspots < 1:
+        raise ValueError("need at least one hotspot")
+    if not 0.0 <= background_fraction <= 1.0:
+        raise ValueError("background_fraction must be in [0, 1]")
+    centers = [
+        Point(rng.uniform(0.15 * side, 0.85 * side), rng.uniform(0.15 * side, 0.85 * side))
+        for _ in range(hotspots)
+    ]
+    spread = spread_fraction * side
+    points: list[Point] = []
+    for _ in range(n):
+        if rng.random() < background_fraction:
+            points.append(Point(rng.uniform(0.0, side), rng.uniform(0.0, side)))
+        else:
+            cx, cy = centers[rng.randrange(hotspots)]
+            x = min(max(rng.gauss(cx, spread), 0.0), side)
+            y = min(max(rng.gauss(cy, spread), 0.0), side)
+            points.append(Point(x, y))
+    return points
+
+
+def gradient_points(
+    n: int, side: float, rng: random.Random, *, gamma: float = 2.0
+) -> list[Point]:
+    """Density increasing along x as ``x**gamma`` (inverse-CDF sampled).
+
+    One region spanning sub-critical to super-critical density — the
+    regime where a construction's behaviour at the sparse fringe and
+    the dense core must coexist in one instance.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if gamma < 0.0:
+        raise ValueError("gamma must be non-negative")
+    exponent = 1.0 / (gamma + 1.0)
+    return [
+        Point(side * rng.random() ** exponent, rng.uniform(0.0, side))
+        for _ in range(n)
+    ]
+
+
+def obstacle_points(
+    n: int,
+    side: float,
+    rng: random.Random,
+    *,
+    corridor_fraction: float = 0.34,
+    max_attempts_per_point: int = 1000,
+) -> list[Point]:
+    """Points confined to a cross of corridors between obstacle blocks.
+
+    The reachable region is the union of a horizontal and a vertical
+    strip of width ``corridor_fraction * side`` through the center —
+    non-convex, with four obstacle corners no straight radio path may
+    shortcut.  Rejection-sampled uniform over the cross.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 0.0 < corridor_fraction <= 1.0:
+        raise ValueError("corridor_fraction must be in (0, 1]")
+    half = 0.5 * corridor_fraction * side
+    center = 0.5 * side
+    points: list[Point] = []
+    for _ in range(n):
+        for _ in range(max_attempts_per_point):
+            x = rng.uniform(0.0, side)
+            y = rng.uniform(0.0, side)
+            if abs(x - center) <= half or abs(y - center) <= half:
+                points.append(Point(x, y))
+                break
+        else:  # pragma: no cover - corridor_fraction > 0 always admits points
+            raise RuntimeError("rejection sampling starved")
+    return points
+
+
+def mobility_snapshot_points(
+    n: int,
+    side: float,
+    rng: random.Random,
+    *,
+    warmup: float = 60.0,
+    warmup_steps: int = 8,
+    speed_range: tuple[float, float] = (1.0, 5.0),
+    pause_range: tuple[float, float] = (0.0, 2.0),
+) -> list[Point]:
+    """A deployment frozen out of a random-waypoint trace.
+
+    Uniform initial placement, then ``warmup`` time units of
+    random-waypoint motion (:mod:`repro.mobility.waypoint`) in
+    ``warmup_steps`` increments; the snapshot after warm-up shows the
+    waypoint model's stationary center bias — the distribution a
+    mobile network actually presents, rather than the uniform one it
+    was booted with.
+    """
+    from repro.mobility.waypoint import RandomWaypointModel
+
+    if warmup < 0.0:
+        raise ValueError("warmup must be non-negative")
+    if warmup_steps < 1:
+        raise ValueError("warmup_steps must be positive")
+    initial = uniform_points(n, side, rng)
+    model = RandomWaypointModel(
+        initial, side, rng, speed_range=speed_range, pause_range=pause_range
+    )
+    dt = warmup / warmup_steps
+    for _ in range(warmup_steps):
+        model.step(dt)
+    return model.positions()
+
+
+#: Generator registry: every named point-placement family.  Each maps
+#: ``(n, side, rng, **params)`` to a point list; the corpus and the CLI
+#: address them by these names.
+GENERATORS: dict[str, Any] = {
+    "uniform": uniform_points,
+    "clustered": clustered_points,
+    "grid": grid_points,
+    "corridor": corridor_points,
+    "hotspot": hotspot_points,
+    "gradient": gradient_points,
+    "obstacle": obstacle_points,
+    "mobility": mobility_snapshot_points,
+}
+
+#: Radio models a deployment can carry: the paper's sharp-threshold
+#: unit disk, or the quasi-UDG gray zone of Damian-Pemmaraju.
+MODELS = ("udg", "quasi")
+
+
 def connected_udg_instance(
     n: int,
     side: float,
@@ -111,30 +286,46 @@ def connected_udg_instance(
     *,
     max_attempts: int = 1000,
     generator: str = "uniform",
+    generator_params: Optional[Mapping[str, Any]] = None,
+    model: str = "udg",
+    epsilon: float = 0.75,
+    keep_probability: float = 0.6,
 ) -> Deployment:
-    """Sample deployments until the unit disk graph is connected.
+    """Sample deployments until the radio graph is connected.
 
     This mirrors the paper's experimental loop ("we generate UDG(V) and
     test the connectivity ... if it is connected, we construct
-    different topologies").  Raises :class:`RuntimeError` when no
-    connected instance is found within ``max_attempts`` — a sign the
-    chosen ``(n, side, radius)`` regime is sub-critical.
+    different topologies").  ``generator`` names a family in
+    :data:`GENERATORS` (``generator_params`` are passed through);
+    ``model="quasi"`` samples a quasi-UDG deployment instead, drawing a
+    fresh gray-zone ``link_seed`` from ``rng`` per attempt and testing
+    connectivity of the *quasi* graph.  Raises :class:`RuntimeError`
+    when no connected instance is found within ``max_attempts`` — a
+    sign the chosen ``(n, side, radius)`` regime is sub-critical.
     """
-    generators = {
-        "uniform": uniform_points,
-        "clustered": clustered_points,
-        "grid": grid_points,
-        "corridor": corridor_points,
-    }
-    if generator not in generators:
-        raise ValueError(f"unknown generator {generator!r}")
-    make = generators[generator]
+    if generator not in GENERATORS:
+        raise ValueError(f"unknown generator {generator!r}; known: {sorted(GENERATORS)}")
+    if model not in MODELS:
+        raise ValueError(f"unknown radio model {model!r}; known: {MODELS}")
+    make = GENERATORS[generator]
+    params = dict(generator_params or {})
     for _ in range(max_attempts):
-        points = make(n, side, rng)
-        udg = UnitDiskGraph(points, radius)
-        if is_connected(udg):
-            return Deployment(points=tuple(points), side=side, radius=radius)
+        points = make(n, side, rng, **params)
+        deployment: Deployment
+        if model == "quasi":
+            deployment = QuasiDeployment(
+                points=tuple(points),
+                side=side,
+                radius=radius,
+                epsilon=epsilon,
+                link_seed=rng.randrange(2**32),
+                keep_probability=keep_probability,
+            )
+        else:
+            deployment = Deployment(points=tuple(points), side=side, radius=radius)
+        if is_connected(deployment.udg()):
+            return deployment
     raise RuntimeError(
-        f"no connected UDG instance after {max_attempts} attempts "
+        f"no connected {model} instance after {max_attempts} attempts "
         f"(n={n}, side={side}, radius={radius}, generator={generator})"
     )

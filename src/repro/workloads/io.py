@@ -15,7 +15,7 @@ from typing import Iterable, Union
 
 from repro.geometry.primitives import Point
 from repro.graphs.graph import Graph
-from repro.workloads.generators import Deployment
+from repro.workloads.generators import Deployment, QuasiDeployment
 
 _SCHEMA_DEPLOYMENT = "repro/deployment/v1"
 _SCHEMA_GRAPH = "repro/graph/v1"
@@ -24,13 +24,26 @@ PathLike = Union[str, Path]
 
 
 def deployment_to_dict(deployment: Deployment) -> dict:
-    """JSON-ready representation of a deployment."""
-    return {
+    """JSON-ready representation of a deployment.
+
+    Quasi-UDG deployments add a ``model`` block carrying the gray-zone
+    knobs; plain deployments omit it, so v1 documents written before
+    the quasi model stay loadable unchanged.
+    """
+    data = {
         "schema": _SCHEMA_DEPLOYMENT,
         "side": deployment.side,
         "radius": deployment.radius,
         "points": [[p.x, p.y] for p in deployment.points],
     }
+    if isinstance(deployment, QuasiDeployment):
+        data["model"] = {
+            "kind": "quasi",
+            "epsilon": deployment.epsilon,
+            "link_seed": deployment.link_seed,
+            "keep_probability": deployment.keep_probability,
+        }
+    return data
 
 
 def deployment_from_dict(data: dict) -> Deployment:
@@ -38,6 +51,18 @@ def deployment_from_dict(data: dict) -> Deployment:
     if data.get("schema") != _SCHEMA_DEPLOYMENT:
         raise ValueError(f"not a deployment document: {data.get('schema')!r}")
     points = tuple(Point(float(x), float(y)) for x, y in data["points"])
+    model = data.get("model")
+    if model is not None:
+        if model.get("kind") != "quasi":
+            raise ValueError(f"unknown radio model {model.get('kind')!r}")
+        return QuasiDeployment(
+            points=points,
+            side=float(data["side"]),
+            radius=float(data["radius"]),
+            epsilon=float(model["epsilon"]),
+            link_seed=int(model["link_seed"]),
+            keep_probability=float(model["keep_probability"]),
+        )
     return Deployment(
         points=points, side=float(data["side"]), radius=float(data["radius"])
     )
@@ -81,6 +106,14 @@ def deployment_fingerprint(deployment: Deployment) -> str:
     digest.update(points_fingerprint(deployment.points).encode())
     digest.update(b"|r=")
     digest.update(float(deployment.radius).hex().encode())
+    if isinstance(deployment, QuasiDeployment):
+        # The gray-zone knobs change the link set, hence the topology.
+        digest.update(b"|quasi:")
+        digest.update(float(deployment.epsilon).hex().encode())
+        digest.update(b",")
+        digest.update(str(deployment.link_seed).encode())
+        digest.update(b",")
+        digest.update(float(deployment.keep_probability).hex().encode())
     return digest.hexdigest()
 
 

@@ -1,9 +1,12 @@
 """Tests for the canonical instance corpus."""
 
+import json
+
 import pytest
 
 from repro.graphs.paths import is_connected
-from repro.workloads.corpus import CORPUS, get_instance
+from repro.workloads.corpus import CORPUS, corpus_listing, get_instance, select_entries
+from repro.workloads.generators import QuasiDeployment
 
 
 class TestCorpus:
@@ -49,3 +52,57 @@ class TestCorpus:
     def test_descriptions_present(self):
         for entry in CORPUS.values():
             assert entry.description
+
+    def test_scenario_families_present(self):
+        assert {
+            "hotspot-mix", "density-gradient", "obstacle-cross",
+            "mobility-rush", "quasi-field", "quasi-hotspots",
+        } <= set(CORPUS)
+        # The farm's coverage floor: >= 5 generator families, quasi included.
+        assert len({e.generator for e in CORPUS.values()}) >= 5
+        assert any(e.model == "quasi" for e in CORPUS.values())
+
+    def test_quasi_entries_yield_quasi_deployments(self):
+        deployment = get_instance("quasi-field")
+        assert isinstance(deployment, QuasiDeployment)
+        assert deployment.epsilon == CORPUS["quasi-field"].epsilon
+        assert is_connected(deployment.udg())
+
+
+class TestSelectEntries:
+    def test_no_filter_selects_everything(self):
+        selected = select_entries()
+        assert [e.name for e, _ in selected] == sorted(CORPUS)
+        assert all(index == 0 for _, index in selected)
+
+    def test_smoke_tag_is_proper_subset(self):
+        smoke = select_entries(["smoke"])
+        assert 0 < len(smoke) < len(CORPUS)
+        assert all("smoke" in entry.tags for entry, _ in smoke)
+        assert any(entry.model == "quasi" for entry, _ in smoke)
+
+    def test_name_with_index(self):
+        [(entry, index)] = select_entries(["paper-sparse/3"])
+        assert entry.name == "paper-sparse" and index == 3
+
+    def test_duplicates_collapse(self):
+        selected = select_entries(["paper-sparse", "smoke", "paper-sparse"])
+        keys = [(entry.name, index) for entry, index in selected]
+        assert len(keys) == len(set(keys))
+
+    def test_unknown_filter_raises(self):
+        with pytest.raises(KeyError):
+            select_entries(["no-such-entry-or-tag"])
+
+
+class TestCorpusListing:
+    def test_json_ready_and_sorted(self):
+        listing = corpus_listing()
+        assert [e["name"] for e in listing] == sorted(CORPUS)
+        json.dumps(listing)
+
+    def test_quasi_knobs_only_on_quasi_entries(self):
+        by_name = {e["name"]: e for e in corpus_listing()}
+        assert by_name["quasi-field"]["epsilon"] == 0.75
+        assert by_name["paper-sparse"]["epsilon"] is None
+        assert by_name["paper-sparse"]["version"] == 1

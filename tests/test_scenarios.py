@@ -1,0 +1,266 @@
+"""The validation-farm scenario families and the quasi-UDG radio model."""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.paths import is_connected
+from repro.graphs.quasi import QuasiUnitDiskGraph, gray_link_alive, induced_radio_subgraph
+from repro.graphs.udg import UnitDiskGraph
+from repro.workloads.generators import (
+    GENERATORS,
+    Deployment,
+    QuasiDeployment,
+    connected_udg_instance,
+    gradient_points,
+    hotspot_points,
+    mobility_snapshot_points,
+    obstacle_points,
+    uniform_points,
+)
+from repro.workloads.io import (
+    deployment_fingerprint,
+    deployment_from_dict,
+    deployment_to_dict,
+)
+
+
+class TestHotspotPoints:
+    def test_count_and_bounds(self, rng):
+        pts = hotspot_points(60, 100.0, rng)
+        assert len(pts) == 60
+        assert all(0 <= p.x <= 100 and 0 <= p.y <= 100 for p in pts)
+
+    def test_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            hotspot_points(-1, 100.0, rng)
+
+    def test_needs_a_hotspot(self, rng):
+        with pytest.raises(ValueError):
+            hotspot_points(10, 100.0, rng, hotspots=0)
+
+    def test_background_fraction_validated(self, rng):
+        with pytest.raises(ValueError):
+            hotspot_points(10, 100.0, rng, background_fraction=1.5)
+
+    def test_pure_hotspots_are_tight(self, rng):
+        # No background, one hotspot, tiny spread: everything bunches.
+        pts = hotspot_points(
+            40, 100.0, rng, hotspots=1, background_fraction=0.0, spread_fraction=0.01
+        )
+        xs = [p.x for p in pts]
+        assert max(xs) - min(xs) < 20.0
+
+    def test_deterministic_per_seed(self):
+        a = hotspot_points(30, 80.0, random.Random(5))
+        b = hotspot_points(30, 80.0, random.Random(5))
+        assert a == b
+
+
+class TestGradientPoints:
+    def test_count_and_bounds(self, rng):
+        pts = gradient_points(80, 100.0, rng)
+        assert len(pts) == 80
+        assert all(0 <= p.x <= 100 and 0 <= p.y <= 100 for p in pts)
+
+    def test_density_increases_along_x(self, rng):
+        # With gamma=2 the mean of x/side is 3/4; far from uniform's 1/2.
+        pts = gradient_points(400, 100.0, rng, gamma=2.0)
+        mean_x = sum(p.x for p in pts) / len(pts)
+        assert mean_x > 65.0
+
+    def test_gamma_zero_is_uniform_marginal(self, rng):
+        pts = gradient_points(400, 100.0, rng, gamma=0.0)
+        mean_x = sum(p.x for p in pts) / len(pts)
+        assert 40.0 < mean_x < 60.0
+
+    def test_negative_gamma_raises(self, rng):
+        with pytest.raises(ValueError):
+            gradient_points(10, 100.0, rng, gamma=-1.0)
+
+
+class TestObstaclePoints:
+    def test_confined_to_cross(self, rng):
+        side = 100.0
+        frac = 0.3
+        pts = obstacle_points(80, side, rng, corridor_fraction=frac)
+        half = 0.5 * frac * side
+        assert len(pts) == 80
+        assert all(
+            abs(p.x - side / 2) <= half or abs(p.y - side / 2) <= half for p in pts
+        )
+
+    def test_corridor_fraction_validated(self, rng):
+        with pytest.raises(ValueError):
+            obstacle_points(10, 100.0, rng, corridor_fraction=0.0)
+
+
+class TestMobilitySnapshotPoints:
+    def test_count_and_bounds(self, rng):
+        pts = mobility_snapshot_points(40, 100.0, rng)
+        assert len(pts) == 40
+        assert all(0 <= p.x <= 100 and 0 <= p.y <= 100 for p in pts)
+
+    def test_deterministic_per_seed(self):
+        a = mobility_snapshot_points(25, 100.0, random.Random(11))
+        b = mobility_snapshot_points(25, 100.0, random.Random(11))
+        assert a == b
+
+    def test_warmup_validated(self, rng):
+        with pytest.raises(ValueError):
+            mobility_snapshot_points(10, 100.0, rng, warmup=-1.0)
+        with pytest.raises(ValueError):
+            mobility_snapshot_points(10, 100.0, rng, warmup_steps=0)
+
+    def test_registry_names_every_family(self):
+        assert set(GENERATORS) == {
+            "uniform", "clustered", "grid", "corridor",
+            "hotspot", "gradient", "obstacle", "mobility",
+        }
+
+
+class TestGrayLinkHash:
+    def test_order_independent(self):
+        assert gray_link_alive(7, 3, 9, 0.5) == gray_link_alive(7, 9, 3, 0.5)
+
+    def test_deterministic(self):
+        assert gray_link_alive(42, 1, 2, 0.5) == gray_link_alive(42, 1, 2, 0.5)
+
+    def test_probability_extremes(self):
+        assert not gray_link_alive(0, 1, 2, 0.0)
+        assert gray_link_alive(0, 1, 2, 1.0)
+
+    def test_empirical_keep_rate(self):
+        # The hash maps to [0, 1) ~uniformly: over many pairs, the keep
+        # rate tracks the probability.
+        kept = sum(gray_link_alive(3, u, u + 1, 0.6) for u in range(2000))
+        assert 0.55 < kept / 2000 < 0.65
+
+
+class TestQuasiUnitDiskGraph:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return uniform_points(60, 150.0, random.Random(31337))
+
+    def test_edges_subset_of_udg(self, points):
+        udg = UnitDiskGraph(points, 60.0)
+        quasi = QuasiUnitDiskGraph(points, 60.0, epsilon=0.7, link_seed=1)
+        assert quasi.edge_set() <= udg.edge_set()
+
+    def test_zone_rules(self, points):
+        eps, r = 0.7, 60.0
+        quasi = QuasiUnitDiskGraph(points, r, epsilon=eps, link_seed=1)
+        from repro.geometry.primitives import dist_sq
+
+        for u in range(quasi.node_count):
+            for v in range(u + 1, quasi.node_count):
+                d_sq = dist_sq(points[u], points[v])
+                if d_sq <= (eps * r) ** 2:
+                    assert quasi.has_edge(u, v)  # reliable zone
+                elif d_sq > r**2:
+                    assert not quasi.has_edge(u, v)  # out of range
+
+    def test_epsilon_one_is_plain_udg(self, points):
+        udg = UnitDiskGraph(points, 60.0)
+        quasi = QuasiUnitDiskGraph(points, 60.0, epsilon=1.0, link_seed=9)
+        assert quasi.edge_set() == udg.edge_set()
+
+    def test_same_seed_same_links(self, points):
+        a = QuasiUnitDiskGraph(points, 60.0, epsilon=0.7, link_seed=5)
+        b = QuasiUnitDiskGraph(points, 60.0, epsilon=0.7, link_seed=5)
+        assert a.edge_set() == b.edge_set()
+
+    def test_disk_rule_flag(self, points):
+        assert UnitDiskGraph.adjacency_is_disk_rule
+        assert not QuasiUnitDiskGraph.adjacency_is_disk_rule
+
+    def test_parameter_validation(self, points):
+        with pytest.raises(ValueError):
+            QuasiUnitDiskGraph(points, 60.0, epsilon=0.0)
+        with pytest.raises(ValueError):
+            QuasiUnitDiskGraph(points, 60.0, keep_probability=1.5)
+
+    def test_induced_subgraph_keeps_dropped_links_dropped(self, points):
+        quasi = QuasiUnitDiskGraph(points, 60.0, epsilon=0.7, link_seed=1)
+        nodes = list(range(0, quasi.node_count, 2))
+        sub = induced_radio_subgraph(quasi, nodes)
+        for a in range(sub.node_count):
+            for b in range(a + 1, sub.node_count):
+                assert sub.has_edge(a, b) == quasi.has_edge(nodes[a], nodes[b])
+
+
+class TestConnectedQuasiInstance:
+    def test_returns_connected_quasi(self, rng):
+        dep = connected_udg_instance(25, 150.0, 60.0, rng, model="quasi", epsilon=0.7)
+        assert isinstance(dep, QuasiDeployment)
+        assert isinstance(dep.udg(), QuasiUnitDiskGraph)
+        assert is_connected(dep.udg())
+
+    def test_unknown_model_rejected(self, rng):
+        with pytest.raises(ValueError):
+            connected_udg_instance(10, 100.0, 50.0, rng, model="fso")
+
+
+# Finite coordinates that survive a JSON round-trip bit-exactly.
+_coords = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+
+class TestDeploymentRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(coords=_coords, radius=st.floats(min_value=1.0, max_value=100.0))
+    def test_plain_round_trip(self, coords, radius):
+        from repro.geometry.primitives import Point
+
+        dep = Deployment(
+            points=tuple(Point(x, y) for x, y in coords), side=500.0, radius=radius
+        )
+        back = deployment_from_dict(json.loads(json.dumps(deployment_to_dict(dep))))
+        assert back == dep
+        assert deployment_fingerprint(back) == deployment_fingerprint(dep)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        coords=_coords,
+        epsilon=st.floats(min_value=0.1, max_value=1.0),
+        link_seed=st.integers(min_value=0, max_value=2**32 - 1),
+        keep=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_quasi_round_trip(self, coords, epsilon, link_seed, keep):
+        from repro.geometry.primitives import Point
+
+        dep = QuasiDeployment(
+            points=tuple(Point(x, y) for x, y in coords),
+            side=500.0,
+            radius=60.0,
+            epsilon=epsilon,
+            link_seed=link_seed,
+            keep_probability=keep,
+        )
+        back = deployment_from_dict(json.loads(json.dumps(deployment_to_dict(dep))))
+        assert isinstance(back, QuasiDeployment)
+        assert back == dep
+        assert deployment_fingerprint(back) == deployment_fingerprint(dep)
+
+    def test_model_changes_fingerprint(self):
+        from repro.geometry.primitives import Point
+
+        pts = (Point(0.0, 0.0), Point(10.0, 0.0))
+        plain = Deployment(points=pts, side=100.0, radius=60.0)
+        quasi = QuasiDeployment(points=pts, side=100.0, radius=60.0, link_seed=1)
+        assert deployment_fingerprint(plain) != deployment_fingerprint(quasi)
+
+    def test_unknown_model_kind_rejected(self):
+        doc = deployment_to_dict(Deployment(points=(), side=10.0, radius=5.0))
+        doc["model"] = {"kind": "fso"}
+        with pytest.raises(ValueError):
+            deployment_from_dict(doc)

@@ -1,0 +1,285 @@
+"""The invariant matrix: engine, renderings, CLI, and service surface."""
+
+import json
+
+import pytest
+
+from repro.validation.engine import PIPELINES, run_validation, validate_entry
+from repro.validation.invariants import INDEX, INVARIANTS, Check, Invariant
+from repro.validation.matrix import SCHEMA, CellResult, ValidationMatrix
+from repro.workloads.corpus import CORPUS, CorpusEntry
+
+#: A gray-zone entry small enough to validate in-test; not in CORPUS,
+#: so it exercises validate_entry's entry-object interface directly.
+TINY_QUASI = CorpusEntry(
+    name="tiny-quasi",
+    n=16,
+    side=150.0,
+    radius=60.0,
+    generator="uniform",
+    base_seed=777,
+    description="small quasi instance for skip-semantics tests",
+    model="quasi",
+    epsilon=0.7,
+    keep_probability=0.5,
+)
+
+
+class TestValidateEntry:
+    @pytest.fixture(scope="class")
+    def sparse_cells(self):
+        return validate_entry(CORPUS["paper-sparse"])
+
+    def test_all_pass_on_paper_sparse(self, sparse_cells):
+        assert sparse_cells
+        assert all(c.status == "pass" for c in sparse_cells if c.status != "skip")
+        assert not any(c.status in ("fail", "error") for c in sparse_cells)
+
+    def test_every_pipeline_covered(self, sparse_cells):
+        assert {c.pipeline for c in sparse_cells} == set(PIPELINES)
+
+    def test_quasi_only_checks_skip_on_udg(self, sparse_cells):
+        by_key = {(c.pipeline, c.invariant): c for c in sparse_cells}
+        assert by_key[("udg", "udg-edge-rule")].status == "pass"
+        assert by_key[("udg", "quasi-link-bounds")].status == "skip"
+
+    def test_pipeline_filter(self):
+        cells = validate_entry(CORPUS["paper-sparse"], pipelines=["gg"])
+        assert {c.pipeline for c in cells} == {"gg"}
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(KeyError):
+            validate_entry(CORPUS["paper-sparse"], pipelines=["dijkstra"])
+
+    def test_unknown_invariant_rejected(self):
+        with pytest.raises(KeyError):
+            validate_entry(CORPUS["paper-sparse"], invariants=["no-such-claim"])
+
+    def test_quasi_skips_disk_model_claims(self):
+        cells = validate_entry(
+            TINY_QUASI,
+            pipelines=["udg", "gg"],
+            invariants=["udg-edge-rule", "quasi-link-bounds", "power-stretch"],
+        )
+        by_key = {(c.pipeline, c.invariant): c for c in cells}
+        # Disk-rule and GG-power-stretch proofs assume the disk model.
+        assert by_key[("udg", "udg-edge-rule")].status == "skip"
+        assert by_key[("gg", "power-stretch")].status == "skip"
+        # The quasi zone rules are the claims that DO bind here.
+        assert by_key[("udg", "quasi-link-bounds")].status == "pass"
+
+    def test_fail_and_error_statuses(self, monkeypatch):
+        def failing(ctx):
+            return Check(passed=False, value=9.0, bound=1.0, detail="injected")
+
+        def exploding(ctx):
+            raise RuntimeError("boom")
+
+        fake = (
+            Invariant(
+                name="always-fails", description="", pipelines=("udg",), metric=failing
+            ),
+            Invariant(
+                name="always-errors", description="", pipelines=("udg",), metric=exploding
+            ),
+        )
+        monkeypatch.setattr("repro.validation.engine.INVARIANTS", fake)
+        monkeypatch.setattr(
+            "repro.validation.engine.INDEX", {inv.name: inv for inv in fake}
+        )
+        cells = validate_entry(CORPUS["paper-sparse"], pipelines=["udg"])
+        by_name = {c.invariant: c for c in cells}
+        assert by_name["always-fails"].status == "fail"
+        assert by_name["always-fails"].value == 9.0
+        assert by_name["always-errors"].status == "error"
+        assert "boom" in by_name["always-errors"].detail
+
+
+class TestRunValidation:
+    def test_smoke_slice(self):
+        matrix = run_validation(
+            corpus=["paper-sparse"], pipelines=["udg", "gg"]
+        )
+        assert matrix.ok
+        assert matrix.meta["entries"] == ["paper-sparse/0"]
+        assert matrix.meta["pipelines"] == ["udg", "gg"]
+        assert matrix.summary["fail"] == 0 and matrix.summary["error"] == 0
+
+    def test_unknown_corpus_filter_raises(self):
+        with pytest.raises(KeyError):
+            run_validation(corpus=["paper-table9"])
+
+    def test_invariant_filter_restricts_columns(self):
+        matrix = run_validation(
+            corpus=["paper-sparse"],
+            pipelines=["ldel"],
+            invariants=["planarity", "connectivity"],
+        )
+        assert {c.invariant for c in matrix.cells} == {"planarity", "connectivity"}
+
+    def test_worker_crash_becomes_error_cells(self, monkeypatch):
+        def dying(task):
+            raise RuntimeError("worker died")
+
+        monkeypatch.setattr("repro.validation.engine._entry_worker", dying)
+        matrix = run_validation(corpus=["paper-sparse"], pipelines=["udg"])
+        assert not matrix.ok
+        assert matrix.cells
+        assert all(c.status == "error" for c in matrix.cells)
+
+
+class TestCatalog:
+    def test_every_invariant_names_known_pipelines(self):
+        for inv in INVARIANTS:
+            assert set(inv.pipelines) <= set(PIPELINES)
+            assert set(inv.models) <= {"udg", "quasi"}
+
+    def test_index_is_complete(self):
+        assert set(INDEX) == {inv.name for inv in INVARIANTS}
+
+    def test_listing_is_json_ready(self):
+        from repro.validation.invariants import invariant_listing
+
+        listing = invariant_listing()
+        assert len(listing) == len(INVARIANTS)
+        json.dumps(listing)  # no unserializable members
+
+
+def _handmade_matrix() -> ValidationMatrix:
+    cells = [
+        CellResult("e1", 0, "gg", "planarity", "pass", seconds=0.01),
+        CellResult("e1", 0, "gg", "power-stretch", "fail", value=1.7, bound=1.0,
+                   detail="gray zone"),
+        CellResult("e2", 1, "ldel", "soa-identity", "error", detail="exploded"),
+        CellResult("e2", 1, "ldel", "planarity", "skip"),
+    ]
+    meta = {"pipelines": ["gg", "ldel"],
+            "invariants": ["planarity", "power-stretch", "soa-identity"],
+            "executor": "serial", "elapsed_s": 0.5}
+    return ValidationMatrix(cells=cells, meta=meta)
+
+
+class TestMatrix:
+    def test_summary_and_ok(self):
+        matrix = _handmade_matrix()
+        assert matrix.summary == {"pass": 1, "fail": 1, "skip": 1, "error": 1}
+        assert not matrix.ok
+        assert {c.invariant for c in matrix.problems()} == {
+            "power-stretch", "soa-identity"
+        }
+
+    def test_json_document(self):
+        doc = _handmade_matrix().to_json_dict()
+        assert doc["schema"] == SCHEMA
+        assert doc["ok"] is False
+        assert len(doc["cells"]) == 4
+        json.dumps(doc)
+
+    def test_cell_round_trip(self):
+        cell = CellResult("e", 2, "gg", "planarity", "fail", value=1.0, bound=0.5,
+                          detail="d", seconds=0.25)
+        back = CellResult.from_dict(cell.to_dict())
+        assert back == cell
+        assert back.instance == "e/2"
+
+    def test_markdown_rendering(self):
+        text = _handmade_matrix().to_markdown()
+        assert "## Validation matrix" in text
+        assert "### `gg`" in text and "### `ldel`" in text
+        assert "`e1/0`" in text
+        assert "### Failures" in text
+        assert "power-stretch" in text and "gray zone" in text
+
+    def test_text_rendering(self):
+        text = _handmade_matrix().to_text()
+        assert "1 pass, 1 fail, 1 error, 1 skip" in text
+        assert "FAIL" in text and "ERROR" in text
+        # Passing cells stay silent in the compact rendering.
+        assert "e1/0 gg planarity" not in text
+
+    def test_all_clear_text(self):
+        matrix = ValidationMatrix(
+            cells=[CellResult("e", 0, "gg", "planarity", "pass")]
+        )
+        assert "all invariants hold" in matrix.to_text()
+
+
+class TestCli:
+    def test_validate_exit_zero_and_output(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "matrix.json"
+        code = main([
+            "validate", "--corpus", "paper-sparse", "--pipeline", "gg",
+            "--output", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == SCHEMA and doc["ok"]
+        assert "all invariants hold" in capsys.readouterr().out
+
+    def test_validate_json_format(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "validate", "--corpus", "paper-sparse", "--pipeline", "udg",
+            "--format", "json",
+        ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == SCHEMA
+
+    def test_unknown_filter_exits_two(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["validate", "--corpus", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_step_summary_appended(self, tmp_path, monkeypatch):
+        from repro.__main__ import main
+
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        code = main([
+            "validate", "--corpus", "paper-sparse", "--pipeline", "gg",
+            "--step-summary",
+        ])
+        assert code == 0
+        assert "## Validation matrix" in summary.read_text()
+
+
+class TestService:
+    @pytest.fixture(scope="class")
+    def service(self):
+        from repro.service.server import SpannerService
+
+        return SpannerService(executor_mode="serial", cache_size=8)
+
+    def test_invariants_summary(self, service):
+        body = service.invariants_summary()
+        assert {inv["name"] for inv in body["invariants"]} == set(INDEX)
+        assert body["pipelines"] == list(PIPELINES)
+        assert any(e["name"] == "paper-sparse" for e in body["corpus"])
+        assert body["last_validation"] is None
+
+    def test_validate_endpoint(self, service):
+        body = service.validate(
+            {"corpus": ["paper-sparse"], "pipelines": ["udg"]}
+        )
+        assert body["schema"] == SCHEMA and body["ok"]
+        last = service.invariants_summary()["last_validation"]
+        assert last is not None and last["ok"]
+
+    def test_validate_bad_filter_is_client_error(self, service):
+        from repro.service.server import ServiceError
+
+        with pytest.raises(ServiceError) as excinfo:
+            service.validate({"corpus": ["paper-table9"]})
+        assert excinfo.value.status == 400
+
+    def test_validate_rejects_non_list_filters(self, service):
+        from repro.service.server import ServiceError
+
+        with pytest.raises(ServiceError) as excinfo:
+            service.validate({"corpus": "paper-sparse"})
+        assert excinfo.value.status == 400
