@@ -6,17 +6,28 @@ ordinary node keeps only its dominator links, while the backbone does
 the forwarding.  This ablation measures delivery rate, mean hop count
 and mean path length for GPSR over GG vs dominating-set routing over
 the backbone.
+
+Both sides route through the batch engine
+(:class:`~repro.core.route_engine.RouteEngine` /
+:class:`~repro.core.route_engine.BackboneRouter`); a scalar spot-check
+re-routes a subset through the pure-Python ``routing/`` loops and
+asserts hop-for-hop identity, so the ablation numbers provably
+describe the same paths the scalar reference would walk.
 """
 
 import random
 
 import pytest
 
+from repro.core.route_engine import BackboneRouter, RouteEngine
 from repro.core.spanner import build_backbone
 from repro.routing.backbone_routing import backbone_route
 from repro.routing.gpsr import gpsr_route
 from repro.topology.gabriel import gabriel_graph
 from repro.workloads.generators import connected_udg_instance
+
+#: Pairs re-routed through the scalar loops for the identity spot-check.
+SPOT_CHECK_PAIRS = 12
 
 
 @pytest.fixture(scope="module")
@@ -31,12 +42,29 @@ def world():
 
 def _route_gg(world):
     result, gg, pairs = world
-    return [gpsr_route(gg, s, t) for s, t in pairs]
+    batch = RouteEngine(gg).route_pairs(pairs, method="gpsr")
+    return [batch.result(i) for i in range(batch.pairs)]
 
 
 def _route_backbone(world):
     result, _gg, pairs = world
-    return [backbone_route(result, s, t) for s, t in pairs]
+    batch = BackboneRouter(result).route_pairs(pairs, mode="gpsr")
+    return [batch.result(i) for i in range(batch.pairs)]
+
+
+def test_engine_matches_scalar_spot_check(world):
+    """Batch ablation routes are the scalar routes, hop for hop."""
+    result, gg, pairs = world
+    sample = pairs[:SPOT_CHECK_PAIRS]
+    gg_batch = RouteEngine(gg).route_pairs(sample, method="gpsr")
+    bb_batch = BackboneRouter(result).route_pairs(sample, mode="gpsr")
+    for i, (s, t) in enumerate(sample):
+        scalar_gg = gpsr_route(gg, s, t)
+        assert gg_batch.path(i) == scalar_gg.path
+        assert gg_batch.reason(i) == scalar_gg.reason
+        scalar_bb = backbone_route(result, s, t, mode="gpsr")
+        assert bb_batch.path(i) == scalar_bb.path
+        assert bb_batch.reason(i) == scalar_bb.reason
 
 
 def test_gpsr_on_gabriel(benchmark, world):

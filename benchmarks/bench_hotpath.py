@@ -49,6 +49,15 @@ through the reference stretch implementation and through the
 parity tripwire on every row/kind and an exactness tripwire on the
 pure-Python fallback.
 
+``--routing-sizes`` adds the batch-vs-scalar routing stage: the
+:class:`~repro.core.route_engine.RouteEngine` kernels (greedy /
+compass / GPSR over the UDG) and the backbone routing procedure
+(GPSR and oracle-backed shortest cores) against the scalar
+``routing/`` loops on the same pairs (``--routing-pairs``), with a
+blocking hop-for-hop path-identity tripwire
+(``--routing-identity-pairs``) and a shortest-mode length-parity
+tripwire.  Timings are informational; tripwire failures exit 1.
+
 ``--step-summary`` appends a markdown table to the file
 ``$GITHUB_STEP_SUMMARY`` points at (no-op when the variable is unset).
 """
@@ -74,11 +83,15 @@ from repro.experiments.hotpath_bench import (
     INCREMENTAL_TRACE_STEPS,
     METRICS_REPS,
     METRICS_SIZES,
+    ROUTING_IDENTITY_PAIRS,
+    ROUTING_PAIRS,
+    ROUTING_SCALAR_PAIRS,
     SHARDED_SIZES,
     SOA_SIZES,
     BaselineError,
     baseline_from_report,
     compare_metrics_to_baseline,
+    compare_routing_to_baseline,
     default_baseline_path,
     format_markdown,
     format_report,
@@ -88,6 +101,7 @@ from repro.experiments.hotpath_bench import (
     run_benchmark,
     run_incremental_benchmark,
     run_metrics_benchmark,
+    run_routing_benchmark,
     run_sharded_benchmark,
     run_soa_benchmark,
 )
@@ -215,6 +229,23 @@ def main(argv=None) -> int:
         help="assert rebuild equivalence every k trace batches",
     )
     parser.add_argument(
+        "--routing-sizes", type=int, nargs="+", default=None,
+        help="run the batch-vs-scalar routing stage at these deployment "
+        "sizes (omit the flag to skip the stage)",
+    )
+    parser.add_argument(
+        "--routing-pairs", type=int, default=ROUTING_PAIRS,
+        help="(s, t) pairs routed per size in the routing stage",
+    )
+    parser.add_argument(
+        "--routing-scalar-pairs", type=int, default=ROUTING_SCALAR_PAIRS,
+        help="scalar-loop subset the per-pair scalar cost is measured on",
+    )
+    parser.add_argument(
+        "--routing-identity-pairs", type=int, default=ROUTING_IDENTITY_PAIRS,
+        help="pairs in the hop-for-hop path-identity tripwire subset",
+    )
+    parser.add_argument(
         "--step-summary", action="store_true",
         help="append a markdown summary to $GITHUB_STEP_SUMMARY",
     )
@@ -291,6 +322,19 @@ def main(argv=None) -> int:
             report["metrics"]["vs_baseline"] = compare_metrics_to_baseline(
                 report["metrics"], baseline
             )
+    if args.routing_sizes:
+        report["routing"] = run_routing_benchmark(
+            args.routing_sizes,
+            radius=args.radius,
+            seed=args.seed,
+            pairs=args.routing_pairs,
+            scalar_pairs=args.routing_scalar_pairs,
+            identity_pairs=args.routing_identity_pairs,
+        )
+        if baseline is not None:
+            report["routing"]["vs_baseline"] = compare_routing_to_baseline(
+                report["routing"], baseline
+            )
     if not args.skip_incremental:
         report["incremental"] = run_incremental_benchmark(
             args.incremental_sizes,
@@ -351,6 +395,20 @@ def main(argv=None) -> int:
             f"pure-Python oracle fallback differs from reference at "
             f"n={fallback['n']}"
         )
+    routing = report.get("routing", {})
+    for key, entry in routing.get("results", {}).items():
+        ident = entry["identity"]
+        if not ident["ok"]:
+            failures.append(
+                f"batch routes diverge from scalar at n={key} "
+                f"({ident['mismatches']} of {ident['pairs']} pairs)"
+            )
+        sp = entry["shortest_parity"]
+        if not sp["ok"]:
+            failures.append(
+                f"oracle-backed shortest routing disagrees with Dijkstra "
+                f"reference at n={key} (max rel err {sp['max_rel_err']:.3e})"
+            )
     incremental = report.get("incremental", {})
     for key, entry in incremental.get("results", {}).items():
         if not entry["identical"]:

@@ -66,6 +66,19 @@ METRICS_SIZES = (200, 1000)
 INCREMENTAL_SIZES = (1000, 2000)
 #: Timed single-move maintenance steps per size in the incremental stage.
 INCREMENTAL_STEPS = 30
+#: Sizes the batch-vs-scalar routing comparison runs at (ISSUE 9).
+ROUTING_SIZES = (2000,)
+#: (s, t) pairs routed per size in the routing stage.
+ROUTING_PAIRS = 10_000
+#: Scalar-loop subset the per-pair scalar cost is measured on (the
+#: full scalar sweep would dominate the stage; the extrapolation is
+#: conservative — it excludes the pathological long face walks that
+#: cost the scalar side the most).
+ROUTING_SCALAR_PAIRS = 300
+#: Pairs in the hop-for-hop path-identity tripwire subset.
+ROUTING_IDENTITY_PAIRS = 200
+#: Scalar subset for the per-pair-Dijkstra shortest-mode comparison.
+ROUTING_SHORTEST_SCALAR_PAIRS = 100
 #: The long-trace acceptance run: deployment size and batch count.
 INCREMENTAL_TRACE_SIZE = 1000
 INCREMENTAL_TRACE_STEPS = 200
@@ -301,6 +314,16 @@ def baseline_from_report(report: dict, commit: str = "unknown") -> dict:
             "results": {
                 key: {"seconds": value["seconds"]}
                 for key, value in metrics["results"].items()
+            },
+        }
+    routing = report.get("routing")
+    if routing:
+        baseline["routing"] = {
+            "sizes": routing["sizes"],
+            "pairs": routing["pairs"],
+            "results": {
+                key: {"seconds": value["seconds"]}
+                for key, value in routing["results"].items()
             },
         }
     return baseline
@@ -789,6 +812,238 @@ def run_incremental_benchmark(
     return report
 
 
+def measure_routing(
+    n: int,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    pairs: int = ROUTING_PAIRS,
+    scalar_pairs: int = ROUTING_SCALAR_PAIRS,
+    identity_pairs: int = ROUTING_IDENTITY_PAIRS,
+    shortest_scalar_pairs: int = ROUTING_SHORTEST_SCALAR_PAIRS,
+) -> dict:
+    """Batch route engine vs the scalar routers at one size.
+
+    Routes the same ``pairs`` random (s, t) pairs through the
+    :class:`~repro.core.route_engine.RouteEngine` kernels (greedy /
+    compass / GPSR over the UDG) and through the
+    :class:`~repro.core.route_engine.BackboneRouter` (the paper's
+    dominator-entry procedure over the planar backbone, GPSR and
+    oracle-backed shortest-path cores), against the scalar ``routing/``
+    reference timed on a ``scalar_pairs`` subset and extrapolated.
+    The headline ``sweep`` speedup covers the paper's evaluation
+    workload — the UDG greedy baseline plus both backbone traversals.
+
+    Tripwires: ``identity`` re-routes an ``identity_pairs`` subset
+    with paths kept and requires hop-for-hop equality (path, reason,
+    hops) against the scalar routers for every method and for the
+    backbone GPSR procedure; ``shortest_parity`` requires the
+    oracle-backed shortest mode to agree with the per-pair Dijkstra
+    reference on delivery and on path length within 1e-9 (equal-length
+    tie paths may legitimately differ).
+    """
+    from repro.core.route_engine import BackboneRouter, RouteEngine
+    from repro.routing.backbone_routing import backbone_route
+    from repro.routing.compass import compass_route
+    from repro.routing.gpsr import gpsr_route
+    from repro.routing.greedy import greedy_route
+
+    side = 10.0 * math.sqrt(n)
+    dep = connected_udg_instance(n, side, radius, random.Random(seed))
+    udg = UnitDiskGraph(list(dep.points), dep.radius)
+    backbone = build_backbone(dep.points, dep.radius, mode="fast")
+    rng = random.Random(seed + 9)
+    sampled = [(rng.randrange(n), rng.randrange(n)) for _ in range(pairs)]
+    sub = sampled[: max(1, min(scalar_pairs, pairs))]
+    short_sub = sampled[: max(1, min(shortest_scalar_pairs, pairs))]
+    scalar_of = {
+        "greedy": greedy_route,
+        "compass": compass_route,
+        "gpsr": gpsr_route,
+    }
+
+    engine = RouteEngine(udg)
+    router = BackboneRouter(backbone)
+    seconds: dict[str, float] = {}
+    speedup: dict[str, float] = {}
+    delivery: dict[str, float] = {}
+
+    for method in ("greedy", "compass", "gpsr"):
+        t0 = time.perf_counter()
+        batch = engine.route_pairs(sampled, method=method, keep_paths=False)
+        batch_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for s, t in sub:
+            scalar_of[method](udg, s, t)
+        scalar_est = (time.perf_counter() - t0) / len(sub) * pairs
+        seconds[f"{method}_batch"] = round(batch_s, 6)
+        seconds[f"{method}_scalar_est"] = round(scalar_est, 6)
+        speedup[method] = round(scalar_est / batch_s, 3) if batch_s else 0.0
+        delivery[method] = round(batch.delivery_rate, 6)
+
+    t0 = time.perf_counter()
+    bb_batch = router.route_pairs(sampled, mode="gpsr", keep_paths=False)
+    bb_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    router.route_pairs(sampled, mode="gpsr", keep_paths=False)
+    bb_warm_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for s, t in sub:
+        backbone_route(backbone, s, t, mode="gpsr")
+    bb_scalar_est = (time.perf_counter() - t0) / len(sub) * pairs
+    seconds["backbone_gpsr_batch"] = round(bb_s, 6)
+    seconds["backbone_gpsr_warm"] = round(bb_warm_s, 6)
+    seconds["backbone_gpsr_scalar_est"] = round(bb_scalar_est, 6)
+    speedup["backbone_gpsr"] = round(bb_scalar_est / bb_s, 3) if bb_s else 0.0
+    speedup["backbone_gpsr_warm"] = (
+        round(bb_scalar_est / bb_warm_s, 3) if bb_warm_s else 0.0
+    )
+    delivery["backbone_gpsr"] = round(bb_batch.delivery_rate, 6)
+
+    t0 = time.perf_counter()
+    sp_batch = router.route_pairs(sampled, mode="shortest", keep_paths=False)
+    sp_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    router._route_pairs_scalar(
+        short_sub, mode="shortest", max_hops=None,
+        keep_paths=False, count_unreachable=False,
+    )
+    sp_scalar_est = (time.perf_counter() - t0) / len(short_sub) * pairs
+    seconds["backbone_shortest_batch"] = round(sp_s, 6)
+    seconds["backbone_shortest_scalar_est"] = round(sp_scalar_est, 6)
+    speedup["backbone_shortest"] = round(sp_scalar_est / sp_s, 3) if sp_s else 0.0
+    delivery["backbone_shortest"] = round(sp_batch.delivery_rate, 6)
+
+    sweep_batch = (
+        seconds["greedy_batch"]
+        + seconds["backbone_gpsr_batch"]
+        + seconds["backbone_shortest_batch"]
+    )
+    sweep_scalar = (
+        seconds["greedy_scalar_est"]
+        + seconds["backbone_gpsr_scalar_est"]
+        + seconds["backbone_shortest_scalar_est"]
+    )
+    seconds["sweep_batch"] = round(sweep_batch, 6)
+    seconds["sweep_scalar_est"] = round(sweep_scalar, 6)
+    speedup["sweep"] = round(sweep_scalar / sweep_batch, 3) if sweep_batch else 0.0
+
+    # -- path-identity tripwire (hop-for-hop against the scalar loop) --
+    ident = sampled[: max(1, min(identity_pairs, pairs))]
+    modes_ok: dict[str, bool] = {}
+    mismatches = 0
+    for method in ("greedy", "compass", "gpsr"):
+        batch = engine.route_pairs(ident, method=method)
+        bad = 0
+        for i, (s, t) in enumerate(ident):
+            res = scalar_of[method](udg, s, t)
+            if (
+                batch.path(i) != res.path
+                or batch.reason(i) != res.reason
+                or int(batch.hops[i]) != res.hops
+            ):
+                bad += 1
+        modes_ok[method] = bad == 0
+        mismatches += bad
+    bb_ident = router.route_pairs(ident, mode="gpsr")
+    bad = 0
+    for i, (s, t) in enumerate(ident):
+        res = backbone_route(backbone, s, t, mode="gpsr")
+        if (
+            bb_ident.path(i) != res.path
+            or bb_ident.reason(i) != res.reason
+            or int(bb_ident.hops[i]) != res.hops
+        ):
+            bad += 1
+    modes_ok["backbone_gpsr"] = bad == 0
+    mismatches += bad
+    identity = {
+        "ok": mismatches == 0,
+        "pairs": len(ident),
+        "mismatches": mismatches,
+        "modes": modes_ok,
+    }
+
+    # -- shortest-mode parity (delivery + length, not path choice) --
+    sp_ref = router._route_pairs_scalar(
+        short_sub, mode="shortest", max_hops=None,
+        keep_paths=False, count_unreachable=False,
+    )
+    sp_got = router.route_pairs(short_sub, mode="shortest", keep_paths=False)
+    worst = 0.0
+    sp_ok = True
+    for i in range(len(short_sub)):
+        ref_delivered = sp_ref.reasons[i] == 0
+        got_delivered = int(sp_got.reasons[i]) == 0
+        if ref_delivered != got_delivered:
+            sp_ok = False
+            continue
+        if ref_delivered and sp_ref.lengths[i]:
+            err = abs(float(sp_got.lengths[i]) - sp_ref.lengths[i]) / sp_ref.lengths[i]
+            worst = max(worst, err)
+    sp_ok = sp_ok and worst <= 1e-9
+    shortest_parity = {"ok": sp_ok, "pairs": len(short_sub), "max_rel_err": worst}
+
+    return {
+        "pairs": pairs,
+        "scalar_pairs": len(sub),
+        "seconds": seconds,
+        "speedup": speedup,
+        "delivery": delivery,
+        "identity": identity,
+        "shortest_parity": shortest_parity,
+    }
+
+
+def run_routing_benchmark(
+    sizes: Sequence[int] = ROUTING_SIZES,
+    *,
+    radius: float = DEFAULT_RADIUS,
+    seed: int = DEFAULT_SEED,
+    pairs: int = ROUTING_PAIRS,
+    scalar_pairs: int = ROUTING_SCALAR_PAIRS,
+    identity_pairs: int = ROUTING_IDENTITY_PAIRS,
+) -> dict:
+    """The batch-vs-scalar routing section of the benchmark report."""
+    return {
+        "sizes": list(sizes),
+        "pairs": pairs,
+        "results": {
+            str(n): measure_routing(
+                n, radius=radius, seed=seed, pairs=pairs,
+                scalar_pairs=scalar_pairs, identity_pairs=identity_pairs,
+            )
+            for n in sizes
+        },
+    }
+
+
+def compare_routing_to_baseline(routing: dict, baseline: dict) -> dict:
+    """Per-size batch wall-time factors vs a recorded routing baseline.
+
+    Baselines recorded before the routing stage existed have no
+    ``routing`` section; the comparison then reports nothing, so old
+    baselines stay valid.
+    """
+    base_results = baseline.get("routing", {}).get("results", {})
+    out: dict = {}
+    for key, current in routing.get("results", {}).items():
+        base = base_results.get(key)
+        if not base:
+            continue
+        factors = {}
+        for stage in (
+            "greedy_batch", "compass_batch", "gpsr_batch",
+            "backbone_gpsr_batch", "backbone_shortest_batch", "sweep_batch",
+        ):
+            now = current["seconds"].get(stage)
+            then = base.get("seconds", {}).get(stage)
+            if now and then:
+                factors[stage] = round(then / now, 3)
+        out[key] = factors
+    return out
+
+
 def _metrics_family(n: int, radius: float, seed: int):
     """The Table I topology family on the bench deployment recipe."""
     from repro.experiments.runner import build_all_topologies
@@ -1142,6 +1397,49 @@ def format_report(report: dict) -> str:
             lines.append(
                 f"{'':>6} pure-Python fallback at n={fallback['n']}: {word}"
             )
+    routing = report.get("routing")
+    if routing:
+        lines.append("")
+        lines.append(
+            f"{'n':>6} {'mode':<18} {'batch s':>9} {'scalar s':>9} "
+            f"{'speedup':>9} {'delivery':>9}"
+        )
+        for n in routing["sizes"]:
+            entry = routing["results"][str(n)]
+            sec = entry["seconds"]
+            for mode, batch_key, scalar_key in (
+                ("greedy", "greedy_batch", "greedy_scalar_est"),
+                ("compass", "compass_batch", "compass_scalar_est"),
+                ("gpsr", "gpsr_batch", "gpsr_scalar_est"),
+                ("backbone_gpsr", "backbone_gpsr_batch",
+                 "backbone_gpsr_scalar_est"),
+                ("backbone_shortest", "backbone_shortest_batch",
+                 "backbone_shortest_scalar_est"),
+            ):
+                rate = entry["delivery"].get(mode)
+                rate_s = f"{rate:.4f}" if rate is not None else "-"
+                lines.append(
+                    f"{n:>6} {mode:<18} {sec[batch_key]:>9.4f} "
+                    f"{sec[scalar_key]:>9.4f} "
+                    f"{entry['speedup'][mode]:>8.2f}x {rate_s:>9}"
+                )
+            lines.append(
+                f"{'':>6} sweep (greedy + backbone gpsr + shortest): "
+                f"{entry['speedup']['sweep']:.2f}x; warm backbone cache: "
+                f"{entry['speedup']['backbone_gpsr_warm']:.2f}x"
+            )
+            ident = entry["identity"]
+            word = (
+                "yes"
+                if ident["ok"]
+                else f"NO ({ident['mismatches']} MISMATCHES)"
+            )
+            sp = entry["shortest_parity"]
+            sp_word = "yes" if sp["ok"] else "NO (BUG)"
+            lines.append(
+                f"{'':>6} paths identical to scalar on {ident['pairs']} "
+                f"pairs: {word}; shortest-mode parity: {sp_word}"
+            )
     incremental = report.get("incremental")
     if incremental:
         lines.append("")
@@ -1299,6 +1597,40 @@ def format_markdown(report: dict) -> str:
                 "reference re-paid per pass vs oracle cold-then-cached. "
                 f"Pure-Python fallback parity at n={fallback['n']}: {word}."
             )
+    routing = report.get("routing")
+    if routing:
+        lines += [
+            "",
+            f"### Route engine vs scalar routers ({routing['pairs']} pairs)",
+            "",
+            "| n | greedy | compass | gpsr | backbone gpsr | warm cache "
+            "| shortest | sweep | paths identical | shortest parity |",
+            "|---|---|---|---|---|---|---|---|---|---|",
+        ]
+        for n in routing["sizes"]:
+            entry = routing["results"][str(n)]
+            sp = entry["speedup"]
+            ident = entry["identity"]
+            tripwire = (
+                "yes"
+                if ident["ok"]
+                else f"**NO — {ident['mismatches']} MISMATCHES**"
+            )
+            sp_word = (
+                "yes" if entry["shortest_parity"]["ok"] else "**NO — BUG**"
+            )
+            lines.append(
+                f"| {n} | {sp['greedy']:.2f}x | {sp['compass']:.2f}x "
+                f"| {sp['gpsr']:.2f}x | {sp['backbone_gpsr']:.2f}x "
+                f"| {sp['backbone_gpsr_warm']:.2f}x "
+                f"| {sp['backbone_shortest']:.2f}x | {sp['sweep']:.2f}x "
+                f"| {tripwire} | {sp_word} |"
+            )
+        lines.append("")
+        lines.append(
+            "Sweep = UDG greedy baseline + backbone GPSR + oracle-backed "
+            "shortest cores, batch vs scalar-loop extrapolation."
+        )
     incremental = report.get("incremental")
     if incremental:
         lines += [

@@ -621,8 +621,15 @@ def routing_quality(
     """Delivery rate and mean hop count of the paper's routing procedure.
 
     Samples ``pairs`` random source/target pairs per instance and
-    routes them all through :func:`route_batch`.
+    routes them through the batch
+    :class:`~repro.core.route_engine.BackboneRouter` (scalar-parity
+    kernels over the backbone CSR; ``executor`` is kept for signature
+    compatibility but no longer consulted — the engine advances all
+    pairs in lockstep instead of fanning out per-pair tasks).
     """
+    from repro.core.route_engine import BackboneRouter
+
+    del executor  # batch kernels replaced the per-pair executor fan-out
     rng = random.Random(config.seed)
     delivered = 0
     total = 0
@@ -634,14 +641,12 @@ def routing_quality(
             (rng.randrange(udg.node_count), rng.randrange(udg.node_count))
             for _ in range(pairs)
         ]
-        outcome = route_batch(result, sampled, mode=mode, executor=executor)
-        for task in outcome.outcomes:
-            if not task.ok:
-                continue
-            total += 1
-            if task.value.delivered:
-                delivered += 1
-                hop_sum += task.value.hops
+        batch = BackboneRouter(result).route_pairs(
+            sampled, mode=mode, keep_paths=False
+        )
+        total += batch.pairs
+        delivered += batch.delivered_count
+        hop_sum += batch.hops_avg() * batch.delivered_count
     return {
         "pairs": float(total),
         "delivery_rate": delivered / total if total else 0.0,

@@ -11,9 +11,9 @@ paper's backbone instead.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
-from repro.geometry.primitives import angle_at
 from repro.graphs.graph import Graph
 from repro.routing.greedy import RouteResult
 
@@ -24,7 +24,13 @@ def compass_route(
     """Route by smallest angle to the destination direction.
 
     Loops are detected by revisiting a directed edge; ties break by
-    node id so runs are deterministic.
+    node id so runs are deterministic.  The comparison key is the
+    negated cosine ``-(dot / sqrt(|a|^2 * |b|^2))`` rather than the
+    angle itself: ``sqrt`` and division are correctly rounded by IEEE
+    754, so the batch engine (:mod:`repro.core.route_engine`) computes
+    the bit-identical key with numpy, whereas ``acos``/``atan2``
+    implementations may round a ulp apart and flip mathematically tied
+    neighbors.
     """
     if max_hops is None:
         max_hops = 4 * graph.node_count + 16
@@ -37,19 +43,26 @@ def compass_route(
         if current == target:
             return RouteResult(tuple(path), True, "delivered")
         here = pos[current]
+        ax = target_pos[0] - here[0]
+        ay = target_pos[1] - here[1]
+        na2 = ax * ax + ay * ay
         best: Optional[int] = None
-        best_angle = float("inf")
+        best_key = float("inf")
         for v in sorted(graph.neighbors(current)):
             if v == target:
                 best = v
-                best_angle = -1.0
                 break
-            try:
-                ang = angle_at(here, target_pos, pos[v])
-            except ValueError:
+            vpos = pos[v]
+            bx = vpos[0] - here[0]
+            by = vpos[1] - here[1]
+            denom = math.sqrt(na2 * (bx * bx + by * by))
+            if denom == 0.0:
+                # A zero-length arm (coincident points): the angle is
+                # undefined, skip the neighbor.
                 continue
-            if ang < best_angle:
-                best_angle = ang
+            key = -((ax * bx + ay * by) / denom)
+            if key < best_key:
+                best_key = key
                 best = v
         if best is None:
             return RouteResult(tuple(path), False, "stuck")

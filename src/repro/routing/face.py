@@ -15,8 +15,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from repro.geometry.predicates import segments_intersect
-from repro.geometry.primitives import Point, dist, dist_sq
+from repro.geometry.predicates import Orientation, on_segment, orientation
+from repro.geometry.primitives import Point, dist_sq
 from repro.graphs.graph import Graph
 from repro.routing.greedy import RouteResult
 
@@ -52,7 +52,13 @@ def _rhr_next_positions(
     for v in sorted(neighbors):
         if v == exclude:
             continue
-        sweep = _ccw_angle(reference_angle, _direction(here, neighbors[v]))
+        npos = neighbors[v]
+        if npos[0] == here[0] and npos[1] == here[1]:
+            # Coincident neighbor: the direction (and thus the sweep)
+            # is undefined, and hopping to it cannot advance the face
+            # walk.  Skip it; the dead-end bounce below still applies.
+            continue
+        sweep = _ccw_angle(reference_angle, _direction(here, npos))
         if sweep < best_sweep:
             best_sweep = sweep
             best = v
@@ -73,14 +79,40 @@ def _rhr_next(
 def _segment_crossing_point(
     a: Point, b: Point, c: Point, d: Point
 ) -> Optional[Point]:
-    """Intersection point of segments ``ab`` and ``cd`` (None if disjoint)."""
-    if not segments_intersect(a, b, c, d):
+    """Intersection point of segments ``ab`` and ``cd`` (None if disjoint).
+
+    Degenerate contacts go through the exact orientation predicate
+    instead of the parametric formula: when an endpoint of either
+    segment lies (snapped-)exactly on the other segment — the
+    source–target line passing through a vertex, or the target sitting
+    on a traversed edge — the returned point is that endpoint,
+    coordinate-exact, so face-entry comparisons downstream never see
+    parametric rounding noise.  A segment running *along* the line
+    (both endpoints collinear) stays "no single crossing", matching
+    the old near-zero-denominator behaviour.  General-position inputs
+    take the same parametric path as before, bit for bit.
+    """
+    o1 = orientation(a, b, c)
+    o2 = orientation(a, b, d)
+    o3 = orientation(c, d, a)
+    o4 = orientation(c, d, b)
+    if o3 == Orientation.COLLINEAR and o4 == Orientation.COLLINEAR:
+        return None  # ab runs along the cd line: no face change
+    if o3 == Orientation.COLLINEAR and on_segment(c, d, a):
+        return a
+    if o4 == Orientation.COLLINEAR and on_segment(c, d, b):
+        return b
+    if o1 == Orientation.COLLINEAR and on_segment(a, b, c):
+        return c
+    if o2 == Orientation.COLLINEAR and on_segment(a, b, d):
+        return d
+    if not (o1 != o2 and o3 != o4):
         return None
     r = (b[0] - a[0], b[1] - a[1])
     s = (d[0] - c[0], d[1] - c[1])
     denom = r[0] * s[1] - r[1] * s[0]
     if abs(denom) < 1e-15:
-        return None  # collinear overlap: treat as no face change
+        return None  # numerically parallel: treat as no face change
     t = ((c[0] - a[0]) * s[1] - (c[1] - a[1]) * s[0]) / denom
     return Point(a[0] + t * r[0], a[1] + t * r[1])
 
@@ -103,6 +135,12 @@ def face_route(
         max_hops = 8 * graph.node_count + 32
     pos = graph.positions
     target_pos = pos[target]
+    # Compare squared distances: dist_sq is a fixed sequence of
+    # correctly rounded ops, so the batch engine reproduces the resume
+    # test bit for bit (np.hypot and math.hypot may not agree).
+    resume_d2 = (
+        resume_distance * resume_distance if resume_distance is not None else None
+    )
     path = [source]
     current = source
     came_from: Optional[int] = None
@@ -115,9 +153,9 @@ def face_route(
         if current == target:
             return RouteResult(tuple(path), True, "delivered")
         if (
-            resume_distance is not None
+            resume_d2 is not None
             and current != source
-            and dist(pos[current], target_pos) < resume_distance
+            and dist_sq(pos[current], target_pos) < resume_d2
         ):
             return RouteResult(tuple(path), False, "greedy-resume")
 

@@ -100,3 +100,44 @@ class ServiceClient:
         if params:
             payload["params"] = dict(params)
         return self._request("POST", "/route", payload)
+
+    def route_batch(
+        self,
+        *,
+        key: Optional[str] = None,
+        pipeline: Optional[str] = None,
+        scenario: Optional[Mapping[str, Any]] = None,
+        params: Optional[Mapping[str, Any]] = None,
+        pairs: Optional[Sequence[Sequence[int]]] = None,
+        count: Optional[int] = None,
+        seed: Optional[int] = None,
+        mode: str = "gpsr",
+        max_hops: Optional[int] = None,
+        include_paths: Optional[int] = None,
+        chunk: Optional[int] = None,
+        failure: Optional[Mapping[str, Any]] = None,
+    ) -> dict:
+        payload: dict[str, Any] = {"mode": mode}
+        if key is not None:
+            payload["key"] = key
+        if pipeline is not None:
+            payload["pipeline"] = pipeline
+        if scenario is not None:
+            payload["scenario"] = dict(scenario)
+        if params:
+            payload["params"] = dict(params)
+        if pairs is not None:
+            payload["pairs"] = [list(pair) for pair in pairs]
+        if count is not None:
+            payload["count"] = count
+        if seed is not None:
+            payload["seed"] = seed
+        if max_hops is not None:
+            payload["max_hops"] = max_hops
+        if include_paths is not None:
+            payload["include_paths"] = include_paths
+        if chunk is not None:
+            payload["chunk"] = chunk
+        if failure is not None:
+            payload["failure"] = dict(failure)
+        return self._request("POST", "/route_batch", payload)

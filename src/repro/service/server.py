@@ -12,6 +12,8 @@ Endpoints:
 * ``POST /build``  — build one topology (through the cache);
 * ``POST /batch``  — fan many build requests across the executor;
 * ``POST /route``  — greedy/GPSR routing on a cached backbone build;
+* ``POST /route_batch`` — many (source, target) queries at once through
+  the vectorized route engine, chunked, with optional failure replay;
 * ``POST /session`` — open a live incremental maintenance session;
 * ``POST /session/{id}/step`` — apply one event batch, stream the
   topology delta (edges added/removed) back;
@@ -32,10 +34,17 @@ Run it with ``python -m repro serve``.
 from __future__ import annotations
 
 import json
+import random
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping, Optional
 
+from repro.core.route_engine import (
+    DEFAULT_CHUNK,
+    REASON_STRINGS,
+    BackboneRouter,
+    replay_failures,
+)
 from repro.incremental.engine import IncrementalMaintainer, StepReport
 from repro.incremental.events import parse_events
 from repro.incremental.session import IncrementalSession
@@ -54,6 +63,22 @@ from repro.service.registry import (
 
 #: Route traversal modes accepted by ``POST /route``.
 ROUTE_MODES = ("gpsr", "greedy")
+
+#: Backbone traversal modes accepted by ``POST /route_batch``
+#: (``shortest`` answers cores with true Dijkstra shortest paths).
+BATCH_ROUTE_MODES = BackboneRouter.MODES
+
+#: Most per-pair paths one ``POST /route_batch`` response will inline
+#: (aggregates are unlimited; explicit paths are a debugging aid).
+MAX_BATCH_PATHS = 1024
+
+#: Most pairs one ``POST /route_batch`` request may route (the 1M-pair
+#: regime fits; anything past this belongs in the offline bench).
+MAX_BATCH_PAIRS = 5_000_000
+
+#: Cached per-build-key batch routers kept on the service (each holds
+#: CSR snapshots, angle tables, and the per-mode core-route memo).
+_ROUTER_CACHE_ENTRIES = 32
 
 
 class ServiceError(Exception):
@@ -87,6 +112,9 @@ class SpannerService:
         #: Live incremental maintenance sessions by id.
         self._sessions: dict[str, IncrementalSession] = {}
         self._sessions_lock = threading.Lock()
+        #: Batch routers by build key (CSR snapshots + core-route memo).
+        self._routers: dict[str, BackboneRouter] = {}
+        self._routers_lock = threading.Lock()
         self._session_seq = 0
         #: Summary of the most recent ``POST /validate`` run, shown by
         #: ``GET /invariants`` (None until a validation has run).
@@ -335,22 +363,7 @@ class SpannerService:
             raise ServiceError(400, "request body must be a JSON object")
         self.metrics.inc("route.requests")
         with self.metrics.timer("route.request"):
-            key = payload.get("key")
-            if key is not None:
-                product = self.cache.get(key)
-                if product is None:
-                    raise ServiceError(
-                        404, f"no cached build under key {key!r}; POST /build first"
-                    )
-            else:
-                name, scenario, params, key = self._prepare(payload)
-                product, _ = self._build_cached(name, scenario, params, key)
-            if product.backbone is None:
-                raise ServiceError(
-                    400,
-                    f"pipeline {product.pipeline!r} is not routable; use a "
-                    "backbone pipeline (e.g. 'backbone', 'ldel_icds')",
-                )
+            key, product = self._resolve_routable(payload)
             try:
                 source = int(payload["source"])
                 target = int(payload["target"])
@@ -373,6 +386,268 @@ class SpannerService:
             "mode": mode,
             **result.as_dict(product.backbone.udg),
         }
+
+    def _resolve_routable(self, payload: Mapping[str, Any]) -> tuple[str, BuildProduct]:
+        """Shared ``/route`` + ``/route_batch`` lookup: a routable build.
+
+        Accepts ``{"key": <build key>}`` referencing a cached build, or
+        an inline ``pipeline`` + ``scenario`` request served through
+        the cache first.
+        """
+        key = payload.get("key")
+        if key is not None:
+            product = self.cache.get(key)
+            if product is None:
+                raise ServiceError(
+                    404, f"no cached build under key {key!r}; POST /build first"
+                )
+        else:
+            name, scenario, params, key = self._prepare(payload)
+            product, _ = self._build_cached(name, scenario, params, key)
+        if product.backbone is None:
+            raise ServiceError(
+                400,
+                f"pipeline {product.pipeline!r} is not routable; use a "
+                "backbone pipeline (e.g. 'backbone', 'ldel_icds')",
+            )
+        return key, product
+
+    def _router_for(self, key: str, product: BuildProduct) -> BackboneRouter:
+        """The cached batch router for one build key.
+
+        Routers carry the CSR snapshots, the per-directed-edge angle
+        tables, and the per-mode core-route memo, so reusing one across
+        requests is what makes repeat batches near-free.
+        """
+        with self._routers_lock:
+            router = self._routers.get(key)
+        if router is not None:
+            self.metrics.inc("routing.router_cache_hits")
+            return router
+        self.metrics.inc("routing.router_cache_misses")
+        router = BackboneRouter(product.backbone)
+        with self._routers_lock:
+            if len(self._routers) >= _ROUTER_CACHE_ENTRIES:
+                self._routers.clear()
+            self._routers[key] = router
+        return router
+
+    def route_batch(self, payload: Mapping[str, Any]) -> dict:
+        """``POST /route_batch`` — batch routing via the vectorized engine.
+
+        Routes every ``(source, target)`` pair — given explicitly as
+        ``pairs`` or sampled with ``count`` (+ ``seed``) — through the
+        cached :class:`~repro.core.route_engine.BackboneRouter` for the
+        build, advancing all queries in lockstep over CSR snapshots.
+        ``mode`` picks the backbone traversal (``gpsr`` / ``greedy`` /
+        ``shortest``); ``include_paths`` inlines up to
+        :data:`MAX_BATCH_PATHS` explicit paths; ``chunk`` bounds how
+        many pairs each engine round holds in memory.  An optional
+        ``failure`` object (``node_loss`` / ``link_loss`` / ``seed``)
+        switches to failure replay: the batch runs against the degraded
+        topology and the response reports delivery rates and the
+        stretch of surviving routes instead.
+        """
+        if not isinstance(payload, Mapping):
+            raise ServiceError(400, "request body must be a JSON object")
+        self.metrics.inc("routing.requests")
+        with self.metrics.timer("routing.request"):
+            key, product = self._resolve_routable(payload)
+            mode = payload.get("mode", "gpsr")
+            if mode not in BATCH_ROUTE_MODES:
+                raise ServiceError(
+                    400,
+                    f"unknown route mode {mode!r}; known: {list(BATCH_ROUTE_MODES)}",
+                )
+            n = product.backbone.udg.node_count
+            pairs = self._batch_pairs(payload, n)
+            max_hops = payload.get("max_hops")
+            if max_hops is not None and (
+                isinstance(max_hops, bool)
+                or not isinstance(max_hops, int)
+                or max_hops < 1
+            ):
+                raise ServiceError(400, "'max_hops' must be a positive integer")
+            failure = payload.get("failure")
+            if failure is not None:
+                return self._route_batch_failure(
+                    key, product, pairs, mode, max_hops, failure
+                )
+            include_paths = payload.get("include_paths", 0)
+            if (
+                isinstance(include_paths, bool)
+                or not isinstance(include_paths, int)
+                or include_paths < 0
+            ):
+                raise ServiceError(
+                    400, "'include_paths' must be a non-negative integer"
+                )
+            include_paths = min(include_paths, MAX_BATCH_PATHS, len(pairs))
+            chunk = payload.get("chunk", DEFAULT_CHUNK)
+            if isinstance(chunk, bool) or not isinstance(chunk, int) or chunk < 1:
+                raise ServiceError(400, "'chunk' must be a positive integer")
+            router = self._router_for(key, product)
+            # Paths are only kept for the (small, capped) leading slice;
+            # the rest of the batch streams through in hops/lengths-only
+            # chunks — the shape that survives million-pair requests.
+            bounds: list[tuple[int, int, bool]] = []
+            if include_paths:
+                bounds.append((0, include_paths, True))
+            lo = include_paths
+            while lo < len(pairs):
+                hi = min(len(pairs), lo + chunk)
+                bounds.append((lo, hi, False))
+                lo = hi
+            delivered = 0
+            unreachable = 0
+            hops_sum = 0.0
+            length_sum = 0.0
+            reason_counts = {name: 0 for name in REASON_STRINGS}
+            paths: list[dict] = []
+            for lo, hi, keep in bounds:
+                with self.metrics.timer("routing.batch"):
+                    batch = router.route_pairs(
+                        pairs[lo:hi],
+                        mode=mode,
+                        max_hops=max_hops,
+                        keep_paths=keep,
+                    )
+                delivered += batch.delivered_count
+                unreachable += batch.unreachable_pairs
+                hops_sum += batch.hops_avg() * batch.delivered_count
+                length_sum += batch.length_avg() * batch.delivered_count
+                for name, count in batch.reason_counts().items():
+                    reason_counts[name] += count
+                if keep:
+                    for i in range(batch.pairs):
+                        paths.append(
+                            {
+                                "source": int(batch.sources[i]),
+                                "target": int(batch.targets[i]),
+                                "reason": batch.reason(i),
+                                "hops": int(batch.hops[i]),
+                                "path": list(batch.path(i)),
+                            }
+                        )
+        total = len(pairs)
+        reachable = total - unreachable
+        self.metrics.inc("routing.pairs", total)
+        self.metrics.inc("routing.delivered", delivered)
+        self.metrics.inc("routing.unreachable", unreachable)
+        self.metrics.inc("routing.chunks", len(bounds))
+        response = {
+            "key": key,
+            "mode": mode,
+            "pairs": total,
+            "delivered": delivered,
+            "delivery_rate": delivered / total if total else 0.0,
+            "unreachable_pairs": unreachable,
+            "reachable_delivery_rate": (
+                delivered / reachable if reachable else 0.0
+            ),
+            "hops_avg": hops_sum / delivered if delivered else 0.0,
+            "length_avg": length_sum / delivered if delivered else 0.0,
+            "reasons": reason_counts,
+            "chunks": len(bounds),
+        }
+        if include_paths:
+            response["paths"] = paths
+        return response
+
+    def _batch_pairs(
+        self, payload: Mapping[str, Any], n: int
+    ) -> list[tuple[int, int]]:
+        """The pair list for one batch request: explicit or sampled."""
+        pairs = payload.get("pairs")
+        if pairs is not None:
+            if not isinstance(pairs, list) or not pairs:
+                raise ServiceError(
+                    400, "'pairs' must be a non-empty list of [source, target]"
+                )
+            if len(pairs) > MAX_BATCH_PAIRS:
+                raise ServiceError(
+                    400, f"at most {MAX_BATCH_PAIRS} pairs per request"
+                )
+            norm: list[tuple[int, int]] = []
+            for item in pairs:
+                if (
+                    not isinstance(item, (list, tuple))
+                    or len(item) != 2
+                    or any(
+                        isinstance(v, bool) or not isinstance(v, int)
+                        for v in item
+                    )
+                ):
+                    raise ServiceError(
+                        400, "each pair must be a [source, target] integer pair"
+                    )
+                s, t = int(item[0]), int(item[1])
+                if not (0 <= s < n and 0 <= t < n):
+                    raise ServiceError(
+                        400, f"pair endpoints must be in [0, {n})"
+                    )
+                norm.append((s, t))
+            return norm
+        count = payload.get("count")
+        if count is None:
+            raise ServiceError(
+                400, "provide 'pairs' or a sampled pair 'count'"
+            )
+        if isinstance(count, bool) or not isinstance(count, int) or count < 1:
+            raise ServiceError(400, "'count' must be a positive integer")
+        if count > MAX_BATCH_PAIRS:
+            raise ServiceError(400, f"at most {MAX_BATCH_PAIRS} pairs per request")
+        if n < 2:
+            raise ServiceError(400, "need at least two nodes to sample pairs")
+        seed = payload.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ServiceError(400, "'seed' must be an integer")
+        rng = random.Random(seed)
+        sampled: list[tuple[int, int]] = []
+        while len(sampled) < count:
+            s, t = rng.randrange(n), rng.randrange(n)
+            if s != t:
+                sampled.append((s, t))
+        return sampled
+
+    def _route_batch_failure(
+        self,
+        key: str,
+        product: BuildProduct,
+        pairs: list[tuple[int, int]],
+        mode: str,
+        max_hops: Optional[int],
+        failure: Any,
+    ) -> dict:
+        """The ``failure`` branch of ``/route_batch``: degraded replay."""
+        if not isinstance(failure, Mapping):
+            raise ServiceError(400, "'failure' must be a JSON object")
+        node_loss = failure.get("node_loss", 0.0)
+        link_loss = failure.get("link_loss", 0.0)
+        for name, value in (("node_loss", node_loss), ("link_loss", link_loss)):
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or not (0.0 <= float(value) <= 1.0)
+            ):
+                raise ServiceError(400, f"'{name}' must be a number in [0, 1]")
+        seed = failure.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ServiceError(400, "failure 'seed' must be an integer")
+        self.metrics.inc("routing.replays")
+        with self.metrics.timer("routing.replay"):
+            report = replay_failures(
+                product.backbone,
+                pairs,
+                node_loss=float(node_loss),
+                link_loss=float(link_loss),
+                seed=seed,
+                mode=mode,
+                max_hops=max_hops,
+            )
+        self.metrics.inc("routing.pairs", len(pairs))
+        self.metrics.inc("routing.delivered", report["survived"])
+        return {"key": key, **report}
 
     # -- incremental sessions --------------------------------------------
 
@@ -639,6 +914,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             "/build": self.service.build,
             "/batch": self.service.batch,
             "/route": self.service.route,
+            "/route_batch": self.service.route_batch,
             "/session": self.service.session_create,
             "/validate": self.service.validate,
         }

@@ -204,6 +204,65 @@ def _length_bound(ctx: "PipelineBuild") -> Check:
     return _bounded(worst, ratio_limit, detail="max (d_CDS' - 5r) / d_UDG")
 
 
+def _route_stretch(ctx: "PipelineBuild") -> Check:
+    # End-to-end routed stretch of the batch engine's dominating-set
+    # procedure, bounded by composing the paper's pieces: a routed path
+    # is entry hop + backbone core + exit hop.  With ``shortest`` cores
+    # on LDel(ICDS) the core is at most the planarization stretch (2.5,
+    # Keil-Gutwin) times the ICDS distance between the chosen entry
+    # dominators; those sit within one connector detour (<= 2r each
+    # side) of the entry points Lemma 6 routes through, and Lemma 6
+    # caps that core at 6d + 5r.  Altogether:
+    #   routed <= 2r + 2.5 * (4r + 6d + 5r) = 15d + 24.5r
+    # so max (routed - 24.5r) / d_UDG <= 15 over reachable pairs, and
+    # every UDG-reachable pair must be delivered at all.  Disk model
+    # only — the quasi gray zone breaks the packing arguments both
+    # constants rest on.
+    from repro.core.route_engine import DELIVERED, BackboneRouter
+
+    family = ctx.backbone.family
+    n = ctx.udg.node_count
+    d_base = ctx.oracle.apsp(ctx.udg, "length")
+    pairs = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if d_base[u][v] > 0.0 and math.isfinite(d_base[u][v])
+    ]
+    ratio_limit = bounds.ldel_length_stretch_bound() * 6.0
+    additive = (2.0 + bounds.ldel_length_stretch_bound() * 9.0) * ctx.udg.radius
+    if not pairs:
+        return Check(passed=True, value=0.0, bound=ratio_limit, detail="no routable pairs")
+    router = BackboneRouter(
+        udg=ctx.udg,
+        backbone=ctx.backbone.ldel_icds,
+        backbone_nodes=family.backbone_nodes,
+        dominators_of=family.clustering.dominators_of,
+        oracle=ctx.oracle,
+    )
+    batch = router.route_pairs(
+        pairs, mode="shortest", keep_paths=False, count_unreachable=False
+    )
+    worst = 0.0
+    raw = 0.0
+    for i, (u, v) in enumerate(pairs):
+        if int(batch.reasons[i]) != DELIVERED:
+            return Check(
+                passed=False,
+                value=math.inf,
+                bound=ratio_limit,
+                detail=f"reachable pair ({u}, {v}) undelivered by backbone routing",
+            )
+        routed = float(batch.lengths[i])
+        worst = max(worst, (routed - additive) / d_base[u][v])
+        raw = max(raw, routed / d_base[u][v])
+    return _bounded(
+        worst,
+        ratio_limit,
+        detail=f"max (routed - 24.5r) / d_UDG; raw stretch {raw:.3f}",
+    )
+
+
 def _lemma3_messages(ctx: "PipelineBuild") -> Check:
     worst = ctx.backbone.stats_cds.max_per_node()
     return _bounded(
@@ -358,6 +417,13 @@ INVARIANTS: tuple[Invariant, ...] = (
         description="Lemma 6: CDS' length <= 6d + 5r (ratio 6/eps for quasi)",
         pipelines=("backbone",),
         metric=_length_bound,
+    ),
+    Invariant(
+        name="route-stretch",
+        description="batch-routed length <= 15d + 24.5r (Lemma 6 x planarization)",
+        pipelines=("backbone",),
+        models=("udg",),
+        metric=_route_stretch,
     ),
     Invariant(
         name="lemma3-messages",

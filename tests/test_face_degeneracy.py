@@ -1,0 +1,136 @@
+"""Regression tests for the hardened face-routing predicates.
+
+``_segment_crossing_point`` routes degenerate contacts through the
+exact orientation predicate instead of the parametric formula: an
+endpoint lying exactly on the other segment comes back
+coordinate-exact, collinear overlap stays "no single crossing", and
+general-position inputs keep the old parametric result.
+``_rhr_next_positions`` skips coincident neighbors (undefined sweep)
+while preserving the dead-end bounce.
+"""
+
+import math
+
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.routing.face import (
+    _rhr_next_positions,
+    _segment_crossing_point,
+    face_route,
+)
+from repro.graphs.graph import Graph
+
+
+def P(x, y):
+    return Point(float(x), float(y))
+
+
+class TestSegmentCrossing:
+    def test_general_position_crossing(self):
+        got = _segment_crossing_point(P(0, 0), P(2, 2), P(0, 2), P(2, 0))
+        assert got is not None
+        assert got[0] == pytest.approx(1.0) and got[1] == pytest.approx(1.0)
+
+    def test_disjoint_segments(self):
+        assert _segment_crossing_point(P(0, 0), P(1, 0), P(0, 1), P(1, 1)) is None
+
+    def test_parallel_segments(self):
+        assert _segment_crossing_point(P(0, 0), P(2, 0), P(0, 1), P(2, 1)) is None
+
+    def test_endpoint_on_segment_is_coordinate_exact(self):
+        # c sits exactly on ab: the crossing is c itself, not a
+        # parametric reconstruction of it.
+        a, b = P(0, 0), P(3, 0)
+        c, d = P(1, 0), P(1, 5)
+        got = _segment_crossing_point(a, b, c, d)
+        assert got == c
+        assert got[0] == 1.0 and got[1] == 0.0
+
+    def test_shared_endpoint_is_exact(self):
+        # The st-line passing through a vertex of the walked edge: the
+        # shared endpoint is returned bit-exact (no rounding noise that
+        # downstream face-entry comparisons would see).
+        a, b = P(0.1, 0.7), P(2.3, 0.7)
+        got = _segment_crossing_point(a, b, a, P(0.1, -4.0))
+        assert got == a
+
+    def test_target_vertex_on_crossed_edge(self):
+        a, b = P(0, 0), P(4, 4)
+        c, d = P(2, 2), P(2, -1)  # c on ab interior
+        got = _segment_crossing_point(a, b, c, d)
+        assert got == c
+
+    def test_collinear_overlap_is_no_crossing(self):
+        # ab runs along the cd line: no single crossing point exists,
+        # so no face change — matching the old near-zero-denominator
+        # behaviour.
+        assert _segment_crossing_point(P(0, 0), P(2, 0), P(1, 0), P(3, 0)) is None
+        assert _segment_crossing_point(P(0, 0), P(1, 0), P(0, 0), P(1, 0)) is None
+
+    def test_touching_endpoints_of_both_segments(self):
+        got = _segment_crossing_point(P(0, 0), P(1, 1), P(1, 1), P(2, 0))
+        assert got == P(1, 1)
+
+    def test_near_degenerate_still_parametric(self):
+        # Slightly off-collinear stays on the parametric path and lands
+        # where the exact crossing is.
+        got = _segment_crossing_point(
+            P(0, 0), P(2, 1e-9), P(1, -1), P(1, 1)
+        )
+        assert got is not None
+        assert got[0] == pytest.approx(1.0)
+        assert got[1] == pytest.approx(5e-10, abs=1e-12)
+
+
+class TestRhrNext:
+    def test_coincident_neighbor_skipped(self):
+        here = P(0, 0)
+        neighbors = {1: P(0, 0), 2: P(1, 0)}
+        assert _rhr_next_positions(here, neighbors, 0.0, None) == 2
+
+    def test_only_coincident_neighbors_dead_end(self):
+        here = P(0, 0)
+        neighbors = {1: P(0, 0)}
+        assert _rhr_next_positions(here, neighbors, 0.0, None) is None
+
+    def test_coincident_with_exclude_bounces(self):
+        # Arrived from 3; every other neighbor is coincident: bounce
+        # back along the arrival edge rather than hopping in place.
+        here = P(0, 0)
+        neighbors = {1: P(0, 0), 3: P(1, 1)}
+        assert _rhr_next_positions(here, neighbors, 0.0, 3) == 3
+
+    def test_ties_break_to_lowest_id(self):
+        here = P(0, 0)
+        neighbors = {5: P(1, 0), 2: P(1, 0)}
+        assert _rhr_next_positions(here, neighbors, math.pi / 2, None) == 2
+
+    def test_smallest_ccw_sweep_wins(self):
+        here = P(0, 0)
+        neighbors = {1: P(0, 1), 2: P(1, 0), 3: P(-1, 0)}
+        # Reference pointing at +x, sweeps measured ccw: +y is 90deg,
+        # -x is 180deg, +x itself snaps to a full turn.
+        assert _rhr_next_positions(here, neighbors, 0.0, None) == 1
+
+
+def test_face_route_survives_duplicate_points():
+    # Two coincident nodes on a path: face routing must neither crash
+    # nor loop forever on the undefined direction.
+    pts = [P(0, 0), P(1, 0), P(1, 0), P(2, 0)]
+    g = Graph(pts, [(0, 1), (1, 2), (1, 3), (2, 3)])
+    res = face_route(g, 0, 3)
+    assert res.reason in ("delivered", "stuck", "loop", "hop-limit")
+    if res.delivered:
+        for a, b in zip(res.path, res.path[1:]):
+            assert g.has_edge(a, b)
+
+
+def test_face_route_through_collinear_chain():
+    # Source, target, and every vertex on one line: all crossings are
+    # degenerate contacts, which the exact predicates must resolve.
+    pts = [P(0, 0), P(1, 0), P(2, 0), P(3, 0)]
+    g = Graph(pts, [(0, 1), (1, 2), (2, 3)])
+    res = face_route(g, 0, 3)
+    assert res.delivered
+    assert res.path == (0, 1, 2, 3)

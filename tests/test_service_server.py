@@ -185,3 +185,91 @@ class TestDiskCacheAcrossRestart:
         # The revived backbone still routes.
         routed = warm.route({"key": second["key"], "source": 0, "target": 5})
         assert routed["path"][0] == 0
+
+
+class TestRouteBatch:
+    def test_batch_matches_library_router(self, client):
+        from repro.core.route_engine import BackboneRouter
+
+        built = client.build("backbone", SCENARIO)
+        pairs = [[0, 9], [3, 17], [22, 5], [1, 28]]
+        body = client.route_batch(
+            key=built["key"], pairs=pairs, mode="gpsr", include_paths=4
+        )
+        assert body["pairs"] == 4
+        assert set(body["reasons"]) == {"delivered", "stuck", "loop", "hop-limit"}
+
+        rng = random.Random(SCENARIO["seed"])
+        dep = connected_udg_instance(
+            SCENARIO["nodes"], SCENARIO["side"], SCENARIO["radius"], rng
+        )
+        result = build_backbone(dep.points, dep.radius)
+        batch = BackboneRouter(result).route_pairs(
+            [tuple(p) for p in pairs], mode="gpsr"
+        )
+        assert body["delivered"] == batch.delivered_count
+        assert body["hops_avg"] == pytest.approx(batch.hops_avg())
+        for i, entry in enumerate(body["paths"]):
+            assert tuple(entry["path"]) == batch.path(i)
+            assert entry["reason"] == batch.reason(i)
+
+    def test_sampled_pairs_and_chunking(self, client):
+        built = client.build("backbone", SCENARIO)
+        body = client.route_batch(
+            key=built["key"], count=40, seed=3, mode="shortest", chunk=16
+        )
+        assert body["pairs"] == 40
+        assert body["chunks"] == 3
+        assert 0.0 <= body["delivery_rate"] <= 1.0
+        assert body["reachable_delivery_rate"] >= body["delivery_rate"]
+        again = client.route_batch(
+            key=built["key"], count=40, seed=3, mode="shortest"
+        )
+        assert again["delivered"] == body["delivered"]
+        assert again["hops_avg"] == pytest.approx(body["hops_avg"])
+
+    def test_failure_replay(self, client):
+        built = client.build("backbone", SCENARIO)
+        body = client.route_batch(
+            key=built["key"],
+            count=30,
+            seed=1,
+            failure={"node_loss": 0.2, "link_loss": 0.1, "seed": 7},
+        )
+        assert body["pairs"] == 30
+        assert body["routed"] + body["endpoint_failed"] == 30
+        assert body["survived"] <= body["delivered"]
+        assert 0.0 <= body["delivery_rate"] <= 1.0
+        if body["stretch_samples"]:
+            assert body["stretch_avg"] >= 1.0
+
+    def test_validation_errors(self, client):
+        built = client.build("backbone", SCENARIO)
+        key = built["key"]
+        for kwargs in (
+            {"mode": "teleport", "count": 5},
+            {"pairs": [[0, 10_000]]},
+            {"pairs": []},
+            {},  # neither pairs nor count
+            {"count": 5, "chunk": 0},
+            {"count": 5, "include_paths": -1},
+            {"count": 5, "failure": {"node_loss": 2.0}},
+        ):
+            with pytest.raises(ClientError) as excinfo:
+                client.route_batch(key=key, **kwargs)
+            assert excinfo.value.status == 400
+        with pytest.raises(ClientError) as excinfo:
+            client.route_batch(key="0" * 64, count=5)
+        assert excinfo.value.status == 404
+
+    def test_metrics_account_routing(self, client):
+        built = client.build("backbone", SCENARIO)
+        before = client.metrics()["counters"]
+        client.route_batch(key=built["key"], count=25, seed=2)
+        client.route_batch(key=built["key"], count=25, seed=2)
+        after = client.metrics()
+        counters = after["counters"]
+        assert counters["routing.requests"] >= before.get("routing.requests", 0) + 2
+        assert counters["routing.pairs"] >= before.get("routing.pairs", 0) + 50
+        assert counters["routing.router_cache_hits"] >= 1
+        assert after["latency"]["routing.batch"]["count"] >= 2
