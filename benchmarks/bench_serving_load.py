@@ -1,0 +1,358 @@
+"""Serving-tier load harness: blocking vs async under concurrency.
+
+Boots both server transports as subprocesses (``python -m repro serve``
+and ``... serve --async``), drives each with the same closed-loop
+mixed workload — warm-heavy ``/build`` over a hot scenario set, plus
+``/route_batch``, ``/route``, and ``/pipelines`` — from ``--concurrency``
+persistent keep-alive connections, and writes ``BENCH_serving.json``
+with throughput and p50/p95/p99 latency per transport plus the
+async-over-blocking speedup.
+
+The workload is deliberately cache-friendly (an 80% hot set over a
+handful of scenarios, primed during warmup): this is the serving
+tier's design point, where the async front end answers from its
+response byte-cache on one event loop while the blocking server pays
+a thread per connection and a full dispatch per request.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving_load.py \
+        --concurrency 32 --ops 25 --out BENCH_serving.json
+
+``--min-speedup`` / ``--max-p99-ms`` turn the report into a gate
+(non-zero exit on miss) — how the nightly CI job consumes it.
+``--step-summary`` appends a markdown table to the file
+``$GITHUB_STEP_SUMMARY`` points at (no-op when the variable is unset).
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: The hot set: scenarios the warmup primes and 80% of ops target.
+HOT_SCENARIOS = [
+    {"nodes": 40 + 4 * i, "side": 160.0, "radius": 55.0, "seed": 100 + i}
+    for i in range(6)
+]
+#: The long tail: distinct-but-small scenarios for the cold 20%.
+COLD_SCENARIOS = [
+    {"nodes": 24, "side": 120.0, "radius": 50.0, "seed": 500 + i}
+    for i in range(24)
+]
+PIPELINES = ("backbone", "gg", "ldel")
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def percentile(sorted_values: list, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+class ServerProcess:
+    """A ``python -m repro serve`` subprocess with readiness + teardown."""
+
+    def __init__(self, extra_args: list, port: int) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        self.port = port
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--host", "127.0.0.1", "--port", str(port), *extra_args],
+            env=env, cwd=REPO,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+
+    def wait_ready(self, timeout: float = 60.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                raise RuntimeError(
+                    f"server exited early with {self.process.returncode}"
+                )
+            try:
+                conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=5)
+                conn.request("GET", "/healthz")
+                if conn.getresponse().status == 200:
+                    conn.close()
+                    return
+            except OSError:
+                pass
+            time.sleep(0.2)
+        raise RuntimeError(f"server on :{self.port} never became healthy")
+
+    def stop(self) -> None:
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGINT)
+            try:
+                self.process.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=10)
+
+
+def plan_ops(thread_id: int, count: int) -> list:
+    """The per-client op sequence: seeded, hot-set skewed."""
+    rng = random.Random(9000 + thread_id)
+    ops = []
+    for _ in range(count):
+        scenario = (
+            rng.choice(HOT_SCENARIOS) if rng.random() < 0.8
+            else rng.choice(COLD_SCENARIOS)
+        )
+        pipeline = rng.choice(PIPELINES)
+        roll = rng.random()
+        if roll < 0.5:
+            ops.append(("POST", "/build",
+                        {"pipeline": pipeline, "scenario": scenario}))
+        elif roll < 0.8:
+            ops.append(("POST", "/route_batch",
+                        {"pipeline": "backbone", "scenario": scenario,
+                         "count": 20, "seed": thread_id, "mode": "gpsr"}))
+        elif roll < 0.9:
+            ops.append(("POST", "/route",
+                        {"pipeline": "backbone", "scenario": scenario,
+                         "source": 0, "target": scenario["nodes"] - 1}))
+        else:
+            ops.append(("GET", "/pipelines", None))
+    return ops
+
+
+def warmup(port: int) -> None:
+    """Prime every hot (pipeline, scenario) pair once, serially."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    for scenario in HOT_SCENARIOS:
+        for pipeline in PIPELINES:
+            body = json.dumps(
+                {"pipeline": pipeline, "scenario": scenario}
+            ).encode()
+            conn.request("POST", "/build", body=body)
+            conn.getresponse().read()
+        body = json.dumps(
+            {"pipeline": "backbone", "scenario": scenario,
+             "count": 20, "seed": 0, "mode": "gpsr"}
+        ).encode()
+        conn.request("POST", "/route_batch", body=body)
+        conn.getresponse().read()
+    conn.close()
+
+
+def run_load(port: int, concurrency: int, ops_per_client: int) -> dict:
+    """Closed loop: ``concurrency`` keep-alive clients, each running
+    its seeded op sequence back-to-back; per-request latency recorded."""
+    latencies: list = []
+    errors = [0]
+    retried = [0]
+    lock = threading.Lock()
+
+    def client_loop(thread_id: int) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        local: list = []
+        for method, path, payload in plan_ops(thread_id, ops_per_client):
+            body = json.dumps(payload).encode() if payload is not None else None
+            started = time.perf_counter()
+            reconnects = 0
+            while True:
+                try:
+                    conn.request(method, path, body=body)
+                    response = conn.getresponse()
+                    response.read()
+                    status = response.status
+                except OSError:
+                    # Stale keep-alive (server closed an idle socket):
+                    # reconnect and retry the request once.
+                    conn.close()
+                    conn = http.client.HTTPConnection(
+                        "127.0.0.1", port, timeout=120
+                    )
+                    reconnects += 1
+                    if reconnects <= 1:
+                        continue
+                    with lock:
+                        errors[0] += 1
+                    break
+                if status == 429:  # admission control: honor and retry
+                    with lock:
+                        retried[0] += 1
+                    time.sleep(0.05)
+                    continue
+                if status >= 400:
+                    with lock:
+                        errors[0] += 1
+                break
+            local.append((time.perf_counter() - started) * 1000.0)
+        conn.close()
+        with lock:
+            latencies.extend(local)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i,))
+        for i in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    latencies.sort()
+    total = len(latencies)
+    return {
+        "requests": total,
+        "errors": errors[0],
+        "throttled_retries": retried[0],
+        "elapsed_s": round(elapsed, 3),
+        "throughput_rps": round(total / elapsed, 1) if elapsed else 0.0,
+        "p50_ms": round(percentile(latencies, 0.50), 3),
+        "p95_ms": round(percentile(latencies, 0.95), 3),
+        "p99_ms": round(percentile(latencies, 0.99), 3),
+        "max_ms": round(latencies[-1], 3) if latencies else 0.0,
+    }
+
+
+def bench_transport(name: str, extra_args: list, concurrency: int,
+                    ops_per_client: int) -> dict:
+    port = free_port()
+    server = ServerProcess(extra_args, port)
+    try:
+        server.wait_ready()
+        warmup(port)
+        result = run_load(port, concurrency, ops_per_client)
+    finally:
+        server.stop()
+    result["transport"] = name
+    print(
+        f"{name:>9}: {result['throughput_rps']:>8.1f} req/s   "
+        f"p50 {result['p50_ms']:.1f}ms  p95 {result['p95_ms']:.1f}ms  "
+        f"p99 {result['p99_ms']:.1f}ms  "
+        f"({result['requests']} reqs, {result['errors']} errors, "
+        f"{result['throttled_retries']} 429-retries)"
+    )
+    return result
+
+
+def write_step_summary(report: dict) -> None:
+    """Append a markdown table to the GitHub Actions job summary."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    config = report["config"]
+    lines = [
+        "## Serving load "
+        f"(concurrency {config['concurrency']}, "
+        f"{config['ops_per_client']} ops/client, "
+        f"{config['pool_workers']} pool workers)",
+        "",
+        "| transport | req/s | p50 ms | p95 ms | p99 ms | errors |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    for name, result in report["results"].items():
+        lines.append(
+            f"| {name} | {result['throughput_rps']} | {result['p50_ms']} "
+            f"| {result['p95_ms']} | {result['p99_ms']} "
+            f"| {result['errors']} |"
+        )
+    if report["speedup"] is not None:
+        lines += ["", f"**async speedup: {report['speedup']}x**"]
+    with open(path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def main(argv: "list | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--concurrency", type=int, default=32)
+    parser.add_argument("--ops", type=int, default=25,
+                        help="requests per client (closed loop)")
+    parser.add_argument("--pool-workers", type=int, default=4)
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--out", default="BENCH_serving.json")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless async/blocking throughput >= this")
+    parser.add_argument("--max-p99-ms", type=float, default=None,
+                        help="fail unless the async p99 is under this")
+    parser.add_argument("--skip-blocking", action="store_true",
+                        help="bench only the async tier (no speedup)")
+    parser.add_argument("--step-summary", action="store_true",
+                        help="append a markdown summary to $GITHUB_STEP_SUMMARY")
+    args = parser.parse_args(argv)
+
+    print(
+        f"serving load: concurrency={args.concurrency} "
+        f"ops/client={args.ops} pool={args.pool_workers}"
+    )
+    results = {}
+    if not args.skip_blocking:
+        results["blocking"] = bench_transport(
+            "blocking", [], args.concurrency, args.ops
+        )
+    results["async"] = bench_transport(
+        "async",
+        ["--async", "--pool-workers", str(args.pool_workers),
+         "--queue-depth", str(args.queue_depth)],
+        args.concurrency, args.ops,
+    )
+
+    speedup = None
+    if "blocking" in results and results["blocking"]["throughput_rps"]:
+        speedup = round(
+            results["async"]["throughput_rps"]
+            / results["blocking"]["throughput_rps"], 2,
+        )
+        print(f"async speedup: {speedup}x")
+
+    report = {
+        "config": {
+            "concurrency": args.concurrency,
+            "ops_per_client": args.ops,
+            "pool_workers": args.pool_workers,
+            "queue_depth": args.queue_depth,
+            "hot_scenarios": len(HOT_SCENARIOS),
+            "cpu_count": os.cpu_count(),
+        },
+        "results": results,
+        "speedup": speedup,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if args.step_summary:
+        write_step_summary(report)
+
+    failures = []
+    if args.min_speedup is not None and (
+        speedup is None or speedup < args.min_speedup
+    ):
+        failures.append(f"speedup {speedup} < required {args.min_speedup}")
+    if args.max_p99_ms is not None and (
+        results["async"]["p99_ms"] > args.max_p99_ms
+    ):
+        failures.append(
+            f"async p99 {results['async']['p99_ms']}ms "
+            f"> budget {args.max_p99_ms}ms"
+        )
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -172,17 +172,28 @@ def cmd_route(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service.server import serve
-
-    return serve(
-        args.host,
-        args.port,
+    service_kwargs = dict(
         cache_size=args.cache_size,
         cache_dir=str(args.cache_dir) if args.cache_dir else None,
         executor_mode=args.executor,
         max_workers=args.workers,
         task_timeout=args.task_timeout,
+        data_dir=str(args.data_dir) if args.data_dir else None,
     )
+    if getattr(args, "use_async", False):
+        from repro.service.aserver import serve_async
+
+        return serve_async(
+            args.host,
+            args.port,
+            pool_size=args.pool_workers,
+            pool_mode=args.pool_mode,
+            queue_depth=args.queue_depth,
+            **service_kwargs,
+        )
+    from repro.service.server import serve
+
+    return serve(args.host, args.port, **service_kwargs)
 
 
 def cmd_mobility(args: argparse.Namespace) -> int:
@@ -399,6 +410,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     p_serve.add_argument("--workers", type=int, default=None)
     p_serve.add_argument("--task-timeout", type=float, default=120.0)
+    p_serve.add_argument(
+        "--data-dir", type=Path, default=None,
+        help="persistent state root (deployment store + shared disk cache)",
+    )
+    p_serve.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="serve through the asyncio front end + shared-nothing "
+        "worker pool instead of the blocking server",
+    )
+    p_serve.add_argument(
+        "--pool-workers", type=int, default=4,
+        help="async tier: shared-nothing service workers",
+    )
+    p_serve.add_argument(
+        "--pool-mode", choices=("process", "thread"), default="process",
+        help="async tier: worker isolation (process falls back to thread)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=32,
+        help="async tier: per-worker in-flight window before 429",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_corpus = sub.add_parser(

@@ -3,14 +3,29 @@
 Used by the integration tests, the benchmark, and scripts; mirrors the
 endpoint surface one-to-one.  Raises :class:`ClientError` with the
 server's status code and error message on any non-2xx response.
+
+Resilience: requests retry with exponential backoff (plus jitter) on
+connection errors and on ``429`` throttling from the async tier's
+admission control — a ``Retry-After`` header overrides the computed
+backoff.  ``retries=0`` restores fail-fast behavior.
+
+Streaming: :meth:`ServiceClient.build_stream` and
+:meth:`ServiceClient.session_stream` consume the SSE endpoints,
+yielding ``(event, data)`` pairs as frames arrive.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Iterator, Mapping, Optional, Sequence
+
+#: Status codes worth retrying: admission-control throttles and the
+#: transient unavailability the pool reports while (re)starting.
+RETRYABLE_STATUSES = (429, 503)
 
 
 class ClientError(Exception):
@@ -25,27 +40,91 @@ class ClientError(Exception):
 class ServiceClient:
     """Talks JSON to a running spanner service."""
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 60.0,
+        retries: int = 3,
+        backoff_s: float = 0.2,
+        max_backoff_s: float = 5.0,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        #: Retries actually performed (observability for tests/benchmarks).
+        self.retry_count = 0
 
-    def _request(self, method: str, path: str, payload: Any = None) -> dict:
+    # -- plumbing --------------------------------------------------------
+
+    def _prepare(
+        self, method: str, path: str, payload: Any, accept: str
+    ) -> urllib.request.Request:
         url = f"{self.base_url}{path}"
         data = None
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": accept}
         if payload is not None:
             data = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers, method=method)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as exc:
+        return urllib.request.Request(url, data=data, headers=headers, method=method)
+
+    def _sleep_for(self, attempt: int, retry_after: Optional[str]) -> float:
+        if retry_after:
             try:
-                message = json.loads(exc.read()).get("error", exc.reason)
-            except Exception:
-                message = str(exc.reason)
-            raise ClientError(exc.code, message) from None
+                return max(0.0, float(retry_after))
+            except ValueError:
+                pass
+        base = min(self.max_backoff_s, self.backoff_s * (2 ** attempt))
+        return base * (0.5 + random.random() / 2.0)  # full-ish jitter
+
+    def _open(self, request: urllib.request.Request):
+        """Open with retry-on-(connection error | 429/503) semantics."""
+        attempt = 0
+        while True:
+            try:
+                return urllib.request.urlopen(request, timeout=self.timeout)
+            except urllib.error.HTTPError as exc:
+                if exc.code in RETRYABLE_STATUSES and attempt < self.retries:
+                    delay = self._sleep_for(attempt, exc.headers.get("Retry-After"))
+                    exc.close()
+                    self.retry_count += 1
+                    attempt += 1
+                    time.sleep(delay)
+                    continue
+                try:
+                    message = json.loads(exc.read()).get("error", exc.reason)
+                except Exception:
+                    message = str(exc.reason)
+                raise ClientError(exc.code, message) from None
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                if attempt < self.retries:
+                    self.retry_count += 1
+                    time.sleep(self._sleep_for(attempt, None))
+                    attempt += 1
+                    continue
+                raise ClientError(0, f"connection failed: {exc}") from None
+
+    def _request(self, method: str, path: str, payload: Any = None) -> dict:
+        with self._open(
+            self._prepare(method, path, payload, "application/json")
+        ) as response:
+            return json.loads(response.read())
+
+    def _stream(
+        self, path: str, payload: Any
+    ) -> Iterator[tuple[str, Any]]:
+        """POST and yield parsed SSE ``(event, data)`` pairs as they land."""
+        from repro.service.streaming import iter_sse_events
+
+        response = self._open(
+            self._prepare("POST", path, payload, "text/event-stream")
+        )
+        try:
+            yield from iter_sse_events(response)
+        finally:
+            response.close()
 
     # -- endpoints -------------------------------------------------------
 
@@ -63,10 +142,16 @@ class ServiceClient:
         pipeline: str,
         scenario: Mapping[str, Any],
         params: Optional[Mapping[str, Any]] = None,
-    ) -> dict:
+        *,
+        stream: bool = False,
+    ) -> "dict | Iterator[tuple[str, Any]]":
+        """``POST /build`` — or, with ``stream=True``, the SSE variant
+        yielding ``start`` / ``tile`` / ``result`` / ``end`` events."""
         payload: dict[str, Any] = {"pipeline": pipeline, "scenario": dict(scenario)}
         if params:
             payload["params"] = dict(params)
+        if stream:
+            return self._stream("/build_stream", payload)
         return self._request("POST", "/build", payload)
 
     def batch(
@@ -141,3 +226,67 @@ class ServiceClient:
         if failure is not None:
             payload["failure"] = dict(failure)
         return self._request("POST", "/route_batch", payload)
+
+    # -- sessions --------------------------------------------------------
+
+    def session_create(
+        self, scenario: Mapping[str, Any], *, tile_cells: Optional[int] = None
+    ) -> dict:
+        payload: dict[str, Any] = {"scenario": dict(scenario)}
+        if tile_cells is not None:
+            payload["tile_cells"] = tile_cells
+        return self._request("POST", "/session", payload)
+
+    def session_step(
+        self,
+        session_id: str,
+        events: Sequence[Mapping[str, Any]],
+        *,
+        verify: bool = False,
+    ) -> dict:
+        payload = {"events": [dict(e) for e in events], "verify": verify}
+        return self._request("POST", f"/session/{session_id}/step", payload)
+
+    def session_stream(
+        self,
+        session_id: str,
+        batches: Sequence[Sequence[Mapping[str, Any]]],
+        *,
+        verify: bool = False,
+    ) -> Iterator[tuple[str, Any]]:
+        """``POST /session/{id}/stream`` — one ``delta`` event per batch."""
+        payload = {
+            "batches": [[dict(e) for e in batch] for batch in batches],
+            "verify": verify,
+        }
+        return self._stream(f"/session/{session_id}/stream", payload)
+
+    def session_get(self, session_id: str) -> dict:
+        return self._request("GET", f"/session/{session_id}")
+
+    def session_delete(self, session_id: str) -> dict:
+        return self._request("DELETE", f"/session/{session_id}")
+
+    # -- deployments -----------------------------------------------------
+
+    def deployment_put(
+        self,
+        name: str,
+        scenario: Mapping[str, Any],
+        *,
+        overwrite: bool = True,
+    ) -> dict:
+        return self._request(
+            "POST",
+            "/deployments",
+            {"name": name, "scenario": dict(scenario), "overwrite": overwrite},
+        )
+
+    def deployments(self) -> dict:
+        return self._request("GET", "/deployments")
+
+    def deployment_get(self, name: str) -> dict:
+        return self._request("GET", f"/deployments/{name}")
+
+    def deployment_delete(self, name: str) -> dict:
+        return self._request("DELETE", f"/deployments/{name}")

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
@@ -30,6 +31,60 @@ from repro.service.metrics import MetricsRegistry
 
 #: Executor modes accepted by :func:`run_batch`.
 MODES = ("process", "thread", "serial")
+
+
+class PoolTracker:
+    """Strong references to pools that still own abandoned work.
+
+    ``run_batch`` historically shut pools down with ``wait=False`` and
+    dropped them — correct for throughput, but a timed-out task leaves
+    its worker running with nothing holding the pool, so a graceful
+    server shutdown had nothing to join.  A tracker closes that gap:
+    pools with unfinished futures are registered here, pools whose
+    batches completed cleanly never are, and :meth:`drain` joins
+    whatever is still outstanding at shutdown.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pools: list[concurrent.futures.Executor] = []
+
+    def register(self, pool: concurrent.futures.Executor) -> None:
+        with self._lock:
+            self._pools.append(pool)
+
+    def active(self) -> int:
+        with self._lock:
+            return len(self._pools)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Join every tracked pool; ``True`` if all exited in time."""
+        with self._lock:
+            pools, self._pools = self._pools, []
+        if not pools:
+            return True
+
+        def join_all() -> None:
+            for pool in pools:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+        waiter = threading.Thread(target=join_all, daemon=True)
+        waiter.start()
+        waiter.join(timeout)
+        if waiter.is_alive():
+            # Hand the stragglers back so a later drain can retry.
+            with self._lock:
+                self._pools.extend(pools)
+            return False
+        return True
+
+
+_GLOBAL_TRACKER = PoolTracker()
+
+
+def global_tracker() -> PoolTracker:
+    """The process-wide tracker ``run_batch`` registers into by default."""
+    return _GLOBAL_TRACKER
 
 
 @dataclass(frozen=True)
@@ -108,38 +163,62 @@ def run_batch(
     timeout: Optional[float] = None,
     metrics: Optional[MetricsRegistry] = None,
     metric_name: str = "executor.task",
+    on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
+    tracker: Optional[PoolTracker] = None,
 ) -> BatchOutcome:
     """Fan ``worker`` over ``tasks``; capture every outcome.
 
     ``mode`` is ``"process"`` (default; silently degrades to threads
     when process pools cannot start), ``"thread"``, or ``"serial"``.
     ``timeout`` bounds each task's wall-clock wait in seconds.
+    ``on_outcome`` is invoked with each :class:`TaskOutcome` as it is
+    collected (in input order) — the streaming tier's per-tile seam.
+    Pools left with abandoned (timed-out) work are registered with
+    ``tracker`` (the global one by default) so a graceful shutdown can
+    join them.
     """
     if mode not in MODES:
         raise ValueError(f"unknown executor mode {mode!r}; known: {MODES}")
     workers = max_workers or default_workers()
+    tracker = tracker if tracker is not None else _GLOBAL_TRACKER
     started = time.perf_counter()
 
     if mode == "serial" or not tasks:
-        outcomes = [
-            _run_serial(index, worker, task, metrics, metric_name)
-            for index, task in enumerate(tasks)
-        ]
+        outcomes = []
+        for index, task in enumerate(tasks):
+            outcome = _run_serial(index, worker, task, metrics, metric_name)
+            _notify(on_outcome, outcome)
+            outcomes.append(outcome)
         return BatchOutcome(outcomes, "serial", 1, time.perf_counter() - started)
 
     pool, actual_mode = _make_pool(mode, workers)
+    futures: list[concurrent.futures.Future] = []
     try:
         futures = [pool.submit(_timed, worker, task) for task in tasks]
         outcomes = []
         for index, future in enumerate(futures):
-            outcomes.append(
-                _collect(index, future, timeout, metrics, metric_name)
-            )
+            outcome = _collect(index, future, timeout, metrics, metric_name)
+            _notify(on_outcome, outcome)
+            outcomes.append(outcome)
     finally:
         # Abandoned (timed-out) workers keep their slots; don't block
-        # the batch response on them.
+        # the batch response on them — track the pool instead so a
+        # graceful shutdown can join the stragglers.
+        if any(not future.done() for future in futures):
+            tracker.register(pool)
         pool.shutdown(wait=False, cancel_futures=True)
     return BatchOutcome(outcomes, actual_mode, workers, time.perf_counter() - started)
+
+
+def _notify(
+    on_outcome: Optional[Callable[[TaskOutcome], None]], outcome: TaskOutcome
+) -> None:
+    if on_outcome is None:
+        return
+    try:
+        on_outcome(outcome)
+    except Exception:
+        pass  # an observer bug must not fail the batch
 
 
 def _make_pool(

@@ -1,0 +1,161 @@
+"""Consistent-hash request routing for the shared-nothing worker pool.
+
+The async tier keeps workers *shared-nothing*: each owns its own
+registry, construction/router caches, and incremental sessions, and
+never locks against a peer.  What makes that fast instead of merely
+isolated is placement — requests for the same deployment must always
+land on the same worker, so its warm caches are the ones that get hit.
+
+:class:`HashRing` implements classic consistent hashing (sha256 ring,
+``replicas`` virtual nodes per worker) over *placement keys*:
+
+* build-style requests hash the **deployment fingerprint** (points +
+  radius), so every pipeline over one deployment shares a worker;
+* ``{"key": ...}`` requests reuse the worker that produced the build
+  key — the front end learns ``key -> worker`` from build responses
+  (:class:`KeyAffinity`), falling back to hashing the key itself
+  (any worker can still warm it from the shared disk cache layer);
+* session requests are pinned by the ``w{worker}-s{seq}`` id prefix
+  every pool worker stamps on the sessions it creates.
+
+A fixed pool makes the ring's usual remapping virtue (only ``1/n``
+of keys move when membership changes) moot at runtime, but it still
+buys us stable placement across restarts and config-independent
+balance — and it is the structure a resizable pool would need.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import re
+import threading
+from typing import Any, Mapping, Optional, Sequence
+
+#: Virtual nodes per worker: enough to balance a handful of workers
+#: within a few percent without making ring construction noticeable.
+DEFAULT_REPLICAS = 64
+
+_SESSION_ID_RE = re.compile(r"^w(\d+)-s\d+$")
+
+
+def _hash64(data: bytes) -> int:
+    """The ring position of ``data``: the top 8 bytes of sha256."""
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing of placement keys onto a fixed worker set."""
+
+    def __init__(self, workers: int, *, replicas: int = DEFAULT_REPLICAS) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for worker in range(workers):
+            for replica in range(replicas):
+                points.append((_hash64(b"w%d:%d" % (worker, replica)), worker))
+        points.sort()
+        self._ring = [position for position, _ in points]
+        self._owner = [worker for _, worker in points]
+
+    def worker_for(self, key: str) -> int:
+        """The worker owning ``key``: first ring point at/after its hash."""
+        index = bisect.bisect(self._ring, _hash64(key.encode()))
+        return self._owner[index % len(self._owner)]
+
+    def spread(self, keys: Sequence[str]) -> list[int]:
+        """Per-worker key counts (balance diagnostics and tests)."""
+        counts = [0] * self.workers
+        for key in keys:
+            counts[self.worker_for(key)] += 1
+        return counts
+
+
+class KeyAffinity:
+    """A bounded ``build key -> worker`` map learned from responses.
+
+    The front end records which worker answered each ``/build`` (the
+    response carries the cache key) so later ``{"key": ...}`` routing
+    requests go back to the worker whose in-memory caches are warm.
+    LRU-bounded; eviction only costs a disk-cache warm-up on a
+    different worker, never a wrong answer.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._map: dict[str, int] = {}
+
+    def record(self, key: str, worker: int) -> None:
+        with self._lock:
+            self._map.pop(key, None)
+            self._map[key] = worker
+            while len(self._map) > self.max_entries:
+                self._map.pop(next(iter(self._map)))
+
+    def lookup(self, key: str) -> Optional[int]:
+        with self._lock:
+            worker = self._map.get(key)
+            if worker is not None:
+                self._map.pop(key)
+                self._map[key] = worker  # refresh LRU position
+            return worker
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._map)
+
+
+def session_worker(session_id: str) -> Optional[int]:
+    """The worker that minted ``session_id`` (``w{k}-s{n}``), if any."""
+    match = _SESSION_ID_RE.match(session_id)
+    return int(match.group(1)) if match else None
+
+
+def placement_key(
+    method: str, parts: Sequence[str], payload: Any
+) -> Optional[str]:
+    """The string a request's placement should hash, or ``None``.
+
+    ``None`` means the request has no data affinity (``/healthz``,
+    ``/pipelines``, ``/validate``...) and may go to any worker.
+    Session paths are handled separately via :func:`session_worker`
+    (exact pin, not a hash).
+    """
+    if not parts:
+        return None
+    head = parts[0]
+    if head in ("build", "build_stream", "route", "route_batch", "session"):
+        if isinstance(payload, Mapping):
+            key = payload.get("key")
+            if isinstance(key, str):
+                return f"key:{key}"
+            scenario = payload.get("scenario")
+            if scenario is not None:
+                return f"scenario:{scenario_fingerprint(scenario)}"
+        return None
+    if head == "batch":
+        # A batch fans out internally; place whole batches by their
+        # request list so identical batches reuse one worker's caches.
+        return None
+    return None
+
+
+def scenario_fingerprint(scenario: Any) -> str:
+    """A stable placement fingerprint for any scenario spec form.
+
+    Canonical JSON of the spec itself — cheap (no point generation on
+    the front end) and stable: the same corpus reference, generator
+    spec, named deployment, or explicit point list always hashes the
+    same, which is all placement needs.  Two *different* spellings of
+    the same point set may hash apart; that splits a tenant across two
+    warm caches, never returns a wrong result.
+    """
+    try:
+        canonical = json.dumps(scenario, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError):
+        canonical = repr(scenario)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]

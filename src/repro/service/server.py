@@ -14,11 +14,17 @@ Endpoints:
 * ``POST /route``  — greedy/GPSR routing on a cached backbone build;
 * ``POST /route_batch`` — many (source, target) queries at once through
   the vectorized route engine, chunked, with optional failure replay;
+* ``POST /build_stream`` — the same build as an SSE stream: per-tile
+  progress events as shards land, then the full result;
 * ``POST /session`` — open a live incremental maintenance session;
 * ``POST /session/{id}/step`` — apply one event batch, stream the
   topology delta (edges added/removed) back;
+* ``POST /session/{id}/stream`` — many event batches in, one SSE
+  ``delta`` event out per batch as it is computed;
 * ``GET /session/{id}`` — session summary and cumulative counters;
 * ``DELETE /session/{id}`` — close a session;
+* ``POST/GET/DELETE /deployments[/{name}]`` — the persistent named
+  deployment store (requires ``--data-dir``);
 * ``GET /pipelines`` — the registry listing with parameter schemas;
 * ``GET /invariants`` — the declarative invariant catalog, the corpus
   recipes it runs against, and the last in-process validation summary;
@@ -28,12 +34,13 @@ Endpoints:
   and the ``incremental.*`` maintenance totals;
 * ``GET /healthz`` — liveness.
 
-Run it with ``python -m repro serve``.
+Run it with ``python -m repro serve`` (``--async`` selects the
+asyncio tier of :mod:`repro.service.aserver` over the same API).
 """
 
 from __future__ import annotations
 
-import json
+import os
 import random
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -50,7 +57,14 @@ from repro.incremental.events import parse_events
 from repro.incremental.session import IncrementalSession
 from repro.routing.backbone_routing import backbone_route
 from repro.service.cache import ResultCache, scenario_key
-from repro.service.executor import MODES, run_batch
+from repro.service.dispatch import (
+    MAX_BODY,
+    EventStream,
+    JsonResponse,
+    dispatch,
+    error_response,
+)
+from repro.service.executor import MODES, global_tracker, run_batch
 from repro.service.metrics import MetricsRegistry
 from repro.service.registry import (
     BuildProduct,
@@ -60,6 +74,7 @@ from repro.service.registry import (
     get_pipeline,
     resolve_scenario,
 )
+from repro.service.store import DeploymentStore, StoreError
 
 #: Route traversal modes accepted by ``POST /route``.
 ROUTE_MODES = ("gpsr", "greedy")
@@ -101,14 +116,32 @@ class SpannerService:
         executor_mode: str = "process",
         max_workers: Optional[int] = None,
         task_timeout: Optional[float] = 120.0,
+        data_dir: Optional[str] = None,
+        worker_id: Optional[int] = None,
     ) -> None:
         if executor_mode not in MODES:
             raise ValueError(f"unknown executor mode {executor_mode!r}")
+        #: Persistent state root (``--data-dir``).  When set, the
+        #: deployment store lives under it and — unless the caller
+        #: chose an explicit ``cache_dir`` — so does the build cache's
+        #: disk layer, which is what lets every shared-nothing worker
+        #: of the async tier warm key-based lookups any peer built.
+        self.data_dir = data_dir
+        self.store: Optional[DeploymentStore] = None
+        if data_dir is not None:
+            self.store = DeploymentStore(data_dir)
+            if cache_dir is None:
+                cache_dir = os.path.join(data_dir, "cache")
         self.cache = ResultCache(max_entries=cache_size, disk_dir=cache_dir)
         self.metrics = MetricsRegistry()
         self.executor_mode = executor_mode
         self.max_workers = max_workers
         self.task_timeout = task_timeout
+        #: Pool-worker identity (``None`` for a standalone service).
+        #: Namespaces session ids (``w3-s1``) so ids minted by
+        #: different shared-nothing workers can never collide, and the
+        #: async front end can pin session traffic to the owner.
+        self.worker_id = worker_id
         #: Live incremental maintenance sessions by id.
         self._sessions: dict[str, IncrementalSession] = {}
         self._sessions_lock = threading.Lock()
@@ -116,11 +149,36 @@ class SpannerService:
         self._routers: dict[str, BackboneRouter] = {}
         self._routers_lock = threading.Lock()
         self._session_seq = 0
+        self._closed = False
         #: Summary of the most recent ``POST /validate`` run, shown by
         #: ``GET /invariants`` (None until a validation has run).
         self._last_validation: Optional[dict] = None
 
     # -- building --------------------------------------------------------
+
+    def _resolve(self, scenario: Any):
+        """Resolve a scenario spec, including ``{"deployment": name}``.
+
+        The store form references a named persisted deployment so
+        clients stop re-shipping point sets; every other form defers
+        to :func:`~repro.service.registry.resolve_scenario`.
+        """
+        if isinstance(scenario, Mapping) and "deployment" in scenario:
+            name = scenario["deployment"]
+            if not isinstance(name, str):
+                raise ServiceError(400, "'deployment' must be a string name")
+            if self.store is None:
+                raise ServiceError(
+                    400, "no deployment store configured; start with --data-dir"
+                )
+            try:
+                return self.store.get(name)
+            except StoreError as exc:
+                raise ServiceError(404, str(exc.args[0])) from None
+        try:
+            return resolve_scenario(scenario)
+        except RegistryError as exc:
+            raise ServiceError(400, str(exc)) from None
 
     def _prepare(self, payload: Mapping[str, Any]) -> tuple[str, dict, dict, str]:
         """Validate one build request -> (pipeline, scenario, params, key).
@@ -141,9 +199,9 @@ class SpannerService:
         try:
             spec = get_pipeline(name)
             params = spec.canonicalize(payload.get("params"))
-            deployment = resolve_scenario(scenario)
         except RegistryError as exc:
             raise ServiceError(400, str(exc)) from None
+        deployment = self._resolve(scenario)
         key = scenario_key(deployment.points, deployment.radius, name, params)
         resolved = {
             "points": [[p.x, p.y] for p in deployment.points],
@@ -669,10 +727,7 @@ class SpannerService:
         tile_cells = payload.get("tile_cells", 2)
         if isinstance(tile_cells, bool) or not isinstance(tile_cells, int) or tile_cells < 1:
             raise ServiceError(400, "'tile_cells' must be a positive integer")
-        try:
-            deployment = resolve_scenario(scenario)
-        except RegistryError as exc:
-            raise ServiceError(400, str(exc)) from None
+        deployment = self._resolve(scenario)
         self.metrics.inc("incremental.sessions")
         with self.metrics.timer("incremental.open"):
             maintainer = IncrementalMaintainer(
@@ -681,7 +736,8 @@ class SpannerService:
         session = IncrementalSession(maintainer)
         with self._sessions_lock:
             self._session_seq += 1
-            session_id = f"s{self._session_seq}"
+            prefix = f"w{self.worker_id}-" if self.worker_id is not None else ""
+            session_id = f"{prefix}s{self._session_seq}"
             self._sessions[session_id] = session
         snap = maintainer.snapshot()
         return {
@@ -791,6 +847,90 @@ class SpannerService:
         for name, seconds in report.phase_seconds.items():
             self.metrics.observe(f"incremental.phase.{name}", float(seconds))
 
+    # -- named deployments -----------------------------------------------
+
+    def _require_store(self) -> DeploymentStore:
+        if self.store is None:
+            raise ServiceError(
+                400, "no deployment store configured; start with --data-dir"
+            )
+        return self.store
+
+    def deployments_create(self, payload: Mapping[str, Any]) -> dict:
+        """``POST /deployments`` — persist a named deployment.
+
+        ``{"name": ..., "scenario": <any scenario form>}`` resolves the
+        scenario exactly like a build request would, then stores the
+        resolved deployment durably; ``overwrite=false`` makes the
+        request fail with 409 instead of republishing an existing name.
+        """
+        store = self._require_store()
+        if not isinstance(payload, Mapping):
+            raise ServiceError(400, "request body must be a JSON object")
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise ServiceError(400, "missing required field 'name'")
+        scenario = payload.get("scenario")
+        if scenario is None:
+            raise ServiceError(400, "missing required field 'scenario'")
+        overwrite = payload.get("overwrite", True)
+        if not isinstance(overwrite, bool):
+            raise ServiceError(400, "'overwrite' must be a boolean")
+        deployment = self._resolve(scenario)
+        self.metrics.inc("store.puts")
+        try:
+            return store.put(name, deployment, overwrite=overwrite)
+        except ValueError as exc:
+            raise ServiceError(400, str(exc)) from None
+        except StoreError as exc:
+            raise ServiceError(409, str(exc.args[0])) from None
+
+    def deployments_list(self) -> dict:
+        """``GET /deployments`` — every stored name, sorted."""
+        return {"deployments": self._require_store().listing()}
+
+    def deployments_get(self, name: str) -> dict:
+        """``GET /deployments/{name}`` — one manifest entry."""
+        try:
+            return self._require_store().entry(name)
+        except StoreError as exc:
+            raise ServiceError(404, str(exc.args[0])) from None
+
+    def deployments_delete(self, name: str) -> dict:
+        """``DELETE /deployments/{name}`` — unpublish a name."""
+        try:
+            entry = self._require_store().delete(name)
+        except StoreError as exc:
+            raise ServiceError(404, str(exc.args[0])) from None
+        self.metrics.inc("store.deletes")
+        return {**entry, "deleted": True}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self, *, drain_timeout: float = 10.0) -> dict:
+        """Graceful shutdown: drain executors, persist, drop live state.
+
+        Joins every tracked worker pool still holding abandoned work
+        (bounded by ``drain_timeout``), re-persists the deployment
+        store manifest, and closes live sessions/routers.  Idempotent;
+        the server transports call it once the listener has stopped
+        accepting and in-flight requests have finished.
+        """
+        if self._closed:
+            return {"closed": True, "already": True}
+        self._closed = True
+        drained = global_tracker().drain(timeout=drain_timeout)
+        if not drained:
+            self.metrics.inc("server.drain_timeouts")
+        if self.store is not None:
+            self.store.flush()
+        with self._sessions_lock:
+            sessions = len(self._sessions)
+            self._sessions.clear()
+        with self._routers_lock:
+            self._routers.clear()
+        return {"closed": True, "drained": drained, "sessions_closed": sessions}
+
     # -- validation ------------------------------------------------------
 
     def invariants_summary(self) -> dict:
@@ -865,6 +1005,13 @@ class SpannerService:
             "disk_dir": str(self.cache.disk_dir) if self.cache.disk_dir else None,
             **self.cache.stats.as_dict(),
         }
+        if self.store is not None:
+            snapshot["store"] = {
+                "deployments": len(self.store),
+                "data_dir": str(self.store.data_dir),
+            }
+        if self.worker_id is not None:
+            snapshot["worker_id"] = self.worker_id
         return snapshot
 
     def healthz(self) -> dict:
@@ -881,103 +1028,72 @@ def _batch_worker(task: tuple[str, dict, dict]) -> BuildProduct:
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
-    """JSON shim: one route table entry per service method."""
+    """HTTP shim over :func:`repro.service.dispatch.dispatch`.
+
+    Endpoint semantics live entirely in the dispatch module (shared
+    with the async tier); this class only moves bytes: read the body,
+    dispatch, write either the JSON response verbatim or the SSE
+    frames as they are produced.
+    """
 
     service: SpannerService  # set by make_server()
     protocol_version = "HTTP/1.1"
-    #: Request bodies above this are rejected (64 MiB: a 500k-point
-    #: explicit scenario still fits).
-    max_body = 64 * 1024 * 1024
+    #: Request bodies above this are rejected before being read.
+    max_body = MAX_BODY
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # request logging goes through metrics, not stderr
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        parts = path.strip("/").split("/")
-        if path == "/healthz":
-            self._respond(200, self.service.healthz())
-        elif path == "/metrics":
-            self._respond(200, self.service.metrics_snapshot())
-        elif path == "/pipelines":
-            self._respond(200, self.service.pipelines())
-        elif path == "/invariants":
-            self._respond(200, self.service.invariants_summary())
-        elif len(parts) == 2 and parts[0] == "session":
-            self._dispatch(lambda: self.service.session_get(parts[1]))
-        else:
-            self._respond(404, {"error": f"unknown path {path!r}"})
+        self._handle("GET")
 
     def do_POST(self) -> None:  # noqa: N802
-        path = self.path.split("?", 1)[0].rstrip("/")
-        handlers = {
-            "/build": self.service.build,
-            "/batch": self.service.batch,
-            "/route": self.service.route,
-            "/route_batch": self.service.route_batch,
-            "/session": self.service.session_create,
-            "/validate": self.service.validate,
-        }
-        handler = handlers.get(path)
-        if handler is not None:
-            if path == "/validate":
-                # Filters are all optional, so an empty body is fine.
-                self._dispatch(lambda: handler(self._read_json_optional()))
-            else:
-                self._dispatch(lambda: handler(self._read_json()))
-            return
-        parts = path.strip("/").split("/")
-        if len(parts) == 3 and parts[0] == "session" and parts[2] == "step":
-            self._dispatch(
-                lambda: self.service.session_step(parts[1], self._read_json())
-            )
-            return
-        self._respond(404, {"error": f"unknown path {path!r}"})
+        self._handle("POST")
 
     def do_DELETE(self) -> None:  # noqa: N802
-        path = self.path.split("?", 1)[0].rstrip("/")
-        parts = path.strip("/").split("/")
-        if len(parts) == 2 and parts[0] == "session":
-            self._dispatch(lambda: self.service.session_delete(parts[1]))
-        else:
-            self._respond(404, {"error": f"unknown path {path!r}"})
+        self._handle("DELETE")
 
-    def _dispatch(self, call) -> None:
-        """Run one service call, mapping failures to JSON responses."""
-        try:
-            self._respond(200, call())
-        except ServiceError as exc:
-            self._respond(exc.status, {"error": exc.message})
-        except Exception as exc:  # a bug, not a bad request
-            self.service.metrics.inc("server.errors")
-            self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
-
-    def _read_json_optional(self) -> Any:
-        """Like :meth:`_read_json` but an absent body means ``{}``."""
+    def _handle(self, method: str) -> None:
         length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0:
-            return {}
-        return self._read_json()
-
-    def _read_json(self) -> Any:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0:
-            raise ServiceError(400, "request body required")
         if length > self.max_body:
-            raise ServiceError(413, "request body too large")
-        raw = self.rfile.read(length)
-        try:
-            return json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise ServiceError(400, f"invalid JSON body: {exc}") from None
+            # Refuse without reading; same bytes dispatch would emit.
+            self._respond(error_response(413, "request body too large"))
+            return
+        raw = self.rfile.read(length) if length > 0 else None
+        result = dispatch(self.service, method, self.path, raw)
+        if isinstance(result, EventStream):
+            self._respond_stream(result)
+        else:
+            self._respond(result)
 
-    def _respond(self, status: int, payload: Any) -> None:
-        body = json.dumps(payload).encode()
-        self.send_response(status)
+    def _respond(self, response: JsonResponse) -> None:
+        body = response.encode()
+        self.send_response(response.status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _respond_stream(self, stream: EventStream) -> None:
+        """Write SSE frames as they land; the connection closes after.
+
+        No ``Content-Length`` and no chunked framing — ``Connection:
+        close`` delimits the stream, which keeps the frame bytes
+        identical across transports.
+        """
+        self.send_response(stream.status)
+        self.send_header("Content-Type", stream.content_type)
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            for frame in stream.events:
+                self.wfile.write(frame)
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            self.service.metrics.inc("streaming.client_disconnects")
 
 
 def make_server(
@@ -1009,7 +1125,11 @@ def serve(
     except KeyboardInterrupt:
         print("shutting down")
     finally:
+        # Stop accepting, then drain: close() joins tracked executor
+        # pools and persists the deployment store manifest, so a ^C
+        # no longer leaves worker threads running or state unsaved.
         httpd.server_close()
+        svc.close()
     return 0
 
 
@@ -1035,3 +1155,4 @@ class BackgroundServer:
         self.httpd.shutdown()
         self.httpd.server_close()
         self._thread.join(timeout=5)
+        self.service.close()

@@ -16,13 +16,21 @@ the serving contract end to end:
 
 Exit status 0 on success, 1 with a one-line diagnosis on the first
 failed check — CI runs this as a blocking job.
+
+``--url http://host:port`` runs the same checks against an already
+running server instead of booting one — how CI smokes the async tier
+(``python -m repro serve --async`` + ``python -m repro.service.smoke
+--url ...``); ``--wait`` bounds how long to wait for it to come up.
 """
 
 from __future__ import annotations
 
+import argparse
+import contextlib
 import sys
+import time
 
-from repro.service.client import ServiceClient
+from repro.service.client import ClientError, ServiceClient
 from repro.service.server import BackgroundServer
 
 #: Deterministic scenario small enough for CI but big enough to tile.
@@ -35,10 +43,30 @@ def _check(name: str, ok: bool, detail: str = "") -> None:
     print(f"ok  {name}" + (f" ({detail})" if detail else ""))
 
 
-def run_smoke() -> int:
-    """Run every check against a fresh in-process server; 0 on success."""
-    with BackgroundServer() as server:
-        client = ServiceClient(server.url, timeout=120.0)
+def wait_ready(url: str, timeout: float = 30.0) -> None:
+    """Poll ``/healthz`` until the server answers or the wait expires."""
+    probe = ServiceClient(url, timeout=5.0, retries=0)
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            if probe.healthz().get("status") == "ok":
+                return
+        except (ClientError, OSError):
+            pass
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"server at {url} not ready after {timeout}s")
+        time.sleep(0.25)
+
+
+def run_smoke(url: "str | None" = None, wait: float = 30.0) -> int:
+    """Run every check; against ``url`` if given, else an in-process
+    server.  Returns 0 on success."""
+    with contextlib.ExitStack() as stack:
+        if url is None:
+            url = stack.enter_context(BackgroundServer()).url
+        else:
+            wait_ready(url, timeout=wait)
+        client = ServiceClient(url, timeout=120.0)
 
         health = client.healthz()
         _check("healthz", health.get("status") == "ok", str(health))
@@ -65,6 +93,11 @@ def run_smoke() -> int:
         _check("route on cached backbone", routed.get("delivered") is True,
                f"hops={routed.get('hops')}")
 
+        events = [name for name, _ in client.build("ldel", SCENARIO, stream=True)]
+        _check("build_stream events",
+               events[0] == "start" and events[-1] == "end" and "result" in events,
+               "->".join(events[:3]))
+
         metrics = client.metrics()
         counters = metrics.get("counters", {})
         _check("metrics: build counters", counters.get("build.requests", 0) >= 4)
@@ -75,9 +108,19 @@ def run_smoke() -> int:
     return 0
 
 
-def main() -> int:
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url", default=None,
+        help="run against this server instead of booting one in-process",
+    )
+    parser.add_argument(
+        "--wait", type=float, default=30.0,
+        help="seconds to wait for --url to become healthy",
+    )
+    args = parser.parse_args(argv)
     try:
-        return run_smoke()
+        return run_smoke(url=args.url, wait=args.wait)
     except AssertionError as exc:
         print(f"service smoke FAILED — {exc}", file=sys.stderr)
         return 1

@@ -1,0 +1,225 @@
+"""Persistent multi-tenant deployment store.
+
+Named deployments survive server restarts: a deployment posted under a
+name is written as a content-addressed JSON document (the same
+``deployment_to_dict`` format the CLI saves), and a single fsync'd
+manifest maps names to document fingerprints.  Build requests can then
+reference ``{"scenario": {"deployment": "<name>"}}`` instead of
+re-shipping point sets.
+
+Durability discipline:
+
+* documents are content-addressed by
+  :func:`~repro.workloads.io.deployment_fingerprint` — writing the
+  same deployment twice is idempotent, and renaming a deployment never
+  copies points;
+* every write lands in a temp file, is flushed + ``fsync``'d, and is
+  atomically renamed into place; the directory entry is fsync'd too,
+  so a crash leaves either the old or the new manifest, never a torn
+  one;
+* readers reload the manifest when its ``(mtime_ns, size)`` stamp
+  changes, so the async tier's shared-nothing workers (separate
+  processes, one designated writer) observe writes without locks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.workloads.generators import Deployment
+from repro.workloads.io import (
+    deployment_fingerprint,
+    deployment_from_dict,
+    deployment_to_dict,
+)
+
+PathLike = Union[str, Path]
+
+#: Bump when the manifest layout changes; old manifests are ignored.
+MANIFEST_VERSION = 1
+
+
+class StoreError(KeyError):
+    """Unknown deployment name, or a conflicting overwrite."""
+
+
+#: Distinguishes concurrent temp files within one process (thread-mode
+#: pool workers share a pid).
+_TMP_SEQ = itertools.count()
+
+
+def _fsync_write(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` durably: temp file, fsync, rename.
+
+    The temp name is unique per writer (pid + in-process sequence) so
+    concurrent writers — pool workers flushing at shutdown, whether
+    processes or threads — never race on one temp file; last rename
+    wins, and every rename is atomic.
+    """
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_TMP_SEQ)}.tmp"
+    )
+    with tmp.open("wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    # Persist the directory entry as well; without this the rename
+    # itself can be lost on power failure.
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+class DeploymentStore:
+    """Name -> deployment mapping persisted under one data directory."""
+
+    def __init__(self, data_dir: PathLike) -> None:
+        self.data_dir = Path(data_dir)
+        self.documents_dir = self.data_dir / "deployments"
+        self.manifest_path = self.data_dir / "manifest.json"
+        self.documents_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._names: dict[str, dict] = {}
+        self._stamp: Optional[tuple[int, int]] = None
+        self._reload_locked()
+
+    # -- manifest I/O ----------------------------------------------------
+
+    def _manifest_stamp(self) -> Optional[tuple[int, int]]:
+        try:
+            stat = self.manifest_path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _reload_locked(self) -> None:
+        stamp = self._manifest_stamp()
+        if stamp is None:
+            self._names = {}
+            self._stamp = None
+            return
+        try:
+            doc = json.loads(self.manifest_path.read_bytes())
+        except (OSError, json.JSONDecodeError):
+            return  # torn read mid-replace: keep the previous view
+        if doc.get("version") == MANIFEST_VERSION:
+            self._names = dict(doc.get("deployments", {}))
+        self._stamp = stamp
+
+    def _refresh_locked(self) -> None:
+        if self._manifest_stamp() != self._stamp:
+            self._reload_locked()
+
+    def _write_manifest_locked(self) -> None:
+        doc = {
+            "version": MANIFEST_VERSION,
+            "deployments": {name: self._names[name] for name in sorted(self._names)},
+        }
+        _fsync_write(
+            self.manifest_path, json.dumps(doc, indent=1).encode()
+        )
+        self._stamp = self._manifest_stamp()
+
+    # -- API -------------------------------------------------------------
+
+    def put(
+        self, name: str, deployment: Deployment, *, overwrite: bool = True
+    ) -> dict:
+        """Persist ``deployment`` under ``name``; returns its entry.
+
+        The document write is idempotent (content-addressed); the
+        manifest update is what publishes the name.
+        """
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid deployment name {name!r}")
+        fingerprint = deployment_fingerprint(deployment)
+        document = self.documents_dir / f"{fingerprint}.json"
+        if not document.exists():
+            _fsync_write(
+                document,
+                json.dumps(deployment_to_dict(deployment), indent=1).encode(),
+            )
+        with self._lock:
+            self._refresh_locked()
+            existing = self._names.get(name)
+            if existing is not None and not overwrite:
+                raise StoreError(f"deployment {name!r} already exists")
+            entry = {
+                "fingerprint": fingerprint,
+                "nodes": len(deployment.points),
+                "radius": deployment.radius,
+                "stored_at": round(time.time(), 3),
+            }
+            if existing is not None and existing["fingerprint"] == fingerprint:
+                entry["stored_at"] = existing["stored_at"]
+            self._names[name] = entry
+            self._write_manifest_locked()
+            return {"name": name, **entry}
+
+    def entry(self, name: str) -> dict:
+        """The manifest entry for ``name`` (raises :class:`StoreError`)."""
+        with self._lock:
+            self._refresh_locked()
+            entry = self._names.get(name)
+        if entry is None:
+            raise StoreError(f"no deployment named {name!r}")
+        return {"name": name, **entry}
+
+    def get(self, name: str) -> Deployment:
+        """Load the deployment stored under ``name``."""
+        entry = self.entry(name)
+        document = self.documents_dir / f"{entry['fingerprint']}.json"
+        try:
+            data = json.loads(document.read_bytes())
+        except OSError:
+            raise StoreError(
+                f"deployment {name!r} document is missing from the store"
+            ) from None
+        return deployment_from_dict(data)
+
+    def delete(self, name: str) -> dict:
+        """Unpublish ``name`` (the document stays, content-addressed)."""
+        with self._lock:
+            self._refresh_locked()
+            entry = self._names.pop(name, None)
+            if entry is None:
+                raise StoreError(f"no deployment named {name!r}")
+            self._write_manifest_locked()
+        return {"name": name, **entry}
+
+    def listing(self) -> list[dict]:
+        """Every entry, sorted by name."""
+        with self._lock:
+            self._refresh_locked()
+            return [
+                {"name": name, **self._names[name]}
+                for name in sorted(self._names)
+            ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._refresh_locked()
+            return len(self._names)
+
+    def __contains__(self, name: Any) -> bool:
+        with self._lock:
+            self._refresh_locked()
+            return name in self._names
+
+    def flush(self) -> None:
+        """Re-persist the manifest (the graceful-shutdown hook)."""
+        with self._lock:
+            self._refresh_locked()
+            self._write_manifest_locked()

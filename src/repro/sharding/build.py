@@ -52,10 +52,12 @@ same way the serial pipeline does.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.geometry.circle import circumcircle
 from repro.geometry.primitives import Point
@@ -379,6 +381,24 @@ def _contest_worker(payload: tuple) -> dict:
 
 # -- coordinator --------------------------------------------------------------
 
+#: Per-context hook observing tile results as the coordinator collects
+#: them: ``callback(phase, info)`` with ``info`` the same summary dict
+#: the streaming tier frames as a ``tile`` SSE event.  A contextvar so
+#: concurrent builds in one process never see each other's tiles.
+_TILE_OBSERVER: contextvars.ContextVar[
+    Optional[Callable[[str, dict], None]]
+] = contextvars.ContextVar("tile_observer", default=None)
+
+
+@contextlib.contextmanager
+def tile_observer(callback: Callable[[str, dict], None]):
+    """Report every finished tile of builds run inside the block."""
+    token = _TILE_OBSERVER.set(callback)
+    try:
+        yield
+    finally:
+        _TILE_OBSERVER.reset(token)
+
 
 def _run_tiles(
     payloads: Sequence[tuple],
@@ -392,10 +412,29 @@ def _run_tiles(
     """Fan tile payloads over the batch executor; serial when tiny."""
     from repro.service.executor import default_workers, run_batch
 
+    observer = _TILE_OBSERVER.get()
+    on_outcome = None
+    if observer is not None:
+        from repro.service.streaming import _tile_event_info
+
+        total = len(payloads)
+
+        def on_outcome(outcome):  # noqa: F811 - deliberate rebind
+            if outcome.ok:
+                observer(
+                    phase,
+                    _tile_event_info(
+                        outcome.index, total, outcome.value, outcome.duration_s
+                    ),
+                )
+
     workers = max_workers or default_workers()
     mode = executor_mode if (workers > 1 and len(payloads) > 1) else "serial"
     t0 = time.perf_counter()
-    batch = run_batch(list(payloads), worker, mode=mode, max_workers=workers)
+    batch = run_batch(
+        list(payloads), worker,
+        mode=mode, max_workers=workers, on_outcome=on_outcome,
+    )
     stats.phase_seconds[phase] = time.perf_counter() - t0
     stats.mode = batch.mode
     stats.workers = batch.workers

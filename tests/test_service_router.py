@@ -1,0 +1,93 @@
+"""Consistent-hash placement: ring balance, affinity, session pinning."""
+
+import pytest
+
+from repro.service.router import (
+    HashRing,
+    KeyAffinity,
+    placement_key,
+    scenario_fingerprint,
+    session_worker,
+)
+
+
+class TestHashRing:
+    def test_stable_mapping(self):
+        a, b = HashRing(4), HashRing(4)
+        for i in range(200):
+            key = f"deployment:{i}"
+            assert a.worker_for(key) == b.worker_for(key)
+
+    def test_balance_within_tolerance(self):
+        ring = HashRing(4)
+        counts = ring.spread([f"k{i}" for i in range(4000)])
+        assert sum(counts) == 4000
+        for count in counts:
+            assert 0.5 * 1000 < count < 1.6 * 1000  # virtual nodes smooth it
+
+    def test_minimal_remap_on_grow(self):
+        """Consistent hashing's defining property: growing the pool
+        moves only ~1/(n+1) of the keys."""
+        small, large = HashRing(4), HashRing(5)
+        keys = [f"k{i}" for i in range(2000)]
+        moved = sum(
+            1 for k in keys if small.worker_for(k) != large.worker_for(k)
+        )
+        assert moved < 0.45 * len(keys)  # ~0.2 expected; modulo would be ~0.8
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+
+
+class TestKeyAffinity:
+    def test_record_lookup(self):
+        affinity = KeyAffinity()
+        affinity.record("abc", 3)
+        assert affinity.lookup("abc") == 3
+        assert affinity.lookup("unknown") is None
+
+    def test_lru_bound(self):
+        affinity = KeyAffinity(max_entries=4)
+        for i in range(8):
+            affinity.record(f"k{i}", i)
+        assert len(affinity) == 4
+        assert affinity.lookup("k0") is None
+        assert affinity.lookup("k7") == 7
+
+    def test_lookup_refreshes(self):
+        affinity = KeyAffinity(max_entries=2)
+        affinity.record("a", 0)
+        affinity.record("b", 1)
+        affinity.lookup("a")  # refresh: "b" is now the LRU entry
+        affinity.record("c", 2)
+        assert affinity.lookup("a") == 0
+        assert affinity.lookup("b") is None
+
+
+class TestSessionPinning:
+    @pytest.mark.parametrize(
+        "session_id,expected",
+        [("w0-s1", 0), ("w3-s17", 3), ("s1", None), ("w-s1", None), ("", None)],
+    )
+    def test_parse(self, session_id, expected):
+        assert session_worker(session_id) == expected
+
+
+class TestPlacementKey:
+    def test_key_requests_pin_to_build_key(self):
+        key = placement_key("POST", ["route"], {"key": "deadbeef"})
+        assert key == "key:deadbeef"
+
+    def test_scenario_requests_hash_scenario(self):
+        scenario = {"nodes": 10, "seed": 1}
+        key = placement_key("POST", ["build"], {"scenario": scenario})
+        assert key == f"scenario:{scenario_fingerprint(scenario)}"
+        # Same spec, different insertion order: same placement.
+        reordered = {"seed": 1, "nodes": 10}
+        assert placement_key("POST", ["build"], {"scenario": reordered}) == key
+
+    def test_no_affinity_paths(self):
+        assert placement_key("GET", ["healthz"], None) is None
+        assert placement_key("GET", ["pipelines"], None) is None
+        assert placement_key("POST", ["validate"], {}) is None

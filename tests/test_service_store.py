@@ -1,0 +1,113 @@
+"""Persistent deployment store: durability, round-trips, restarts."""
+
+import json
+
+import pytest
+
+from repro.service.registry import resolve_scenario
+from repro.service.store import DeploymentStore, StoreError
+from repro.workloads.io import deployment_fingerprint
+
+SCENARIO = {"nodes": 25, "side": 90.0, "radius": 35.0, "seed": 11}
+OTHER = {"nodes": 18, "side": 80.0, "radius": 40.0, "seed": 12}
+
+
+@pytest.fixture()
+def deployment():
+    return resolve_scenario(SCENARIO)
+
+
+class TestRoundTrip:
+    def test_put_get_preserves_points(self, tmp_path, deployment):
+        store = DeploymentStore(tmp_path)
+        entry = store.put("alpha", deployment)
+        assert entry["name"] == "alpha"
+        assert entry["nodes"] == len(deployment.points)
+        loaded = store.get("alpha")
+        assert [(p.x, p.y) for p in loaded.points] == [
+            (p.x, p.y) for p in deployment.points
+        ]
+        assert loaded.radius == deployment.radius
+
+    def test_restart_sees_entries(self, tmp_path, deployment):
+        DeploymentStore(tmp_path).put("alpha", deployment)
+        reopened = DeploymentStore(tmp_path)
+        assert "alpha" in reopened
+        assert reopened.entry("alpha")["fingerprint"] == deployment_fingerprint(
+            deployment
+        )
+        loaded = reopened.get("alpha")
+        assert len(loaded.points) == len(deployment.points)
+
+    def test_two_names_one_document(self, tmp_path, deployment):
+        store = DeploymentStore(tmp_path)
+        store.put("alpha", deployment)
+        store.put("beta", deployment)
+        documents = list(store.documents_dir.glob("*.json"))
+        assert len(documents) == 1  # content-addressed: no copy
+        assert len(store) == 2
+
+    def test_idempotent_put_keeps_stored_at(self, tmp_path, deployment):
+        store = DeploymentStore(tmp_path)
+        first = store.put("alpha", deployment)
+        second = store.put("alpha", deployment)
+        assert second["stored_at"] == first["stored_at"]
+
+    def test_delete_unpublishes(self, tmp_path, deployment):
+        store = DeploymentStore(tmp_path)
+        store.put("alpha", deployment)
+        removed = store.delete("alpha")
+        assert removed["name"] == "alpha"
+        assert "alpha" not in store
+        with pytest.raises(StoreError):
+            store.entry("alpha")
+
+    def test_listing_sorted(self, tmp_path, deployment):
+        store = DeploymentStore(tmp_path)
+        other = resolve_scenario(OTHER)
+        store.put("zeta", deployment)
+        store.put("alpha", other)
+        names = [entry["name"] for entry in store.listing()]
+        assert names == ["alpha", "zeta"]
+
+
+class TestValidationAndConflicts:
+    @pytest.mark.parametrize("name", ["", "a/b", ".hidden"])
+    def test_bad_names_rejected(self, tmp_path, deployment, name):
+        with pytest.raises(ValueError):
+            DeploymentStore(tmp_path).put(name, deployment)
+
+    def test_overwrite_false_conflicts(self, tmp_path, deployment):
+        store = DeploymentStore(tmp_path)
+        store.put("alpha", deployment)
+        with pytest.raises(StoreError):
+            store.put("alpha", resolve_scenario(OTHER), overwrite=False)
+
+    def test_missing_name_raises(self, tmp_path):
+        with pytest.raises(StoreError):
+            DeploymentStore(tmp_path).get("ghost")
+
+
+class TestConcurrentView:
+    def test_reader_observes_writer(self, tmp_path, deployment):
+        """Two handles over one directory: reads see the other's writes."""
+        writer = DeploymentStore(tmp_path)
+        reader = DeploymentStore(tmp_path)
+        assert len(reader) == 0
+        writer.put("alpha", deployment)
+        assert "alpha" in reader  # (mtime, size) stamp triggers reload
+        writer.delete("alpha")
+        assert "alpha" not in reader
+
+    def test_torn_manifest_keeps_previous_view(self, tmp_path, deployment):
+        store = DeploymentStore(tmp_path)
+        store.put("alpha", deployment)
+        store.manifest_path.write_text("{not json")
+        assert "alpha" in store  # reload failure keeps the last good view
+
+    def test_manifest_is_valid_json_with_version(self, tmp_path, deployment):
+        store = DeploymentStore(tmp_path)
+        store.put("alpha", deployment)
+        doc = json.loads(store.manifest_path.read_text())
+        assert doc["version"] == 1
+        assert "alpha" in doc["deployments"]
