@@ -9,7 +9,8 @@ itself does no construction work — its jobs are:
 
 * **placement** — deployment fingerprints hash to workers; build keys
   pin to the worker that built them; ``w{k}-s{n}`` session ids pin to
-  their minting worker;
+  their minting worker; ``/deployments`` traffic pins to worker 0,
+  making it the deployment store's single writer;
 * **admission control** — per-worker bounded in-flight windows; a full
   window answers ``429`` with ``Retry-After`` instead of queueing
   unboundedly, and slow clients that cannot drain within
@@ -139,6 +140,14 @@ class AsyncSpannerServer:
         self, method: str, path: str, raw_body: Optional[bytes]
     ) -> int:
         parts = [p for p in normalize_path(path).strip("/").split("/") if p]
+        if parts and parts[0] == "deployments":
+            # All /deployments traffic pins to worker 0 so manifest
+            # mutations have a single writer (and reads see their own
+            # writes immediately); spreading writes across workers
+            # would race the store's read-modify-write between
+            # processes.  Builds referencing {"deployment": name}
+            # still go anywhere — multi-process *readers* are safe.
+            return 0
         if parts and parts[0] == "session" and len(parts) >= 2:
             pinned = session_worker(parts[1])
             if pinned is not None and 0 <= pinned < self.pool.size:
@@ -209,9 +218,21 @@ class AsyncSpannerServer:
             return status, body
         # A streaming message on the JSON path cannot happen (dispatch
         # decides by path); drain defensively.
-        while message[1] != "end":
-            message = await messages.get()
+        await self._drain_stream(messages)
         return 500, b'{"error": "unexpected stream"}'
+
+    @staticmethod
+    async def _drain_stream(messages: "asyncio.Queue[tuple]") -> None:
+        """Consume a stream's remaining messages so the worker's
+        in-flight slot frees.  A ``"json"`` message is terminal too:
+        it is what :meth:`WorkerPool._fail_pending` delivers when the
+        worker dies mid-stream, and nothing follows it — waiting for
+        an ``"end"`` that will never come would hang forever.
+        """
+        while True:
+            message = await messages.get()
+            if message[1] in ("end", "json"):
+                return
 
     async def _collect_metrics(self) -> tuple[int, bytes]:
         """Fan ``GET /metrics`` to every worker and merge."""
@@ -298,7 +319,21 @@ class AsyncSpannerServer:
                 break
             name, _, value = header.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length") or 0)
+        if "transfer-encoding" in headers:
+            # The hand-rolled parser does not implement chunked
+            # framing; accepting the request would leave the body
+            # unread in the buffer and desync the keep-alive stream.
+            response = error_response(501, "transfer-encoding not supported")
+            await self._write_json(writer, 501, response.encode(), False)
+            return None
+        try:
+            length = int(headers.get("content-length") or 0)
+            if length < 0:
+                raise ValueError(length)
+        except ValueError:
+            response = error_response(400, "malformed Content-Length")
+            await self._write_json(writer, 400, response.encode(), False)
+            return None
         if length > MAX_BODY:
             # Refuse without reading the body; the connection cannot be
             # reused (unread bytes), so close it.
@@ -373,14 +408,16 @@ class AsyncSpannerServer:
             )
             while True:
                 message = await messages.get()
-                if message[1] == "end":
+                if message[1] in ("end", "json"):
+                    # "json" mid-stream means the worker died and
+                    # _fail_pending delivered its terminal failure;
+                    # the SSE stream is truncated, so just close.
                     break
                 if message[1] == "frame":
                     if not await self._write_raw(writer, message[2]):
                         self._count("front.slow_client_drops")
                         # Keep draining the pipe so the worker slot frees.
-                        while message[1] != "end":
-                            message = await messages.get()
+                        await self._drain_stream(messages)
                         return False
             return False  # Connection: close delimits the stream
         return False

@@ -4,10 +4,20 @@ Used by the integration tests, the benchmark, and scripts; mirrors the
 endpoint surface one-to-one.  Raises :class:`ClientError` with the
 server's status code and error message on any non-2xx response.
 
-Resilience: requests retry with exponential backoff (plus jitter) on
-connection errors and on ``429`` throttling from the async tier's
-admission control — a ``Retry-After`` header overrides the computed
-backoff.  ``retries=0`` restores fail-fast behavior.
+Resilience: ``429`` throttling from the async tier's admission
+control is always retried with exponential backoff (plus jitter) —
+the front end rejects throttled requests *before* dispatching them,
+so a retry can never duplicate work.  Connection errors and ``503``
+are ambiguous (the server may have applied the request before the
+response was lost), so they are retried only for idempotent
+requests: every ``GET``, plus the pure-computation ``POST``s
+(``/build``, ``/batch``, ``/route``, ``/route_batch``,
+``/build_stream``) whose replay cannot change server state.
+State-mutating calls — session create/step/stream/delete,
+deployment put/delete — fail fast on those errors instead of
+risking a silent duplicate (an extra live session, a spurious 409
+on ``overwrite=false``).  A ``Retry-After`` header overrides the
+computed backoff; ``retries=0`` restores fail-fast everywhere.
 
 Streaming: :meth:`ServiceClient.build_stream` and
 :meth:`ServiceClient.session_stream` consume the SSE endpoints,
@@ -23,9 +33,14 @@ import urllib.error
 import urllib.request
 from typing import Any, Iterator, Mapping, Optional, Sequence
 
-#: Status codes worth retrying: admission-control throttles and the
-#: transient unavailability the pool reports while (re)starting.
-RETRYABLE_STATUSES = (429, 503)
+#: Always retried: the admission-control throttle, which by
+#: construction is answered before the request reaches a worker.
+ALWAYS_RETRYABLE_STATUSES = (429,)
+
+#: Retried only for idempotent requests: the response says the
+#: service was unavailable, but an intermediary could produce the
+#: same status after the origin applied the request.
+IDEMPOTENT_RETRYABLE_STATUSES = (429, 503)
 
 
 class ClientError(Exception):
@@ -79,14 +94,26 @@ class ServiceClient:
         base = min(self.max_backoff_s, self.backoff_s * (2 ** attempt))
         return base * (0.5 + random.random() / 2.0)  # full-ish jitter
 
-    def _open(self, request: urllib.request.Request):
-        """Open with retry-on-(connection error | 429/503) semantics."""
+    def _open(self, request: urllib.request.Request, *, idempotent: bool):
+        """Open with idempotency-gated retry semantics.
+
+        ``429`` is retried unconditionally (admission control rejects
+        before dispatch, so nothing was applied).  Connection errors
+        and ``503`` — where the request may already have taken effect
+        server-side — are retried only when ``idempotent`` says a
+        replay cannot change state or duplicate work.
+        """
+        retryable_statuses = (
+            IDEMPOTENT_RETRYABLE_STATUSES
+            if idempotent
+            else ALWAYS_RETRYABLE_STATUSES
+        )
         attempt = 0
         while True:
             try:
                 return urllib.request.urlopen(request, timeout=self.timeout)
             except urllib.error.HTTPError as exc:
-                if exc.code in RETRYABLE_STATUSES and attempt < self.retries:
+                if exc.code in retryable_statuses and attempt < self.retries:
                     delay = self._sleep_for(attempt, exc.headers.get("Retry-After"))
                     exc.close()
                     self.retry_count += 1
@@ -99,27 +126,38 @@ class ServiceClient:
                     message = str(exc.reason)
                 raise ClientError(exc.code, message) from None
             except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
-                if attempt < self.retries:
+                if idempotent and attempt < self.retries:
                     self.retry_count += 1
                     time.sleep(self._sleep_for(attempt, None))
                     attempt += 1
                     continue
                 raise ClientError(0, f"connection failed: {exc}") from None
 
-    def _request(self, method: str, path: str, payload: Any = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        *,
+        idempotent: Optional[bool] = None,
+    ) -> dict:
+        if idempotent is None:
+            idempotent = method == "GET"
         with self._open(
-            self._prepare(method, path, payload, "application/json")
+            self._prepare(method, path, payload, "application/json"),
+            idempotent=idempotent,
         ) as response:
             return json.loads(response.read())
 
     def _stream(
-        self, path: str, payload: Any
+        self, path: str, payload: Any, *, idempotent: bool = False
     ) -> Iterator[tuple[str, Any]]:
         """POST and yield parsed SSE ``(event, data)`` pairs as they land."""
         from repro.service.streaming import iter_sse_events
 
         response = self._open(
-            self._prepare("POST", path, payload, "text/event-stream")
+            self._prepare("POST", path, payload, "text/event-stream"),
+            idempotent=idempotent,
         )
         try:
             yield from iter_sse_events(response)
@@ -151,8 +189,8 @@ class ServiceClient:
         if params:
             payload["params"] = dict(params)
         if stream:
-            return self._stream("/build_stream", payload)
-        return self._request("POST", "/build", payload)
+            return self._stream("/build_stream", payload, idempotent=True)
+        return self._request("POST", "/build", payload, idempotent=True)
 
     def batch(
         self,
@@ -162,7 +200,7 @@ class ServiceClient:
         payload: dict[str, Any] = {"requests": [dict(r) for r in requests]}
         if executor:
             payload["executor"] = dict(executor)
-        return self._request("POST", "/batch", payload)
+        return self._request("POST", "/batch", payload, idempotent=True)
 
     def route(
         self,
@@ -184,7 +222,7 @@ class ServiceClient:
             payload["scenario"] = dict(scenario)
         if params:
             payload["params"] = dict(params)
-        return self._request("POST", "/route", payload)
+        return self._request("POST", "/route", payload, idempotent=True)
 
     def route_batch(
         self,
@@ -225,7 +263,7 @@ class ServiceClient:
             payload["chunk"] = chunk
         if failure is not None:
             payload["failure"] = dict(failure)
-        return self._request("POST", "/route_batch", payload)
+        return self._request("POST", "/route_batch", payload, idempotent=True)
 
     # -- sessions --------------------------------------------------------
 

@@ -104,6 +104,23 @@ def _build_cache_hint(payload: Any) -> bool:
     return isinstance(payload, Mapping) and payload.get("cache") == "hit"
 
 
+def _mutable_scenario(body: Any) -> bool:
+    """Does the request resolve through mutable server state?
+
+    A scenario of the form ``{"deployment": "<name>"}`` is looked up
+    in the :class:`~repro.service.store.DeploymentStore` at request
+    time, and the name can be re-pointed at a different point set by
+    a later ``POST /deployments``.  Responses derived from it are
+    therefore *not* pure functions of the request bytes and must
+    never be marked ``cacheable`` — a front cache keyed on raw
+    request bytes would replay the pre-overwrite answer forever.
+    """
+    if not isinstance(body, Mapping):
+        return False
+    scenario = body.get("scenario")
+    return isinstance(scenario, Mapping) and "deployment" in scenario
+
+
 def _route_get(
     service: "SpannerService", parts: list[str]
 ) -> Optional[Callable[[], JsonResponse]]:
@@ -135,22 +152,38 @@ def _route_post(
         name = parts[0]
         if name == "build":
             def build_thunk() -> JsonResponse:
-                payload = service.build(_parse_body(raw))
+                body = _parse_body(raw)
+                payload = service.build(body)
                 return JsonResponse(
-                    200, payload, cacheable=_build_cache_hint(payload)
+                    200,
+                    payload,
+                    cacheable=_build_cache_hint(payload)
+                    and not _mutable_scenario(body),
                 )
 
             return build_thunk
         if name == "batch":
             return lambda: JsonResponse(200, service.batch(_parse_body(raw)))
         if name == "route":
-            return lambda: JsonResponse(
-                200, service.route(_parse_body(raw)), cacheable=True
-            )
+            def route_thunk() -> JsonResponse:
+                body = _parse_body(raw)
+                return JsonResponse(
+                    200,
+                    service.route(body),
+                    cacheable=not _mutable_scenario(body),
+                )
+
+            return route_thunk
         if name == "route_batch":
-            return lambda: JsonResponse(
-                200, service.route_batch(_parse_body(raw)), cacheable=True
-            )
+            def route_batch_thunk() -> JsonResponse:
+                body = _parse_body(raw)
+                return JsonResponse(
+                    200,
+                    service.route_batch(body),
+                    cacheable=not _mutable_scenario(body),
+                )
+
+            return route_batch_thunk
         if name == "session":
             return lambda: JsonResponse(
                 200, service.session_create(_parse_body(raw))

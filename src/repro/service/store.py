@@ -19,7 +19,14 @@ Durability discipline:
   one;
 * readers reload the manifest when its ``(mtime_ns, size)`` stamp
   changes, so the async tier's shared-nothing workers (separate
-  processes, one designated writer) observe writes without locks.
+  processes) observe writes without holding locks to read;
+* writers serialize the manifest read-modify-write on a
+  cross-process ``fcntl`` file lock (``manifest.lock``), so
+  concurrent writers in *different* processes — pool workers,
+  parallel CLIs over one ``--data-dir`` — cannot lose each other's
+  updates.  The async front end additionally pins all
+  ``/deployments`` traffic to worker 0, making that worker the
+  single writer in the common case; the file lock is the backstop.
 """
 
 from __future__ import annotations
@@ -29,8 +36,14 @@ import json
 import os
 import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Iterator, Optional, Union
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: in-process locking only
+    fcntl = None  # type: ignore[assignment]
 
 from repro.workloads.generators import Deployment
 from repro.workloads.io import (
@@ -89,6 +102,7 @@ class DeploymentStore:
         self.data_dir = Path(data_dir)
         self.documents_dir = self.data_dir / "deployments"
         self.manifest_path = self.data_dir / "manifest.json"
+        self.lock_path = self.data_dir / "manifest.lock"
         self.documents_dir.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
         self._names: dict[str, dict] = {}
@@ -96,6 +110,29 @@ class DeploymentStore:
         self._reload_locked()
 
     # -- manifest I/O ----------------------------------------------------
+
+    @contextmanager
+    def _exclusive(self) -> Iterator[None]:
+        """The manifest write critical section, across processes.
+
+        Every read-modify-write of the manifest (refresh, mutate,
+        rewrite) runs under both the in-process lock and — where
+        ``fcntl`` exists — an exclusive ``flock`` on a sidecar lock
+        file, so two store instances in different processes cannot
+        interleave and silently drop an acknowledged update.  Readers
+        stay lock-free on disk: the manifest itself is only ever
+        replaced atomically.
+        """
+        with self._lock:
+            if fcntl is None:
+                yield
+                return
+            with open(self.lock_path, "ab") as handle:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
 
     def _manifest_stamp(self) -> Optional[tuple[int, int]]:
         try:
@@ -151,7 +188,7 @@ class DeploymentStore:
                 document,
                 json.dumps(deployment_to_dict(deployment), indent=1).encode(),
             )
-        with self._lock:
+        with self._exclusive():
             self._refresh_locked()
             existing = self._names.get(name)
             if existing is not None and not overwrite:
@@ -191,7 +228,7 @@ class DeploymentStore:
 
     def delete(self, name: str) -> dict:
         """Unpublish ``name`` (the document stays, content-addressed)."""
-        with self._lock:
+        with self._exclusive():
             self._refresh_locked()
             entry = self._names.pop(name, None)
             if entry is None:
@@ -220,6 +257,6 @@ class DeploymentStore:
 
     def flush(self) -> None:
         """Re-persist the manifest (the graceful-shutdown hook)."""
-        with self._lock:
+        with self._exclusive():
             self._refresh_locked()
             self._write_manifest_locked()

@@ -438,3 +438,208 @@ class TestClientRetrySemantics:
             client.build("nope", SCENARIO)
         assert err.value.status == 400
         assert client.retry_count == before  # 400s are not retried
+
+    def test_non_idempotent_posts_fail_fast_on_connection_error(self):
+        """A lost response after the server applied a POST could hide a
+        duplicate; state-mutating calls must not auto-retry connection
+        errors, while pure-computation calls still do."""
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listening: every connect is refused
+
+        client = ServiceClient(
+            f"http://127.0.0.1:{port}", retries=4, backoff_s=0.01,
+            max_backoff_s=0.05, timeout=5,
+        )
+        with pytest.raises(ClientError) as err:
+            client.session_create(SCENARIO)
+        assert err.value.status == 0
+        assert client.retry_count == 0
+        with pytest.raises(ClientError):
+            client.deployment_put("dup", SCENARIO)
+        assert client.retry_count == 0
+        with pytest.raises(ClientError):
+            client.session_delete("w0-s1")
+        assert client.retry_count == 0
+        # The same failure on an idempotent request is retried.
+        with pytest.raises(ClientError):
+            client.build("udg", SCENARIO)
+        assert client.retry_count == 4
+
+
+class TestFrontCacheInvalidation:
+    """Responses derived from a named deployment must never be
+    replayed by the front byte-cache: the name is mutable state."""
+
+    def test_dispatch_marks_deployment_scenarios_uncacheable(self, tmp_path):
+        from repro.service.dispatch import dispatch
+
+        service = SpannerService(
+            executor_mode="serial", data_dir=str(tmp_path / "ddata")
+        )
+        try:
+            service.deployments_create({"name": "pin", "scenario": TENANTS[0]})
+            build_body = json.dumps(
+                {"pipeline": "udg", "scenario": {"deployment": "pin"}}
+            ).encode()
+            first = dispatch(service, "POST", "/build", build_body)
+            warm = dispatch(service, "POST", "/build", build_body)
+            assert json.loads(warm.encode())["cache"] == "hit"
+            assert first.cacheable is False
+            assert warm.cacheable is False  # warm hit, still uncacheable
+            route = dispatch(service, "POST", "/route", json.dumps({
+                "pipeline": "backbone", "scenario": {"deployment": "pin"},
+                "source": 0, "target": 5,
+            }).encode())
+            assert route.status == 200 and route.cacheable is False
+            batch = dispatch(service, "POST", "/route_batch", json.dumps({
+                "pipeline": "backbone", "scenario": {"deployment": "pin"},
+                "count": 3, "seed": 1,
+            }).encode())
+            assert batch.status == 200 and batch.cacheable is False
+            # Explicit scenarios are pure functions of the request
+            # bytes and keep their cache hint.
+            explicit = dispatch(service, "POST", "/route", json.dumps({
+                "pipeline": "backbone", "scenario": TENANTS[0],
+                "source": 0, "target": 5,
+            }).encode())
+            assert explicit.status == 200 and explicit.cacheable is True
+        finally:
+            service.close()
+
+    def test_overwritten_deployment_not_served_stale(self, tmp_path):
+        with AsyncBackgroundServer(
+            pool_size=2, pool_mode="thread", queue_depth=8,
+            service_kwargs={
+                "executor_mode": "serial",
+                "data_dir": str(tmp_path / "fcdata"),
+            },
+        ) as server:
+            client = ServiceClient(server.url)
+            client.deployment_put("mut", TENANTS[0])
+            first = client.build("udg", {"deployment": "mut"})
+            warm = client.build("udg", {"deployment": "mut"})
+            assert warm["cache"] == "hit"
+            assert warm["key"] == first["key"]
+            # Re-point the name at a different point set; the same
+            # request bytes must now produce the new answer.
+            client.deployment_put("mut", TENANTS[1])
+            after = client.build("udg", {"deployment": "mut"})
+            assert after["key"] != first["key"]
+            assert after["nodes"] == TENANTS[1]["nodes"]
+
+
+class TestDeploymentPlacement:
+    def test_deployments_pin_to_worker_zero(self):
+        """All /deployments traffic lands on worker 0 — the store's
+        single writer — regardless of payload or pool size."""
+        from repro.service.aserver import AsyncSpannerServer
+
+        server = AsyncSpannerServer(pool_size=4, pool_mode="thread")
+        body = json.dumps({"name": "n", "scenario": SCENARIO}).encode()
+        assert server._pick_worker("POST", "/deployments", body) == 0
+        assert server._pick_worker("GET", "/deployments", None) == 0
+        assert server._pick_worker("GET", "/deployments/some-name", None) == 0
+        assert server._pick_worker("DELETE", "/deployments/some-name", None) == 0
+
+
+class TestStreamWorkerFailure:
+    """A worker dying mid-stream delivers a terminal "json" failure
+    message; the streaming loops must treat it as end-of-stream
+    instead of waiting forever for an "end" that never comes."""
+
+    def test_respond_terminates_on_failure_message(self):
+        import asyncio
+
+        from repro.service.aserver import AsyncSpannerServer
+
+        server = AsyncSpannerServer(pool_size=1, pool_mode="thread")
+
+        class FakeWriter:
+            def __init__(self):
+                self.data = bytearray()
+
+            def write(self, chunk):
+                self.data.extend(chunk)
+
+            async def drain(self):
+                return None
+
+        async def scenario():
+            messages = asyncio.Queue()
+            messages.put_nowait((7, "stream", 200, "text/event-stream"))
+            messages.put_nowait((7, "frame", b"event: start\ndata: {}\n\n"))
+            messages.put_nowait(
+                (7, "json", 500, b'{"error": "worker connection lost"}', False)
+            )
+
+            async def fake_call(worker, method, path, raw_body):
+                return messages
+
+            server._call_worker = fake_call
+            writer = FakeWriter()
+            result = await asyncio.wait_for(
+                server._respond(writer, "POST", "/build_stream", b"{}", True),
+                timeout=10.0,
+            )
+            return result, bytes(writer.data)
+
+        result, written = asyncio.run(scenario())
+        assert result is False  # the truncated stream closes the connection
+        assert b"event: start" in written
+
+    def test_drain_stream_stops_on_failure_message(self):
+        import asyncio
+
+        from repro.service.aserver import AsyncSpannerServer
+
+        async def scenario():
+            messages = asyncio.Queue()
+            messages.put_nowait((3, "frame", b"data: x\n\n"))
+            messages.put_nowait((3, "json", 500, b'{"error": "lost"}', False))
+            await asyncio.wait_for(
+                AsyncSpannerServer._drain_stream(messages), timeout=10.0
+            )
+
+        asyncio.run(scenario())
+
+
+class TestParserHardening:
+    @staticmethod
+    def raw_bytes(url, data):
+        """Send raw bytes and collect the response until close."""
+        import socket
+
+        host, port = url.split("//", 1)[1].split(":")
+        with socket.create_connection((host, int(port)), timeout=60) as sock:
+            sock.sendall(data)
+            response = b""
+            while True:
+                got = sock.recv(65536)
+                if not got:
+                    break
+                response += got
+        return response
+
+    def test_chunked_transfer_encoding_rejected(self, async_server):
+        """Chunked bodies are not parsed; accepting one would desync
+        the keep-alive stream, so the request is refused outright."""
+        response = self.raw_bytes(
+            async_server.url,
+            b"POST /build HTTP/1.1\r\nHost: x\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n"
+            b"2\r\n{}\r\n0\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 501")
+        assert b"Connection: close" in response
+
+    def test_malformed_content_length_rejected(self, async_server):
+        response = self.raw_bytes(
+            async_server.url,
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\nContent-Length: abc\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 400")
+        assert b"Connection: close" in response

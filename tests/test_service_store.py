@@ -111,3 +111,37 @@ class TestConcurrentView:
         doc = json.loads(store.manifest_path.read_text())
         assert doc["version"] == 1
         assert "alpha" in doc["deployments"]
+
+
+class TestConcurrentWriters:
+    def test_interleaved_writers_lose_no_updates(self, tmp_path, deployment):
+        """Two independent handles (separate in-process locks, exactly
+        like two pool worker processes) write concurrently; the flock
+        around the manifest read-modify-write means every acknowledged
+        put survives — no last-writer-wins dropped names."""
+        import threading
+
+        stores = [DeploymentStore(tmp_path), DeploymentStore(tmp_path)]
+        per_writer = 15
+        errors = []
+
+        def write(idx):
+            try:
+                for i in range(per_writer):
+                    stores[idx].put(f"w{idx}-{i:02d}", deployment)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(f"writer {idx}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=write, args=(idx,)) for idx in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        fresh = DeploymentStore(tmp_path)
+        names = {entry["name"] for entry in fresh.listing()}
+        assert names == {
+            f"w{idx}-{i:02d}" for idx in range(2) for i in range(per_writer)
+        }
